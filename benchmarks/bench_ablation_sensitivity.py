@@ -1,0 +1,48 @@
+"""Design-sensitivity ablations for the choices DESIGN.md calls out.
+
+Three one-parameter sweeps quantify the design points the paper fixes
+without data: the 32-entry MAF, the CR-box tournament cost, and the
+L2-capacity cliff under a sparse working set.
+"""
+
+from conftest import run_once
+
+from repro.harness.sweeps import (
+    render_sweep,
+    sweep_cr_cost,
+    sweep_l2_size,
+    sweep_maf_entries,
+)
+
+
+def test_maf_size_sensitivity(benchmark):
+    curve = run_once(benchmark, lambda: sweep_maf_entries())
+    print("\n" + render_sweep("MAF entries vs cycles (streams.triad, "
+                              "memory-streaming)", curve, " ent"))
+    benchmark.extra_info.update({str(k): round(v) for k, v in curve.items()})
+    # starving the MAF must hurt; the paper's 32 sits on the plateau
+    assert curve[2] > 1.5 * curve[32]
+    assert curve[64] >= 0.95 * curve[32]
+
+
+def test_cr_cost_sensitivity(benchmark):
+    curve = run_once(benchmark, lambda: sweep_cr_cost())
+    print("\n" + render_sweep("CR tournament cost vs cycles (sparsemxv, "
+                              "gather-bound)", curve, " cyc"))
+    benchmark.extra_info.update({str(k): round(v) for k, v in curve.items()})
+    # gather-bound kernels ride almost linearly on the CR cost
+    assert curve[8.0] > 1.5 * curve[1.0]
+    assert curve[4.0] > curve[2.0] > curve[1.0]
+
+
+def test_l2_capacity_cliff(benchmark):
+    curve = run_once(benchmark, lambda: sweep_l2_size())
+    print("\n" + render_sweep("L2 capacity vs cycles (sparsemxv working "
+                              "set)", curve, " B"))
+    benchmark.extra_info.update({str(k): round(v) for k, v in curve.items()})
+    sizes = sorted(curve)
+    # monotone improvement with capacity, with a real cliff at the
+    # small end — the paper's L2-centric design thesis
+    assert curve[sizes[0]] > 1.3 * curve[sizes[-1]]
+    for small, big in zip(sizes, sizes[1:]):
+        assert curve[big] <= curve[small] * 1.02

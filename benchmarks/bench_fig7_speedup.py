@@ -1,0 +1,32 @@
+"""Figure 7 — speedup of EV8+ and Tarantula over EV8.
+
+The abstract's headline: "an average speedup of 5X over EV8, out of a
+peak speedup in terms of flops of 8X"; six applications exceed 8X for
+the reasons section 6 enumerates (flop:mem ratio, register count,
+masks, prefetch reach).
+"""
+
+from conftest import run_once
+
+from repro.harness.figures import figure7
+from repro.harness.report import render_figure7
+
+
+def test_figure7_speedups(benchmark):
+    rows = run_once(benchmark, lambda: figure7(quick=False))
+    print("\n" + render_figure7(rows))
+    speedups = {n: r.speedup_tarantula for n, r in rows.items()}
+    benchmark.extra_info.update(
+        {n: round(v, 2) for n, v in speedups.items()})
+    average = sum(speedups.values()) / len(speedups)
+    # "typically, Tarantula achieves a speedup of at least 5X":
+    assert average > 4.0
+    # gather-bound kernels show the least parallelism (section 6):
+    assert speedups["ccradix"] == min(speedups.values())
+    assert speedups["sparsemxv"] < average
+    # some applications exceed the 8X peak-flop ratio:
+    assert sum(1 for v in speedups.values() if v > 8.0) >= 3
+    # EV8+ alone explains little: "this performance advantage can not be
+    # attributed to the bigger cache and better memory system alone"
+    for name, row in rows.items():
+        assert row.speedup_ev8_plus < row.speedup_tarantula, name

@@ -1,0 +1,29 @@
+"""Figure 8 — performance scaling at 4.8 GHz (T4) and 10.66 GHz (T10).
+
+"Programs that mostly access the L2 cache scale very well. In contrast,
+sparsemxv barely reaches speedups of 1.6 and 1.8 when scaling the
+frequency by 2.2X and 5X."
+"""
+
+from conftest import run_once
+
+from repro.harness.figures import figure8
+from repro.harness.report import render_figure8
+
+
+def test_figure8_frequency_scaling(benchmark):
+    rows = run_once(benchmark, lambda: figure8(quick=False))
+    print("\n" + render_figure8(rows))
+    benchmark.extra_info.update(
+        {n: round(r.speedup_t10, 2) for n, r in rows.items()})
+    for name, row in rows.items():
+        # higher frequency never hurts, never super-linear vs 5x clock
+        assert 0.95 <= row.speedup_t4 <= 2.6, name
+        assert row.speedup_t10 >= row.speedup_t4 * 0.95, name
+        assert row.speedup_t10 <= 5.5, name
+    # memory-bound kernels stop scaling...
+    assert rows["sparsemxv"].speedup_t10 < 3.0
+    # ...while cache-resident compute scales much further
+    best = max(r.speedup_t10 for r in rows.values())
+    assert best > 2.5
+    assert best > rows["sparsemxv"].speedup_t10

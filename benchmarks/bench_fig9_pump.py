@@ -1,0 +1,26 @@
+"""Figure 9 — slowdown when the stride-1 double-bandwidth PUMP is off.
+
+"The programs that did not have their iteration space tiled suffer the
+most when stride-1 bandwidth is dropped from thirty-two 64-bit words
+per cycle down to sixteen"; MAF pressure also grows 8x.
+"""
+
+from conftest import run_once
+
+from repro.harness.figures import figure9
+from repro.harness.report import render_figure9
+
+
+def test_figure9_pump_ablation(benchmark):
+    rows = run_once(benchmark, lambda: figure9(quick=False))
+    print("\n" + render_figure9(rows))
+    benchmark.extra_info.update(
+        {n: round(r.relative_performance, 3) for n, r in rows.items()})
+    for name, row in rows.items():
+        # disabling a bandwidth feature never helps (beyond noise)
+        assert row.relative_performance <= 1.05, name
+    # stride-1-heavy kernels are hurt; the untiled stencil most of all
+    assert rows["swim.untiled"].relative_performance < 0.9
+    assert rows["swim"].relative_performance < 0.97
+    hurt = [n for n, r in rows.items() if r.relative_performance < 0.95]
+    assert len(hurt) >= 3

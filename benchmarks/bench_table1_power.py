@@ -1,0 +1,19 @@
+"""Table 1 — power and area estimates (section 5)."""
+
+from conftest import run_once
+
+from repro.core.power import gflops_per_watt_advantage
+from repro.harness.report import render_table1
+from repro.harness.tables import power_summary, table1
+
+
+def test_table1_power_model(benchmark):
+    rows = run_once(benchmark, table1)
+    text = render_table1(rows)
+    print("\n" + text)
+    summary = power_summary()
+    print(f"\nGflops/Watt advantage: {summary['advantage']}x "
+          f"(paper: 3.4x; with FMAC: "
+          f"{gflops_per_watt_advantage(fmac=True):.1f}x)")
+    benchmark.extra_info.update(summary)
+    assert 3.1 <= summary["advantage"] <= 3.7

@@ -1,0 +1,15 @@
+"""Table 2 — benchmark inventory with measured vectorization %."""
+
+from conftest import run_once
+
+from repro.harness.report import render_table2
+from repro.harness.tables import table2
+
+
+def test_table2_inventory(benchmark):
+    rows = run_once(benchmark, lambda: table2(scale=0.1))
+    print("\n" + render_table2(rows))
+    for name, row in rows.items():
+        benchmark.extra_info[name] = round(row.measured_vect_pct, 1)
+        if name != "linpack100":
+            assert row.measured_vect_pct > 90.0, name

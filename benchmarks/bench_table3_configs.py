@@ -1,0 +1,16 @@
+"""Table 3 — the four machine configurations' derived quantities."""
+
+from conftest import run_once
+
+from repro.harness.report import render_table3
+from repro.harness.tables import table3
+
+
+def test_table3_configurations(benchmark):
+    rows = run_once(benchmark, table3)
+    print("\n" + render_table3(rows))
+    benchmark.extra_info.update(
+        {name: row["rambus_gbytes_per_s"] for name, row in rows.items()})
+    assert rows["T"]["l2_gbytes_per_s"] == 1091
+    assert rows["T4"]["l2_gbytes_per_s"] == 2458
+    assert rows["T"]["peak_ops_per_cycle"] == 104

@@ -1,0 +1,15 @@
+"""Benchmark harness configuration.
+
+Each ``bench_*`` module regenerates one table or figure of the paper.
+Benchmarks run the full simulation once per measurement (rounds=1): the
+quantity of interest is the *regenerated result*, which each benchmark
+prints and attaches to ``benchmark.extra_info`` so the JSON artifact
+carries the paper-vs-measured comparison.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Measure one full execution of ``fn`` and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,90 @@
+"""Regenerate docs/ISA.md from the live instruction table.
+
+Usage: python docs/generate_isa_md.py
+"""
+
+from pathlib import Path
+
+from repro.isa.instructions import INSTRUCTION_SET, Group
+
+HEADER = '''# Tarantula ISA reference
+
+Generated from `repro.isa.instructions.INSTRUCTION_SET` (regenerate with
+`python docs/generate_isa_md.py`), so this manual cannot drift from the
+simulator.
+
+## Architectural state (section 2 of the paper)
+
+| state | width | notes |
+|---|---|---|
+| `v0..v31` | 128 x 64 bits each | `v31` hardwired to zero; loads targeting it are prefetches |
+| `vl` | 8 bits | vector length, 0..128 |
+| `vs` | 64 bits | signed byte stride for SM-group accesses |
+| `vm` | 128 bits | vector mask; `setvm` installs the low bit of each element of a vector register |
+| `r0..r31` | 64 bits each | EV8-side scalar registers, `r31` = 0 |
+
+Any vector instruction may carry the `/m` qualifier (builder:
+`masked=True`): inactive elements (beyond `vl`, or with `vm` clear)
+leave the destination bit-exactly unchanged; masked stores/scatters
+skip memory.
+
+Assembler syntax is Alpha-style: sources first, destination last,
+`#` immediates, `disp(rN)` memory operands, `;` comments.
+
+Entries marked **ext** are documented extensions beyond the paper's
+instruction list (see DESIGN.md 4b): `viota`/`vsumq`/`vsumt` (needed by
+the paper's own benchmarks) and the section-5 FMAC pair.
+'''
+
+GROUP_NOTES = {
+    Group.VV: "Vector-vector operate: `op va, vb, vc`.",
+    Group.VS: "Vector-scalar operate: `op va, (#imm|rN), vc`; the scalar "
+              "crosses the narrow core-Vbox interface.",
+    Group.SM: "Strided memory: addresses `rb + disp + i*vs`; stride 8 "
+              "takes the PUMP, reorderable strides the ROM schedule, "
+              "self-conflicting strides the CR box.",
+    Group.RM: "Random memory: per-element byte offsets from a vector "
+              "register, packed into slices by the CR box.",
+    Group.VC: "Vector control: lengths, strides, masks, element moves, "
+              "reductions.",
+    Group.SC: "Scalar (EV8 core) instructions the kernels need, "
+              "including the DrainM coherency barrier.",
+}
+
+FOOTER = """
+## Encoding
+
+32-bit words, major opcode 0x1A (see `repro.isa.encodings` for the
+format diagrams).  The encoding covers register forms, 5-bit literals
+and 8-byte-multiple displacements in [-512, 504]; anything else (float
+immediates, large displacements) must be materialized through registers,
+as a real compiler would.  `encode`/`decode` round trips are
+property-tested.
+"""
+
+
+def render() -> str:
+    lines = [HEADER]
+    order = [Group.VV, Group.VS, Group.SM, Group.RM, Group.VC, Group.SC]
+    for group in order:
+        rows = sorted((n, d) for n, d in INSTRUCTION_SET.items()
+                      if d.group is group)
+        lines.append(f"\n## {group.name} — {group.value} "
+                     f"({len(rows)} mnemonics)\n")
+        lines.append(GROUP_NOTES[group] + "\n")
+        lines.append("| mnemonic | operands | flops/elem | timing "
+                     "| description |")
+        lines.append("|---|---|---|---|---|")
+        for name, d in rows:
+            ops = ", ".join(d.fields)
+            tag = " **ext**" if d.extension else ""
+            lines.append(f"| `{name}`{tag} | {ops} | {d.flops} | "
+                         f"{d.timing.value} | {d.description} |")
+    lines.append(FOOTER)
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    target = Path(__file__).with_name("ISA.md")
+    target.write_text(render())
+    print(f"wrote {target}")

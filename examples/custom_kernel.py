@@ -1,0 +1,70 @@
+"""Writing kernels in assembly text, including the paper's mask idiom.
+
+Section 2 of the paper shows how Tarantula codes a compound condition
+(`A(i).ne.0 .and. B(i).gt.2`) without any scalar round trips: vector
+compares write boolean vectors into ordinary vector registers, logical
+ops combine them, and ``setvm`` installs the result as the mask.
+
+This example assembles that exact idiom from text, runs it, and shows
+the under-mask update leaving unselected elements untouched.
+
+Run:  python examples/custom_kernel.py
+"""
+
+import numpy as np
+
+from repro import FunctionalSimulator, assemble
+from repro.isa.assembler import disassemble
+
+A_ADDR, B_ADDR, OUT = 0x10000, 0x20000, 0x30000
+
+SOURCE = f"""
+; conditional update: out(i) += 100.0 where A(i) != 0 and B(i) > 2
+        setvl   #128
+        setvs   #8
+        lda     r1, #{A_ADDR}
+        lda     r2, #{B_ADDR}
+        lda     r3, #{OUT}
+
+        vloadq  v0, 0(r1)            ; v0 <- A
+        vloadq  v1, 0(r2)            ; v1 <- B
+
+        vscmpteq v0, #0.0, v6        ; v6 <- (A == 0)
+        vnot     v6, v6              ; v6 <- (A != 0)   [low bit]
+        vscmptle v1, #2.0, v7        ; v7 <- (B <= 2)
+        vnot     v7, v7              ; v7 <- (B > 2)
+        vvand    v6, v7, v8          ; v8 <- both conditions
+        setvm    v8                  ; vm <- v8
+
+        vloadq  v9, 0(r3)            ; current out
+        vsaddt  v9, #100.0, v9  /m   ; add under mask only
+        vstoreq v9, 0(r3)       /m   ; store under mask only
+"""
+
+
+def main() -> None:
+    program = assemble(SOURCE, name="masked-update")
+    print("disassembly round-trip:")
+    print(disassemble(program))
+
+    sim = FunctionalSimulator()
+    rng = np.random.default_rng(7)
+    a = rng.choice([0.0, 1.0], size=128)
+    b = rng.uniform(0.0, 4.0, size=128)
+    out = np.zeros(128)
+    sim.memory.write_f64(A_ADDR, a)
+    sim.memory.write_f64(B_ADDR, b)
+    sim.memory.write_f64(OUT, out)
+
+    sim.run(program)
+
+    selected = (a != 0) & (b > 2)
+    expected = np.where(selected, 100.0, 0.0)
+    got = sim.memory.read_f64(OUT, 128)
+    np.testing.assert_allclose(got, expected)
+    print(f"\nmask selected {selected.sum()} of 128 elements — "
+          "masked update verified, no scalar round trips used.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Tarantula: a vector extension to the Alpha architecture (ISCA 2002).
+
+A from-scratch reproduction of the paper's full system: the vector ISA
+extension, a functional simulator, a cycle-level timing model (16-lane
+Vbox, banked L2 with conflict-free address reordering, CR box, PUMP,
+MAF, RAMBUS memory controller), an EV8-like superscalar baseline, the
+benchmark suite, and a harness that regenerates every table and figure
+of the paper's evaluation section.
+
+Quick start::
+
+    from repro import KernelBuilder, FunctionalSimulator
+
+    kb = KernelBuilder("triad")
+    kb.setvl(128)
+    kb.setvs(8)
+    kb.lda(1, 0x100000)            # A
+    kb.lda(2, 0x200000)            # B
+    kb.lda(3, 0x300000)            # C
+    kb.vloadq(0, rb=1)             # v0 <- A
+    kb.vloadq(1, rb=2)             # v1 <- B
+    kb.vsmult(2, 1, imm=3.0)       # v2 <- 3.0 * B
+    kb.vvaddt(3, 0, 2)             # v3 <- A + 3.0*B
+    kb.vstoreq(3, rb=3)            # C <- v3
+
+    sim = FunctionalSimulator()
+    sim.memory.write_f64(0x100000, [1.0] * 128)
+    sim.memory.write_f64(0x200000, [2.0] * 128)
+    sim.run(kb.build())
+    print(sim.memory.read_f64(0x300000, 4))   # [7. 7. 7. 7.]
+"""
+
+from repro.core.functional import FunctionalSimulator, OperationCounts
+from repro.isa import (
+    ArchState,
+    Instruction,
+    KernelBuilder,
+    MVL,
+    Program,
+    assemble,
+    execute,
+)
+from repro.mem.memory import MainMemory
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ArchState",
+    "FunctionalSimulator",
+    "Instruction",
+    "KernelBuilder",
+    "MVL",
+    "MainMemory",
+    "OperationCounts",
+    "Program",
+    "assemble",
+    "execute",
+    "__version__",
+]

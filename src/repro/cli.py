@@ -1,0 +1,135 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the paper's evaluation artifacts:
+
+* ``run <kernel>`` — one benchmark on one machine, with metrics;
+* ``table1|table2|table3|table4`` — regenerate a table;
+* ``fig6|fig7|fig8|fig9`` — regenerate a figure's data series;
+* ``list`` — the benchmark suite and the machine configurations;
+* ``asm <file>`` — assemble a text kernel and print its listing.
+
+Everything prints the paper's published values alongside where they
+exist, so the CLI doubles as a reproduction report generator.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.config import CONFIGURATIONS
+from repro.harness import figures, report, tables
+from repro.harness.runner import run
+from repro.workloads.registry import REGISTRY
+
+
+def _cmd_list(args) -> int:
+    print("benchmarks (Table 2):")
+    for name, workload in sorted(REGISTRY.items()):
+        tag = " [surrogate]" if workload.surrogate else ""
+        print(f"  {name:<14s} {workload.description}{tag}")
+    print("\nmachines (Table 3):")
+    for name in CONFIGURATIONS:
+        cfg = CONFIGURATIONS[name]()
+        kind = "vector" if cfg.has_vbox else "scalar"
+        print(f"  {name:<9s} {cfg.core_ghz:5.2f} GHz  "
+              f"{cfg.l2_bytes >> 20:2d} MB L2  "
+              f"{cfg.rambus_gbs:5.1f} GB/s  ({kind})")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    kwargs = {}
+    if CONFIGURATIONS[args.config]().has_vbox:
+        kwargs["check"] = not args.no_check
+    out = run(args.kernel, args.config, scale=args.scale, **kwargs)
+    print(f"{out.kernel} on {out.config_name}: "
+          f"{out.cycles:.0f} cycles ({out.seconds * 1e6:.1f} us)")
+    print(f"  OPC={out.opc:.2f}  FPC={out.fpc:.2f}  MPC={out.mpc:.2f}")
+    if out.streams_mbytes_per_s:
+        print(f"  streams bandwidth: {out.streams_mbytes_per_s:.0f} MB/s "
+              f"(raw {out.raw_mbytes_per_s:.0f})")
+    if out.verified:
+        print("  output verified against the numpy reference")
+    return 0
+
+
+def _cmd_table(args) -> int:
+    quick = args.quick
+    if args.which == "table1":
+        print(report.render_table1(tables.table1()))
+    elif args.which == "table2":
+        print(report.render_table2(tables.table2(scale=0.1)))
+    elif args.which == "table3":
+        print(report.render_table3(tables.table3()))
+    else:
+        print(report.render_table4(tables.table4(quick=quick)))
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    quick = args.quick
+    fn = {"fig6": lambda: report.render_figure6(figures.figure6(quick=quick)),
+          "fig7": lambda: report.render_figure7(figures.figure7(quick=quick)),
+          "fig8": lambda: report.render_figure8(figures.figure8(quick=quick)),
+          "fig9": lambda: report.render_figure9(figures.figure9(quick=quick))}
+    print(fn[args.which]())
+    return 0
+
+
+def _cmd_asm(args) -> int:
+    from repro.isa.assembler import assemble
+
+    with open(args.file) as handle:
+        source = handle.read()
+    program = assemble(source, name=args.file)
+    print(program.listing())
+    stats = program.stats()
+    print(f"\n{stats.total} instructions "
+          f"({stats.vector_instructions} vector, "
+          f"{stats.scalar_instructions} scalar, "
+          f"{stats.memory_instructions} memory)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Tarantula (ISCA 2002) reproduction harness")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="benchmarks and machines").set_defaults(
+        fn=_cmd_list)
+
+    p_run = sub.add_parser("run", help="run one benchmark")
+    p_run.add_argument("kernel", choices=sorted(REGISTRY))
+    p_run.add_argument("--config", default="T",
+                       choices=sorted(CONFIGURATIONS))
+    p_run.add_argument("--scale", type=float, default=0.5)
+    p_run.add_argument("--no-check", action="store_true",
+                       help="skip output verification")
+    p_run.set_defaults(fn=_cmd_run)
+
+    for which in ("table1", "table2", "table3", "table4"):
+        p = sub.add_parser(which, help=f"regenerate {which}")
+        p.add_argument("--quick", action="store_true")
+        p.set_defaults(fn=_cmd_table, which=which)
+
+    for which in ("fig6", "fig7", "fig8", "fig9"):
+        p = sub.add_parser(which, help=f"regenerate {which}")
+        p.add_argument("--quick", action="store_true")
+        p.set_defaults(fn=_cmd_figure, which=which)
+
+    p_asm = sub.add_parser("asm", help="assemble a text kernel")
+    p_asm.add_argument("file")
+    p_asm.set_defaults(fn=_cmd_asm)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""Core Tarantula processor models: functional and timing simulators."""
+
+from repro.core.coherency import CoherencyController, DrainOutcome
+from repro.core.config import (
+    CONFIGURATIONS,
+    MachineConfig,
+    ev8,
+    ev8_plus,
+    tarantula,
+    tarantula10,
+    tarantula4,
+    tarantula_no_pump,
+)
+from repro.core.functional import FunctionalSimulator, OperationCounts
+from repro.core.metrics import TimingResult
+from repro.core.power import (
+    ChipPowerModel,
+    cmp_ev8_model,
+    gflops_per_watt_advantage,
+    table1_rows,
+    tarantula_model,
+)
+from repro.core.processor import TarantulaProcessor
+
+__all__ = [
+    "CONFIGURATIONS",
+    "ChipPowerModel",
+    "CoherencyController",
+    "DrainOutcome",
+    "FunctionalSimulator",
+    "MachineConfig",
+    "OperationCounts",
+    "TarantulaProcessor",
+    "TimingResult",
+    "cmp_ev8_model",
+    "ev8",
+    "ev8_plus",
+    "gflops_per_watt_advantage",
+    "table1_rows",
+    "tarantula",
+    "tarantula10",
+    "tarantula4",
+    "tarantula_model",
+]

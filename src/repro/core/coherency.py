@@ -1,0 +1,88 @@
+"""Scalar-vector coherency: P-bits and the DrainM barrier (section 3.4).
+
+Two actors share memory behind each other's backs: the EV8 core works
+through its L1 and write buffer, while the Vbox reads and writes the L2
+directly.  The protocol:
+
+* every L2 line carries a P-bit, set whenever the EV8 core touches it;
+* a vector access that finds the P-bit set sends an invalidate to the
+  L1 (clean lines drop, dirty lines write through), then proceeds;
+* one hazard remains — *scalar write, then vector read*: a retired
+  scalar store can sit in the write buffer, invisible to the L2, where
+  no P-bit protects it.  The programmer must insert ``DrainM``, which
+  purges the write buffer, updates the P-bits, and replay-traps younger
+  instructions.
+
+:class:`CoherencyController` wires the pieces together and — crucially
+for the tests — exposes :meth:`stale_lines_for`, which reports exactly
+the reads that would see stale data, so the litmus suite can show the
+hazard exists *and* that DrainM closes it, faithfully to the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mem.l1cache import L1DataCache
+from repro.mem.l2cache import BankedL2
+from repro.utils.bitops import line_address
+from repro.utils.stats import Counter
+
+
+@dataclass
+class DrainOutcome:
+    """What one DrainM did."""
+
+    drained_lines: list[int]
+    replay_trap: bool
+    cycles: float
+
+
+class CoherencyController:
+    """Owns the L1/write-buffer <-> L2 coherency interactions."""
+
+    #: cycles to purge the write buffer and replay-trap, per drained store
+    DRAIN_BASE_COST = 12.0
+    DRAIN_PER_LINE_COST = 2.0
+
+    def __init__(self, l1: L1DataCache, l2: BankedL2) -> None:
+        self.l1 = l1
+        self.l2 = l2
+        if self.l2.l1 is None:
+            self.l2.l1 = l1
+        self.counters = Counter()
+
+    # -- scalar side -------------------------------------------------------
+
+    def scalar_load(self, addr: int, earliest: float) -> float:
+        """EV8 load: L1 first, then L2 (setting the P-bit)."""
+        if self.l1.load(addr):
+            return earliest + 3.0
+        _, ready = self.l2.scalar_access(addr, False, earliest)
+        return ready
+
+    def scalar_store(self, addr: int, earliest: float) -> float:
+        """EV8 store: retires into the write buffer — invisible to L2."""
+        self.l1.store(addr)
+        return earliest + 1.0
+
+    def drainm(self, earliest: float) -> DrainOutcome:
+        """Execute a DrainM barrier."""
+        drained = self.l1.drain()
+        self.l2.set_pbits(drained)
+        cost = self.DRAIN_BASE_COST + self.DRAIN_PER_LINE_COST * len(drained)
+        self.counters.add("drainm")
+        self.counters.add("drained_lines", len(drained))
+        return DrainOutcome(drained, replay_trap=True, cycles=cost)
+
+    # -- hazard detection (the litmus-test hook) -----------------------------
+
+    def stale_lines_for(self, read_addrs) -> set[int]:
+        """Lines a vector read would see stale (still in the write buffer).
+
+        This is the exact hazard the paper says "is not covered and
+        requires programmer intervention".
+        """
+        pending = self.l1.pending_lines()
+        wanted = {line_address(int(a)) for a in read_addrs}
+        return wanted & pending

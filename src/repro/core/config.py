@@ -1,0 +1,188 @@
+"""Machine configurations — the four architectures of Table 3 (plus T10).
+
+======================  =====  =====  =====  =====  =====
+symbol                  EV8    EV8+   T      T4     T10
+======================  =====  =====  =====  =====  =====
+core speed (GHz)        2.13   2.13   2.13   4.8    10.66
+core issue              8      8      8      8      8
+vbox issue              --     --     3      3      3
+peak int/fp             8/4    8/4    32     32     32
+peak ld+st              2+2    2+2    32+32  32+32  32+32
+L2 size (MB)            4      16     16     16     16
+L2 BW (GB/s)            273    273    1091   2457   5460
+L2 load-to-use scalar   12     12     28     28     28
+L2 load-to-use stride1  --     --     34     34     34
+L2 load-to-use odd      --     --     38     38     38
+RAMBUS ports            2      8      8      8      8
+RAMBUS speed (MHz)      1066   1066   1066   1200   1333
+RAMBUS BW (GB/s)        16.6   66.6   66.6   75.0   83.3
+======================  =====  =====  =====  =====  =====
+
+Frequencies derive from the RAMBUS clock: 1:2 for 2.13 GHz, 1:4 for
+4.8 GHz, 1:8 for T10's 10.66 GHz (Figure 8).  Load-to-use latencies are
+in core cycles and stay constant across the frequency scaling study,
+exactly as in Table 3 — which is precisely why memory-bound kernels stop
+scaling (Figure 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigError
+
+#: bytes one RAMBUS port moves per MHz-second — 8 ports at 1066 MHz give
+#: the paper's 66.6 GB/s raw figure
+_PORT_BYTES_PER_MHZ = 7.8125e-3  # GB/s per (port x MHz)
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Everything the timing models need to know about one machine."""
+
+    name: str
+    core_ghz: float
+    has_vbox: bool
+    rambus_mhz: float
+    rambus_ports: int
+
+    # core
+    core_issue_width: int = 8
+    scalar_flops_per_cycle: int = 4
+    scalar_load_ports: int = 2
+    scalar_store_ports: int = 2
+    rob_entries: int = 256
+    mshrs: int = 64
+    #: fraction of peak the scalar pipeline sustains on compute-bound
+    #: loops (the paper notes its EV8 binaries used an EV6 scheduler and
+    #: reached e.g. 2.5 of 4 flops/cycle on dgemm)
+    scheduling_efficiency: float = 0.7
+    #: branch misprediction penalty, cycles
+    mispredict_penalty: float = 14.0
+
+    # vbox
+    vbox_issue_width: int = 3
+    vector_flops_per_cycle: int = 32
+    pump_enabled: bool = True
+    maf_entries: int = 32
+    vbox_rename_registers: int = 16
+
+    # caches
+    l1_bytes: int = 64 << 10
+    l1_ways: int = 2
+    l2_bytes: int = 16 << 20
+    l2_ways: int = 8
+    line_bytes: int = 64
+    #: maximum sustainable L2 bandwidth, bytes per core cycle
+    l2_bytes_per_cycle: float = 512.0
+
+    # load-to-use latencies, core cycles (Table 3)
+    l2_scalar_load_use: float = 28.0
+    l2_stride1_load_use: float = 34.0
+    l2_odd_stride_load_use: float = 38.0
+    l1_load_use: float = 3.0
+
+    # memory timing
+    memory_latency_ns: float = 45.0
+    rambus_turnaround_ns: float = 2.4
+    rambus_row_activate_ns: float = 3.8
+    rambus_row_precharge_ns: float = 1.9
+
+    def __post_init__(self) -> None:
+        if self.core_ghz <= 0:
+            raise ConfigError(f"{self.name}: core frequency must be positive")
+        if self.rambus_ports < 1:
+            raise ConfigError(f"{self.name}: need at least one RAMBUS port")
+
+    # -- derived quantities ------------------------------------------------
+
+    @property
+    def rambus_gbs(self) -> float:
+        """Raw memory bandwidth in GB/s (Table 3's last row)."""
+        return self.rambus_ports * self.rambus_mhz * _PORT_BYTES_PER_MHZ
+
+    @property
+    def rambus_bytes_per_cycle(self) -> float:
+        """Raw memory bandwidth per core cycle."""
+        return self.rambus_gbs / self.core_ghz
+
+    @property
+    def memory_latency_cycles(self) -> float:
+        return self.memory_latency_ns * self.core_ghz
+
+    @property
+    def peak_vector_flops_per_cycle(self) -> int:
+        return self.vector_flops_per_cycle if self.has_vbox else \
+            self.scalar_flops_per_cycle
+
+    @property
+    def peak_gflops(self) -> float:
+        return self.peak_vector_flops_per_cycle * self.core_ghz
+
+    @property
+    def peak_operations_per_cycle(self) -> int:
+        """The paper's 104-ops/cycle headline for Tarantula: 32 vector
+        arithmetic + 32 vector loads + 32 vector stores + 8 scalar."""
+        if not self.has_vbox:
+            return self.core_issue_width
+        return (self.vector_flops_per_cycle + 64 + self.core_issue_width)
+
+    def scaled_to(self, name: str, rambus_mhz: float,
+                  ratio: int) -> "MachineConfig":
+        """Derive a frequency-scaled variant (core = ratio x RAMBUS)."""
+        return replace(self, name=name, rambus_mhz=rambus_mhz,
+                       core_ghz=rambus_mhz * ratio / 1000.0)
+
+
+def ev8() -> MachineConfig:
+    """The EV8 baseline: 8-wide superscalar, 4 MB L2, 2 RAMBUS ports."""
+    return MachineConfig(
+        name="EV8", core_ghz=2.13, has_vbox=False,
+        rambus_mhz=1066.0, rambus_ports=2,
+        l2_bytes=4 << 20, l2_bytes_per_cycle=128.0,
+        l2_scalar_load_use=12.0,
+    )
+
+
+def ev8_plus() -> MachineConfig:
+    """EV8 core with Tarantula's memory system (16 MB L2, 8 ports)."""
+    return MachineConfig(
+        name="EV8+", core_ghz=2.13, has_vbox=False,
+        rambus_mhz=1066.0, rambus_ports=8,
+        l2_bytes=16 << 20, l2_bytes_per_cycle=128.0,
+        l2_scalar_load_use=12.0,
+    )
+
+
+def tarantula() -> MachineConfig:
+    """Tarantula at the 1:2 RAMBUS ratio (2.13 GHz)."""
+    return MachineConfig(
+        name="T", core_ghz=2.13, has_vbox=True,
+        rambus_mhz=1066.0, rambus_ports=8,
+    )
+
+
+def tarantula4() -> MachineConfig:
+    """Aggressively clocked Tarantula: 1:4 ratio of a 1200 MHz part."""
+    return tarantula().scaled_to("T4", rambus_mhz=1200.0, ratio=4)
+
+
+def tarantula10() -> MachineConfig:
+    """Figure 8's far point: 1:8 ratio of a 1333 MHz part (10.66 GHz)."""
+    return tarantula().scaled_to("T10", rambus_mhz=1333.0, ratio=8)
+
+
+def tarantula_no_pump() -> MachineConfig:
+    """Figure 9's ablation: stride-1 double-bandwidth mode disabled."""
+    return replace(tarantula(), name="T-nopump", pump_enabled=False)
+
+
+#: the named configurations, keyed as the harness refers to them
+CONFIGURATIONS = {
+    "EV8": ev8,
+    "EV8+": ev8_plus,
+    "T": tarantula,
+    "T4": tarantula4,
+    "T10": tarantula10,
+    "T-nopump": tarantula_no_pump,
+}

@@ -1,0 +1,85 @@
+"""Run-level metrics: the quantities the paper's figures plot.
+
+Figure 6 plots sustained operations per cycle split into FPC (flops),
+MPC (memory element operations) and Other; Figure 7 plots speedups from
+total run time; Table 4 reports sustained bandwidths in MB/s both as
+"Streams" (useful read/write bytes, the STREAMS accounting) and "Raw"
+(everything crossing the RAMBUS pins, directory traffic included).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.functional import OperationCounts
+
+
+@dataclass
+class TimingResult:
+    """Outcome of one kernel on one timing simulator run."""
+
+    config_name: str
+    kernel: str
+    cycles: float
+    counts: OperationCounts
+    core_ghz: float
+    #: useful bytes moved at the memory pins (reads+writes of data)
+    mem_useful_bytes: int = 0
+    #: all bytes moved at the memory pins (incl. directory traffic)
+    mem_raw_bytes: int = 0
+    #: bytes the workload itself considers "streamed" (STREAMS method)
+    workload_bytes: int = 0
+    component_stats: dict = field(default_factory=dict)
+
+    # -- Figure 6 quantities -------------------------------------------------
+
+    @property
+    def opc(self) -> float:
+        """Sustained operations per cycle."""
+        return self.counts.total / self.cycles if self.cycles else 0.0
+
+    @property
+    def fpc(self) -> float:
+        """Flops per cycle."""
+        return self.counts.flops / self.cycles if self.cycles else 0.0
+
+    @property
+    def mpc(self) -> float:
+        """Memory element operations per cycle."""
+        return self.counts.memory_elements / self.cycles if self.cycles else 0.0
+
+    @property
+    def other_pc(self) -> float:
+        return self.counts.other / self.cycles if self.cycles else 0.0
+
+    # -- time / bandwidth ------------------------------------------------------
+
+    @property
+    def seconds(self) -> float:
+        return self.cycles / (self.core_ghz * 1e9) if self.core_ghz else 0.0
+
+    @property
+    def streams_mbytes_per_s(self) -> float:
+        """Table 4 'Streams' column: useful workload bytes over run time."""
+        if not self.seconds:
+            return 0.0
+        return self.workload_bytes / self.seconds / 1e6
+
+    @property
+    def raw_mbytes_per_s(self) -> float:
+        """Table 4 'Raw' column: all RAMBUS bytes over run time."""
+        if not self.seconds:
+            return 0.0
+        return self.mem_raw_bytes / self.seconds / 1e6
+
+    @property
+    def gflops(self) -> float:
+        if not self.seconds:
+            return 0.0
+        return self.counts.flops / self.seconds / 1e9
+
+    def summary(self) -> str:
+        return (f"{self.kernel:>14s} on {self.config_name:<8s} "
+                f"{self.cycles:12.0f} cyc  OPC={self.opc:6.2f} "
+                f"(FPC={self.fpc:5.2f} MPC={self.mpc:5.2f} "
+                f"Other={self.other_pc:5.2f})")

@@ -1,0 +1,335 @@
+"""The Tarantula processor timing simulator.
+
+Composes every substrate — EV8 front end, Vbox issue ports, address
+generators (reorder ROM + CR box), per-lane TLBs, banked L2 with MAF and
+PUMP, Zbox/RAMBUS — into one instruction-level timing model, co-simulated
+with the functional simulator so all data values (and hence all gather
+indices, mask bits and loop trip counts) are architecturally exact.
+
+Scheduling model (see DESIGN.md section 5): instructions are processed
+in program order; each computes its dispatch time from the front-end
+rate (8/cycle overall, 3/cycle into the Vbox), the ROB window, and its
+source operands' ready times, then reserves the resources it needs.
+Memory ordering follows the Alpha memory model: the timing simulator
+lets independent accesses overlap freely (kernels that need ordering
+use DrainM, exactly as the paper's do), while the functional simulator
+executes sequentially so results are always exact.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from repro.core.config import MachineConfig, tarantula
+from repro.core.coherency import CoherencyController
+from repro.core.functional import FunctionalSimulator
+from repro.core.metrics import TimingResult
+from repro.errors import SimulationError
+from repro.isa.instructions import Group, Instruction, TimingClass
+from repro.isa.program import Program
+from repro.mem.l1cache import L1DataCache
+from repro.mem.l2cache import BankedL2, L2Config
+from repro.mem.memory import MainMemory
+from repro.mem.pump import PumpUnit
+from repro.mem.rambus import RambusConfig
+from repro.mem.zbox import Zbox
+from repro.utils.stats import Counter
+from repro.vbox.address_gen import AddressGenerators
+from repro.vbox.crbox import ConflictResolutionBox
+from repro.vbox.issue import VboxIssue
+from repro.vbox.rename import RenameAllocator
+from repro.vbox.vcu import CompletionUnit
+from repro.vbox.vtlb import VectorTLB
+
+#: one-way scalar-operand transfer time across the core<->Vbox interface
+#: (half the 20-cycle round trip of section 2)
+SCALAR_TRANSFER = 10.0
+
+
+class TarantulaProcessor:
+    """Cycle-level model of the whole chip, per Table 3 configuration."""
+
+    def __init__(self, config: MachineConfig | None = None,
+                 memory: MainMemory | None = None) -> None:
+        self.config = config or tarantula()
+        cfg = self.config
+        if not cfg.has_vbox:
+            raise SimulationError(
+                f"{cfg.name} has no Vbox; use repro.scalar.EV8Model")
+        self.functional = FunctionalSimulator(memory)
+
+        ghz = cfg.core_ghz
+        rambus_cfg = RambusConfig(
+            ports=cfg.rambus_ports,
+            bytes_per_core_cycle=cfg.rambus_bytes_per_cycle,
+            turnaround_cycles=cfg.rambus_turnaround_ns * ghz,
+            row_activate_cycles=cfg.rambus_row_activate_ns * ghz,
+            row_precharge_cycles=cfg.rambus_row_precharge_ns * ghz,
+            access_latency=cfg.memory_latency_cycles,
+        )
+        self.zbox = Zbox(rambus_cfg)
+        self.pump = PumpUnit(enabled=cfg.pump_enabled)
+        self.l1 = L1DataCache(cfg.l1_bytes, cfg.l1_ways, cfg.line_bytes)
+        self.l2 = BankedL2(
+            L2Config(capacity_bytes=cfg.l2_bytes, ways=cfg.l2_ways,
+                     line_bytes=cfg.line_bytes,
+                     hit_latency=cfg.l2_scalar_load_use,
+                     maf_entries=cfg.maf_entries),
+            self.zbox, self.pump, self.l1)
+        self.coherency = CoherencyController(self.l1, self.l2)
+        self.vtlb = VectorTLB()
+        self.addr_gens = AddressGenerators(
+            self.vtlb, ConflictResolutionBox(),
+            pump_enabled=cfg.pump_enabled)
+        self.vbox = VboxIssue()
+        self.vcu = CompletionUnit()
+        self.rename = RenameAllocator(
+            physical=32 + cfg.vbox_rename_registers, architectural=32)
+        self.counters = Counter()
+
+        # memory-dependence map: quadword address -> completion time of
+        # the last vector store to it.  Loads and stores to the same
+        # address order behind it (Alpha is weakly ordered between
+        # independent locations, but same-address RAW/WAW is real).
+        self._last_store: dict[int, float] = {}
+        self._store_watermark = 0.0
+
+        #: optional per-instruction trace: set to a list to record
+        #: (index, instruction, dispatch_cycle, completion_cycle)
+        self.trace: list | None = None
+        self._instr_index = 0
+
+        # scoreboard
+        self._vreg_ready = [0.0] * 32
+        self._sreg_ready = [0.0] * 32
+        self._vl_ready = 0.0
+        self._vs_ready = 0.0
+        self._vm_ready = 0.0
+        self._front_all = 0.0      # 8-wide front end position
+        self._front_vec = 0.0      # 3-wide Pbox->Vbox bus position
+        self._rob: deque[float] = deque()
+        self._last_completion = 0.0
+
+    # -- helpers -----------------------------------------------------------
+
+    def warm_l2(self, base: int, nbytes: int) -> None:
+        """Preload an address range into the L2 tags (no timing cost)."""
+        self.l2.warm_range(base, nbytes)
+
+    def _sources_ready(self, instr: Instruction) -> float:
+        d = instr.definition
+        ready = 0.0
+        for reg in instr.vreg_reads():
+            if d.is_store and reg == instr.va:
+                # store *data* does not gate address generation/tag lookup
+                # (the store queue holds it); _time_memory accounts for it
+                continue
+            ready = max(ready, self._vreg_ready[reg])
+        # scalar operands cross the narrow interface
+        for reg in (instr.ra, instr.rb):
+            if reg is not None and d.group is not Group.SC:
+                ready = max(ready, self._sreg_ready[reg] + SCALAR_TRANSFER)
+            elif reg is not None:
+                ready = max(ready, self._sreg_ready[reg])
+        if d.group in (Group.VV, Group.VS, Group.SM, Group.RM):
+            ready = max(ready, self._vl_ready)
+        if d.is_memory and not d.is_indexed:
+            ready = max(ready, self._vs_ready)
+        if instr.masked:
+            ready = max(ready, self._vm_ready)
+        if d.group in (Group.RM,) or (d.is_memory and d.is_indexed):
+            if instr.vb is not None and instr.vb != 31:
+                ready = max(ready, self._vreg_ready[instr.vb])
+        return ready
+
+    def _dispatch_time(self, instr: Instruction) -> float:
+        """Front-end position: fetch/rename bandwidth + ROB window."""
+        d = instr.definition
+        self._front_all += 1.0 / self.config.core_issue_width
+        t = self._front_all
+        if d.group is not Group.SC:
+            self._front_vec = max(self._front_vec, t) + \
+                1.0 / self.config.vbox_issue_width
+            t = self._front_vec
+        if len(self._rob) >= self.config.rob_entries:
+            t = max(t, self._rob.popleft())
+        return t
+
+    def _retire(self, completion: float) -> None:
+        self._rob.append(completion)
+        if completion > self._last_completion:
+            self._last_completion = completion
+
+    # -- per-group timing ------------------------------------------------------
+
+    def _time_arithmetic(self, instr: Instruction, t0: float) -> float:
+        d = instr.definition
+        vl = self.functional.state.ctrl.vl
+        t0 = self.rename.allocate(t0, t0 + 1.0) if instr.vreg_writes() else t0
+        start, done = self.vbox.issue_arithmetic(t0, vl, d.timing)
+        for reg in instr.vreg_writes():
+            self._vreg_ready[reg] = done
+        self.vcu.complete(done)
+        return done
+
+    def _time_control(self, instr: Instruction, t0: float) -> float:
+        op = instr.op
+        done = t0 + 1.0
+        if op == "setvl":
+            self._vl_ready = done
+        elif op == "setvs":
+            self._vs_ready = done
+        elif op == "setvm":
+            # vm is renamed: the new mask is ready once va is, +1 cycle
+            self._vm_ready = done
+        elif op in ("vextq", "vsumq", "vsumt"):
+            # reductions sweep the register (ceil(vl/16)) then transfer
+            vl = self.functional.state.ctrl.vl
+            start, exec_done = self.vbox.issue_arithmetic(
+                t0, vl, TimingClass.FP if op == "vsumt" else TimingClass.INT)
+            done = exec_done + SCALAR_TRANSFER
+            if instr.rd is not None:
+                self._sreg_ready[instr.rd] = done
+        elif op in ("vinsq", "viota"):
+            start, done = self.vbox.issue_arithmetic(
+                t0, self.functional.state.ctrl.vl, TimingClass.INT)
+            for reg in instr.vreg_writes():
+                self._vreg_ready[reg] = done
+        self.vcu.complete(done)
+        return done
+
+    def _memory_order(self, touched: tuple, earliest: float) -> float:
+        """Delay an access behind in-flight stores to the same quadwords."""
+        last = self._last_store
+        if not last:
+            return earliest
+        bound = earliest
+        for addr in touched:
+            t = last.get(addr)
+            if t is not None and t > bound:
+                bound = t
+        if bound > earliest:
+            self.counters.add("memory_order_stalls")
+        return bound
+
+    def _record_store(self, touched: tuple, completion: float) -> None:
+        for addr in touched:
+            self._last_store[addr] = completion
+        if completion > self._store_watermark:
+            self._store_watermark = completion
+        # prune entries that completed far in the past: anything that old
+        # can no longer delay an access (dispatch times only move forward)
+        if len(self._last_store) > 1 << 17:
+            cutoff = self._store_watermark - 100000.0
+            self._last_store = {a: t for a, t in self._last_store.items()
+                                if t > cutoff}
+
+    def _time_memory(self, instr: Instruction, t0: float) -> float:
+        plan = self.addr_gens.plan(instr, self.functional.state)
+        if plan.kind == "empty":
+            return t0 + 1.0
+        t0 = self._memory_order(plan.touched, t0)
+        gen_time = plan.addr_gen_cycles + plan.tlb_penalty
+        gen_start = self.vbox.addr_gen.reserve(t0, gen_time)
+        self.counters.add(f"mem_{plan.kind}")
+        if not plan.slices:
+            return gen_start + gen_time
+        per_slice = gen_time / len(plan.slices)
+        completion = gen_start
+        for i, s in enumerate(plan.slices):
+            t_slice = gen_start + (i + 1) * per_slice
+            done = self.l2.access_slice(
+                s.line_addresses(), s.quadwords, plan.is_write, t_slice,
+                pump_bit=s.pump, full_line_write=s.full_line_write)
+            completion = max(completion, done)
+        if plan.is_write and instr.va is not None and instr.va != 31:
+            # the store retires once its data has streamed out of the
+            # register file (ceil(qw/32) cycles after the data is ready)
+            data_ready = self._vreg_ready[instr.va]
+            completion = max(completion,
+                             data_ready + max(1.0, plan.quadwords / 32.0))
+        if plan.is_write:
+            self._record_store(plan.touched, completion)
+        if plan.is_prefetch:
+            # prefetches retire as soon as addresses are generated; the
+            # fills proceed in the background
+            done = gen_start + gen_time
+            self.vcu.complete(done)
+            return done
+        if not plan.is_write and instr.vd is not None and instr.vd != 31:
+            self._vreg_ready[instr.vd] = completion
+        self.vcu.complete(completion)
+        return completion
+
+    def _time_scalar(self, instr: Instruction, t0: float) -> float:
+        op = instr.op
+        if op == "ldq":
+            addr = (self.functional.state.sregs.read(instr.rb) + instr.disp)
+            done = self.coherency.scalar_load(addr, t0)
+            if instr.rd is not None:
+                self._sreg_ready[instr.rd] = done
+            return done
+        if op == "stq":
+            addr = (self.functional.state.sregs.read(instr.rb) + instr.disp)
+            return self.coherency.scalar_store(addr, t0)
+        if op == "drainm":
+            outcome = self.coherency.drainm(t0)
+            done = t0 + outcome.cycles
+            # the replay trap kills and refetches younger instructions
+            self._front_all = max(self._front_all, done)
+            self._front_vec = max(self._front_vec, done)
+            return done
+        done = t0 + 1.0
+        if op in ("lda", "addq", "subq", "mulq", "sll") and instr.rd is not None:
+            self._sreg_ready[instr.rd] = done
+        return done
+
+    # -- main loop -----------------------------------------------------------------
+
+    def step(self, instr: Instruction) -> float:
+        """Time one instruction, then execute it functionally.
+
+        Returns its completion cycle.
+        """
+        d = instr.definition
+        t0 = max(self._dispatch_time(instr), self._sources_ready(instr))
+        if d.group is Group.SC:
+            done = self._time_scalar(instr, t0)
+        elif d.group is Group.VC:
+            done = self._time_control(instr, t0)
+        elif d.is_memory:
+            done = self._time_memory(instr, t0)
+        else:
+            done = self._time_arithmetic(instr, t0)
+        self._retire(done)
+        if self.trace is not None:
+            self.trace.append((self._instr_index, instr, t0, done))
+        self._instr_index += 1
+        self.functional.step(instr)
+        return done
+
+    def run(self, program: Program) -> TimingResult:
+        """Run a whole program; returns timing + operation metrics."""
+        for instr in program:
+            self.step(instr)
+        return self.result(program.name)
+
+    def result(self, kernel: str, workload_bytes: int = 0) -> TimingResult:
+        stats = {
+            "l2": self.l2.counters.as_dict(),
+            "zbox": self.zbox.stats().as_dict(),
+            "maf": self.l2.maf.counters.as_dict(),
+            "addr_gens": self.addr_gens.counters.as_dict(),
+            "crbox": self.addr_gens.crbox.counters.as_dict(),
+            "vtlb": self.vtlb.counters.as_dict(),
+            "pump": self.pump.counters.as_dict(),
+            "processor": self.counters.as_dict(),
+        }
+        return TimingResult(
+            config_name=self.config.name, kernel=kernel,
+            cycles=max(self._last_completion, self._front_all),
+            counts=self.functional.counts,
+            core_ghz=self.config.core_ghz,
+            mem_useful_bytes=self.zbox.useful_bytes(),
+            mem_raw_bytes=self.zbox.raw_bytes(),
+            workload_bytes=workload_bytes,
+            component_stats=stats)

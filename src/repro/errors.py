@@ -1,0 +1,70 @@
+"""Exception hierarchy for the Tarantula reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+downstream users can catch one type.  The architectural trap types mirror
+the paper's precise-exception model (section 2): a faulting vector
+instruction reports its PC but not the faulting element.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """A machine configuration is inconsistent or out of range."""
+
+
+class AssemblerError(ReproError):
+    """Source text could not be assembled into a program."""
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class ProgramError(ReproError):
+    """A program object is malformed (bad operands, undefined labels...)."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent internal state."""
+
+
+class ArchitecturalTrap(ReproError):
+    """Base class for precise architectural traps.
+
+    Per the paper (section 2), Tarantula reports the PC of the faulting
+    instruction but gives no information about which vector element
+    faulted.  ``pc`` is the instruction index within the running program.
+    """
+
+    def __init__(self, message: str, pc: int | None = None):
+        self.pc = pc
+        if pc is not None:
+            message = f"pc={pc}: {message}"
+        super().__init__(message)
+
+
+class TLBMissTrap(ArchitecturalTrap):
+    """A vector memory instruction touched an unmapped page.
+
+    Raised only when PALcode-style refill is disabled; normally the
+    simulator services the miss transparently (section 3.4).
+    """
+
+
+class AlignmentTrap(ArchitecturalTrap):
+    """A quadword access was not 8-byte aligned."""
+
+
+class InvalidAddressTrap(ArchitecturalTrap):
+    """An access fell outside the simulated physical address space."""
+
+
+class ArithmeticTrap(ArchitecturalTrap):
+    """Integer divide-by-zero or similar faults inside a vector op."""

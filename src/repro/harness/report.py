@@ -1,0 +1,131 @@
+"""Text rendering of regenerated tables/figures, paper-vs-measured.
+
+Every renderer prints the same rows/series the paper reports, with the
+published value (or approximate bar reading) alongside, so a run of the
+benchmark harness doubles as the EXPERIMENTS.md evidence.
+"""
+
+from __future__ import annotations
+
+from repro.harness import paper_data
+from repro.harness.figures import (
+    Figure6Row,
+    Figure7Row,
+    Figure8Row,
+    Figure9Row,
+)
+from repro.harness.tables import Table2Row, Table4Row
+
+
+def _bar(value: float, scale: float = 1.0, width: int = 40) -> str:
+    n = max(0, min(width, int(round(value * scale))))
+    return "#" * n
+
+
+def render_table1(rows: dict) -> str:
+    lines = ["Table 1 — power and area estimates (65 nm, 2.5 GHz)",
+             f"{'circuit':<14s} {'CMP-EV8':>16s} {'Tarantula':>16s}",
+             f"{'':<14s} {'area%':>7s} {'W':>8s} {'area%':>7s} {'W':>8s}"]
+    for name, row in rows.items():
+        def fmt(v):
+            return "" if v is None else f"{v:.1f}"
+        lines.append(f"{name:<14s} {fmt(row['cmp_area_pct']):>7s} "
+                     f"{fmt(row['cmp_watts']):>8s} "
+                     f"{fmt(row['t_area_pct']):>7s} "
+                     f"{fmt(row['t_watts']):>8s}")
+    return "\n".join(lines)
+
+
+def render_table2(rows: dict[str, Table2Row]) -> str:
+    lines = ["Table 2 — benchmark suite (vectorization %: paper / measured)",
+             f"{'benchmark':<14s} {'pref':>4s} {'drainM':>6s} "
+             f"{'paper%':>7s} {'ours%':>7s}  description"]
+    for name, row in rows.items():
+        paper = "" if row.paper_vect_pct is None else f"{row.paper_vect_pct:.1f}"
+        tag = " (surrogate)" if row.surrogate else ""
+        lines.append(f"{name:<14s} {'yes' if row.uses_prefetch else '':>4s} "
+                     f"{'yes' if row.uses_drainm else '':>6s} "
+                     f"{paper:>7s} {row.measured_vect_pct:7.1f}  "
+                     f"{row.description}{tag}")
+    return "\n".join(lines)
+
+
+def render_table3(rows: dict[str, dict]) -> str:
+    keys = ["core_ghz", "l2_mbytes", "l2_gbytes_per_s", "rambus_ports",
+            "rambus_mhz", "rambus_gbytes_per_s", "peak_flops_per_cycle",
+            "peak_ops_per_cycle", "scalar_load_use", "stride1_load_use",
+            "odd_stride_load_use"]
+    names = list(rows)
+    lines = ["Table 3 — machine configurations",
+             f"{'':<22s}" + "".join(f"{n:>9s}" for n in names)]
+    for key in keys:
+        cells = []
+        for n in names:
+            v = rows[n][key]
+            cells.append(f"{'--' if v is None else v:>9}")
+        lines.append(f"{key:<22s}" + "".join(cells))
+    return "\n".join(lines)
+
+
+def render_table4(rows: dict[str, Table4Row]) -> str:
+    lines = ["Table 4 — sustained bandwidth (MB/s), measured vs paper",
+             f"{'kernel':<14s} {'streams':>9s} {'paper':>9s} "
+             f"{'raw':>9s} {'paper':>9s}"]
+    for name, row in rows.items():
+        paper = paper_data.TABLE4.get(name, {})
+        p_s = paper.get("streams")
+        p_r = paper.get("raw")
+        lines.append(
+            f"{name:<14s} {row.streams_mbytes_per_s:9.0f} "
+            f"{p_s if p_s else '--':>9} "
+            f"{row.raw_mbytes_per_s:9.0f} "
+            f"{p_r if p_r else '--':>9}")
+    return "\n".join(lines)
+
+
+def render_figure6(rows: dict[str, Figure6Row]) -> str:
+    lines = ["Figure 6 — sustained operations per cycle "
+             "(FPC+MPC+Other; paper bar in parentheses)"]
+    for name, row in rows.items():
+        paper = paper_data.FIGURE6_OPC.get(name)
+        note = f" (paper ~{paper:.0f})" if paper else ""
+        lines.append(f"{name:<14s} OPC={row.opc:6.2f}  "
+                     f"FPC={row.fpc:6.2f} MPC={row.mpc:6.2f} "
+                     f"Other={row.other:5.2f}  |{_bar(row.opc, 0.6)}{note}")
+    return "\n".join(lines)
+
+
+def render_figure7(rows: dict[str, Figure7Row]) -> str:
+    lines = ["Figure 7 — speedup over EV8 (paper bar in parentheses)"]
+    total = 0.0
+    for name, row in rows.items():
+        paper = paper_data.FIGURE7_SPEEDUP_T.get(name)
+        note = f" (paper ~{paper:.1f})" if paper else ""
+        total += row.speedup_tarantula
+        lines.append(f"{name:<14s} EV8+={row.speedup_ev8_plus:5.2f}  "
+                     f"T={row.speedup_tarantula:6.2f}  "
+                     f"|{_bar(row.speedup_tarantula, 2)}{note}")
+    lines.append(f"{'average':<14s} T={total / max(len(rows), 1):6.2f}  "
+                 f"(paper: ~5X average, 8X peak-flop ratio)")
+    return "\n".join(lines)
+
+
+def render_figure8(rows: dict[str, Figure8Row]) -> str:
+    lines = ["Figure 8 — frequency scaling: speedup over T "
+             "(T4 = 4.8 GHz, T10 = 10.66 GHz)"]
+    for name, row in rows.items():
+        lines.append(f"{name:<14s} T4={row.speedup_t4:5.2f} "
+                     f"T10={row.speedup_t10:5.2f}  "
+                     f"|{_bar(row.speedup_t10, 6)}")
+    return "\n".join(lines)
+
+
+def render_figure9(rows: dict[str, Figure9Row]) -> str:
+    lines = ["Figure 9 — relative performance with the stride-1 "
+             "double-bandwidth PUMP disabled"]
+    for name, row in rows.items():
+        hit = " <- hard hit" if name in paper_data.FIGURE9_HARD_HIT and \
+            row.relative_performance < 0.9 else ""
+        lines.append(f"{name:<14s} {row.relative_performance:5.2f}  "
+                     f"|{_bar(row.relative_performance, 30)}{hit}")
+    return "\n".join(lines)

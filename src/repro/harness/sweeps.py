@@ -1,0 +1,93 @@
+"""Design-sensitivity sweeps: how robust are the paper's choices?
+
+The paper fixes several magic numbers — 32 MAF entries, the CR box's
+tournament, the 16 MB L2 — without sensitivity data.  These sweeps vary
+one parameter at a time on a fixed workload and return (value, cycles)
+curves, quantifying which choices sit on a cliff and which on a plateau.
+Used by ``benchmarks/bench_ablation_sensitivity.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.config import MachineConfig, tarantula
+from repro.core.processor import TarantulaProcessor
+from repro.workloads.base import WorkloadInstance
+from repro.workloads.registry import get
+
+
+def _run(instance: WorkloadInstance, config: MachineConfig,
+         crbox_cycles: float | None = None) -> float:
+    proc = TarantulaProcessor(config)
+    if crbox_cycles is not None:
+        proc.addr_gens.crbox.cycles_per_round = crbox_cycles
+    instance.setup(proc.functional.memory)
+    for base, nbytes in instance.warm_ranges:
+        proc.warm_l2(base, nbytes)
+    for instr in instance.program:
+        proc.step(instr)
+    return proc.result(instance.name).cycles
+
+
+def sweep_maf_entries(kernel: str = "streams.triad", scale: float = 0.25,
+                      values=(2, 4, 8, 16, 32, 64)) -> dict[int, float]:
+    """Cycles vs MAF size on a memory-streaming kernel.
+
+    Figure 9's mechanism in isolation: too few entries throttle the
+    number of miss slices in flight and bandwidth collapses.
+    """
+    workload = get(kernel)
+    out: dict[int, float] = {}
+    for entries in values:
+        instance = workload.build(scale)
+        config = replace(tarantula(), maf_entries=entries)
+        out[entries] = _run(instance, config)
+    return out
+
+
+def sweep_cr_cost(kernel: str = "sparsemxv", scale: float = 0.25,
+                  values=(1.0, 2.0, 4.0, 8.0)) -> dict[float, float]:
+    """Cycles vs CR-box tournament cost on a gather-bound kernel.
+
+    The knob our Table-4 calibration fixed at 4.0 cycles/round; the
+    curve shows how directly gather-bound kernels ride on it.
+    """
+    workload = get(kernel)
+    out: dict[float, float] = {}
+    for cycles_per_round in values:
+        instance = workload.build(scale)
+        out[cycles_per_round] = _run(instance, tarantula(),
+                                     crbox_cycles=cycles_per_round)
+    return out
+
+
+def sweep_l2_size(kernel: str = "sparsemxv", scale: float = 0.5,
+                  values=(1 << 18, 1 << 19, 1 << 20, 1 << 21, 1 << 22)
+                  ) -> dict[int, float]:
+    """Cycles vs L2 capacity around a working-set cliff.
+
+    The paper's L2-centric thesis in one curve: performance falls off a
+    cliff when the working set stops fitting.
+    """
+    workload = get(kernel)
+    out: dict[int, float] = {}
+    for l2_bytes in values:
+        instance = workload.build(scale)
+        instance.l2_bytes_hint = None   # sweep overrides the hint
+        config = replace(tarantula(), l2_bytes=l2_bytes)
+        out[l2_bytes] = _run(instance, config)
+    return out
+
+
+def render_sweep(title: str, curve: dict, unit: str = "") -> str:
+    """Text rendering of one sweep curve, normalized to its best point."""
+    best = min(curve.values())
+    lines = [title]
+    for value, cycles in curve.items():
+        rel = cycles / best
+        bar = "#" * min(int(rel * 10), 60)
+        label = f"{value}{unit}"
+        lines.append(f"  {label:>10s}  {cycles:12.0f} cycles "
+                     f"({rel:4.2f}x)  |{bar}")
+    return "\n".join(lines)

@@ -1,0 +1,132 @@
+"""Table regeneration: Tables 1-4 of the paper.
+
+* Table 1 comes from the analytic power/area model.
+* Table 2 is the benchmark inventory — with the *measured* dynamic
+  vectorization percentage of our kernels next to the paper's.
+* Table 3 prints the configured machines' derived quantities.
+* Table 4 runs the memory microkernels on the timing simulator and
+  reports sustained Streams/Raw bandwidth in MB/s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.config import CONFIGURATIONS, tarantula
+from repro.core.power import cmp_ev8_model, table1_rows, tarantula_model
+from repro.harness.runner import run_tarantula
+from repro.workloads.random_access import RNDMEMSCALE_BASE
+from repro.workloads.base import run_functional
+from repro.workloads.registry import REGISTRY, TABLE4_SUITE, get
+
+
+def table1() -> dict:
+    """Power and area estimates (Table 1)."""
+    return table1_rows()
+
+
+@dataclass
+class Table2Row:
+    name: str
+    description: str
+    inputs: str
+    comments: str
+    uses_prefetch: bool
+    uses_drainm: bool
+    paper_vect_pct: float | None
+    measured_vect_pct: float
+    surrogate: bool
+
+
+def table2(scale: float = 0.1) -> dict[str, Table2Row]:
+    """Benchmark inventory with measured vectorization percentages."""
+    rows: dict[str, Table2Row] = {}
+    for name, workload in sorted(REGISTRY.items()):
+        counts = run_functional(workload.build(scale))
+        rows[name] = Table2Row(
+            name=name, description=workload.description,
+            inputs=workload.inputs, comments=workload.comments,
+            uses_prefetch=workload.uses_prefetch,
+            uses_drainm=workload.uses_drainm,
+            paper_vect_pct=workload.paper_vectorization_pct,
+            measured_vect_pct=counts.vectorization_percent,
+            surrogate=workload.surrogate)
+    return rows
+
+
+def table3() -> dict[str, dict[str, float]]:
+    """Machine configurations and their derived quantities (Table 3)."""
+    out: dict[str, dict[str, float]] = {}
+    for name in ("EV8", "EV8+", "T", "T4", "T10"):
+        cfg = CONFIGURATIONS[name]()
+        out[name] = {
+            "core_ghz": round(cfg.core_ghz, 2),
+            "l2_mbytes": cfg.l2_bytes // (1 << 20),
+            "l2_gbytes_per_s": round(cfg.l2_bytes_per_cycle * cfg.core_ghz),
+            "rambus_ports": cfg.rambus_ports,
+            "rambus_mhz": cfg.rambus_mhz,
+            "rambus_gbytes_per_s": round(cfg.rambus_gbs, 1),
+            "peak_flops_per_cycle": cfg.peak_vector_flops_per_cycle,
+            "peak_ops_per_cycle": cfg.peak_operations_per_cycle,
+            "scalar_load_use": cfg.l2_scalar_load_use,
+            "stride1_load_use": cfg.l2_stride1_load_use if cfg.has_vbox else None,
+            "odd_stride_load_use": cfg.l2_odd_stride_load_use if cfg.has_vbox else None,
+        }
+    return out
+
+
+@dataclass
+class Table4Row:
+    kernel: str
+    streams_mbytes_per_s: float
+    raw_mbytes_per_s: float
+
+
+#: per-kernel scales for the bandwidth table (memory kernels want long
+#: steady-state streams)
+TABLE4_SCALES = {
+    "streams.copy": 2.0,
+    "streams.scale": 2.0,
+    "streams.add": 2.0,
+    "streams.triad": 2.0,
+    "rndcopy": 1.0,
+    "rndmemscale": 2.0,
+}
+
+
+def table4(quick: bool = False) -> dict[str, Table4Row]:
+    """Sustained memory bandwidth microkernels (Table 4)."""
+    rows: dict[str, Table4Row] = {}
+    for name in TABLE4_SUITE:
+        workload = get(name)
+        scale = TABLE4_SCALES[name] * (0.25 if quick else 1.0)
+        config = tarantula()
+        if name == "rndmemscale":
+            # "All data from memory": the paper's B does not stay L2
+            # resident; we preserve the footprint/L2 ratio (~2x) by
+            # shrinking the modeled L2 (see EXPERIMENTS.md)
+            # an L2 of exactly the footprint keeps the run dominated by
+            # first-touch misses — the paper's single-pass regime
+            footprint = int(RNDMEMSCALE_BASE * scale) * 8
+            l2 = 1 << max(footprint.bit_length() - 1, 17)
+            config = replace(config, l2_bytes=l2)
+        # rndcopy works entirely from the L2 ("prefetched into L2"; the
+        # paper reports no raw column for it) — no drain for it
+        out = run_tarantula(workload, config, scale, check=False,
+                            drain_dirty=(name != "rndcopy"))
+        rows[name] = Table4Row(name, out.streams_mbytes_per_s,
+                               out.raw_mbytes_per_s)
+    return rows
+
+
+def power_summary() -> dict[str, float]:
+    """The headline Gflops/W comparison under Table 1."""
+    cmp_model, t_model = cmp_ev8_model(), tarantula_model()
+    return {
+        "cmp_total_watts": round(cmp_model.total_watts, 1),
+        "tarantula_total_watts": round(t_model.total_watts, 1),
+        "cmp_gflops_per_watt": round(cmp_model.gflops_per_watt, 3),
+        "tarantula_gflops_per_watt": round(t_model.gflops_per_watt, 3),
+        "advantage": round(t_model.gflops_per_watt /
+                           cmp_model.gflops_per_watt, 2),
+    }

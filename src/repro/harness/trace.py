@@ -1,0 +1,77 @@
+"""Pipeline traces: see *why* a kernel runs at the speed it does.
+
+Attach a list to ``TarantulaProcessor.trace`` (or use
+:func:`trace_program`) and every instruction records its dispatch and
+completion cycles.  :func:`render_gantt` draws a text Gantt chart of a
+window of the trace — the fastest way to spot a serialization (a
+staircase) vs healthy overlap (a parallelogram), which is exactly how
+the timing model itself was debugged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import MachineConfig
+from repro.core.processor import TarantulaProcessor
+from repro.isa.program import Program
+
+
+@dataclass
+class TraceEntry:
+    index: int
+    text: str
+    dispatch: float
+    complete: float
+
+    @property
+    def latency(self) -> float:
+        return self.complete - self.dispatch
+
+
+def trace_program(program: Program,
+                  config: MachineConfig | None = None,
+                  setup=None,
+                  warm_ranges=()) -> tuple[list[TraceEntry], float]:
+    """Run ``program`` with tracing on; returns (entries, total_cycles)."""
+    proc = TarantulaProcessor(config)
+    if setup is not None:
+        setup(proc.functional.memory)
+    for base, nbytes in warm_ranges:
+        proc.warm_l2(base, nbytes)
+    raw: list = []
+    proc.trace = raw
+    result = proc.run(program)
+    entries = [TraceEntry(i, str(instr), t0, done)
+               for i, instr, t0, done in raw]
+    return entries, result.cycles
+
+
+def render_gantt(entries: list[TraceEntry],
+                 start: int = 0, count: int = 24,
+                 width: int = 60) -> str:
+    """Text Gantt chart of ``count`` instructions from ``start``.
+
+    Each row shows the instruction and a bar from its dispatch to its
+    completion, scaled to the window.
+    """
+    window = entries[start:start + count]
+    if not window:
+        return "(empty trace window)"
+    t_lo = min(e.dispatch for e in window)
+    t_hi = max(e.complete for e in window)
+    span = max(t_hi - t_lo, 1e-9)
+    lines = [f"cycles {t_lo:.0f}..{t_hi:.0f} "
+             f"({span:.0f} cycles across {len(window)} instructions)"]
+    for e in window:
+        lo = int((e.dispatch - t_lo) / span * width)
+        hi = max(int((e.complete - t_lo) / span * width), lo + 1)
+        bar = " " * lo + "#" * (hi - lo)
+        lines.append(f"{e.index:5d} {e.text[:30]:<30s} |{bar:<{width}s}|")
+    return "\n".join(lines)
+
+
+def critical_summary(entries: list[TraceEntry],
+                     top: int = 5) -> list[TraceEntry]:
+    """The ``top`` longest-latency instructions (latency hot spots)."""
+    return sorted(entries, key=lambda e: e.latency, reverse=True)[:top]

@@ -1,0 +1,54 @@
+"""Tarantula instruction-set architecture: state, instructions, tools.
+
+Public surface:
+
+* :class:`~repro.isa.registers.ArchState` — vector/scalar/control state
+* :class:`~repro.isa.instructions.Instruction` and the
+  :data:`~repro.isa.instructions.INSTRUCTION_SET` table
+* :class:`~repro.isa.builder.KernelBuilder` — hand-vectorization DSL
+* :func:`~repro.isa.assembler.assemble` — text assembler
+* :func:`~repro.isa.semantics.execute` — architectural semantics
+"""
+
+from repro.isa.assembler import assemble, disassemble
+from repro.isa.builder import KernelBuilder
+from repro.isa.encodings import EncodingError, decode, encode
+from repro.isa.instructions import (
+    EXTENSIONS,
+    INSTRUCTION_SET,
+    Group,
+    Instruction,
+    InstructionDef,
+    TimingClass,
+    vector_instruction_count,
+)
+from repro.isa.program import Program, ProgramStats
+from repro.isa.registers import MVL, ArchState, ControlRegisters, \
+    ScalarRegisterFile, VectorRegisterFile
+from repro.isa.semantics import bits_to_float, execute, float_to_bits
+
+__all__ = [
+    "ArchState",
+    "ControlRegisters",
+    "EXTENSIONS",
+    "EncodingError",
+    "Group",
+    "INSTRUCTION_SET",
+    "Instruction",
+    "InstructionDef",
+    "KernelBuilder",
+    "MVL",
+    "Program",
+    "ProgramStats",
+    "ScalarRegisterFile",
+    "TimingClass",
+    "VectorRegisterFile",
+    "assemble",
+    "bits_to_float",
+    "decode",
+    "disassemble",
+    "encode",
+    "execute",
+    "float_to_bits",
+    "vector_instruction_count",
+]

@@ -1,0 +1,235 @@
+"""Text assembler for the Tarantula extension.
+
+The syntax follows the Alpha convention used by the paper's Figure 1:
+sources first, destination last, ``#`` immediates, ``disp(rN)`` memory
+operands, ``;`` comments, and a trailing ``/m`` qualifier for execution
+under mask::
+
+    ; copy with scale
+    setvl   #128
+    setvs   #8
+    lda     r1, 0x10000
+    lda     r2, 0x20000
+    vloadq  v0, 0(r1)
+    vsmult  v0, #3.5, v1
+    vstoreq v1, 0(r2)       /m
+    vgathq  v2, v5, 0(r1)   ; vd, index vector, base
+    vscatq  v1, v5, 0(r2)   ; data, index vector, base
+
+There is no branch support: loop control runs on the scalar core, so
+kernels are emitted fully unrolled (by the builder) or written as
+straight-line bodies.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import AssemblerError
+from repro.isa.instructions import INSTRUCTION_SET, Group, Instruction
+from repro.isa.program import Program
+
+_MEM_RE = re.compile(r"^(?P<disp>[+-]?(?:0x[0-9a-fA-F]+|\d+)?)\((?P<reg>r\d+)\)$")
+_VREG_RE = re.compile(r"^v(\d+)$")
+_SREG_RE = re.compile(r"^r(\d+)$")
+_IMM_RE = re.compile(r"^#(?P<val>.+)$")
+
+
+def _parse_int(text: str, line: int) -> int:
+    try:
+        return int(text, 0)
+    except ValueError:
+        raise AssemblerError(f"bad integer {text!r}", line)
+
+
+def _parse_imm(text: str, line: int):
+    """Immediate: int (dec/hex) or float (contains '.' or exponent)."""
+    if re.search(r"[.eE]", text) and not text.lower().startswith("0x"):
+        try:
+            return float(text)
+        except ValueError:
+            raise AssemblerError(f"bad float immediate {text!r}", line)
+    return _parse_int(text, line)
+
+
+class _Operand:
+    """One parsed operand: exactly one of vreg/sreg/imm/mem is set."""
+
+    def __init__(self, token: str, line: int) -> None:
+        self.vreg = self.sreg = self.imm = self.mem = None
+        m = _VREG_RE.match(token)
+        if m:
+            self.vreg = int(m.group(1))
+            return
+        m = _SREG_RE.match(token)
+        if m:
+            self.sreg = int(m.group(1))
+            return
+        m = _IMM_RE.match(token)
+        if m:
+            self.imm = _parse_imm(m.group("val"), line)
+            return
+        m = _MEM_RE.match(token)
+        if m:
+            disp_text = m.group("disp") or "0"
+            if disp_text in ("+", "-"):
+                raise AssemblerError(f"bad displacement in {token!r}", line)
+            self.mem = (_parse_int(disp_text, line),
+                        int(m.group("reg")[1:]))
+            return
+        # Bare numeric literals are accepted as immediates (lda r1, 0x1000).
+        try:
+            self.imm = _parse_imm(token, line)
+            return
+        except AssemblerError:
+            pass
+        raise AssemblerError(f"cannot parse operand {token!r}", line)
+
+    def require(self, kind: str, line: int, op: str):
+        value = getattr(self, kind)
+        if value is None:
+            raise AssemblerError(
+                f"{op}: expected {kind} operand", line)
+        return value
+
+
+def _split_operands(text: str) -> list[str]:
+    text = text.strip()
+    if not text:
+        return []
+    return [t.strip() for t in text.split(",")]
+
+
+def _bind(op: str, operands: list[_Operand], line: int) -> Instruction:
+    """Map parsed operands onto Instruction fields for mnemonic ``op``."""
+    d = INSTRUCTION_SET[op]
+    kw: dict = {}
+
+    def expect(n: int) -> None:
+        if len(operands) != n:
+            raise AssemblerError(
+                f"{op}: expected {n} operands, got {len(operands)}", line)
+
+    if d.group is Group.VV and "vb" in d.fields:
+        expect(3)
+        kw["va"] = operands[0].require("vreg", line, op)
+        kw["vb"] = operands[1].require("vreg", line, op)
+        kw["vd"] = operands[2].require("vreg", line, op)
+    elif d.group is Group.VV:  # unary
+        expect(2)
+        kw["va"] = operands[0].require("vreg", line, op)
+        kw["vd"] = operands[1].require("vreg", line, op)
+    elif d.group is Group.VS:
+        expect(3)
+        kw["va"] = operands[0].require("vreg", line, op)
+        if operands[1].sreg is not None:
+            kw["ra"] = operands[1].sreg
+        else:
+            kw["imm"] = operands[1].require("imm", line, op)
+        kw["vd"] = operands[2].require("vreg", line, op)
+    elif op in ("vloadq", "vstoreq"):
+        expect(2)
+        reg = operands[0].require("vreg", line, op)
+        kw["vd" if op == "vloadq" else "va"] = reg
+        kw["disp"], kw["rb"] = operands[1].require("mem", line, op)
+    elif op == "vgathq":
+        expect(3)
+        kw["vd"] = operands[0].require("vreg", line, op)
+        kw["vb"] = operands[1].require("vreg", line, op)
+        kw["disp"], kw["rb"] = operands[2].require("mem", line, op)
+    elif op == "vscatq":
+        expect(3)
+        kw["va"] = operands[0].require("vreg", line, op)
+        kw["vb"] = operands[1].require("vreg", line, op)
+        kw["disp"], kw["rb"] = operands[2].require("mem", line, op)
+    elif op in ("setvl", "setvs"):
+        expect(1)
+        if operands[0].sreg is not None:
+            kw["ra"] = operands[0].sreg
+        else:
+            kw["imm"] = operands[0].require("imm", line, op)
+    elif op == "setvm":
+        expect(1)
+        kw["va"] = operands[0].require("vreg", line, op)
+    elif op == "viota":
+        expect(1)
+        kw["vd"] = operands[0].require("vreg", line, op)
+    elif op == "vextq":
+        expect(3)
+        kw["va"] = operands[0].require("vreg", line, op)
+        if operands[1].sreg is not None:
+            kw["ra"] = operands[1].sreg
+        else:
+            kw["imm"] = operands[1].require("imm", line, op)
+        kw["rd"] = operands[2].require("sreg", line, op)
+    elif op == "vinsq":
+        expect(3)
+        kw["ra"] = operands[0].require("sreg", line, op)
+        kw["imm"] = operands[1].require("imm", line, op)
+        kw["vd"] = operands[2].require("vreg", line, op)
+    elif op in ("vsumq", "vsumt"):
+        expect(2)
+        kw["va"] = operands[0].require("vreg", line, op)
+        kw["rd"] = operands[1].require("sreg", line, op)
+    elif op == "lda":
+        expect(2)
+        kw["rd"] = operands[0].require("sreg", line, op)
+        if operands[1].mem is not None:
+            kw["imm"], kw["rb"] = operands[1].mem
+        else:
+            kw["imm"] = operands[1].require("imm", line, op)
+    elif op in ("addq", "subq", "mulq", "sll"):
+        expect(3)
+        kw["ra"] = operands[0].require("sreg", line, op)
+        if operands[1].sreg is not None:
+            kw["rb"] = operands[1].sreg
+        else:
+            kw["imm"] = operands[1].require("imm", line, op)
+        kw["rd"] = operands[2].require("sreg", line, op)
+    elif op in ("ldq", "stq"):
+        expect(2)
+        kw["rd" if op == "ldq" else "ra"] = operands[0].require("sreg", line, op)
+        kw["disp"], kw["rb"] = operands[1].require("mem", line, op)
+    elif op == "wh64":
+        expect(1)
+        kw["disp"], kw["rb"] = operands[0].require("mem", line, op)
+    elif op == "drainm":
+        expect(0)
+    else:  # pragma: no cover - table and binder kept in sync by tests
+        raise AssemblerError(f"no binding rule for {op!r}", line)
+
+    try:
+        return Instruction(op, **kw)
+    except Exception as exc:
+        raise AssemblerError(str(exc), line)
+
+
+def assemble(source: str, name: str = "asm") -> Program:
+    """Assemble source text into a :class:`Program`."""
+    program = Program(name)
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split(";", 1)[0].strip()
+        if not line:
+            continue
+        masked = False
+        if line.endswith("/m"):
+            masked = True
+            line = line[:-2].strip()
+        parts = line.split(None, 1)
+        op = parts[0].lower()
+        if op not in INSTRUCTION_SET:
+            raise AssemblerError(f"unknown mnemonic {op!r}", lineno)
+        operands = [_Operand(tok, lineno)
+                    for tok in _split_operands(parts[1] if len(parts) > 1 else "")]
+        instr = _bind(op, operands, lineno)
+        instr.masked = masked
+        if masked:
+            # re-validate with the mask applied (scalar ops reject /m)
+            instr.__post_init__()
+        program.append(instr)
+    return program
+
+
+def disassemble(program: Program) -> str:
+    """Inverse of :func:`assemble` (modulo whitespace)."""
+    return "\n".join(str(instr) for instr in program)

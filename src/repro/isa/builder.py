@@ -1,0 +1,195 @@
+"""Kernel builder: the hand-vectorization DSL.
+
+The paper's authors coded each benchmark's hot loops in vector assembly
+by hand.  :class:`KernelBuilder` is our equivalent pen: every method
+emits one instruction into a :class:`~repro.isa.program.Program`.  The
+builder adds only conveniences that an assembler macro package would
+provide (load-float-literal, set-mask-all-ones, prefetch aliases); it
+never synthesizes multi-instruction idioms silently — kernels stay
+auditable one-to-one against the emitted listing.
+
+Example (the paper's section 2 mask idiom)::
+
+    kb = KernelBuilder("mask-example")
+    kb.setvl(128)
+    kb.setvs(8)
+    kb.vloadq(0, rb=1)                 # v0 <- A(i)
+    kb.vloadq(1, rb=2)                 # v1 <- B(i)
+    kb.vscmptle(6, 0, imm=0.0)         # v6 <- A(i) <= 0  (to be negated)
+    kb.vnot(6, 6)                      # v6 <- A(i) != 0 ... low bit only
+    kb.vscmptle(7, 1, imm=2.0)         # v7 <- B(i) <= 2
+    kb.vnot(7, 7)                      # v7 <- B(i) > 2
+    kb.vvand(8, 6, 7)                  # v8 <- v6 & v7
+    kb.setvm(8)                        # vm <- v8
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.errors import ProgramError
+from repro.isa.instructions import INSTRUCTION_SET, Group, Instruction
+from repro.isa.program import Program
+
+Scalar = Union[int, float]
+
+
+class KernelBuilder:
+    """Fluent emitter of Tarantula instructions into a program."""
+
+    def __init__(self, name: str = "kernel") -> None:
+        self.program = Program(name)
+        self._tag = ""
+
+    # -- housekeeping -----------------------------------------------------
+
+    def tag(self, label: str) -> "KernelBuilder":
+        """Label subsequent instructions (shows up in per-phase metrics)."""
+        self._tag = label
+        return self
+
+    def emit(self, op: str, **fields) -> Instruction:
+        """Emit an arbitrary instruction by mnemonic; returns it."""
+        instr = Instruction(op, tag=self._tag, **fields)
+        self.program.append(instr)
+        return instr
+
+    # -- control ----------------------------------------------------------
+
+    def setvl(self, value: Union[int, None] = None, ra: Optional[int] = None):
+        """Set vector length from an immediate or scalar register."""
+        return self.emit("setvl", imm=value, ra=ra)
+
+    def setvs(self, value: Union[int, None] = None, ra: Optional[int] = None):
+        """Set the byte stride for SM-group accesses."""
+        return self.emit("setvs", imm=value, ra=ra)
+
+    def setvm(self, va: int):
+        """vm <- low bit of each element of ``va``."""
+        return self.emit("setvm", va=va)
+
+    def setvm_all(self):
+        """Set vm to all-ones via ``vvcmpeq v31, v31`` + ``setvm``.
+
+        This is the two-instruction macro a real assembler would expand;
+        both instructions appear in the listing.
+        """
+        self.emit("vvcmpeq", va=31, vb=31, vd=30)
+        return self.emit("setvm", va=30)
+
+    def viota(self, vd: int):
+        return self.emit("viota", vd=vd)
+
+    def vextq(self, rd: int, va: int, index: int):
+        return self.emit("vextq", va=va, imm=index, rd=rd)
+
+    def vinsq(self, vd: int, ra: int, index: int):
+        return self.emit("vinsq", ra=ra, imm=index, vd=vd)
+
+    def vsumt(self, rd: int, va: int, masked: bool = False):
+        return self.emit("vsumt", va=va, rd=rd, masked=masked)
+
+    def vsumq(self, rd: int, va: int, masked: bool = False):
+        return self.emit("vsumq", va=va, rd=rd, masked=masked)
+
+    # -- scalar side ------------------------------------------------------
+
+    def lda(self, rd: int, imm: Scalar, rb: Optional[int] = None):
+        """rd <- rb + imm; float immediates materialize IEEE bits."""
+        return self.emit("lda", rd=rd, imm=imm, rb=rb)
+
+    def addq(self, rd: int, ra: int, imm: Optional[int] = None,
+             rb: Optional[int] = None):
+        return self.emit("addq", rd=rd, ra=ra, imm=imm, rb=rb)
+
+    def subq(self, rd: int, ra: int, imm: Optional[int] = None,
+             rb: Optional[int] = None):
+        return self.emit("subq", rd=rd, ra=ra, imm=imm, rb=rb)
+
+    def mulq(self, rd: int, ra: int, imm: Optional[int] = None,
+             rb: Optional[int] = None):
+        return self.emit("mulq", rd=rd, ra=ra, imm=imm, rb=rb)
+
+    def sll(self, rd: int, ra: int, imm: Optional[int] = None,
+            rb: Optional[int] = None):
+        return self.emit("sll", rd=rd, ra=ra, imm=imm, rb=rb)
+
+    def ldq(self, rd: int, rb: int, disp: int = 0):
+        return self.emit("ldq", rd=rd, rb=rb, disp=disp)
+
+    def stq(self, ra: int, rb: int, disp: int = 0):
+        return self.emit("stq", ra=ra, rb=rb, disp=disp)
+
+    def wh64(self, rb: int, disp: int = 0):
+        """Write-hint: allocate a dirty line without reading memory."""
+        return self.emit("wh64", rb=rb, disp=disp)
+
+    def drainm(self):
+        """The scalar-write -> vector-read coherency barrier (section 3.4)."""
+        return self.emit("drainm")
+
+    # -- strided memory ----------------------------------------------------
+
+    def vloadq(self, vd: int, rb: int, disp: int = 0, masked: bool = False):
+        """Strided load; stride taken from ``vs`` at execution time."""
+        return self.emit("vloadq", vd=vd, rb=rb, disp=disp, masked=masked)
+
+    def vstoreq(self, va: int, rb: int, disp: int = 0, masked: bool = False):
+        return self.emit("vstoreq", va=va, rb=rb, disp=disp, masked=masked)
+
+    def vprefetch(self, rb: int, disp: int = 0):
+        """Strided prefetch: a vloadq with destination v31 (section 2)."""
+        return self.emit("vloadq", vd=31, rb=rb, disp=disp)
+
+    # -- gather / scatter ---------------------------------------------------
+
+    def vgathq(self, vd: int, vb: int, rb: int, disp: int = 0,
+               masked: bool = False):
+        """Gather: vd[i] = MEM[rb + disp + vb[i]] (vb holds byte offsets)."""
+        return self.emit("vgathq", vd=vd, vb=vb, rb=rb, disp=disp, masked=masked)
+
+    def vscatq(self, va: int, vb: int, rb: int, disp: int = 0,
+               masked: bool = False):
+        """Scatter: MEM[rb + disp + vb[i]] = va[i]."""
+        return self.emit("vscatq", va=va, vb=vb, rb=rb, disp=disp, masked=masked)
+
+    def vgath_prefetch(self, vb: int, rb: int, disp: int = 0):
+        """Gather prefetch via v31 destination."""
+        return self.emit("vgathq", vd=31, vb=vb, rb=rb, disp=disp)
+
+    # -- generated operate methods ------------------------------------------
+
+    def build(self) -> Program:
+        """Return the assembled program."""
+        return self.program
+
+
+def _add_operate_methods() -> None:
+    """Attach one builder method per VV/VS operate mnemonic.
+
+    Methods follow the instruction operand order:
+    ``kb.vvaddt(vd, va, vb)`` and ``kb.vsmult(vd, va, imm=...)`` /
+    ``kb.vsmult(vd, va, ra=...)``.
+    """
+    for mnemonic, definition in INSTRUCTION_SET.items():
+        if definition.group is Group.VV and "vb" in definition.fields:
+            def method(self, vd, va, vb, masked=False, _op=mnemonic):
+                return self.emit(_op, vd=vd, va=va, vb=vb, masked=masked)
+        elif definition.group is Group.VV and definition.fields == ("va", "vd"):
+            def method(self, vd, va, masked=False, _op=mnemonic):
+                return self.emit(_op, vd=vd, va=va, masked=masked)
+        elif definition.group is Group.VS:
+            def method(self, vd, va, imm=None, ra=None, masked=False,
+                       _op=mnemonic):
+                if imm is None and ra is None:
+                    raise ProgramError(f"{_op}: give imm= or ra=")
+                return self.emit(_op, vd=vd, va=va, imm=imm, ra=ra,
+                                 masked=masked)
+        else:
+            continue
+        method.__name__ = mnemonic
+        method.__doc__ = definition.description
+        setattr(KernelBuilder, mnemonic, method)
+
+
+_add_operate_methods()

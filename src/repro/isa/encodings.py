@@ -1,0 +1,197 @@
+"""Binary instruction encodings.
+
+The paper extends the Alpha ISA but does not publish opcode assignments,
+so this module defines a concrete, documented 32-bit encoding in the
+spirit of the Alpha formats.  It exists so the repository contains a
+complete ISA definition (encode/decode round-trips are property-tested),
+and so traces can be stored compactly.
+
+Formats (bit 31 on the left)::
+
+  operate   | major:6 | fcode:8 | M:1 | L:1 | a:5 | b:5 | c:5 | 0 |
+  memory    | major:6 | fcode:8 | M:1 | a:5 | b:5 | disp:7(signed, x8) |
+  control   | major:6 | fcode:8 | M:1 | L:1 | a:5 | b:5 | lit8/c:5+pad |
+
+* ``major`` is always 0x1A (an unused Alpha opcode slot).
+* ``fcode`` selects the mnemonic (table below).
+* ``M`` = executes under mask, ``L`` = operand ``b`` is a 5-bit literal.
+* memory displacements are signed multiples of 8 bytes in [-512, 504].
+
+The encoding intentionally cannot represent every :class:`Instruction`
+the simulator accepts (e.g. float immediates or huge displacements, which
+a real compiler would materialize through registers); ``encode`` raises
+:class:`EncodingError` for those.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.isa.instructions import INSTRUCTION_SET, Group, Instruction
+
+MAJOR_OPCODE = 0x1A
+
+
+class EncodingError(ReproError):
+    """Instruction cannot be represented in the 32-bit encoding."""
+
+
+def _fcode_table() -> dict[str, int]:
+    """Stable mnemonic -> function-code assignment (sorted order)."""
+    return {name: i for i, name in enumerate(sorted(INSTRUCTION_SET))}
+
+
+FCODES: dict[str, int] = _fcode_table()
+MNEMONICS: dict[int, str] = {v: k for k, v in FCODES.items()}
+
+
+def _field(value: int | None) -> int:
+    return 31 if value is None else value
+
+
+def encode(instr: Instruction) -> int:
+    """Encode to a 32-bit word; raises EncodingError when not encodable."""
+    d = instr.definition
+    op = instr.op
+    fcode = FCODES[op]
+    word = (MAJOR_OPCODE << 26) | (fcode << 18)
+    masked = 1 if instr.masked else 0
+
+    if d.is_memory or op in ("ldq", "stq", "wh64"):
+        if not -512 <= instr.disp <= 504 or instr.disp % 8:
+            raise EncodingError(
+                f"{op}: displacement {instr.disp} not an 8-multiple in [-512,504]")
+        disp7 = (instr.disp // 8) & 0x7F
+        a = _field(instr.vd if d.is_load and d.group is not Group.SC else None)
+        if op == "vstoreq" or op == "vscatq":
+            a = _field(instr.va)
+        elif op == "vloadq" or op == "vgathq":
+            a = _field(instr.vd)
+        elif op == "ldq":
+            a = _field(instr.rd)
+        elif op == "stq":
+            a = _field(instr.ra)
+        elif op == "wh64":
+            a = 31
+        b = _field(instr.vb if d.is_indexed else instr.rb)
+        if d.is_indexed:
+            if instr.disp != 0:
+                raise EncodingError(
+                    f"{op}: indexed accesses cannot encode a displacement")
+            # indexed forms carry the base register in the low field
+            word |= (masked << 17) | (a << 12) | (b << 7) | (_field(instr.rb) << 2)
+            return word
+        word |= (masked << 17) | (a << 12) | (b << 7) | disp7
+        return word
+
+    # operate / control / scalar-operate forms
+    lit = 0
+    bfield = 0
+    if op in ("vextq", "vinsq"):
+        if op == "vextq" and instr.ra is not None:
+            bfield = instr.ra           # index from a scalar register
+        else:
+            imm = instr.imm if instr.imm is not None else 0
+            if not isinstance(imm, int) or not 0 <= imm <= 31:
+                raise EncodingError(
+                    f"{op}: index {imm!r} not a 5-bit literal")
+            lit = 1
+            bfield = imm
+    elif "scalar" in d.fields or op in ("addq", "subq", "mulq", "sll"):
+        if instr.ra is not None and d.group is not Group.SC:
+            bfield = instr.ra
+        elif d.group is Group.SC and instr.rb is not None:
+            bfield = instr.rb
+        else:
+            imm = instr.imm
+            if not isinstance(imm, int) or not 0 <= imm <= 31:
+                raise EncodingError(
+                    f"{op}: immediate {imm!r} not a 5-bit unsigned literal")
+            lit = 1
+            bfield = imm
+    elif "vb" in d.fields:
+        bfield = _field(instr.vb)
+
+    afield = _field(instr.va if instr.va is not None else
+                    (instr.ra if instr.ra is not None else instr.rd))
+    cfield = _field(instr.vd if instr.vd is not None else instr.rd)
+    if op == "lda":
+        imm = instr.imm
+        if not isinstance(imm, int) or not 0 <= imm <= 31:
+            raise EncodingError(f"lda: immediate {imm!r} not a 5-bit literal")
+        lit = 1
+        afield = _field(instr.rb)
+        bfield = imm
+        cfield = _field(instr.rd)
+    word |= (masked << 17) | (lit << 16) | (afield << 11) | (bfield << 6) | (cfield << 1)
+    return word
+
+
+def decode(word: int) -> Instruction:
+    """Decode a 32-bit word produced by :func:`encode`."""
+    if (word >> 26) & 0x3F != MAJOR_OPCODE:
+        raise EncodingError(f"major opcode {(word >> 26) & 0x3F:#x} is not Tarantula")
+    fcode = (word >> 18) & 0xFF
+    op = MNEMONICS.get(fcode)
+    if op is None:
+        raise EncodingError(f"unknown function code {fcode:#x}")
+    d = INSTRUCTION_SET[op]
+    masked = bool((word >> 17) & 1)
+
+    if d.is_memory or op in ("ldq", "stq", "wh64"):
+        a = (word >> 12) & 0x1F
+        b = (word >> 7) & 0x1F
+        if d.is_indexed:
+            rb = (word >> 2) & 0x1F
+            if op == "vgathq":
+                return Instruction(op, vd=a, vb=b, rb=rb, masked=masked)
+            return Instruction(op, va=a, vb=b, rb=rb, masked=masked)
+        disp7 = word & 0x7F
+        disp = (disp7 - 128 if disp7 >= 64 else disp7) * 8
+        if op == "vloadq":
+            return Instruction(op, vd=a, rb=b, disp=disp, masked=masked)
+        if op == "vstoreq":
+            return Instruction(op, va=a, rb=b, disp=disp, masked=masked)
+        if op == "ldq":
+            return Instruction(op, rd=a, rb=b, disp=disp)
+        if op == "stq":
+            return Instruction(op, ra=a, rb=b, disp=disp)
+        return Instruction(op, rb=b, disp=disp)  # wh64
+
+    lit = (word >> 16) & 1
+    a = (word >> 11) & 0x1F
+    b = (word >> 6) & 0x1F
+    c = (word >> 1) & 0x1F
+    kw: dict = {"masked": masked}
+    if op == "lda":
+        return Instruction(op, rd=c, imm=b, rb=None if a == 31 else a)
+    if op == "drainm":
+        return Instruction(op)
+    if d.group in (Group.VV,) and "vb" in d.fields:
+        return Instruction(op, va=a, vb=b, vd=c, **kw)
+    if d.group is Group.VV:
+        return Instruction(op, va=a, vd=c, **kw)
+    if d.group is Group.VS:
+        if lit:
+            return Instruction(op, va=a, imm=b, vd=c, **kw)
+        return Instruction(op, va=a, ra=b, vd=c, **kw)
+    if op in ("setvl", "setvs"):
+        if lit:
+            return Instruction(op, imm=b)
+        return Instruction(op, ra=b)
+    if op == "setvm":
+        return Instruction(op, va=a)
+    if op == "viota":
+        return Instruction(op, vd=c)
+    if op == "vextq":
+        if lit:
+            return Instruction(op, va=a, imm=b, rd=c)
+        return Instruction(op, va=a, ra=b, rd=c)
+    if op == "vinsq":
+        return Instruction(op, ra=a, imm=b, vd=c)
+    if op in ("vsumq", "vsumt"):
+        return Instruction(op, va=a, rd=c, masked=masked)
+    if op in ("addq", "subq", "mulq", "sll"):
+        if lit:
+            return Instruction(op, ra=a, imm=b, rd=c)
+        return Instruction(op, ra=a, rb=b, rd=c)
+    raise EncodingError(f"no decode rule for {op!r}")  # pragma: no cover

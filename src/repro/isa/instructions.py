@@ -1,0 +1,364 @@
+"""Instruction definitions for the Tarantula ISA extension.
+
+The paper (section 2) groups the ~45 new instructions into five
+categories:
+
+* ``VV`` — vector-vector operate (``vvaddq va, vb, vc``)
+* ``VS`` — vector-scalar operate (``vsmulq va, rb, vc``)
+* ``SM`` — strided memory access (``vloadq vc, off(rb)`` using ``vs``)
+* ``RM`` — random memory access (gather/scatter)
+* ``VC`` — vector control (``setvl``, ``setvs``, ``setvm``, ...)
+
+plus the scalar Alpha instructions the kernels need, which we tag ``SC``
+(they execute on the EV8 core).  Each mnemonic has an
+:class:`InstructionDef` entry recording its group, data type, per-element
+flop count and timing class; :class:`Instruction` is one assembled
+instance with concrete operands.
+
+Three mnemonics are documented *extensions* beyond the paper's list
+(``viota``, ``vsumq``, ``vsumt``): the paper's benchmarks (dot products
+in linpack/moldyn, index generation for gathers) require them, and
+contemporary vector ISAs all provide equivalents.  They are flagged
+``extension=True`` so the harness can report exactly what was added.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional, Union
+
+from repro.errors import ProgramError
+
+Scalar = Union[int, float]
+
+
+class Group(Enum):
+    """The paper's five instruction categories, plus scalar-core ops."""
+
+    VV = "vector-vector operate"
+    VS = "vector-scalar operate"
+    SM = "strided memory access"
+    RM = "random memory access"
+    VC = "vector control"
+    SC = "scalar (EV8 core)"
+
+
+class TimingClass(Enum):
+    """Latency/occupancy class used by the Vbox timing model."""
+
+    INT = "int"          # integer ALU ops
+    FP = "fp"            # pipelined FP add/mul/compare/convert
+    FP_DIV = "fpdiv"     # unpipelined divide
+    FP_SQRT = "fpsqrt"   # unpipelined square root
+    MEM = "mem"          # memory pipeline (address generators + L2)
+    CTRL = "ctrl"        # control-register moves
+    SCALAR = "scalar"    # runs on the EV8 core
+
+
+@dataclass(frozen=True)
+class InstructionDef:
+    """Static properties of one mnemonic."""
+
+    mnemonic: str
+    group: Group
+    timing: TimingClass
+    fields: tuple[str, ...]          # operand fields an instance must fill
+    flops: int = 0                   # double-precision flops per active element
+    is_store: bool = False
+    is_load: bool = False
+    is_indexed: bool = False         # gather/scatter (RM group)
+    is_compare: bool = False
+    writes_vm: bool = False
+    #: the destination is also a source (FMAC accumulators)
+    reads_dest: bool = False
+    extension: bool = False          # not in the paper's instruction list
+    description: str = ""
+
+    @property
+    def is_memory(self) -> bool:
+        return self.is_load or self.is_store
+
+
+def _d(mnemonic, group, timing, fields, **kw) -> InstructionDef:
+    return InstructionDef(mnemonic, group, timing, tuple(fields), **kw)
+
+
+def _operate_defs() -> list[InstructionDef]:
+    """Build the VV and VS operate groups from a compact op table."""
+    defs: list[InstructionDef] = []
+    # (suffix, timing, flops, is_compare, description)
+    binary_ops = [
+        ("addq", TimingClass.INT, 0, False, "integer add"),
+        ("subq", TimingClass.INT, 0, False, "integer subtract"),
+        ("mulq", TimingClass.INT, 0, False, "integer multiply"),
+        ("and", TimingClass.INT, 0, False, "bitwise and"),
+        ("bis", TimingClass.INT, 0, False, "bitwise or (Alpha BIS)"),
+        ("xor", TimingClass.INT, 0, False, "bitwise xor"),
+        ("sll", TimingClass.INT, 0, False, "shift left logical"),
+        ("srl", TimingClass.INT, 0, False, "shift right logical"),
+        ("sra", TimingClass.INT, 0, False, "shift right arithmetic"),
+        ("cmpeq", TimingClass.INT, 0, True, "integer compare equal"),
+        ("cmpne", TimingClass.INT, 0, True, "integer compare not-equal"),
+        ("cmplt", TimingClass.INT, 0, True, "integer compare less-than"),
+        ("cmple", TimingClass.INT, 0, True, "integer compare less-or-equal"),
+        ("addt", TimingClass.FP, 1, False, "FP add (T format)"),
+        ("subt", TimingClass.FP, 1, False, "FP subtract"),
+        ("mult", TimingClass.FP, 1, False, "FP multiply"),
+        ("divt", TimingClass.FP_DIV, 1, False, "FP divide"),
+        ("maxt", TimingClass.FP, 1, False, "FP maximum"),
+        ("mint", TimingClass.FP, 1, False, "FP minimum"),
+        ("cmpteq", TimingClass.FP, 1, True, "FP compare equal"),
+        ("cmptlt", TimingClass.FP, 1, True, "FP compare less-than"),
+        ("cmptle", TimingClass.FP, 1, True, "FP compare less-or-equal"),
+    ]
+    for suffix, timing, flops, is_cmp, desc in binary_ops:
+        defs.append(_d(f"vv{suffix}", Group.VV, timing, ("va", "vb", "vd"),
+                       flops=flops, is_compare=is_cmp,
+                       description=f"vector-vector {desc}"))
+        defs.append(_d(f"vs{suffix}", Group.VS, timing, ("va", "scalar", "vd"),
+                       flops=flops, is_compare=is_cmp,
+                       description=f"vector-scalar {desc}"))
+    # FMAC: the section-5 extension ("adding floating point multiply-
+    # accumulate units to Tarantula, this rate could be doubled with
+    # very little extra complexity and power").  The third operand is
+    # the destination itself, which is what makes it cheap for the Vbox
+    # and expensive for EV8's queues.
+    defs.append(_d("vvmaddt", Group.VV, TimingClass.FP, ("va", "vb", "vd"),
+                   flops=2, reads_dest=True, extension=True,
+                   description="FMAC: vd += va * vb (section 5 extension)"))
+    defs.append(_d("vsmaddt", Group.VS, TimingClass.FP,
+                   ("va", "scalar", "vd"),
+                   flops=2, reads_dest=True, extension=True,
+                   description="FMAC: vd += va * scalar (section 5 extension)"))
+    # Unary ops live in the VV group (single vector source).
+    unary_ops = [
+        ("vsqrtt", TimingClass.FP_SQRT, 1, "FP square root"),
+        ("vcvtqt", TimingClass.FP, 1, "convert int64 -> FP"),
+        ("vcvttq", TimingClass.FP, 1, "convert FP -> int64 (truncate)"),
+        ("vnot", TimingClass.INT, 0, "bitwise complement"),
+    ]
+    for name, timing, flops, desc in unary_ops:
+        defs.append(_d(name, Group.VV, timing, ("va", "vd"),
+                       flops=flops, description=f"vector {desc}"))
+    return defs
+
+
+def _memory_defs() -> list[InstructionDef]:
+    return [
+        _d("vloadq", Group.SM, TimingClass.MEM, ("vd", "rb"), is_load=True,
+           description="strided vector load of quadwords, stride = vs"),
+        _d("vstoreq", Group.SM, TimingClass.MEM, ("va", "rb"), is_store=True,
+           description="strided vector store of quadwords, stride = vs"),
+        _d("vgathq", Group.RM, TimingClass.MEM, ("vb", "rb", "vd"),
+           is_load=True, is_indexed=True,
+           description="gather: vd[i] = MEM[rb + vb[i]]"),
+        _d("vscatq", Group.RM, TimingClass.MEM, ("va", "rb", "vb"),
+           is_store=True, is_indexed=True,
+           description="scatter: MEM[rb + vb[i]] = va[i]"),
+    ]
+
+
+def _control_defs() -> list[InstructionDef]:
+    return [
+        _d("setvl", Group.VC, TimingClass.CTRL, ("scalar",),
+           description="vl <- scalar (clamped to [0,128])"),
+        _d("setvs", Group.VC, TimingClass.CTRL, ("scalar",),
+           description="vs <- scalar byte stride"),
+        _d("setvm", Group.VC, TimingClass.CTRL, ("va",), writes_vm=True,
+           description="vm <- low bit of each element of va"),
+        _d("vextq", Group.VC, TimingClass.CTRL, ("va", "scalar", "rd"),
+           description="scalar rd <- va[index] (20-cycle round trip)"),
+        _d("vinsq", Group.VC, TimingClass.CTRL, ("scalar", "imm", "vd"),
+           description="vd[index] <- scalar, other elements preserved"),
+        _d("viota", Group.VC, TimingClass.INT, ("vd",), extension=True,
+           description="vd[i] = i (index generation; documented extension)"),
+        _d("vsumq", Group.VC, TimingClass.INT, ("va", "rd"), extension=True,
+           description="integer sum reduction to scalar (extension)"),
+        _d("vsumt", Group.VC, TimingClass.FP, ("va", "rd"), flops=1,
+           extension=True,
+           description="FP sum reduction to scalar (extension)"),
+    ]
+
+
+def _scalar_defs() -> list[InstructionDef]:
+    return [
+        _d("lda", Group.SC, TimingClass.SCALAR, ("rd", "imm"),
+           description="rd <- rb + imm (rb optional, defaults to r31=0)"),
+        _d("addq", Group.SC, TimingClass.SCALAR, ("ra", "rd"),
+           description="scalar integer add (second source imm or rb)"),
+        _d("subq", Group.SC, TimingClass.SCALAR, ("ra", "rd"),
+           description="scalar integer subtract (second source imm or rb)"),
+        _d("mulq", Group.SC, TimingClass.SCALAR, ("ra", "rd"),
+           description="scalar integer multiply (second source imm or rb)"),
+        _d("sll", Group.SC, TimingClass.SCALAR, ("ra", "rd"),
+           description="scalar shift left logical (second source imm or rb)"),
+        _d("ldq", Group.SC, TimingClass.SCALAR, ("rd", "rb"), is_load=True,
+           description="scalar load quadword (through L1)"),
+        _d("stq", Group.SC, TimingClass.SCALAR, ("ra", "rb"), is_store=True,
+           description="scalar store quadword (through L1/write buffer)"),
+        _d("wh64", Group.SC, TimingClass.SCALAR, ("rb",),
+           description="write-hint 64: allocate dirty line without read"),
+        _d("drainm", Group.SC, TimingClass.SCALAR, (),
+           description="memory barrier: purge write buffer, update P-bits, "
+                       "replay-trap younger instructions"),
+    ]
+
+
+def _build_table() -> dict[str, InstructionDef]:
+    table: dict[str, InstructionDef] = {}
+    for d in _operate_defs() + _memory_defs() + _control_defs() + _scalar_defs():
+        if d.mnemonic in table:
+            raise AssertionError(f"duplicate mnemonic {d.mnemonic}")
+        table[d.mnemonic] = d
+    return table
+
+
+#: Mnemonic -> definition for every instruction the simulator understands.
+INSTRUCTION_SET: dict[str, InstructionDef] = _build_table()
+
+#: Mnemonics that are documented extensions beyond the paper's list.
+EXTENSIONS = tuple(sorted(d.mnemonic for d in INSTRUCTION_SET.values() if d.extension))
+
+
+def vector_instruction_count() -> int:
+    """Number of non-extension vector mnemonics (paper reports ~45
+    "not counting data-type variations"; we count concrete mnemonics)."""
+    return sum(
+        1 for d in INSTRUCTION_SET.values()
+        if d.group is not Group.SC and not d.extension
+    )
+
+
+@dataclass
+class Instruction:
+    """One assembled instruction instance.
+
+    Operand fields are filled according to the mnemonic's
+    ``InstructionDef.fields``:
+
+    * ``vd`` destination vector register, ``va``/``vb`` vector sources
+    * ``rd`` destination scalar register, ``ra``/``rb`` scalar sources
+      (``rb`` is the memory base register)
+    * ``imm`` immediate; VS-group scalars may come from ``ra`` *or* ``imm``
+    * ``disp`` byte displacement for memory instructions
+    * ``masked`` executes under the current ``vm``
+    """
+
+    op: str
+    vd: Optional[int] = None
+    va: Optional[int] = None
+    vb: Optional[int] = None
+    rd: Optional[int] = None
+    ra: Optional[int] = None
+    rb: Optional[int] = None
+    imm: Optional[Scalar] = None
+    disp: int = 0
+    masked: bool = False
+    #: free-form tag the workloads use to label phases for metrics
+    tag: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        self.op = self.op.lower()
+        d = INSTRUCTION_SET.get(self.op)
+        if d is None:
+            raise ProgramError(f"unknown mnemonic {self.op!r}")
+        self._validate(d)
+
+    @property
+    def definition(self) -> InstructionDef:
+        return INSTRUCTION_SET[self.op]
+
+    def _validate(self, d: InstructionDef) -> None:
+        for f in d.fields:
+            if f == "scalar":
+                if self.ra is None and self.imm is None:
+                    raise ProgramError(
+                        f"{self.op}: scalar operand needs ra or imm")
+            elif f == "imm":
+                if self.imm is None:
+                    raise ProgramError(f"{self.op}: missing immediate")
+            elif getattr(self, f) is None:
+                raise ProgramError(f"{self.op}: missing operand {f!r}")
+        for reg in ("vd", "va", "vb"):
+            v = getattr(self, reg)
+            if v is not None and not 0 <= v < 32:
+                raise ProgramError(f"{self.op}: {reg}=v{v} out of range")
+        for reg in ("rd", "ra", "rb"):
+            v = getattr(self, reg)
+            if v is not None and not 0 <= v < 32:
+                raise ProgramError(f"{self.op}: {reg}=r{v} out of range")
+        if self.masked and d.group in (Group.SC,):
+            raise ProgramError(f"{self.op}: scalar ops cannot be masked")
+        if d.group is Group.SC and self.op in ("addq", "subq", "mulq", "sll") \
+                and self.imm is None and self.rb is None:
+            raise ProgramError(f"{self.op}: needs a second source (imm or rb)")
+
+    # -- dependence queries used by the timing model ---------------------
+
+    def vreg_reads(self) -> tuple[int, ...]:
+        """Vector registers this instruction reads (excluding v31)."""
+        d = self.definition
+        reads = []
+        for f in ("va", "vb"):
+            if f in d.fields:
+                v = getattr(self, f)
+                if v is not None and v != 31:
+                    reads.append(v)
+        # A masked-store/gather destination is never a read; but a masked
+        # operate merges into vd, and FMAC accumulates into it.
+        if (self.masked or d.reads_dest) and self.vd is not None \
+                and self.vd != 31 and not d.is_memory:
+            reads.append(self.vd)
+        return tuple(reads)
+
+    def vreg_writes(self) -> tuple[int, ...]:
+        d = self.definition
+        if "vd" in d.fields and self.vd is not None and self.vd != 31:
+            return (self.vd,)
+        return ()
+
+    @property
+    def is_prefetch(self) -> bool:
+        """Loads targeting v31 are prefetches (paper, section 2)."""
+        return self.definition.is_load and self.vd == 31 and \
+            self.definition.group in (Group.SM, Group.RM)
+
+    def __str__(self) -> str:
+        """Render in the assembler's syntax (see repro.isa.assembler)."""
+        op = self.op
+        mem = f"{self.disp}(r{self.rb})"
+        if op in ("vloadq",):
+            parts = [f"v{self.vd}", mem]
+        elif op in ("vstoreq",):
+            parts = [f"v{self.va}", mem]
+        elif op == "vgathq":
+            parts = [f"v{self.vd}", f"v{self.vb}", mem]
+        elif op == "vscatq":
+            parts = [f"v{self.va}", f"v{self.vb}", mem]
+        elif op in ("ldq",):
+            parts = [f"r{self.rd}", mem]
+        elif op in ("stq",):
+            parts = [f"r{self.ra}", mem]
+        elif op == "wh64":
+            parts = [mem]
+        elif op == "lda":
+            parts = [f"r{self.rd}",
+                     f"{self.imm}(r{self.rb})" if self.rb is not None
+                     else f"#{self.imm}"]
+        else:
+            parts = []
+            for f in self.definition.fields:
+                if f == "scalar":
+                    parts.append(f"r{self.ra}" if self.ra is not None
+                                 else f"#{self.imm}")
+                elif f == "imm":
+                    parts.append(f"#{self.imm}")
+                elif f in ("vd", "va", "vb"):
+                    parts.append(f"v{getattr(self, f)}")
+                else:
+                    parts.append(f"r{getattr(self, f)}")
+        text = op if not parts else f"{op} " + ", ".join(parts)
+        if self.masked:
+            text += " /m"
+        return text

@@ -1,0 +1,87 @@
+"""Program container: an assembled sequence of instructions.
+
+The paper's benchmarks were hand-written assembly; loop control ran on
+the EV8 scalar core.  We mirror that split: kernels are built by Python
+code (the "compiler"), and the resulting :class:`Program` is a flat,
+fully-unrolled instruction sequence.  Static statistics (instruction mix
+by group) live here; dynamic operation counts (flops, element ops) are
+accounted by the functional/timing simulators because they depend on
+``vl``/``vm`` at execution time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.isa.instructions import Group, Instruction
+
+
+@dataclass
+class ProgramStats:
+    """Static instruction-mix summary of a program."""
+
+    total: int = 0
+    by_group: dict[str, int] = field(default_factory=dict)
+    vector_instructions: int = 0
+    scalar_instructions: int = 0
+    memory_instructions: int = 0
+    masked_instructions: int = 0
+    prefetches: int = 0
+
+    @property
+    def static_vector_fraction(self) -> float:
+        """Fraction of static instructions that are vector instructions."""
+        if self.total == 0:
+            return 0.0
+        return self.vector_instructions / self.total
+
+
+class Program:
+    """An ordered, immutable-after-build list of instructions."""
+
+    def __init__(self, name: str = "program",
+                 instructions: Iterable[Instruction] = ()) -> None:
+        self.name = name
+        self._instructions: list[Instruction] = list(instructions)
+
+    def append(self, instr: Instruction) -> None:
+        self._instructions.append(instr)
+
+    def extend(self, instrs: Iterable[Instruction]) -> None:
+        self._instructions.extend(instrs)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self._instructions)
+
+    def __len__(self) -> int:
+        return len(self._instructions)
+
+    def __getitem__(self, index):
+        return self._instructions[index]
+
+    def stats(self) -> ProgramStats:
+        """Compute the static instruction mix."""
+        stats = ProgramStats()
+        for instr in self._instructions:
+            d = instr.definition
+            stats.total += 1
+            stats.by_group[d.group.name] = stats.by_group.get(d.group.name, 0) + 1
+            if d.group is Group.SC:
+                stats.scalar_instructions += 1
+            else:
+                stats.vector_instructions += 1
+            if d.is_memory:
+                stats.memory_instructions += 1
+            if instr.masked:
+                stats.masked_instructions += 1
+            if instr.is_prefetch:
+                stats.prefetches += 1
+        return stats
+
+    def listing(self) -> str:
+        """Assembly-like text listing (one instruction per line)."""
+        return "\n".join(f"{i:6d}:  {instr}" for i, instr in enumerate(self))
+
+    def __repr__(self) -> str:
+        return f"Program({self.name!r}, {len(self)} instructions)"

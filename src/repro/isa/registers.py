@@ -1,0 +1,138 @@
+"""Architectural state added by the Tarantula ISA extension.
+
+Section 2 of the paper: 32 vector registers (``v0..v31``) of 128 64-bit
+elements each, plus three control registers — vector length ``vl`` (8
+bits), vector stride ``vs`` (64 bits, a byte stride), and vector mask
+``vm`` (128 bits).  Register ``v31`` is hardwired to zero, following the
+Alpha tradition; writes to it are discarded, which is what makes
+vector/gather/scatter *prefetches* expressible as ordinary loads with
+``v31`` as destination.
+
+The scalar side of the machine (the EV8 core) is modeled by
+:class:`ScalarRegisterFile` — 31 writable integer registers with ``r31``
+hardwired to zero, enough to express the hand-vectorized kernels'
+address arithmetic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ProgramError
+
+#: Number of architectural vector registers (v31 reads as zero).
+NUM_VREGS = 32
+#: Elements per vector register.
+MVL = 128
+#: Number of scalar integer registers (r31 reads as zero).
+NUM_SREGS = 32
+#: Hardwired-zero register index (both files).
+ZERO_REG = 31
+
+
+class VectorRegisterFile:
+    """The 32 x 128 x 64-bit vector register file, ``v31`` = 0.
+
+    Values are stored as ``uint64``; floating-point instructions
+    reinterpret the bits as IEEE double (the Alpha "T" format).
+    """
+
+    def __init__(self) -> None:
+        self._regs = np.zeros((NUM_VREGS, MVL), dtype=np.uint64)
+
+    def read(self, index: int) -> np.ndarray:
+        """Return a *copy* of register ``index`` (v31 always reads zero)."""
+        self._check(index)
+        if index == ZERO_REG:
+            return np.zeros(MVL, dtype=np.uint64)
+        return self._regs[index].copy()
+
+    def write(self, index: int, values: np.ndarray) -> None:
+        """Overwrite register ``index``; writes to v31 are discarded."""
+        self._check(index)
+        if index == ZERO_REG:
+            return
+        if values.shape != (MVL,):
+            raise ProgramError(
+                f"vector register write must be {MVL} elements, got {values.shape}"
+            )
+        self._regs[index] = values.astype(np.uint64, copy=False)
+
+    def write_elements(self, index: int, positions: np.ndarray, values: np.ndarray) -> None:
+        """Write only the given element positions (used for masked ops)."""
+        self._check(index)
+        if index == ZERO_REG:
+            return
+        self._regs[index][positions] = values.astype(np.uint64, copy=False)
+
+    @staticmethod
+    def _check(index: int) -> None:
+        if not 0 <= index < NUM_VREGS:
+            raise ProgramError(f"vector register index {index} out of range")
+
+
+class ScalarRegisterFile:
+    """EV8-side integer registers ``r0..r31`` with ``r31`` = 0."""
+
+    def __init__(self) -> None:
+        self._regs = [0] * NUM_SREGS
+
+    def read(self, index: int) -> int:
+        if not 0 <= index < NUM_SREGS:
+            raise ProgramError(f"scalar register index {index} out of range")
+        if index == ZERO_REG:
+            return 0
+        return self._regs[index]
+
+    def write(self, index: int, value: int) -> None:
+        if not 0 <= index < NUM_SREGS:
+            raise ProgramError(f"scalar register index {index} out of range")
+        if index == ZERO_REG:
+            return
+        self._regs[index] = value & ((1 << 64) - 1)
+
+
+class ControlRegisters:
+    """The ``vl`` / ``vs`` / ``vm`` control registers.
+
+    ``vl`` is clamped to [0, 128] (8-bit register); ``vs`` is a signed
+    64-bit byte stride; ``vm`` is a 128-element boolean vector.
+    """
+
+    def __init__(self) -> None:
+        self.vl: int = MVL
+        self.vs: int = 8
+        self.vm: np.ndarray = np.ones(MVL, dtype=bool)
+
+    def set_vl(self, value: int) -> None:
+        if not 0 <= value <= MVL:
+            raise ProgramError(f"vl must be in [0, {MVL}], got {value}")
+        self.vl = int(value)
+
+    def set_vs(self, value: int) -> None:
+        limit = 1 << 63
+        if not -limit <= value < limit:
+            raise ProgramError(f"vs must fit in a signed 64-bit register")
+        self.vs = int(value)
+
+    def set_vm(self, bits: np.ndarray) -> None:
+        if bits.shape != (MVL,):
+            raise ProgramError(f"vm must be {MVL} bits, got {bits.shape}")
+        self.vm = bits.astype(bool, copy=True)
+
+
+class ArchState:
+    """Complete architectural state visible to a Tarantula program."""
+
+    def __init__(self) -> None:
+        self.vregs = VectorRegisterFile()
+        self.sregs = ScalarRegisterFile()
+        self.ctrl = ControlRegisters()
+
+    def active_mask(self, masked: bool) -> np.ndarray:
+        """Boolean per-element activity: below vl, and vm if ``masked``."""
+        active = np.zeros(MVL, dtype=bool)
+        active[: self.ctrl.vl] = True
+        if masked:
+            active &= self.ctrl.vm
+        return active

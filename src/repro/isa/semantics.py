@@ -1,0 +1,328 @@
+"""Functional (architectural) semantics of every instruction.
+
+This module is the executable version of the paper's Figure 1.  Each
+mnemonic maps to a handler ``handler(instr, state, mem) -> None`` that
+mutates the :class:`~repro.isa.registers.ArchState` and
+:class:`~repro.mem.memory.MainMemory`.  Handlers are numpy-vectorized
+over the 128 elements.
+
+Semantics choices where the paper says UNPREDICTABLE:
+
+* elements at or beyond ``vl`` keep their previous destination value
+  (or are filled with a poison pattern when ``poison_tail`` is enabled,
+  which tests use to catch kernels that rely on tails);
+* a scatter with duplicate addresses resolves in ascending element
+  order (last writer wins), a deterministic stand-in for the paper's
+  random-permutation ordering.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.errors import ProgramError
+from repro.isa.instructions import Group, Instruction
+from repro.isa.registers import MVL, ArchState
+from repro.mem.memory import MainMemory
+
+#: Poison value written beyond ``vl`` when tail poisoning is on.
+POISON = np.uint64(0xDEAD_BEEF_DEAD_BEEF)
+
+
+def float_to_bits(value: float) -> int:
+    """IEEE-754 double bit pattern of a Python float, as an int."""
+    return struct.unpack("<Q", struct.pack("<d", float(value)))[0]
+
+
+def bits_to_float(bits: int) -> float:
+    """Python float from an IEEE-754 double bit pattern."""
+    return struct.unpack("<d", struct.pack("<Q", bits & ((1 << 64) - 1)))[0]
+
+
+def resolve_scalar(instr: Instruction, state: ArchState, as_float: bool) -> np.uint64:
+    """Bit pattern of the scalar operand of a VS/VC instruction.
+
+    Register operands supply raw 64-bit patterns; immediates are
+    converted according to the consuming instruction's data type
+    (``as_float`` selects IEEE-double encoding).
+    """
+    if instr.ra is not None:
+        return np.uint64(state.sregs.read(instr.ra))
+    imm = instr.imm
+    if as_float:
+        return np.uint64(float_to_bits(float(imm)))
+    return np.uint64(int(imm) & ((1 << 64) - 1))
+
+
+def _is_fp_suffix(suffix: str) -> bool:
+    """True when the operate suffix consumes IEEE-double operands."""
+    return suffix in _FP_BINOPS or suffix in _FP_COMPARES
+
+
+def _merge_write(instr, state, result, active, poison_tail):
+    """Write ``result`` into vd honoring mask/vl merge semantics."""
+    vd = instr.vd
+    old = state.vregs.read(vd)
+    out = np.where(active, result, old)
+    if poison_tail:
+        out[state.ctrl.vl:] = POISON
+    state.vregs.write(vd, out)
+
+
+# -- operate groups (VV / VS) ---------------------------------------------
+
+_INT_BINOPS = {
+    "addq": lambda a, b: a + b,
+    "subq": lambda a, b: a - b,
+    "mulq": lambda a, b: a * b,
+    "and": lambda a, b: a & b,
+    "bis": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "sll": lambda a, b: a << (b & np.uint64(63)),
+    "srl": lambda a, b: a >> (b & np.uint64(63)),
+    "sra": lambda a, b: (a.view(np.int64) >> (b & np.uint64(63)).view(np.int64)).view(np.uint64),
+    "cmpeq": lambda a, b: (a == b).astype(np.uint64),
+    "cmpne": lambda a, b: (a != b).astype(np.uint64),
+    "cmplt": lambda a, b: (a.view(np.int64) < b.view(np.int64)).astype(np.uint64),
+    "cmple": lambda a, b: (a.view(np.int64) <= b.view(np.int64)).astype(np.uint64),
+}
+
+_FP_BINOPS = {
+    "addt": lambda a, b: a + b,
+    "subt": lambda a, b: a - b,
+    "mult": lambda a, b: a * b,
+    "divt": lambda a, b: a / b,
+    "maxt": np.maximum,
+    "mint": np.minimum,
+    "cmpteq": None,  # compares produce integer 0/1, handled specially
+    "cmptlt": None,
+    "cmptle": None,
+}
+
+_FP_COMPARES = {
+    "cmpteq": lambda a, b: a == b,
+    "cmptlt": lambda a, b: a < b,
+    "cmptle": lambda a, b: a <= b,
+}
+
+
+def _exec_madd(instr: Instruction, state: ArchState, mem: MainMemory,
+               poison_tail: bool) -> None:
+    """FMAC semantics: vd += va * (vb | scalar), fused (one rounding in
+    hardware; the double-precision double-rounding difference is below
+    our verification tolerance)."""
+    a = state.vregs.read(instr.va).view(np.float64)
+    if instr.op == "vvmaddt":
+        b = state.vregs.read(instr.vb).view(np.float64)
+    else:
+        bits = resolve_scalar(instr, state, as_float=True)
+        b = np.full(MVL, bits, dtype=np.uint64).view(np.float64)
+    acc = state.vregs.read(instr.vd).view(np.float64)
+    active = state.active_mask(instr.masked)
+    with np.errstate(over="ignore", invalid="ignore"):
+        result = (acc + a * b).view(np.uint64)
+    _merge_write(instr, state, result, active, poison_tail)
+
+
+def _exec_operate(instr: Instruction, state: ArchState, mem: MainMemory,
+                  poison_tail: bool) -> None:
+    d = instr.definition
+    suffix = instr.op[2:]  # strip the vv/vs prefix
+    a = state.vregs.read(instr.va)
+    if d.group is Group.VV and "vb" in d.fields:
+        b = state.vregs.read(instr.vb)
+    else:
+        b = np.full(MVL, resolve_scalar(instr, state, _is_fp_suffix(suffix)),
+                    dtype=np.uint64)
+    active = state.active_mask(instr.masked)
+    if suffix in _INT_BINOPS:
+        with np.errstate(over="ignore"):
+            result = _INT_BINOPS[suffix](a, b)
+    elif suffix in _FP_COMPARES:
+        result = _FP_COMPARES[suffix](a.view(np.float64), b.view(np.float64))
+        result = result.astype(np.uint64)
+    elif suffix in _FP_BINOPS:
+        fa, fb = a.view(np.float64), b.view(np.float64)
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            result = _FP_BINOPS[suffix](fa, fb).view(np.uint64)
+    else:
+        raise ProgramError(f"no semantics for operate suffix {suffix!r}")
+    _merge_write(instr, state, result, active, poison_tail)
+
+
+def _exec_unary(instr: Instruction, state: ArchState, mem: MainMemory,
+                poison_tail: bool) -> None:
+    a = state.vregs.read(instr.va)
+    active = state.active_mask(instr.masked)
+    if instr.op == "vsqrtt":
+        with np.errstate(invalid="ignore"):
+            result = np.sqrt(a.view(np.float64)).view(np.uint64)
+    elif instr.op == "vcvtqt":
+        result = a.view(np.int64).astype(np.float64).view(np.uint64)
+    elif instr.op == "vcvttq":
+        f = a.view(np.float64)
+        with np.errstate(invalid="ignore"):
+            result = np.trunc(f)
+            # NaN/inf convert to 0 like hardware saturating-to-unpredictable
+            result = np.where(np.isfinite(result), result, 0.0)
+            result = result.astype(np.int64).view(np.uint64)
+    elif instr.op == "vnot":
+        result = ~a
+    else:
+        raise ProgramError(f"no semantics for unary op {instr.op!r}")
+    _merge_write(instr, state, result, active, poison_tail)
+
+
+# -- memory groups (SM / RM) ------------------------------------------------
+
+
+def strided_addresses(instr: Instruction, state: ArchState) -> np.ndarray:
+    """Effective addresses of a strided (SM-group) access, all 128 slots.
+
+    ``ea_i = rb + disp + i * vs`` with 64-bit wraparound, per Figure 1.
+    """
+    base = np.uint64((state.sregs.read(instr.rb) + instr.disp) & ((1 << 64) - 1))
+    stride = np.uint64(state.ctrl.vs & ((1 << 64) - 1))
+    i = np.arange(MVL, dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        return base + i * stride
+
+
+def indexed_addresses(instr: Instruction, state: ArchState) -> np.ndarray:
+    """Effective addresses of a gather/scatter: ``rb + disp + vb[i]``."""
+    base = np.uint64((state.sregs.read(instr.rb) + instr.disp) & ((1 << 64) - 1))
+    offsets = state.vregs.read(instr.vb)
+    with np.errstate(over="ignore"):
+        return base + offsets
+
+
+def _exec_memory(instr: Instruction, state: ArchState, mem: MainMemory,
+                 poison_tail: bool) -> None:
+    d = instr.definition
+    addrs = indexed_addresses(instr, state) if d.is_indexed \
+        else strided_addresses(instr, state)
+    active = state.active_mask(instr.masked)
+    idx = np.nonzero(active)[0]
+    if instr.is_prefetch:
+        # Prefetches have no architectural effect; TLB misses and faults
+        # are ignored (section 2).  The timing model still sees them.
+        return
+    if d.is_load:
+        values = np.zeros(MVL, dtype=np.uint64)
+        values[idx] = mem.read_quads(addrs[idx])
+        _merge_write(instr, state, values, active, poison_tail)
+    else:
+        data = state.vregs.read(instr.va)
+        mem.write_quads(addrs[idx], data[idx])
+
+
+# -- control group (VC) ------------------------------------------------------
+
+
+def _exec_control(instr: Instruction, state: ArchState, mem: MainMemory,
+                  poison_tail: bool) -> None:
+    op = instr.op
+    if op == "setvl":
+        value = int(resolve_scalar(instr, state, as_float=False))
+        state.ctrl.set_vl(min(value, MVL))
+    elif op == "setvs":
+        raw = int(resolve_scalar(instr, state, as_float=False))
+        if raw >= 1 << 63:
+            raw -= 1 << 64
+        state.ctrl.set_vs(raw)
+    elif op == "setvm":
+        bits = state.vregs.read(instr.va) & np.uint64(1)
+        state.ctrl.set_vm(bits.astype(bool))
+    elif op == "vextq":
+        index = int(resolve_scalar(instr, state, as_float=False)) % MVL
+        state.sregs.write(instr.rd, int(state.vregs.read(instr.va)[index]))
+    elif op == "vinsq":
+        index = int(instr.imm) % MVL
+        value = np.uint64(state.sregs.read(instr.ra)) if instr.ra is not None \
+            else np.uint64(0)
+        reg = state.vregs.read(instr.vd)
+        reg[index] = value
+        state.vregs.write(instr.vd, reg)
+    elif op == "viota":
+        state.vregs.write(instr.vd, np.arange(MVL, dtype=np.uint64))
+    elif op == "vsumq":
+        active = state.active_mask(instr.masked)
+        total = int(np.sum(state.vregs.read(instr.va)[active], dtype=np.uint64))
+        state.sregs.write(instr.rd, total)
+    elif op == "vsumt":
+        active = state.active_mask(instr.masked)
+        total = float(np.sum(state.vregs.read(instr.va).view(np.float64)[active]))
+        state.sregs.write(instr.rd, float_to_bits(total))
+    else:
+        raise ProgramError(f"no semantics for control op {op!r}")
+
+
+# -- scalar group (SC) -------------------------------------------------------
+
+
+def _exec_scalar(instr: Instruction, state: ArchState, mem: MainMemory,
+                 poison_tail: bool) -> None:
+    op = instr.op
+    sregs = state.sregs
+    if op == "lda":
+        base = sregs.read(instr.rb) if instr.rb is not None else 0
+        imm = instr.imm
+        if isinstance(imm, float):
+            # lda with a float immediate materializes the IEEE bit pattern,
+            # our stand-in for an FP-register literal load.
+            if base != 0:
+                raise ProgramError("lda float immediates require rb=r31")
+            sregs.write(instr.rd, float_to_bits(imm))
+        else:
+            sregs.write(instr.rd, base + int(imm))
+    elif op in ("addq", "subq", "mulq", "sll"):
+        a = sregs.read(instr.ra)
+        if instr.imm is not None:
+            b = int(instr.imm)
+        elif instr.rb is not None:
+            b = sregs.read(instr.rb)
+        else:
+            raise ProgramError(f"{op}: missing second scalar source (imm or rb)")
+        if op == "addq":
+            sregs.write(instr.rd, a + b)
+        elif op == "subq":
+            sregs.write(instr.rd, a - b)
+        elif op == "mulq":
+            sregs.write(instr.rd, a * b)
+        else:
+            sregs.write(instr.rd, a << (b & 63))
+    elif op == "ldq":
+        addr = (sregs.read(instr.rb) + instr.disp) & ((1 << 64) - 1)
+        sregs.write(instr.rd, mem.read_quad(addr))
+    elif op == "stq":
+        addr = (sregs.read(instr.rb) + instr.disp) & ((1 << 64) - 1)
+        mem.write_quad(addr, sregs.read(instr.ra))
+    elif op in ("wh64", "drainm"):
+        # No architectural effect in the functional model; both shape the
+        # timing/coherency models (write-hint allocation, write-buffer purge).
+        pass
+    else:
+        raise ProgramError(f"no semantics for scalar op {op!r}")
+
+
+def execute(instr: Instruction, state: ArchState, mem: MainMemory,
+            poison_tail: bool = False) -> None:
+    """Execute one instruction against architectural state and memory."""
+    d = instr.definition
+    if instr.op in ("vvmaddt", "vsmaddt"):
+        _exec_madd(instr, state, mem, poison_tail)
+    elif d.group in (Group.VV, Group.VS):
+        if "vb" in d.fields or "scalar" in d.fields:
+            _exec_operate(instr, state, mem, poison_tail)
+        else:
+            _exec_unary(instr, state, mem, poison_tail)
+    elif d.group in (Group.SM, Group.RM):
+        _exec_memory(instr, state, mem, poison_tail)
+    elif d.group is Group.VC:
+        _exec_control(instr, state, mem, poison_tail)
+    elif d.group is Group.SC:
+        _exec_scalar(instr, state, mem, poison_tail)
+    else:  # pragma: no cover - exhaustive over Group
+        raise ProgramError(f"unhandled group {d.group}")

@@ -1,0 +1,41 @@
+"""Memory-system substrates: main memory, caches, MAF, PUMP, Zbox.
+
+The functional path uses :class:`MainMemory` only; the timing path
+composes :class:`BankedL2` (tags + MAF + PUMP) over :class:`Zbox`
+(directory + RAMBUS ports), with :class:`L1DataCache` on the scalar
+side for the P-bit / DrainM coherency protocol.
+"""
+
+from repro.mem.banks import Eviction, Line, SetAssocCache, bank_of, quadrant_of
+from repro.mem.l1cache import L1DataCache, PendingStore
+from repro.mem.l2cache import BankedL2, L2Config
+from repro.mem.maf import MafEntry, MissAddressFile
+from repro.mem.memory import ADDRESS_LIMIT, CHUNK_BYTES, MainMemory
+from repro.mem.pages import PAGE_BYTES, PageTable
+from repro.mem.pump import PUMP_QW_PER_CYCLE, PumpUnit
+from repro.mem.rambus import RambusConfig, RambusSystem
+from repro.mem.zbox import Zbox
+
+__all__ = [
+    "ADDRESS_LIMIT",
+    "BankedL2",
+    "CHUNK_BYTES",
+    "Eviction",
+    "L1DataCache",
+    "L2Config",
+    "Line",
+    "MafEntry",
+    "MainMemory",
+    "MissAddressFile",
+    "PAGE_BYTES",
+    "PUMP_QW_PER_CYCLE",
+    "PageTable",
+    "PendingStore",
+    "PumpUnit",
+    "RambusConfig",
+    "RambusSystem",
+    "SetAssocCache",
+    "Zbox",
+    "bank_of",
+    "quadrant_of",
+]

@@ -1,0 +1,169 @@
+"""Set-associative tag arrays and L2 bank geometry.
+
+The L2 is physically organized as 128 independent banks (8 ways x 16
+banks per way) in EV8's design; architecturally what matters for the
+vector pipeline is the 16-way *address interleaving* on bits <9:6>
+(section 3.4).  :class:`SetAssocCache` is the tag model shared by the L1
+and L2 (the L2 adds the per-line P-bit of the scalar-vector coherency
+protocol); :func:`bank_of` and :func:`quadrant_of` expose the floorplan
+mapping of section 4 (quadrants on bits <7:6>, lanes on <9:8>).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigError
+from repro.utils.bitops import is_power_of_two, log2_exact
+from repro.utils.stats import Counter
+
+LINE_BYTES = 64
+N_BANKS = 16
+
+
+def bank_of(addr: int) -> int:
+    """L2 bank of a byte address: bits <9:6>."""
+    return (addr >> 6) & 0xF
+
+
+def quadrant_of(addr: int) -> int:
+    """Floorplan quadrant: bits <7:6> (section 4)."""
+    return (addr >> 6) & 0x3
+
+
+def cache_lane_of(addr: int) -> int:
+    """Cache lane within the quadrant: bits <9:8> (section 4)."""
+    return (addr >> 8) & 0x3
+
+
+@dataclass
+class Line:
+    """One resident cache line's metadata."""
+
+    tag: int
+    dirty: bool = False
+    pbit: bool = False  # "presence" bit: line was touched by the EV8 core
+
+
+@dataclass
+class Eviction:
+    """Result of a line replacement."""
+
+    addr: int
+    dirty: bool
+    pbit: bool
+
+
+class SetAssocCache:
+    """An LRU set-associative tag array (no data — data lives in
+    :class:`~repro.mem.memory.MainMemory`; caches only track residency).
+
+    Sets are dicts of MRU-ordered lists, which keeps lookups O(ways) and
+    allocates storage only for touched sets — important for the 32K-set
+    L2 at 16 MB.
+    """
+
+    def __init__(self, capacity_bytes: int, ways: int,
+                 line_bytes: int = LINE_BYTES, name: str = "cache") -> None:
+        if capacity_bytes % (ways * line_bytes):
+            raise ConfigError(
+                f"{name}: capacity {capacity_bytes} not divisible by "
+                f"ways*line ({ways}x{line_bytes})")
+        self.name = name
+        self.capacity_bytes = capacity_bytes
+        self.ways = ways
+        self.line_bytes = line_bytes
+        self.n_sets = capacity_bytes // (ways * line_bytes)
+        if not is_power_of_two(self.n_sets):
+            raise ConfigError(f"{name}: set count {self.n_sets} not a power of two")
+        self._line_shift = log2_exact(line_bytes)
+        self._set_mask = self.n_sets - 1
+        self._sets: dict[int, list[Line]] = {}
+        self.counters = Counter()
+
+    # -- address plumbing ---------------------------------------------------
+
+    def set_index(self, addr: int) -> int:
+        return (addr >> self._line_shift) & self._set_mask
+
+    def tag_of(self, addr: int) -> int:
+        return addr >> self._line_shift >> log2_exact(self.n_sets)
+
+    def line_addr(self, set_index: int, tag: int) -> int:
+        return ((tag << log2_exact(self.n_sets)) | set_index) << self._line_shift
+
+    # -- tag operations ------------------------------------------------------
+
+    def lookup(self, addr: int) -> Optional[Line]:
+        """Probe without changing LRU state (a tag *peek*)."""
+        lines = self._sets.get(self.set_index(addr))
+        if not lines:
+            return None
+        tag = self.tag_of(addr)
+        for line in lines:
+            if line.tag == tag:
+                return line
+        return None
+
+    def access(self, addr: int, is_write: bool = False,
+               from_core: bool = False) -> tuple[bool, Optional[Eviction]]:
+        """Reference a line: returns (hit, eviction-on-miss).
+
+        On a miss the line is allocated immediately (the caller models
+        the fill latency); LRU is updated; ``from_core`` sets the P-bit
+        (EV8-core touch, section 3.4 "Scalar-Vector Coherency").
+        """
+        index = self.set_index(addr)
+        tag = self.tag_of(addr)
+        lines = self._sets.setdefault(index, [])
+        for pos, line in enumerate(lines):
+            if line.tag == tag:
+                if pos:
+                    lines.insert(0, lines.pop(pos))
+                line.dirty = line.dirty or is_write
+                line.pbit = line.pbit or from_core
+                self.counters.add("hits")
+                return True, None
+        self.counters.add("misses")
+        evicted = None
+        if len(lines) >= self.ways:
+            victim = lines.pop()
+            evicted = Eviction(self.line_addr(index, victim.tag),
+                               victim.dirty, victim.pbit)
+            self.counters.add("evictions")
+            if victim.dirty:
+                self.counters.add("writebacks")
+        lines.insert(0, Line(tag, dirty=is_write, pbit=from_core))
+        return False, evicted
+
+    def invalidate(self, addr: int) -> Optional[Line]:
+        """Remove a line (L1 invalidate command); returns it if present."""
+        index = self.set_index(addr)
+        lines = self._sets.get(index)
+        if not lines:
+            return None
+        tag = self.tag_of(addr)
+        for pos, line in enumerate(lines):
+            if line.tag == tag:
+                self.counters.add("invalidates")
+                return lines.pop(pos)
+        return None
+
+    def contains(self, addr: int) -> bool:
+        return self.lookup(addr) is not None
+
+    @property
+    def resident_lines(self) -> int:
+        return sum(len(lines) for lines in self._sets.values())
+
+    def flush(self) -> list[Eviction]:
+        """Evict everything (returns dirty lines for writeback)."""
+        out = []
+        for index, lines in self._sets.items():
+            for line in lines:
+                if line.dirty:
+                    out.append(Eviction(self.line_addr(index, line.tag),
+                                        True, line.pbit))
+        self._sets.clear()
+        return out

@@ -1,0 +1,95 @@
+"""EV8 first-level data cache and write buffer.
+
+The L1 matters to this reproduction for two reasons:
+
+* the EV8 *baseline* runs its scalar loads/stores through it;
+* the scalar-vector coherency protocol (section 3.4) hinges on what the
+  L1 and the store queue / write buffer hide from the L2 — the P-bit
+  invalidate path and the ``DrainM`` barrier are modeled against this
+  structure (see :mod:`repro.core.coherency`).
+
+Geometry follows Table 3: 2-way associative, 64-byte lines; capacity is
+configurable (64 KB default, the EV8 design point).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mem.banks import SetAssocCache
+from repro.utils.bitops import line_address
+from repro.utils.stats import Counter
+
+
+@dataclass
+class PendingStore:
+    """A retired store sitting in the write buffer, not yet in L2."""
+
+    addr: int
+    value_known: bool = True
+
+
+class L1DataCache:
+    """L1 tags + the write buffer that makes scalar stores 'invisible'.
+
+    Scalar stores move from the store queue into the write buffer at
+    retirement *without informing the L1 or L2* (section 3.4) — that gap
+    is exactly the hazard ``DrainM`` exists to close.  ``drain()`` models
+    the DrainM purge: it empties the buffer and returns the line
+    addresses so the L2 can set their P-bits.
+    """
+
+    def __init__(self, capacity_bytes: int = 64 << 10, ways: int = 2,
+                 line_bytes: int = 64, write_buffer_entries: int = 32) -> None:
+        self.tags = SetAssocCache(capacity_bytes, ways, line_bytes, name="L1")
+        self.write_buffer: list[PendingStore] = []
+        self.write_buffer_entries = write_buffer_entries
+        self.counters = Counter()
+
+    def load(self, addr: int) -> bool:
+        """Scalar load probe; returns hit. Allocates on miss."""
+        hit, _ = self.tags.access(line_address(addr), is_write=False,
+                                  from_core=True)
+        self.counters.add("loads")
+        return hit
+
+    def store(self, addr: int) -> None:
+        """Scalar store: enters the write buffer (invisible to L2)."""
+        self.counters.add("stores")
+        self.write_buffer.append(PendingStore(line_address(addr)))
+        if len(self.write_buffer) > self.write_buffer_entries:
+            # oldest entry spills to the cache hierarchy on overflow
+            spilled = self.write_buffer.pop(0)
+            self.tags.access(spilled.addr, is_write=True, from_core=True)
+            self.counters.add("write_buffer_spills")
+
+    def pending_lines(self) -> set[int]:
+        """Line addresses with stores still hidden in the write buffer."""
+        return {p.addr for p in self.write_buffer}
+
+    def drain(self) -> list[int]:
+        """DrainM purge: push all buffered stores into the hierarchy.
+
+        Returns the drained line addresses (the caller updates L2 state
+        and P-bits for each).
+        """
+        drained = []
+        for pending in self.write_buffer:
+            self.tags.access(pending.addr, is_write=True, from_core=True)
+            drained.append(pending.addr)
+        self.write_buffer.clear()
+        self.counters.add("drains")
+        self.counters.add("drained_stores", len(drained))
+        return drained
+
+    def invalidate(self, addr: int) -> bool:
+        """L2-initiated invalidate (P-bit hit by a vector access).
+
+        Returns True when the line was present and dirty (forcing a
+        write-through to L2 per section 3.4).
+        """
+        line = self.tags.invalidate(line_address(addr))
+        if line is None:
+            return False
+        self.counters.add("coherency_invalidates")
+        return line.dirty

@@ -1,0 +1,267 @@
+"""Banked L2 cache: the heart of Tarantula's memory system (section 3.4).
+
+The Vbox talks to the L2 in *slices* — groups of up to 16 addresses that
+are bank-conflict-free, so the 16 banks can cycle in parallel and return
+one quadword each per cycle.  Stride-1 slices set the "pump" bit and
+move whole cache lines through the PUMP streaming registers instead.
+
+This model tracks real tag state (so hit ratios, evictions, writebacks
+and P-bit traffic are all emergent), and schedules time with resource
+reservation:
+
+* one slice lookup per cycle through the L2 pipe (``slice_port``);
+* misses allocate a MAF entry, sleep until the Zbox delivers every
+  missing line, then *retry* down the pipe (second tag walk);
+* full-line pump stores take the directory Invalid->Dirty path instead
+  of a read fill (the ``wh64``-style allocation STREAMS copy depends on);
+* vector touches to P-bit lines trigger L1 invalidates (scalar-vector
+  coherency, section 3.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.errors import ConfigError, SimulationError
+from repro.mem.banks import SetAssocCache
+from repro.mem.l1cache import L1DataCache
+from repro.mem.maf import MissAddressFile
+from repro.mem.pump import PumpUnit
+from repro.mem.zbox import Zbox
+from repro.utils.bitops import line_address
+from repro.utils.stats import Counter
+from repro.utils.timeline import CalendarTimeline
+
+#: Hard bound on replay loops; the paper's panic mode guarantees forward
+#: progress, so exceeding this means a model bug, not a workload property.
+MAX_REPLAYS = 64
+
+
+@dataclass
+class L2Config:
+    """L2 geometry and pipe latencies (Table 3 derived)."""
+
+    capacity_bytes: int = 16 << 20
+    ways: int = 8
+    line_bytes: int = 64
+    n_banks: int = 16
+    #: cycles from slice lookup to data at the Vbox (hit)
+    hit_latency: float = 20.0
+    #: extra pipe cycles for the second (retry) tag walk
+    retry_penalty: float = 4.0
+    #: cycles to invalidate / write-through an L1 line on a P-bit hit
+    l1_invalidate_penalty: float = 6.0
+    maf_entries: int = 32
+    replay_threshold: int = 8
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes % (self.ways * self.line_bytes):
+            raise ConfigError("L2 capacity not divisible by ways*line")
+
+
+class BankedL2:
+    """The 16-bank L2 with MAF, PUMP and P-bit coherency."""
+
+    def __init__(self, config: L2Config | None = None,
+                 zbox: Zbox | None = None,
+                 pump: PumpUnit | None = None,
+                 l1: Optional[L1DataCache] = None) -> None:
+        self.config = config or L2Config()
+        self.zbox = zbox or Zbox()
+        self.pump = pump or PumpUnit()
+        self.l1 = l1
+        self.tags = SetAssocCache(self.config.capacity_bytes, self.config.ways,
+                                  self.config.line_bytes, name="L2")
+        self.maf = MissAddressFile(self.config.maf_entries,
+                                   self.config.replay_threshold)
+        # slice lookups arrive out of order (retry walks wake long after
+        # younger first walks), so the port must be able to backfill
+        self.slice_port = CalendarTimeline("l2-slice-port")
+        #: line address -> time its in-flight fill arrives; accesses that
+        #: "hit" such a line sleep in the MAF until then (miss merging)
+        self._fill_ready: dict[int, float] = {}
+        self.counters = Counter()
+
+    # -- warmup helpers (no timing effects) ----------------------------------
+
+    def warm(self, addrs: Iterable[int], dirty: bool = False,
+             from_core: bool = False) -> None:
+        """Preload lines into the tags (e.g. 'prefetched into L2')."""
+        for addr in addrs:
+            self.tags.access(line_address(addr), is_write=dirty,
+                             from_core=from_core)
+
+    def warm_range(self, base: int, nbytes: int) -> None:
+        line = self.config.line_bytes
+        self.warm(range(line_address(base), base + nbytes, line))
+
+    # -- internal pieces -------------------------------------------------------
+
+    def _handle_eviction(self, eviction, now: float) -> None:
+        if eviction is None:
+            return
+        if eviction.pbit and self.l1 is not None:
+            # evicting a P-bit line sends an invalidate to the EV8 core
+            self.l1.invalidate(eviction.addr)
+            self.counters.add("evict_invalidates")
+        if eviction.dirty:
+            self.zbox.writeback_line(eviction.addr, now)
+
+    def _pbit_coherency(self, lines: list[int], now: float) -> float:
+        """Vector touch of P-bit lines: L1 invalidate / write-through.
+
+        Returns the extra delay added to this slice.
+        """
+        penalty = 0.0
+        for addr in lines:
+            resident = self.tags.lookup(addr)
+            if resident is not None and resident.pbit:
+                self.counters.add("pbit_hits")
+                if self.l1 is not None:
+                    self.l1.invalidate(addr)
+                resident.pbit = False
+                penalty = self.config.l1_invalidate_penalty
+        return penalty
+
+    def _probe(self, lines: list[int], is_write: bool,
+               from_core: bool, now: float) -> list[int]:
+        """Tag-walk all lines, allocating on miss; returns missing lines."""
+        missing = []
+        for addr in lines:
+            hit, eviction = self.tags.access(addr, is_write=is_write,
+                                             from_core=from_core)
+            self._handle_eviction(eviction, now)
+            if hit:
+                self.counters.add("line_hits")
+            else:
+                self.counters.add("line_misses")
+                missing.append(addr)
+        return missing
+
+    def _fetch_missing(self, missing: list[int], full_line_write: bool,
+                       earliest: float) -> float:
+        """Schedule Zbox traffic for the missing lines; returns wake time.
+
+        Each line's individual arrival time is recorded so later slices
+        that touch a still-in-flight line sleep until it lands (the MAF
+        miss-merge behavior) instead of hitting for free.
+        """
+        wake = earliest
+        for addr in missing:
+            if full_line_write:
+                ready = self.zbox.dirty_transition(addr, earliest)
+            else:
+                ready = self.zbox.fill_line(addr, earliest)
+            self._fill_ready[addr] = ready
+            wake = max(wake, ready)
+        if len(self._fill_ready) > 1 << 15:
+            self._fill_ready = {a: t for a, t in self._fill_ready.items()
+                                if t > earliest}
+        return wake
+
+    def _pending_fills(self, lines: list[int], now: float) -> float:
+        """Latest in-flight fill among ``lines`` arriving after ``now``."""
+        latest = now
+        for addr in lines:
+            t = self._fill_ready.get(addr)
+            if t is not None and t > latest:
+                latest = t
+        return latest
+
+    # -- the vector slice path --------------------------------------------------
+
+    def access_slice(self, line_addrs: Iterable[int], quadwords: int,
+                     is_write: bool, earliest: float,
+                     pump_bit: bool = False,
+                     full_line_write: bool = False) -> float:
+        """One slice walks the L2 pipe; returns data-delivered time.
+
+        ``line_addrs`` are the (<=16, bank-conflict-free) line addresses
+        the slice touches; ``quadwords`` is the element count it moves
+        (used for PUMP streaming occupancy).  ``full_line_write`` marks
+        pump stores that overwrite whole lines and may therefore take
+        the directory-transition path instead of a read fill.
+        """
+        lines = sorted({line_address(a) for a in line_addrs})
+        if len(lines) > self.config.n_banks:
+            raise SimulationError(
+                f"slice touches {len(lines)} lines > {self.config.n_banks} banks")
+        self.counters.add("slices")
+        if pump_bit:
+            self.counters.add("pump_slices")
+
+        t_lookup = self.slice_port.reserve(earliest, 1.0)
+        delay = self._pbit_coherency(lines, t_lookup)
+        missing = self._probe(lines, is_write, False, t_lookup)
+
+        pending_until = self._pending_fills(lines, t_lookup)
+        if missing or pending_until > t_lookup:
+            t_entry = self.maf.earliest_entry(t_lookup)
+            if t_entry > t_lookup:
+                self.counters.add("maf_stalls")
+            entry = self.maf.allocate(t_entry, set(missing))
+            wake = self._fetch_missing(missing, full_line_write and is_write,
+                                       t_entry)
+            # merge with fills already in flight for lines we "hit"
+            wake = max(wake, pending_until)
+            if not missing:
+                self.counters.add("miss_merges")
+            self.maf.sleep_until(entry, wake)
+            # retry walk: the slice goes to the Retry Queue and looks up
+            # the tags a second time (section 3.4)
+            replays = 0
+            t_retry = self.slice_port.reserve(wake, 1.0)
+            while any(self.tags.lookup(a) is None for a in missing):
+                # a competing access evicted one of our lines before the
+                # retry: replay (and possibly panic)
+                replays += 1
+                if replays > MAX_REPLAYS:
+                    raise SimulationError("slice replayed past hard bound")
+                self.maf.record_replay(entry)
+                refetch = [a for a in missing if self.tags.lookup(a) is None]
+                for addr in refetch:
+                    _, ev = self.tags.access(addr, is_write=is_write)
+                    self._handle_eviction(ev, t_retry)
+                wake = self._fetch_missing(refetch, False, t_retry)
+                t_retry = self.slice_port.reserve(wake, 1.0)
+            t_data = t_retry + self.config.retry_penalty + \
+                self.config.hit_latency + delay
+            self.maf.release(entry, t_data)
+        else:
+            t_data = t_lookup + self.config.hit_latency + delay
+
+        if pump_bit and self.pump.enabled:
+            return self.pump.stream(quadwords, is_write, t_data)
+        return t_data
+
+    # -- the scalar (EV8 core) path ------------------------------------------------
+
+    def scalar_access(self, addr: int, is_write: bool,
+                      earliest: float) -> tuple[bool, float]:
+        """EV8-core load/store probe; sets the P-bit; returns (hit, ready)."""
+        line = line_address(addr)
+        t_lookup = self.slice_port.reserve(earliest, 1.0)
+        hit, eviction = self.tags.access(line, is_write=is_write, from_core=True)
+        self._handle_eviction(eviction, t_lookup)
+        self.counters.add("scalar_hits" if hit else "scalar_misses")
+        if hit:
+            ready = max(t_lookup + self.config.hit_latency,
+                        self._pending_fills([line], t_lookup))
+            return True, ready
+        ready = self.zbox.fill_line(line, t_lookup)
+        self._fill_ready[line] = ready
+        return False, ready
+
+    def set_pbits(self, line_addrs: Iterable[int]) -> None:
+        """DrainM path: mark drained store lines as core-touched."""
+        for addr in line_addrs:
+            resident = self.tags.lookup(line_address(addr))
+            if resident is not None:
+                resident.pbit = True
+            else:
+                # allocate through the normal path so state stays consistent
+                _, ev = self.tags.access(line_address(addr), is_write=True,
+                                         from_core=True)
+                self._handle_eviction(ev, 0.0)
+        self.counters.add("drain_pbit_updates")

@@ -1,0 +1,106 @@
+"""MAF — the Miss Address File (section 3.4, "Servicing Vector Misses").
+
+A vector slice whose lookup misses is treated as an *atomic entity*: it
+is put to sleep in the MAF with one "waiting" bit per missing address,
+wakes when the last fill arrives, moves to the Retry Queue, and walks
+the L2 pipe again.  A replay-threshold counter guards against livelock:
+past the threshold the MAF enters "panic mode" and NACKs competing
+requests until the slice completes.
+
+In the reservation-based timing model the MAF contributes:
+
+* an *entry count* limit — a slice that cannot get an entry stalls until
+  one frees (this is why disabling the PUMP multiplies MAF pressure by
+  8x, Figure 9);
+* the sleep/wake bookkeeping and replay/panic counters, which the
+  fault-injection tests exercise directly.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.utils.stats import Counter
+
+
+@dataclass
+class MafEntry:
+    """One sleeping slice."""
+
+    slice_id: int
+    waiting: set[int] = field(default_factory=set)   # missing line addrs
+    replays: int = 0
+    allocated_at: float = 0.0
+    wake_at: float = 0.0
+
+
+class MissAddressFile:
+    """Entry-limited sleep/wake tracker for vector miss slices."""
+
+    def __init__(self, entries: int = 32, replay_threshold: int = 8) -> None:
+        if entries < 1:
+            raise ConfigError("MAF needs at least one entry")
+        self.capacity = entries
+        self.replay_threshold = replay_threshold
+        self.counters = Counter()
+        self.panic_mode = False
+        self._next_id = 0
+        #: min-heap of (free_time, entry_id) for occupied entries
+        self._occupied: list[tuple[float, int]] = []
+        self._live: dict[int, MafEntry] = {}
+        self.peak_occupancy = 0
+
+    def occupancy_at(self, time: float) -> int:
+        """Entries still held at ``time`` (drains the free heap)."""
+        while self._occupied and self._occupied[0][0] <= time:
+            _, eid = heapq.heappop(self._occupied)
+            self._live.pop(eid, None)
+        return len(self._occupied)
+
+    def earliest_entry(self, time: float) -> float:
+        """Earliest cycle >= ``time`` at which an entry is available."""
+        self.occupancy_at(time)
+        if len(self._occupied) < self.capacity:
+            return time
+        return self._occupied[0][0]
+
+    def allocate(self, time: float, missing_lines: set[int]) -> MafEntry:
+        """Take an entry (caller must have honored :meth:`earliest_entry`)."""
+        self.occupancy_at(time)
+        if len(self._occupied) >= self.capacity:
+            raise ConfigError("MAF allocate() called while full")
+        entry = MafEntry(self._next_id, set(missing_lines), allocated_at=time)
+        self._next_id += 1
+        self._live[entry.slice_id] = entry
+        self.counters.add("allocations")
+        self.counters.add("missing_lines", len(missing_lines))
+        return entry
+
+    def sleep_until(self, entry: MafEntry, wake_at: float) -> None:
+        """Record the wake time; the entry frees when the slice retires."""
+        entry.wake_at = wake_at
+        self.counters.add("sleeps")
+
+    def record_replay(self, entry: MafEntry) -> bool:
+        """Count a replay; returns True if this trips panic mode."""
+        entry.replays += 1
+        self.counters.add("replays")
+        if entry.replays > self.replay_threshold and not self.panic_mode:
+            self.panic_mode = True
+            self.counters.add("panic_entries")
+            return True
+        return False
+
+    def release(self, entry: MafEntry, time: float) -> None:
+        """Free the entry at ``time`` (slice completed its retry)."""
+        heapq.heappush(self._occupied, (time, entry.slice_id))
+        occupancy = len(self._occupied)
+        if occupancy > self.peak_occupancy:
+            self.peak_occupancy = occupancy
+        if self.panic_mode and entry.replays > self.replay_threshold:
+            # the offending slice was finally serviced: resume normal mode
+            self.panic_mode = False
+            self.counters.add("panic_exits")
+        self.counters.add("releases")

@@ -1,0 +1,121 @@
+"""Flat, sparse main memory backing the functional simulator.
+
+The memory is a 48-bit physical byte-address space stored as a sparse
+dictionary of fixed-size chunks, so multi-gigabyte layouts cost only the
+pages actually touched.  All quadword access paths are vectorized with
+numpy because vector loads/stores move up to 128 elements at once.
+
+Reads of never-written memory return zeros (convenient for simulation;
+the timing model does not care about data values).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import AlignmentTrap, InvalidAddressTrap
+
+#: Chunk size in bytes (1 MiB); must be a power of two and multiple of 8.
+CHUNK_BYTES = 1 << 20
+CHUNK_QUADS = CHUNK_BYTES // 8
+#: Highest valid byte address + 1 (48-bit physical space).
+ADDRESS_LIMIT = 1 << 48
+
+
+class MainMemory:
+    """Sparse 48-bit byte-addressable memory with quadword primitives."""
+
+    def __init__(self) -> None:
+        self._chunks: dict[int, np.ndarray] = {}
+        self.bytes_allocated = 0
+
+    # -- chunk plumbing ---------------------------------------------------
+
+    def _chunk(self, chunk_id: int) -> np.ndarray:
+        chunk = self._chunks.get(chunk_id)
+        if chunk is None:
+            chunk = np.zeros(CHUNK_QUADS, dtype=np.uint64)
+            self._chunks[chunk_id] = chunk
+            self.bytes_allocated += CHUNK_BYTES
+        return chunk
+
+    @staticmethod
+    def _check_addresses(addrs: np.ndarray) -> None:
+        if addrs.size == 0:
+            return
+        if np.any(addrs & np.uint64(7)):
+            bad = int(addrs[np.nonzero(addrs & np.uint64(7))[0][0]])
+            raise AlignmentTrap(f"unaligned quadword address {bad:#x}")
+        if np.any(addrs >= np.uint64(ADDRESS_LIMIT)):
+            bad = int(addrs[np.nonzero(addrs >= np.uint64(ADDRESS_LIMIT))[0][0]])
+            raise InvalidAddressTrap(f"address {bad:#x} beyond 48-bit space")
+
+    # -- vector access ----------------------------------------------------
+
+    def read_quads(self, addrs: np.ndarray) -> np.ndarray:
+        """Read one quadword per byte address in ``addrs`` (uint64 array)."""
+        addrs = np.ascontiguousarray(addrs, dtype=np.uint64)
+        self._check_addresses(addrs)
+        out = np.zeros(addrs.shape, dtype=np.uint64)
+        if addrs.size == 0:
+            return out
+        chunk_ids = addrs >> np.uint64(20)
+        offsets = (addrs & np.uint64(CHUNK_BYTES - 1)) >> np.uint64(3)
+        for cid in np.unique(chunk_ids):
+            sel = chunk_ids == cid
+            chunk = self._chunks.get(int(cid))
+            if chunk is not None:
+                out[sel] = chunk[offsets[sel]]
+        return out
+
+    def write_quads(self, addrs: np.ndarray, values: np.ndarray) -> None:
+        """Write one quadword per address; later entries win on duplicates."""
+        addrs = np.ascontiguousarray(addrs, dtype=np.uint64)
+        values = np.ascontiguousarray(values, dtype=np.uint64)
+        if addrs.shape != values.shape:
+            raise ValueError("write_quads: address/value shape mismatch")
+        self._check_addresses(addrs)
+        if addrs.size == 0:
+            return
+        chunk_ids = addrs >> np.uint64(20)
+        offsets = (addrs & np.uint64(CHUNK_BYTES - 1)) >> np.uint64(3)
+        for cid in np.unique(chunk_ids):
+            sel = chunk_ids == cid
+            # numpy fancy-store applies in order, so duplicate addresses
+            # resolve to the last (highest-index) value, our documented
+            # deterministic stand-in for the paper's UNPREDICTABLE order.
+            self._chunk(int(cid))[offsets[sel]] = values[sel]
+
+    # -- scalar access ----------------------------------------------------
+
+    def read_quad(self, addr: int) -> int:
+        """Scalar quadword read."""
+        return int(self.read_quads(np.array([addr], dtype=np.uint64))[0])
+
+    def write_quad(self, addr: int, value: int) -> None:
+        """Scalar quadword write."""
+        self.write_quads(np.array([addr], dtype=np.uint64),
+                         np.array([value & ((1 << 64) - 1)], dtype=np.uint64))
+
+    # -- block helpers (arrays, cache-line fills) --------------------------
+
+    def read_array(self, addr: int, count: int) -> np.ndarray:
+        """Read ``count`` consecutive quadwords starting at ``addr``."""
+        addrs = np.uint64(addr) + np.uint64(8) * np.arange(count, dtype=np.uint64)
+        return self.read_quads(addrs)
+
+    def write_array(self, addr: int, values: np.ndarray) -> None:
+        """Write consecutive quadwords starting at ``addr``."""
+        values = np.ascontiguousarray(values)
+        if values.dtype == np.float64:
+            values = values.view(np.uint64)
+        addrs = np.uint64(addr) + np.uint64(8) * np.arange(len(values), dtype=np.uint64)
+        self.write_quads(addrs, values.astype(np.uint64, copy=False))
+
+    def read_f64(self, addr: int, count: int) -> np.ndarray:
+        """Read ``count`` quadwords and reinterpret as IEEE doubles."""
+        return self.read_array(addr, count).view(np.float64)
+
+    def write_f64(self, addr: int, values: np.ndarray) -> None:
+        """Write IEEE doubles as raw quadwords."""
+        self.write_array(addr, np.ascontiguousarray(values, dtype=np.float64))

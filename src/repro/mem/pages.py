@@ -1,0 +1,74 @@
+"""Virtual-memory pages.
+
+Tarantula adopted a 512 MByte page size (section 3.4, "Virtual Memory")
+to keep the per-lane TLBs small.  The simulator's page table maps
+virtual page numbers to physical page numbers; kernels normally run
+identity-mapped, but tests construct scrambled mappings to exercise TLB
+refill and the forward-progress guarantee for giant strides.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TLBMissTrap
+from repro.utils.bitops import is_power_of_two, log2_exact
+
+#: Tarantula's virtual-memory page size (section 3.4).
+PAGE_BYTES = 512 << 20
+
+
+class PageTable:
+    """VPN -> PFN map with configurable page size.
+
+    ``identity=True`` (the default) lazily maps every page to itself,
+    which is how the benchmark harness runs; explicit tables are used by
+    the TLB tests.
+    """
+
+    def __init__(self, page_bytes: int = PAGE_BYTES, identity: bool = True) -> None:
+        if not is_power_of_two(page_bytes):
+            raise ValueError(f"page size must be a power of two, got {page_bytes}")
+        self.page_bytes = page_bytes
+        self.page_shift = log2_exact(page_bytes)
+        self.identity = identity
+        self._map: dict[int, int] = {}
+        self.walks = 0  # number of page-table walks (refill cost metric)
+
+    def map(self, vpn: int, pfn: int) -> None:
+        """Install an explicit translation."""
+        self._map[vpn] = pfn
+
+    def unmap(self, vpn: int) -> None:
+        self._map.pop(vpn, None)
+
+    def vpn_of(self, vaddr: int) -> int:
+        return vaddr >> self.page_shift
+
+    def translate_page(self, vpn: int) -> int:
+        """PFN for ``vpn``; walks the table (counted) or identity-maps."""
+        self.walks += 1
+        pfn = self._map.get(vpn)
+        if pfn is None:
+            if not self.identity:
+                raise TLBMissTrap(f"no translation for vpn {vpn:#x}")
+            pfn = vpn
+        return pfn
+
+    def translate(self, vaddr: int) -> int:
+        """Full virtual -> physical translation of a byte address."""
+        pfn = self.translate_page(self.vpn_of(vaddr))
+        return (pfn << self.page_shift) | (vaddr & (self.page_bytes - 1))
+
+    def translate_many(self, vaddrs: np.ndarray) -> np.ndarray:
+        """Vectorized translation (one walk per distinct page touched)."""
+        vaddrs = np.ascontiguousarray(vaddrs, dtype=np.uint64)
+        vpns = vaddrs >> np.uint64(self.page_shift)
+        out = vaddrs.copy()
+        for vpn in np.unique(vpns):
+            pfn = self.translate_page(int(vpn))
+            if pfn != int(vpn):
+                sel = vpns == vpn
+                offset = vaddrs[sel] & np.uint64(self.page_bytes - 1)
+                out[sel] = (np.uint64(pfn) << np.uint64(self.page_shift)) | offset
+        return out

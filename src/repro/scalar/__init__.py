@@ -1,0 +1,20 @@
+"""EV8 scalar baseline: loop descriptors, analytic model, OoO validator."""
+
+from repro.scalar.ev8 import EV8Model, ScalarRunResult, TrafficEstimate
+from repro.scalar.loopmodel import AccessPattern, MemStream, ScalarLoopBody
+from repro.scalar.ooo import OoOCore, OoOResult, trace_from_loop
+from repro.scalar.ops import OpKind, TraceOp
+
+__all__ = [
+    "AccessPattern",
+    "EV8Model",
+    "MemStream",
+    "OoOCore",
+    "OoOResult",
+    "OpKind",
+    "ScalarLoopBody",
+    "ScalarRunResult",
+    "TraceOp",
+    "TrafficEstimate",
+    "trace_from_loop",
+]

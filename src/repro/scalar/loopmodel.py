@@ -1,0 +1,108 @@
+"""Scalar loop descriptors: how workloads describe themselves to EV8.
+
+The paper ran its benchmarks on an RTL-validated ASIM model of EV8 with
+hand-tuned scalar inner loops.  Neither artifact is available, so each
+workload instead *describes* its scalar inner loop — operation mix per
+iteration, memory streams with their access patterns and footprints, and
+the loop-carried recurrence — and the EV8 model computes throughput from
+that description (see DESIGN.md, substitution 1).
+
+The description language:
+
+* :class:`MemStream` — one array the loop walks: bytes touched per
+  iteration, footprint, and pattern (``STREAMING`` sequential walks,
+  ``RANDOM`` uniformly random touches, ``RESIDENT`` re-walks a small
+  structure every outer pass).
+* :class:`ScalarLoopBody` — op counts per iteration, the streams, the
+  recurrence-limited minimum cycles per iteration, and the iteration
+  count for the whole kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.errors import ConfigError
+
+
+class AccessPattern(Enum):
+    STREAMING = "sequential walk through the footprint"
+    RANDOM = "uniformly random touches within the footprint"
+    RESIDENT = "repeated walks of a structure that should stay cached"
+
+
+@dataclass(frozen=True)
+class MemStream:
+    """One logical array referenced by the loop."""
+
+    name: str
+    #: bytes this stream reads per iteration (8 per double element)
+    read_bytes_per_iter: float = 0.0
+    #: bytes this stream writes per iteration
+    write_bytes_per_iter: float = 0.0
+    #: total bytes the stream touches across the kernel
+    footprint_bytes: int = 0
+    pattern: AccessPattern = AccessPattern.STREAMING
+    #: stores that overwrite whole lines can use wh64 (no fill read)
+    full_line_writes: bool = False
+
+    def __post_init__(self) -> None:
+        if self.read_bytes_per_iter < 0 or self.write_bytes_per_iter < 0:
+            raise ConfigError(f"stream {self.name}: negative traffic")
+        if self.footprint_bytes < 0:
+            raise ConfigError(f"stream {self.name}: negative footprint")
+
+
+@dataclass
+class ScalarLoopBody:
+    """Per-iteration operation mix + memory behavior of a scalar kernel."""
+
+    name: str
+    flops: float = 0.0
+    int_ops: float = 0.0          # address arithmetic, compares, moves
+    loads: float = 0.0
+    stores: float = 0.0
+    branches: float = 1.0         # the loop-closing branch
+    prefetches: float = 0.0
+    #: hard-to-predict branches: expected mispredictions per iteration
+    #: (the cutoff test in moldyn is the canonical case — section 6)
+    mispredicts_per_iter: float = 0.0
+    #: loop-carried dependence: minimum cycles between iterations.
+    #: Only genuine recurrences belong here — accumulator chains that a
+    #: compiler would break with unrolled partial sums do not count.
+    recurrence_cycles: float = 0.0
+    streams: list[MemStream] = field(default_factory=list)
+    iterations: int = 1
+
+    def __post_init__(self) -> None:
+        if self.iterations < 0:
+            raise ConfigError(f"{self.name}: negative iteration count")
+
+    @property
+    def ops_per_iter(self) -> float:
+        """All instructions per iteration (issue-slot demand)."""
+        return (self.flops + self.int_ops + self.loads + self.stores +
+                self.branches + self.prefetches)
+
+    @property
+    def mem_refs_per_iter(self) -> float:
+        return self.loads + self.stores
+
+    @property
+    def total_flops(self) -> float:
+        return self.flops * self.iterations
+
+    @property
+    def total_ops(self) -> float:
+        return self.ops_per_iter * self.iterations
+
+    def scaled(self, factor: float) -> "ScalarLoopBody":
+        """Same loop body, ``factor`` x the iterations (for sweeps)."""
+        return ScalarLoopBody(
+            name=self.name, flops=self.flops, int_ops=self.int_ops,
+            loads=self.loads, stores=self.stores, branches=self.branches,
+            prefetches=self.prefetches,
+            recurrence_cycles=self.recurrence_cycles,
+            streams=list(self.streams),
+            iterations=int(self.iterations * factor))

@@ -1,0 +1,52 @@
+"""Scalar operation kinds for the EV8 baseline models.
+
+The EV8 model consumes *loop descriptors* rather than full instruction
+traces (see :mod:`repro.scalar.loopmodel`); these enums and the small
+:class:`TraceOp` record are shared between the analytic model and the
+out-of-order trace simulator used to cross-validate it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class OpKind(Enum):
+    FLOP = "floating-point operation"
+    IALU = "integer / address / loop-control operation"
+    LOAD = "memory load"
+    STORE = "memory store"
+    PREFETCH = "software prefetch"
+    BRANCH = "conditional branch"
+
+
+#: default execution latencies in cycles (EV8-class core)
+DEFAULT_LATENCY = {
+    OpKind.FLOP: 4.0,
+    OpKind.IALU: 1.0,
+    OpKind.LOAD: 3.0,       # L1 hit; cache model adds miss time
+    OpKind.STORE: 1.0,
+    OpKind.PREFETCH: 1.0,
+    OpKind.BRANCH: 1.0,
+}
+
+
+@dataclass
+class TraceOp:
+    """One dynamic operation for the OoO trace simulator.
+
+    ``deps`` are indices of earlier trace ops whose results this op
+    consumes; ``addr`` is the byte address for memory ops.
+    """
+
+    kind: OpKind
+    deps: tuple[int, ...] = ()
+    addr: int | None = None
+    latency: float | None = None
+    stream: str = ""
+
+    def resolved_latency(self) -> float:
+        if self.latency is not None:
+            return self.latency
+        return DEFAULT_LATENCY[self.kind]

@@ -1,0 +1,30 @@
+"""Small shared helpers: bit manipulation and statistics containers."""
+
+from repro.utils.bitops import (
+    bank_of_address,
+    cache_index,
+    cache_tag,
+    ceil_div,
+    is_power_of_two,
+    line_address,
+    log2_exact,
+    odd_factor,
+    sign_extend,
+    to_u64,
+)
+from repro.utils.stats import Counter, RunningStats
+
+__all__ = [
+    "bank_of_address",
+    "cache_index",
+    "cache_tag",
+    "ceil_div",
+    "is_power_of_two",
+    "line_address",
+    "log2_exact",
+    "odd_factor",
+    "sign_extend",
+    "to_u64",
+    "Counter",
+    "RunningStats",
+]

@@ -1,0 +1,89 @@
+"""Bit-level helpers used across the ISA and memory-system models.
+
+All addresses in the simulator are byte addresses held in Python ints (or
+numpy uint64 arrays in the vectorized paths).  The L2 bank of an address
+is taken from bits <9:6> exactly as in the paper (section 3.4): 64-byte
+lines select bits <5:0>, and the 16 banks are selected by the next four
+bits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+U64_MASK = (1 << 64) - 1
+
+
+def to_u64(value: int) -> int:
+    """Wrap a Python int to unsigned 64-bit, mirroring register width."""
+    return value & U64_MASK
+
+
+def sign_extend(value: int, bits: int = 64) -> int:
+    """Interpret the low ``bits`` of ``value`` as a two's-complement int."""
+    value &= (1 << bits) - 1
+    if value & (1 << (bits - 1)):
+        return value - (1 << bits)
+    return value
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Integer ceiling division; the paper's ⌈vl/16⌉ port-busy time."""
+    if b <= 0:
+        raise ValueError(f"ceil_div divisor must be positive, got {b}")
+    return -(-a // b)
+
+
+def is_power_of_two(n: int) -> bool:
+    """True for 1, 2, 4, 8, ...; False for 0 and negatives."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def log2_exact(n: int) -> int:
+    """log2 of an exact power of two; raises otherwise."""
+    if not is_power_of_two(n):
+        raise ValueError(f"{n} is not a power of two")
+    return n.bit_length() - 1
+
+
+def odd_factor(n: int) -> tuple[int, int]:
+    """Decompose ``n`` = sigma * 2**s with sigma odd; returns (sigma, s).
+
+    This is the stride decomposition of section 3.4: strides with s <= 4
+    (in bytes, s <= 7 counting the 8-byte element) admit the conflict-free
+    reordering; larger powers of two are "self-conflicting".  ``n`` must
+    be a nonzero integer; negative strides decompose their magnitude and
+    keep the sign on sigma.
+    """
+    if n == 0:
+        raise ValueError("stride 0 has no odd/power-of-two decomposition")
+    sign = -1 if n < 0 else 1
+    n = abs(n)
+    s = (n & -n).bit_length() - 1
+    return sign * (n >> s), s
+
+
+def line_address(addr: int, line_bytes: int = 64) -> int:
+    """Align ``addr`` down to its cache-line base."""
+    return addr & ~(line_bytes - 1)
+
+
+def bank_of_address(addr, n_banks: int = 16, line_bytes: int = 64):
+    """L2 bank index of a byte address: bits <9:6> for the default geometry.
+
+    Accepts ints or numpy arrays (returns the matching type).
+    """
+    shift = log2_exact(line_bytes)
+    if isinstance(addr, np.ndarray):
+        return (addr >> np.uint64(shift)) & np.uint64(n_banks - 1)
+    return (addr >> shift) & (n_banks - 1)
+
+
+def cache_index(addr: int, n_sets: int, line_bytes: int = 64) -> int:
+    """Set index of an address in a cache with ``n_sets`` sets."""
+    return (addr >> log2_exact(line_bytes)) & (n_sets - 1)
+
+
+def cache_tag(addr: int, n_sets: int, line_bytes: int = 64) -> int:
+    """Tag of an address in a cache with ``n_sets`` sets."""
+    return addr >> (log2_exact(line_bytes) + log2_exact(n_sets))

@@ -1,0 +1,83 @@
+"""Lightweight statistics containers used by the timing models.
+
+The simulator components each own a :class:`Counter` bag; the harness
+merges them into per-run metric dictionaries.  ``RunningStats`` keeps
+mean/min/max without storing samples (used for queue occupancies).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterator
+
+
+class Counter:
+    """A named bag of monotonically increasing integer counters."""
+
+    def __init__(self) -> None:
+        self._counts: dict[str, int] = defaultdict(int)
+
+    def add(self, name: str, amount: int = 1) -> None:
+        """Increment ``name`` by ``amount`` (may be any non-negative int)."""
+        if amount < 0:
+            raise ValueError(f"counter increments must be >= 0, got {amount}")
+        self._counts[name] += amount
+
+    def get(self, name: str) -> int:
+        """Current value of ``name`` (0 if never incremented)."""
+        return self._counts.get(name, 0)
+
+    def __getitem__(self, name: str) -> int:
+        return self.get(name)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._counts)
+
+    def as_dict(self) -> dict[str, int]:
+        """Snapshot of all counters."""
+        return dict(self._counts)
+
+    def merge(self, other: "Counter", prefix: str = "") -> None:
+        """Fold ``other``'s counts into this bag, optionally prefixed."""
+        for name, value in other._counts.items():
+            self._counts[prefix + name] += value
+
+    def reset(self) -> None:
+        self._counts.clear()
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self._counts.items()))
+        return f"Counter({inner})"
+
+
+class RunningStats:
+    """Streaming mean/min/max over observed samples."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the observed samples (0.0 when empty)."""
+        if self.count == 0:
+            return 0.0
+        return self.total / self.count
+
+    def __repr__(self) -> str:
+        if self.count == 0:
+            return "RunningStats(empty)"
+        return (
+            f"RunningStats(n={self.count}, mean={self.mean:.3f}, "
+            f"min={self.minimum:.3f}, max={self.maximum:.3f})"
+        )

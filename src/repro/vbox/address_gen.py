@@ -1,0 +1,177 @@
+"""Address generators: turn one memory instruction into slices.
+
+Each of the 16 lanes has an address generator (Fig. 3); collectively
+they emit 16 addresses per cycle.  The generators pick one of three
+paths per instruction (section 3.4):
+
+* **pump** — stride-1 (``vs`` == 8): emit the starting addresses of the
+  16 (17 when misaligned) cache lines covered, set the pump bit;
+* **reordered** — other strides whose bank histogram is uniform: emit
+  the ROM-scheduled 8 conflict-free slices, paying the full 8 cycles of
+  address generation regardless of ``vl`` (the paper's stated downside);
+* **CR box** — gathers, scatters and self-conflicting strides: feed the
+  conflict-resolution tournament.
+
+Every path first translates through the vector TLB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.isa.instructions import Group, Instruction
+from repro.isa.registers import MVL, ArchState
+from repro.isa.semantics import indexed_addresses, strided_addresses
+from repro.utils.bitops import line_address
+from repro.utils.stats import Counter
+from repro.vbox.crbox import ConflictResolutionBox
+from repro.vbox.reorder import conflict_free_schedule, is_reorderable
+from repro.vbox.slices import SLICE_SIZE, Slice
+from repro.vbox.vtlb import VectorTLB
+
+LINE_BYTES = 64
+
+
+@dataclass
+class AccessPlan:
+    """Everything the memory pipeline needs to time one instruction."""
+
+    kind: str                      # 'pump' | 'reordered' | 'cr' | 'empty'
+    is_write: bool
+    is_prefetch: bool
+    slices: list[Slice] = field(default_factory=list)
+    #: total address-generation (+ CR tournament) cycles
+    addr_gen_cycles: float = 1.0
+    #: PALcode TLB refill penalty, cycles
+    tlb_penalty: float = 0.0
+    #: data quadwords moved (valid elements)
+    quadwords: int = 0
+    #: physical quadword addresses touched (for memory-dependence checks)
+    touched: tuple = ()
+
+
+class AddressGenerators:
+    """The 16 per-lane address generators plus the CR box front end."""
+
+    def __init__(self, vtlb: VectorTLB | None = None,
+                 crbox: ConflictResolutionBox | None = None,
+                 pump_enabled: bool = True) -> None:
+        self.vtlb = vtlb or VectorTLB()
+        self.crbox = crbox or ConflictResolutionBox()
+        self.pump_enabled = pump_enabled
+        self.counters = Counter()
+        self._next_slice_id = 0
+
+    # -- helpers ---------------------------------------------------------
+
+    def _new_slice(self, elements, addresses, **kw) -> Slice:
+        s = Slice(self._next_slice_id, elements, addresses, **kw)
+        self._next_slice_id += 1
+        return s
+
+    @staticmethod
+    def _valid_elements(instr: Instruction, state: ArchState) -> np.ndarray:
+        return np.nonzero(state.active_mask(instr.masked))[0]
+
+    # -- the three paths ----------------------------------------------------
+
+    def _plan_pump(self, instr, valid, paddrs, is_write, tlb_penalty,
+                   tag: str) -> AccessPlan:
+        addrs = paddrs[valid]
+        lines = np.unique(addrs >> np.uint64(6)) << np.uint64(6)
+        coverage = {int(line): 0 for line in lines}
+        for addr in addrs:
+            coverage[int(line_address(int(addr)))] += 1
+        per_line = LINE_BYTES // 8
+        slices: list[Slice] = []
+        line_list = [int(line) for line in lines]
+        # misaligned stride-1 spans 17 lines -> two pump slices (note 3)
+        for start in range(0, len(line_list), SLICE_SIZE):
+            group = line_list[start:start + SLICE_SIZE]
+            qw = sum(coverage[line] for line in group)
+            full = is_write and all(coverage[line] == per_line for line in group)
+            slices.append(self._new_slice(
+                np.arange(len(group)), np.array(group, dtype=np.uint64),
+                pump=True, full_line_write=full, quadwords=qw, tag=tag))
+        self.counters.add("pump_plans")
+        return AccessPlan("pump", is_write, False, slices,
+                          addr_gen_cycles=float(len(slices)),
+                          tlb_penalty=tlb_penalty, quadwords=len(addrs))
+
+    def _plan_reordered(self, instr, state, valid, paddrs, is_write,
+                        tlb_penalty, tag: str) -> AccessPlan:
+        base = int(paddrs[0])
+        stride = state.ctrl.vs
+        schedule = conflict_free_schedule(base, stride)
+        valid_set = set(int(v) for v in valid)
+        slices = []
+        for group in schedule:
+            keep = np.array([e for e in group if int(e) in valid_set],
+                            dtype=np.int64)
+            if len(keep) == 0:
+                continue
+            slices.append(self._new_slice(keep, paddrs[keep],
+                                          quadwords=len(keep), tag=tag))
+        self.counters.add("reordered_plans")
+        # short vectors still pay the full 8 address-generation cycles
+        return AccessPlan("reordered", is_write, False, slices,
+                          addr_gen_cycles=float(MVL // SLICE_SIZE),
+                          tlb_penalty=tlb_penalty, quadwords=len(valid))
+
+    def _plan_cr(self, instr, valid, paddrs, is_write, tlb_penalty,
+                 tag: str) -> AccessPlan:
+        slices, cr_cycles = self.crbox.pack(valid, paddrs[valid], tag=tag)
+        # renumber to keep slice ids unique across both allocators
+        for s in slices:
+            s.slice_id = self._next_slice_id
+            self._next_slice_id += 1
+        self.counters.add("cr_plans")
+        return AccessPlan("cr", is_write, False, slices,
+                          addr_gen_cycles=max(cr_cycles, 1.0),
+                          tlb_penalty=tlb_penalty, quadwords=len(valid))
+
+    # -- entry point ------------------------------------------------------------
+
+    def plan(self, instr: Instruction, state: ArchState) -> AccessPlan:
+        """Build the slice plan for one SM/RM instruction."""
+        d = instr.definition
+        if not d.is_memory or d.group not in (Group.SM, Group.RM):
+            raise ValueError(f"plan() needs a vector memory instruction, "
+                             f"got {instr.op}")
+        valid = self._valid_elements(instr, state)
+        is_write = d.is_store
+        if len(valid) == 0:
+            return AccessPlan("empty", is_write, instr.is_prefetch)
+
+        if d.is_indexed:
+            vaddrs = indexed_addresses(instr, state)
+        else:
+            vaddrs = strided_addresses(instr, state)
+        # only the active elements' addresses are generated and translated;
+        # page size (512 MB) >> bank period, so translation never changes
+        # bank bits and the reorder classification can use virtual addresses
+        paddrs = vaddrs.copy()
+        translated, tlb_penalty = self.vtlb.translate_elements(
+            valid, vaddrs[valid], ignore_misses=instr.is_prefetch)
+        paddrs[valid] = translated
+
+        tag = instr.tag
+        if d.is_indexed:
+            plan = self._plan_cr(instr, valid, paddrs, is_write,
+                                 tlb_penalty, tag)
+        elif state.ctrl.vs == 8 and self.pump_enabled:
+            plan = self._plan_pump(instr, valid, paddrs, is_write,
+                                   tlb_penalty, tag)
+        elif is_reorderable(int(vaddrs[0]), state.ctrl.vs):
+            plan = self._plan_reordered(instr, state, valid, paddrs,
+                                        is_write, tlb_penalty, tag)
+        else:
+            # self-conflicting stride: run through the CR box like a gather
+            self.counters.add("self_conflicting_strides")
+            plan = self._plan_cr(instr, valid, paddrs, is_write,
+                                 tlb_penalty, tag)
+        plan.is_prefetch = instr.is_prefetch
+        plan.touched = tuple(int(a) for a in paddrs[valid])
+        return plan

@@ -1,0 +1,106 @@
+"""CR box — conflict resolution for gather/scatter (section 3.4).
+
+Gather and scatter addresses are arbitrary, so the reordering ROM does
+not apply.  The CR box runs a *selection tournament*: as each group of
+16 addresses comes out of the address generators, their bank identifiers
+(bits <9:6>) are compared against whatever addresses were left over from
+the previous round, and the largest conflict-free subset (one address
+per bank, one element per register lane) is packed into a slice and sent
+down the memory pipe.  Leftovers re-enter the next tournament.  In the
+worst case — all 128 addresses in one bank — an instruction produces 128
+single-address slices.
+
+Self-conflicting strides (power-of-two factor too large for the
+reordering theorem) are fed through the CR box exactly like gathers.
+
+The tournament compares 16x16 bank ids per round; ``cycles_per_round``
+models that multi-cycle selection logic and is the knob calibrated
+against Table 4's RndCopy result (~4.3 addresses/cycle on uniformly
+random streams).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.stats import Counter
+from repro.vbox.slices import SLICE_SIZE, Slice
+
+N_BANKS = 16
+
+
+class ConflictResolutionBox:
+    """Packs arbitrary address streams into conflict-free slices."""
+
+    def __init__(self, cycles_per_round: float = 4.0) -> None:
+        self.cycles_per_round = cycles_per_round
+        self.counters = Counter()
+        self._next_slice_id = 0
+
+    def _tournament(self, pending: list[tuple[int, int]]) -> list[int]:
+        """One selection round over ``pending`` [(element, address)...].
+
+        Greedy first-come selection in arrival order, honoring bank and
+        lane conflict-freedom; returns indices into ``pending``.  Two
+        addresses in the *same cache line* do not conflict — the bank
+        reads the line once and the crossbar routes a quadword to each
+        lane — so the bank check is per distinct line.
+        """
+        taken_lines: dict[int, int] = {}   # line -> bank already cycling
+        taken_banks: set[int] = set()
+        taken_lanes: set[int] = set()
+        chosen: list[int] = []
+        for pos, (element, addr) in enumerate(pending):
+            line = addr >> 6
+            bank = line & 0xF
+            lane = element % SLICE_SIZE
+            if lane in taken_lanes:
+                continue
+            if bank in taken_banks and taken_lines.get(line) != bank:
+                continue
+            taken_lines[line] = bank
+            taken_banks.add(bank)
+            taken_lanes.add(lane)
+            chosen.append(pos)
+            if len(chosen) == SLICE_SIZE:
+                break
+        return chosen
+
+    def pack(self, elements: np.ndarray, addresses: np.ndarray,
+             tag: str = "") -> tuple[list[Slice], float]:
+        """Sort a gather/scatter address stream into slices.
+
+        Returns ``(slices, cr_cycles)`` where ``cr_cycles`` is the total
+        tournament time: addresses arrive 16 per round (the 16 address
+        generators), each round costs :attr:`cycles_per_round`, and
+        rounds repeat until the pending pool drains.
+        """
+        stream = list(zip((int(e) for e in elements),
+                          (int(a) for a in addresses)))
+        slices: list[Slice] = []
+        pending: list[tuple[int, int]] = []
+        rounds = 0
+        cursor = 0
+        while cursor < len(stream) or pending:
+            # up to 16 new addresses join the tournament each round
+            incoming = stream[cursor:cursor + SLICE_SIZE]
+            cursor += len(incoming)
+            pending.extend(incoming)
+            rounds += 1
+            chosen = self._tournament(pending)
+            if not chosen:  # pragma: no cover - nonempty pending always yields
+                raise RuntimeError("CR tournament selected nothing")
+            group = [pending[i] for i in chosen]
+            for i in sorted(chosen, reverse=True):
+                pending.pop(i)
+            slices.append(Slice(
+                slice_id=self._next_slice_id,
+                elements=np.array([e for e, _ in group], dtype=np.int64),
+                addresses=np.array([a for _, a in group], dtype=np.uint64),
+                tag=tag,
+            ))
+            self._next_slice_id += 1
+        self.counters.add("tournaments", rounds)
+        self.counters.add("cr_slices", len(slices))
+        self.counters.add("cr_addresses", len(stream))
+        return slices, rounds * self.cycles_per_round

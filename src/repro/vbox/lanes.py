@@ -1,0 +1,74 @@
+"""Vbox lane organization (section 3.2, Fig. 3).
+
+The vector execution engine is 16 identical lanes; each lane holds a
+slice of the vector register file, a slice of the (tiny) mask file, two
+functional units (north and south), an address generator and a private
+TLB.  There is no cross-lane communication except for gather/scatter.
+
+This module captures the structural facts the rest of the model (issue
+logic, power estimates, invariant tests) relies on.  The "schedulers see
+32 functional units as just two resources" property is what makes
+:class:`~repro.vbox.issue.VboxIssue` a pair of timelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.registers import MVL, NUM_VREGS
+
+#: Number of identical lanes (Fig. 3).
+N_LANES = 16
+#: Functional units per lane (north + south).
+UNITS_PER_LANE = 2
+#: Total functional units controlled by the two issue ports.
+TOTAL_UNITS = N_LANES * UNITS_PER_LANE
+
+
+@dataclass(frozen=True)
+class LaneConfig:
+    """Per-lane structure used by power/area and invariant checks."""
+
+    #: vector register file slice: 128-element registers / 16 lanes
+    elements_per_register: int = MVL // N_LANES
+    #: architectural registers visible per thread
+    arch_registers: int = NUM_VREGS
+    #: rename copies per thread (the SMT decision forced a large file)
+    rename_registers_per_thread: int = 16
+    #: SMT thread contexts (EV8 is 4-way SMT; Vbox follows, section 3.3)
+    threads: int = 4
+    #: register file read ports feeding the two functional units
+    fu_read_ports: int = 4
+    #: register file write ports for the functional units
+    fu_write_ports: int = 2
+    #: extra ports supporting loads and stores (footnote 1)
+    memory_read_ports: int = 2
+    memory_write_ports: int = 2
+    #: mask file bits per lane, including all rename copies per thread
+    mask_bits: int = 256
+    #: mask file ports (section 3.2)
+    mask_read_ports: int = 3
+    mask_write_ports: int = 2
+    #: per-lane TLB entries (32-entry CAM, section 3.4)
+    tlb_entries: int = 32
+
+    @property
+    def physical_registers_per_thread(self) -> int:
+        return self.arch_registers + self.rename_registers_per_thread
+
+    @property
+    def regfile_elements_per_lane(self) -> int:
+        """64-bit words of register storage in one lane (all threads)."""
+        return (self.physical_registers_per_thread * self.threads *
+                self.elements_per_register)
+
+    @property
+    def operand_bandwidth_per_cycle(self) -> int:
+        """Operands/cycle the sliced file supplies to the FUs — the
+        64 + 32 figure the paper cites as impossible for a unified file."""
+        return (self.fu_read_ports + self.fu_write_ports) * N_LANES
+
+
+def lane_of_element(element_index: int) -> int:
+    """Register-file lane holding a given vector element."""
+    return element_index % N_LANES

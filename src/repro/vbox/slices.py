@@ -1,0 +1,86 @@
+"""Slices: the unit of the whole vector memory pipeline (section 3.4).
+
+A slice is a group of up to 16 addresses that is *L2-bank conflict-free*
+(at most one per bank, so the 16 banks can cycle in parallel) and
+*register-lane conflict-free* (at most one element per Vbox lane, so the
+returned quadwords write the register file without port conflicts).
+Slices are tagged when created by the address generators and tracked by
+that tag through the memory pipe; addresses within one may be invalid
+(``vl`` < 128 or masked-off elements).
+
+Stride-1 slices set the *pump* bit: they carry 16 cache-line requests
+rather than 16 element addresses and stream whole lines through the
+PUMP (Fig. 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.bitops import line_address
+
+#: Addresses per slice == number of L2 banks == number of Vbox lanes.
+SLICE_SIZE = 16
+
+
+@dataclass
+class Slice:
+    """One conflict-free request group walking the memory pipe."""
+
+    slice_id: int
+    #: element indices within the vector instruction (defines the lanes)
+    elements: np.ndarray
+    #: byte addresses, parallel to ``elements``
+    addresses: np.ndarray
+    #: pump bit: addresses are cache-line starts, streamed via the PUMP
+    pump: bool = False
+    #: pump stores that overwrite full lines (directory-transition path)
+    full_line_write: bool = False
+    #: quadwords of data this slice moves (for streaming occupancy)
+    quadwords: int = 0
+    tag: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        self.elements = np.asarray(self.elements, dtype=np.int64)
+        self.addresses = np.asarray(self.addresses, dtype=np.uint64)
+        if self.elements.shape != self.addresses.shape:
+            raise ValueError("slice elements/addresses length mismatch")
+        if len(self.addresses) > SLICE_SIZE:
+            raise ValueError(
+                f"slice holds {len(self.addresses)} addresses > {SLICE_SIZE}")
+        if not self.quadwords:
+            self.quadwords = len(self.addresses)
+
+    @property
+    def valid_count(self) -> int:
+        return len(self.addresses)
+
+    def lanes(self) -> np.ndarray:
+        """Vbox lane of each element (element index mod 16)."""
+        return self.elements % SLICE_SIZE
+
+    def banks(self) -> np.ndarray:
+        """L2 bank of each address (bits <9:6>)."""
+        return (self.addresses >> np.uint64(6)) & np.uint64(0xF)
+
+    def line_addresses(self) -> list[int]:
+        """Distinct cache-line addresses this slice touches."""
+        return sorted({int(line_address(int(a))) for a in self.addresses})
+
+    def is_bank_conflict_free(self) -> bool:
+        banks = self.banks()
+        # two addresses in the same *line* cycle the same bank once, so
+        # only distinct lines count toward conflicts
+        lines = self.addresses >> np.uint64(6)
+        pairs = {(int(line), int(bank)) for line, bank in zip(lines, banks)}
+        distinct_banks = {bank for _, bank in pairs}
+        return len(distinct_banks) == len(pairs)
+
+    def is_lane_conflict_free(self) -> bool:
+        lanes = self.lanes()
+        return len(np.unique(lanes)) == len(lanes)
+
+    def is_conflict_free(self) -> bool:
+        return self.is_bank_conflict_free() and self.is_lane_conflict_free()

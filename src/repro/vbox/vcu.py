@@ -1,0 +1,51 @@
+"""VCU — the vector completion unit (section 3.3).
+
+The Vbox-core interface is deliberately narrow: a 3-instruction bus
+carries renamed instructions from the EV8 Pbox to the Vbox, the VCU
+sends back completed instruction identifiers (3 x 9 bits), two 64-bit
+buses carry scalar operands over, and a kill signal squashes
+misspeculated work.  Final retirement happens in the EV8 core, which
+reports any vector exceptions.
+
+For timing, the interface contributes: at most 3 vector instructions
+delivered per cycle (the rename bus), at most 3 completions reported
+per cycle (the VCU bus), and a fixed scalar-operand transfer latency
+(the 20-cycle round trip motivating mask registers, section 2).
+"""
+
+from __future__ import annotations
+
+from repro.utils.bitops import ceil_div
+from repro.utils.stats import Counter
+from repro.utils.timeline import ResourceTimeline
+
+#: instructions per cycle on the Pbox->Vbox rename bus
+RENAME_BUS_WIDTH = 3
+#: completion identifiers per cycle on the VCU->core bus
+COMPLETION_BUS_WIDTH = 3
+
+
+class CompletionUnit:
+    """Models both directions of the narrow core<->Vbox interface."""
+
+    def __init__(self) -> None:
+        self._deliver_bus = ResourceTimeline("pbox-vbox-bus")
+        self._complete_bus = ResourceTimeline("vcu-core-bus")
+        self.counters = Counter()
+        self.retired = 0
+
+    def deliver(self, earliest: float, count: int = 1) -> float:
+        """Send ``count`` renamed instructions to the Vbox; returns the
+        cycle the last one arrives."""
+        cycles = ceil_div(count, RENAME_BUS_WIDTH)
+        start = self._deliver_bus.reserve(earliest, cycles)
+        self.counters.add("delivered", count)
+        return start + cycles
+
+    def complete(self, earliest: float, count: int = 1) -> float:
+        """Report ``count`` completions back to the EV8 core."""
+        cycles = ceil_div(count, COMPLETION_BUS_WIDTH)
+        start = self._complete_bus.reserve(earliest, cycles)
+        self.counters.add("completed", count)
+        self.retired += count
+        return start + cycles

@@ -1,0 +1,172 @@
+"""Vector TLB: sixteen per-lane TLBs (section 3.4, "Virtual Memory").
+
+Each lane owns a 32-entry fully-associative TLB mapping 512 MB pages for
+the addresses its own address generator produces.  On a slice TLB miss,
+control transfers to system software (PALcode), which may either
+
+* refill just the lanes that missed (``RefillStrategy.PER_MISS``), or
+* peek at ``vs`` and refill every mapping the offending instruction
+  could need (``RefillStrategy.WHOLE_STRIDE``),
+
+both strategies the paper describes.  The associativity guarantee
+matters for forward progress: a malicious stride can map 128 different
+pages onto one TLB index, which is why the hardware chose CAM-based
+fully-associative TLBs; being fully associative, ours can always hold
+the at-most-8 distinct pages a single slice references per lane.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from enum import Enum
+
+import numpy as np
+
+from repro.mem.pages import PageTable
+from repro.utils.stats import Counter
+from repro.vbox.slices import SLICE_SIZE
+
+
+class RefillStrategy(Enum):
+    PER_MISS = "refill only the lanes that missed"
+    WHOLE_STRIDE = "refill all pages the instruction will touch"
+
+
+class LaneTLB:
+    """One lane's fully-associative, LRU, 32-entry TLB."""
+
+    def __init__(self, entries: int = 32) -> None:
+        self.entries = entries
+        self._map: OrderedDict[int, int] = OrderedDict()
+
+    def lookup(self, vpn: int) -> int | None:
+        pfn = self._map.get(vpn)
+        if pfn is not None:
+            self._map.move_to_end(vpn)
+        return pfn
+
+    def insert(self, vpn: int, pfn: int) -> int | None:
+        """Install a mapping; returns the evicted vpn, if any."""
+        if vpn in self._map:
+            self._map.move_to_end(vpn)
+            self._map[vpn] = pfn
+            return None
+        evicted = None
+        if len(self._map) >= self.entries:
+            evicted, _ = self._map.popitem(last=False)
+        self._map[vpn] = pfn
+        return evicted
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+
+class VectorTLB:
+    """The 16-lane TLB array with PALcode-style refill."""
+
+    def __init__(self, page_table: PageTable | None = None,
+                 entries_per_lane: int = 32,
+                 strategy: RefillStrategy = RefillStrategy.WHOLE_STRIDE,
+                 refill_penalty_cycles: float = 150.0) -> None:
+        self.page_table = page_table or PageTable()
+        self.lanes = [LaneTLB(entries_per_lane) for _ in range(SLICE_SIZE)]
+        self.strategy = strategy
+        self.refill_penalty_cycles = refill_penalty_cycles
+        self.counters = Counter()
+        #: vpns known identity-mapped and resident in *every* lane — the
+        #: vectorized fast path for the common huge-page case
+        self._hot_identity_vpns: set[int] = set()
+
+    def _vpn(self, addr: int) -> int:
+        return addr >> self.page_table.page_shift
+
+    def translate_elements(self, elements: np.ndarray,
+                           addresses: np.ndarray,
+                           ignore_misses: bool = False) -> tuple[np.ndarray, float]:
+        """Translate one instruction's addresses; returns (paddrs, penalty).
+
+        ``elements`` gives each address's element index (hence its lane).
+        ``penalty`` is the total PALcode refill time in cycles; prefetch
+        instructions pass ``ignore_misses=True`` (section 2: TLB misses
+        on prefetches are simply ignored, but they also do no refill).
+        """
+        # fast path: every page already resident in every lane and
+        # identity-mapped -> translation is the identity, zero penalty
+        if self._hot_identity_vpns:
+            vpns = np.unique(addresses.astype(np.uint64) >>
+                             np.uint64(self.page_table.page_shift))
+            if all(int(v) in self._hot_identity_vpns for v in vpns):
+                self.counters.add("hits", len(addresses))
+                return addresses.astype(np.uint64, copy=True), 0.0
+
+        paddrs = addresses.astype(np.uint64).copy()
+        penalty = 0.0
+        miss_events = 0
+        for pos in range(len(addresses)):
+            lane = int(elements[pos]) % SLICE_SIZE
+            vaddr = int(addresses[pos])
+            vpn = self._vpn(vaddr)
+            pfn = self.lanes[lane].lookup(vpn)
+            if pfn is None:
+                self.counters.add("misses")
+                if ignore_misses:
+                    continue
+                miss_events += 1
+                if self.strategy is RefillStrategy.WHOLE_STRIDE:
+                    self._refill_whole(elements, addresses)
+                else:
+                    pfn = self.page_table.translate_page(vpn)
+                    evicted = self.lanes[lane].insert(vpn, pfn)
+                    if evicted is not None:
+                        self._hot_identity_vpns.discard(evicted)
+                pfn = self.lanes[lane].lookup(vpn)
+                if pfn is None:  # pragma: no cover - refill always installs
+                    raise RuntimeError("TLB refill failed to install mapping")
+            else:
+                self.counters.add("hits")
+            offset = vaddr & (self.page_table.page_bytes - 1)
+            paddrs[pos] = np.uint64((pfn << self.page_table.page_shift) | offset)
+        if miss_events:
+            # one PALcode trap covers a whole-stride refill; per-miss
+            # refills trap once per missing lane group
+            traps = 1 if self.strategy is RefillStrategy.WHOLE_STRIDE \
+                else miss_events
+            penalty = traps * self.refill_penalty_cycles
+            self.counters.add("refill_traps", traps)
+        return paddrs, penalty
+
+    def _refill_whole(self, elements: np.ndarray, addresses: np.ndarray) -> None:
+        """PALcode peeks at the access pattern and refills every lane.
+
+        When the instruction touches few pages (the huge-page common
+        case) PALcode over-refills every lane — enabling the vectorized
+        fast path.  When it touches many pages (giant strides mapping a
+        page per element), each lane receives only *its own* pages: a
+        lane sees at most 128/16 = 8 distinct pages per instruction,
+        which always fits the 32-entry CAM — the paper's forward-
+        progress guarantee.
+        """
+        shift = np.uint64(self.page_table.page_shift)
+        all_vpns = np.unique(addresses.astype(np.uint64) >> shift)
+        if len(all_vpns) <= self.lanes[0].entries // 2:
+            for vpn_u in all_vpns:
+                vpn = int(vpn_u)
+                pfn = self.page_table.translate_page(vpn)
+                for lane in self.lanes:
+                    if lane.lookup(vpn) is None:
+                        evicted = lane.insert(vpn, pfn)
+                        if evicted is not None:
+                            self._hot_identity_vpns.discard(evicted)
+                if pfn == vpn:
+                    self._hot_identity_vpns.add(vpn)
+            return
+        # many-page case: strictly per-lane refill
+        for pos in range(len(addresses)):
+            lane_idx = int(elements[pos]) % SLICE_SIZE
+            vpn = int(addresses[pos]) >> self.page_table.page_shift
+            lane = self.lanes[lane_idx]
+            if lane.lookup(vpn) is None:
+                pfn = self.page_table.translate_page(vpn)
+                evicted = lane.insert(vpn, pfn)
+                if evicted is not None:
+                    self._hot_identity_vpns.discard(evicted)

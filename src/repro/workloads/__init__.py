@@ -1,0 +1,22 @@
+"""The Table 2 benchmark suite: hand-vectorized kernels + scalar models."""
+
+from repro.workloads.base import (
+    Arena,
+    STREAMS_PADDING,
+    Workload,
+    WorkloadInstance,
+    run_functional,
+)
+from repro.workloads.registry import FIGURE_SUITE, REGISTRY, TABLE4_SUITE, get
+
+__all__ = [
+    "Arena",
+    "FIGURE_SUITE",
+    "REGISTRY",
+    "STREAMS_PADDING",
+    "TABLE4_SUITE",
+    "Workload",
+    "WorkloadInstance",
+    "get",
+    "run_functional",
+]

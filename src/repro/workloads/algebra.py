@@ -1,0 +1,142 @@
+"""Dense linear algebra: dgemm and dtrmm (Table 2, "Algebra").
+
+Both kernels are hand-vectorized along matrix rows (unit stride) with
+register tiling over a 4-row strip: one vector load of a ``B`` block is
+reused by four multiply-accumulate pairs — exactly the "many more
+registers available, which turns into more data reuse" effect section 6
+credits for super-8x speedups.
+
+Matrices are row-major with the vectorized dimension padded to a
+multiple of 128.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa.builder import KernelBuilder
+from repro.scalar.loopmodel import AccessPattern, MemStream, ScalarLoopBody
+from repro.workloads.base import Arena, Workload, WorkloadInstance
+
+ROW_TILE = 4  # register-tiled rows per strip
+
+
+def _dims(scale: float, base: int = 128) -> tuple[int, int]:
+    """(M=K, N) matrix dimensions for a given scale (flops ~ scale)."""
+    s = max(scale, 1e-3) ** (1.0 / 3.0)
+    mk = max(int(base * s) // ROW_TILE * ROW_TILE, 2 * ROW_TILE)
+    n = max(int(base * s) // 128 * 128, 128)
+    return mk, n
+
+
+class DGEMM(Workload):
+    name = "dgemm"
+    description = "Dense, tiled, matrix multiply: C += A @ B"
+    category = "Algebra"
+    inputs = "640x640 (scaled)"
+    comments = "Dense, Tiled"
+    uses_prefetch = True
+    paper_vectorization_pct = 99.0
+
+    def build(self, scale: float = 1.0) -> WorkloadInstance:
+        mk, n = _dims(scale)
+        return _build_matmul(self.name, mk, n, triangular=False)
+
+
+class DTRMM(Workload):
+    name = "dtrmm"
+    description = "Triangular matrix multiply: C += tril(A) @ B"
+    category = "Algebra"
+    inputs = "519x603 (scaled)"
+    comments = ""
+    uses_prefetch = True
+    paper_vectorization_pct = 98.9
+
+    def build(self, scale: float = 1.0) -> WorkloadInstance:
+        mk, n = _dims(scale)
+        return _build_matmul(self.name, mk, n, triangular=True)
+
+
+def _build_matmul(name: str, mk: int, n: int,
+                  triangular: bool) -> WorkloadInstance:
+    rng = np.random.default_rng(0xD6E3)
+    a0 = rng.standard_normal((mk, mk))
+    if triangular:
+        a0 = np.tril(a0)
+    b0 = rng.standard_normal((mk, n))
+    c0 = rng.standard_normal((mk, n))
+
+    arena = Arena()
+    a_addr = arena.alloc_f64("A", mk * mk)
+    b_addr = arena.alloc_f64("B", mk * n)
+    c_addr = arena.alloc_f64("C", mk * n)
+
+    row_bytes = n * 8
+    kb = KernelBuilder(name)
+    kb.lda(1, a_addr)
+    kb.lda(2, b_addr)
+    kb.lda(3, c_addr)
+    kb.setvl(128)
+    kb.setvs(8)
+
+    def k_limit(i: int) -> int:
+        return (i + 1) if triangular else mk
+
+    flops = 0
+    for i0 in range(0, mk, ROW_TILE):
+        rows = min(ROW_TILE, mk - i0)
+        for jb in range(n // 128):
+            joff = jb * 128 * 8
+            # load the C accumulators for this strip
+            for r in range(rows):
+                kb.vloadq(10 + r, rb=3, disp=(i0 + r) * row_bytes + joff)
+            kmax = max(k_limit(i0 + r) for r in range(rows))
+            for k in range(kmax):
+                kb.vloadq(1, rb=2, disp=k * row_bytes + joff)  # B[k, jb]
+                for r in range(rows):
+                    if k >= k_limit(i0 + r):
+                        continue
+                    i = i0 + r
+                    kb.ldq(20 + r, rb=1, disp=(i * mk + k) * 8)  # a(i,k)
+                    kb.vsmult(2, 1, ra=20 + r)
+                    kb.vvaddt(10 + r, 10 + r, 2)
+                    flops += 2 * 128
+            for r in range(rows):
+                kb.vstoreq(10 + r, rb=3, disp=(i0 + r) * row_bytes + joff)
+
+    expected = c0 + a0 @ b0
+
+    def setup(mem):
+        mem.write_f64(a_addr, a0.ravel())
+        mem.write_f64(b_addr, b0.ravel())
+        mem.write_f64(c_addr, c0.ravel())
+
+    def check(mem):
+        got = mem.read_f64(c_addr, mk * n).reshape(mk, n)
+        np.testing.assert_allclose(got, expected, rtol=1e-10)
+
+    # paper regime: 640x640 matrices (3.3 MB), cache-blocked -> the
+    # scalar baseline is flop-bound, not memory-bound; accumulator
+    # chains unroll into partial sums, so no recurrence
+    paper_mat = 640 * 640 * 8
+    k_avg = (mk + 1) / 2 if triangular else mk
+    loop = ScalarLoopBody(
+        name=name,
+        # register-blocked scalar gemm: ~1 load per multiply-add pair
+        flops=2.0, int_ops=1.5, loads=1.125, stores=1.0 / max(k_avg, 1),
+        streams=[
+            MemStream("B", read_bytes_per_iter=8.0, footprint_bytes=paper_mat,
+                      pattern=AccessPattern.RESIDENT),
+            MemStream("C", read_bytes_per_iter=8.0 / max(k_avg, 1),
+                      write_bytes_per_iter=8.0 / max(k_avg, 1),
+                      footprint_bytes=paper_mat,
+                      pattern=AccessPattern.RESIDENT),
+        ],
+        iterations=int(mk * k_avg * n))
+
+    return WorkloadInstance(
+        name=name, program=kb.build(), scalar_loop=loop,
+        setup=setup, check=check,
+        workload_bytes=(mk * mk + 2 * mk * n) * 8,
+        warm_ranges=[(b_addr, mk * n * 8)],
+        flops_expected=flops)

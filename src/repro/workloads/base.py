@@ -1,0 +1,128 @@
+"""Workload framework.
+
+Each Table 2 benchmark is a :class:`Workload` that can instantiate
+itself at any problem scale into a :class:`WorkloadInstance` holding:
+
+* the **hand-vectorized Tarantula program** (built with
+  :class:`~repro.isa.builder.KernelBuilder`, mirroring the paper's
+  hand-coded assembly);
+* the **scalar loop descriptor** for the EV8/EV8+ baseline model;
+* ``setup``/``check`` callbacks — the instance initializes main memory
+  and verifies the kernel's output against a numpy reference, so every
+  benchmark run is also a correctness test;
+* accounting metadata (bytes the STREAMS method would count, regions to
+  pre-warm into the L2, Table 2 attributes).
+
+Problem sizes: the paper's reference inputs are impractical for a pure
+Python cycle model (and the SpecFP inputs are proprietary), so every
+workload exposes ``scale`` — tests run tiny instances, the benchmark
+harness runs instances big enough to reach each kernel's regime
+(L2-resident or memory-resident); EXPERIMENTS.md records the sizes.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import ConfigError
+from repro.isa.program import Program
+from repro.mem.memory import MainMemory
+from repro.scalar.loopmodel import ScalarLoopBody
+
+#: STREAMS-style inter-array padding (Table 2: "Padding=65856 bytes")
+STREAMS_PADDING = 65856
+
+
+class Arena:
+    """Sequential address-space allocator for workload arrays."""
+
+    def __init__(self, base: int = 0x10_0000,
+                 padding: int = STREAMS_PADDING) -> None:
+        self._cursor = base
+        self.padding = padding
+        self.regions: dict[str, tuple[int, int]] = {}
+
+    def alloc(self, name: str, nbytes: int, align: int = 64) -> int:
+        """Reserve ``nbytes`` (aligned); returns the base address."""
+        if name in self.regions:
+            raise ConfigError(f"arena region {name!r} already allocated")
+        self._cursor = (self._cursor + align - 1) & ~(align - 1)
+        base = self._cursor
+        self._cursor += nbytes + self.padding
+        self.regions[name] = (base, nbytes)
+        return base
+
+    def alloc_f64(self, name: str, count: int) -> int:
+        return self.alloc(name, count * 8)
+
+    def region(self, name: str) -> tuple[int, int]:
+        return self.regions[name]
+
+
+@dataclass
+class WorkloadInstance:
+    """One concrete, runnable problem instance."""
+
+    name: str
+    program: Program
+    scalar_loop: ScalarLoopBody
+    setup: Callable[[MainMemory], None]
+    check: Callable[[MainMemory], None]
+    #: bytes the STREAMS accounting counts as useful traffic
+    workload_bytes: int = 0
+    #: (base, nbytes) ranges to preload into the L2 ("prefetched into L2")
+    warm_ranges: list[tuple[int, int]] = field(default_factory=list)
+    #: override for the modeled L2 capacity: scaled-down instances set
+    #: this to preserve the paper's footprint/L2 ratio (DESIGN.md
+    #: substitution 6); None keeps the machine's configured L2
+    l2_bytes_hint: Optional[int] = None
+    flops_expected: int = 0
+    notes: str = ""
+
+
+class Workload(abc.ABC):
+    """A Table 2 benchmark: metadata + instance factory."""
+
+    #: Table 2 columns
+    name: str = ""
+    description: str = ""
+    inputs: str = ""
+    category: str = ""
+    comments: str = ""
+    uses_prefetch: bool = False
+    uses_drainm: bool = False
+    #: the paper's measured dynamic vectorization percentage
+    paper_vectorization_pct: Optional[float] = None
+    #: True when the kernel is a surrogate for a proprietary benchmark
+    surrogate: bool = False
+
+    #: scale=1.0 problem size used by the benchmark harness
+    default_scale: float = 1.0
+
+    @abc.abstractmethod
+    def build(self, scale: float = 1.0) -> WorkloadInstance:
+        """Create a runnable instance at the given problem scale."""
+
+    def build_small(self) -> WorkloadInstance:
+        """A test-sized instance (fast enough for the unit-test suite)."""
+        return self.build(scale=0.05)
+
+    def __repr__(self) -> str:
+        return f"<Workload {self.name}>"
+
+
+def run_functional(instance: WorkloadInstance) -> "OperationCounts":
+    """Execute an instance on the functional simulator and verify it.
+
+    Returns the dynamic operation counts.  Raises AssertionError when
+    the kernel's output does not match the numpy reference.
+    """
+    from repro.core.functional import FunctionalSimulator
+
+    sim = FunctionalSimulator()
+    instance.setup(sim.memory)
+    counts = sim.run(instance.program)
+    instance.check(sim.memory)
+    return counts

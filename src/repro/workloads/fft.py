@@ -1,0 +1,211 @@
+"""Batched radix-4 FFT (Table 2: 5120 FFTs of 1024 elements each).
+
+Many independent transforms make the classic vector formulation: lay
+the data out position-major with the *batch* contiguous, so every
+butterfly operand is a unit-stride vector over 128 simultaneous
+transforms, and twiddle factors are scalar immediates shared by the
+whole batch.  Even the radix-4 digit-reversal permutation becomes plain
+block copies (position p's 128 transforms are contiguous), so the whole
+kernel is stride-1 — fft is the paper's showcase for ILP-heavy code
+where EV8 would burn issue slots on loop overhead (section 6).
+
+Complex data is stored as separate real/imaginary arrays (split
+format), the standard choice for vector FFTs.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.isa.builder import KernelBuilder
+from repro.scalar.loopmodel import MemStream, ScalarLoopBody
+from repro.workloads.base import Arena, Workload, WorkloadInstance
+
+BASE_N = 64          # transform length at scale=1.0 (paper: 1024); 4^k
+BASE_BATCH = 256     # simultaneous transforms (paper: 5120)
+SEED = 0xFF7
+
+
+def digit_reverse_base4(n: int) -> np.ndarray:
+    """Radix-4 digit-reversal permutation of positions 0..n-1."""
+    digits = int(round(math.log(n, 4)))
+    if 4 ** digits != n:
+        raise ValueError(f"FFT length {n} is not a power of 4")
+    perm = np.zeros(n, dtype=np.int64)
+    for i in range(n):
+        x, r = i, 0
+        for _ in range(digits):
+            r = (r << 2) | (x & 3)
+            x >>= 2
+        perm[i] = r
+    return perm
+
+
+class BatchFFT(Workload):
+    name = "fft"
+    description = "Radix-4 FFT, batched across transforms"
+    category = "Algebra"
+    inputs = "5120 FFTs, 1024 elements per FFT (scaled)"
+    comments = "1024 elements per FFT"
+    uses_prefetch = True
+    paper_vectorization_pct = 98.7
+
+    def build(self, scale: float = 1.0) -> WorkloadInstance:
+        # scale area: batch grows linearly, n stays a power of 4
+        batch = max(int(BASE_BATCH * scale) // 128 * 128, 128)
+        n = BASE_N
+        rng = np.random.default_rng(SEED)
+        xr = rng.standard_normal((n, batch))
+        xi = rng.standard_normal((n, batch))
+        expected = np.fft.fft(xr + 1j * xi, axis=0)
+
+        arena = Arena()
+        in_re = arena.alloc_f64("in_re", n * batch)
+        in_im = arena.alloc_f64("in_im", n * batch)
+        w_re = arena.alloc_f64("w_re", n * batch)
+        w_im = arena.alloc_f64("w_im", n * batch)
+
+        kb = KernelBuilder(self.name)
+        kb.lda(1, in_re)
+        kb.lda(2, in_im)
+        kb.lda(3, w_re)
+        kb.lda(4, w_im)
+        kb.setvl(128)
+        kb.setvs(8)
+
+        row = batch * 8  # bytes per position row
+        blocks = batch // 128
+        perm = digit_reverse_base4(n)
+        flops = 0
+
+        def pos(p: int, blk: int) -> int:
+            return p * row + blk * 128 * 8
+
+        # 1. digit-reversal: block copies in(perm[p]) -> work(p)
+        for p in range(n):
+            for blk in range(blocks):
+                kb.vloadq(10, rb=1, disp=pos(int(perm[p]), blk))
+                kb.vstoreq(10, rb=3, disp=pos(p, blk))
+                kb.vloadq(11, rb=2, disp=pos(int(perm[p]), blk))
+                kb.vstoreq(11, rb=4, disp=pos(p, blk))
+
+        # 2. radix-4 stages over the work arrays
+        # register map per butterfly: v10..v17 = a,b,c,d (re,im),
+        # v18..v25 = temps
+        length = 4
+        while length <= n:
+            quarter = length // 4
+            for j in range(quarter):
+                ang = -2.0 * math.pi * j / length
+                w1 = complex(math.cos(ang), math.sin(ang))
+                w2, w3 = w1 * w1, w1 * w1 * w1
+                for base in range(0, n, length):
+                    p0, p1 = base + j, base + j + quarter
+                    p2, p3 = base + j + 2 * quarter, base + j + 3 * quarter
+                    for blk in range(blocks):
+                        flops += self._emit_butterfly(
+                            kb, blk, (p0, p1, p2, p3), (w1, w2, w3), pos)
+            length *= 4
+
+        def setup(mem):
+            mem.write_f64(in_re, xr.ravel())
+            mem.write_f64(in_im, xi.ravel())
+
+        def check(mem):
+            got_re = mem.read_f64(w_re, n * batch).reshape(n, batch)
+            got_im = mem.read_f64(w_im, n * batch).reshape(n, batch)
+            np.testing.assert_allclose(got_re, expected.real, atol=1e-8)
+            np.testing.assert_allclose(got_im, expected.imag, atol=1e-8)
+
+        n_butterflies = (n // 4) * int(round(math.log(n, 4)))
+        # the scalar butterfly drags heavy index/twiddle bookkeeping —
+        # the paper: "none would be left to execute loop-related control
+        # instructions" if EV8 filled its flop and memory slots
+        loop = ScalarLoopBody(
+            name=self.name, flops=34.0 / 4, int_ops=10.0, loads=3.5,
+            stores=2.0,
+            streams=[
+                MemStream("data", read_bytes_per_iter=16.0,
+                          write_bytes_per_iter=16.0,
+                          footprint_bytes=2 * n * batch * 8),
+            ],
+            iterations=n_butterflies * batch)
+
+        return WorkloadInstance(
+            name=self.name, program=kb.build(), scalar_loop=loop,
+            setup=setup, check=check,
+            workload_bytes=4 * n * batch * 8,
+            warm_ranges=[(in_re, n * batch * 8), (in_im, n * batch * 8),
+                         (w_re, n * batch * 8), (w_im, n * batch * 8)],
+            flops_expected=flops)
+
+    @staticmethod
+    def _emit_butterfly(kb: KernelBuilder, blk: int, positions, twiddles,
+                        pos) -> int:
+        """One radix-4 DIT butterfly over a 128-transform block.
+
+        Returns the flops emitted (per 128 elements).
+        """
+        p0, p1, p2, p3 = positions
+        w1, w2, w3 = twiddles
+        flops = 0
+
+        # load a (no twiddle)
+        kb.vloadq(10, rb=3, disp=pos(p0, blk))   # a.re
+        kb.vloadq(11, rb=4, disp=pos(p0, blk))   # a.im
+
+        def load_twiddled(dst_re, dst_im, p, w):
+            """dst = w * work[p] (complex scalar x vector)."""
+            nonlocal flops
+            kb.vloadq(26, rb=3, disp=pos(p, blk))   # x.re
+            kb.vloadq(27, rb=4, disp=pos(p, blk))   # x.im
+            if w == 1.0 + 0.0j:
+                kb.vvbis(dst_re, 26, 26)  # move
+                kb.vvbis(dst_im, 27, 27)
+                return
+            kb.vsmult(28, 26, imm=w.real)           # wr*xr
+            kb.vsmult(29, 27, imm=w.imag)           # wi*xi
+            kb.vvsubt(dst_re, 28, 29)               # re = wr*xr - wi*xi
+            kb.vsmult(28, 26, imm=w.imag)           # wi*xr
+            kb.vsmult(29, 27, imm=w.real)           # wr*xi
+            kb.vvaddt(dst_im, 28, 29)               # im = wi*xr + wr*xi
+            flops += 6 * 128
+
+        load_twiddled(12, 13, p1, w1)   # b
+        load_twiddled(14, 15, p2, w2)   # c
+        load_twiddled(16, 17, p3, w3)   # d
+
+        # t0 = a + c ; t1 = a - c ; t2 = b + d ; t3 = b - d
+        kb.vvaddt(18, 10, 14)   # t0.re
+        kb.vvaddt(19, 11, 15)   # t0.im
+        kb.vvsubt(20, 10, 14)   # t1.re
+        kb.vvsubt(21, 11, 15)   # t1.im
+        kb.vvaddt(22, 12, 16)   # t2.re
+        kb.vvaddt(23, 13, 17)   # t2.im
+        kb.vvsubt(24, 12, 16)   # t3.re
+        kb.vvsubt(25, 13, 17)   # t3.im
+        flops += 8 * 128
+
+        # y0 = t0 + t2 ; y2 = t0 - t2
+        kb.vvaddt(10, 18, 22)
+        kb.vvaddt(11, 19, 23)
+        kb.vstoreq(10, rb=3, disp=pos(p0, blk))
+        kb.vstoreq(11, rb=4, disp=pos(p0, blk))
+        kb.vvsubt(10, 18, 22)
+        kb.vvsubt(11, 19, 23)
+        kb.vstoreq(10, rb=3, disp=pos(p2, blk))
+        kb.vstoreq(11, rb=4, disp=pos(p2, blk))
+        # y1 = t1 - i*t3 = (t1.re + t3.im, t1.im - t3.re)
+        kb.vvaddt(10, 20, 25)
+        kb.vvsubt(11, 21, 24)
+        kb.vstoreq(10, rb=3, disp=pos(p1, blk))
+        kb.vstoreq(11, rb=4, disp=pos(p1, blk))
+        # y3 = t1 + i*t3 = (t1.re - t3.im, t1.im + t3.re)
+        kb.vvsubt(10, 20, 25)
+        kb.vvaddt(11, 21, 24)
+        kb.vstoreq(10, rb=3, disp=pos(p3, blk))
+        kb.vstoreq(11, rb=4, disp=pos(p3, blk))
+        flops += 8 * 128
+        return flops

@@ -1,0 +1,143 @@
+"""Random-access microkernels: RndCopy and RndMemScale (Table 2/4).
+
+* ``RndCopy`` — ``B(i) = A(index(i))``: a gather feeding a unit-stride
+  store, with every array prefetched into the L2 — it measures pure
+  CR-box gather bandwidth from cache (Table 4: 73.4 GB/s, ~4.3
+  addresses/cycle).
+* ``RndMemScale`` — ``B(index(i)) = B(index(i)) + 1``: gather + add +
+  scatter with all data coming from memory — it measures random RAMBUS
+  bandwidth, paying 2.5x the row activates of a streaming kernel.
+
+Indices are a random permutation so every element is touched exactly
+once (making the scatter well-defined and the numpy reference exact).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa.builder import KernelBuilder
+from repro.scalar.loopmodel import AccessPattern, MemStream, ScalarLoopBody
+from repro.workloads.base import Arena, Workload, WorkloadInstance
+
+RNDCOPY_BASE = 1 << 16       # elements at scale=1.0 (paper: 4 096 000)
+RNDMEMSCALE_BASE = 1 << 16   # paper: 512 000, all data from memory
+SEED = 0x7A7A
+
+
+def _permutation(n: int) -> np.ndarray:
+    return np.random.default_rng(SEED).permutation(n).astype(np.uint64)
+
+
+class RndCopy(Workload):
+    name = "rndcopy"
+    description = "B(i) = A(index(i)) — gather bandwidth from L2"
+    category = "MicroKernels"
+    inputs = "A,B=4096000 elements (scaled)"
+    comments = "Prefetched into L2"
+    uses_prefetch = True
+    paper_vectorization_pct = 99.9
+
+    def build(self, scale: float = 1.0) -> WorkloadInstance:
+        n = max(int(RNDCOPY_BASE * scale) // 128 * 128, 128)
+        arena = Arena()
+        a = arena.alloc_f64("A", n)
+        b = arena.alloc_f64("B", n)
+        idx_addr = arena.alloc("index", n * 8)
+        index = _permutation(n)
+        values = np.arange(n, dtype=np.float64) * 0.5 + 1.0
+
+        kb = KernelBuilder(self.name)
+        kb.lda(1, a)
+        kb.lda(2, b)
+        kb.lda(3, idx_addr)
+        kb.setvl(128)
+        kb.setvs(8)
+        for blk in range(n // 128):
+            off = blk * 128 * 8
+            kb.vloadq(4, rb=3, disp=off)       # index block
+            kb.vssll(5, 4, imm=3)              # byte offsets
+            kb.vgathq(6, 5, rb=1)              # A(index(i))
+            kb.vstoreq(6, rb=2, disp=off)      # B(i)
+
+        def setup(mem):
+            mem.write_f64(a, values)
+            mem.write_array(idx_addr, index)
+
+        def check(mem):
+            got = mem.read_f64(b, n)
+            np.testing.assert_allclose(got, values[index])
+
+        paper_elems = 4_096_000 * 8   # the paper's A/B footprint
+        loop = ScalarLoopBody(
+            name=self.name, flops=0.0, int_ops=3.0, loads=2.0, stores=1.0,
+            streams=[
+                MemStream("index", read_bytes_per_iter=8.0,
+                          footprint_bytes=paper_elems),
+                MemStream("A", read_bytes_per_iter=8.0,
+                          footprint_bytes=paper_elems,
+                          pattern=AccessPattern.RANDOM),
+                MemStream("B", write_bytes_per_iter=8.0,
+                          footprint_bytes=paper_elems,
+                          full_line_writes=True),
+            ],
+            iterations=n)
+
+        return WorkloadInstance(
+            name=self.name, program=kb.build(), scalar_loop=loop,
+            setup=setup, check=check,
+            workload_bytes=16 * n,  # 8 read + 8 written per element
+            warm_ranges=[(a, n * 8), (b, n * 8), (idx_addr, n * 8)])
+
+
+class RndMemScale(Workload):
+    name = "rndmemscale"
+    description = "B(index(i)) = B(index(i)) + 1 — random RAMBUS bandwidth"
+    category = "MicroKernels"
+    inputs = "B=512000 elements (scaled)"
+    comments = "All data from memory"
+    uses_prefetch = False
+    paper_vectorization_pct = 99.9
+
+    def build(self, scale: float = 1.0) -> WorkloadInstance:
+        n = max(int(RNDMEMSCALE_BASE * scale) // 128 * 128, 128)
+        arena = Arena()
+        b = arena.alloc_f64("B", n)
+        idx_addr = arena.alloc("index", n * 8)
+        index = _permutation(n)
+        values = np.linspace(0.0, 10.0, n)
+
+        kb = KernelBuilder(self.name)
+        kb.lda(1, b)
+        kb.lda(2, idx_addr)
+        kb.setvl(128)
+        kb.setvs(8)
+        for blk in range(n // 128):
+            off = blk * 128 * 8
+            kb.vloadq(4, rb=2, disp=off)         # index block
+            kb.vssll(5, 4, imm=3)                # byte offsets
+            kb.vgathq(6, 5, rb=1)                # B(index(i))
+            kb.vsaddt(7, 6, imm=1.0)             # + 1
+            kb.vscatq(7, 5, rb=1)                # B(index(i)) = ...
+
+        def setup(mem):
+            mem.write_f64(b, values)
+            mem.write_array(idx_addr, index)
+
+        def check(mem):
+            np.testing.assert_allclose(mem.read_f64(b, n), values + 1.0)
+
+        loop = ScalarLoopBody(
+            name=self.name, flops=1.0, int_ops=3.0, loads=2.0, stores=1.0,
+            streams=[
+                MemStream("index", read_bytes_per_iter=8.0, footprint_bytes=n * 8),
+                MemStream("B", read_bytes_per_iter=8.0,
+                          write_bytes_per_iter=8.0, footprint_bytes=n * 8,
+                          pattern=AccessPattern.RANDOM),
+            ],
+            iterations=n)
+
+        return WorkloadInstance(
+            name=self.name, program=kb.build(), scalar_loop=loop,
+            setup=setup, check=check,
+            workload_bytes=16 * n)

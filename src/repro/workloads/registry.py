@@ -1,0 +1,62 @@
+"""Workload registry: the Table 2 benchmark suite, by name.
+
+The registry is what the harness iterates to regenerate Figures 6-9.
+``FIGURE_SUITE`` lists the benchmarks the paper's bar charts show;
+``swim.untiled`` participates only in the section-6 tiling ablation.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.algebra import DGEMM, DTRMM
+from repro.workloads.base import Workload
+from repro.workloads.ccradix import CCRadix
+from repro.workloads.fft import BatchFFT
+from repro.workloads.lu import LU, Linpack100, LinpackTPP
+from repro.workloads.moldyn import Moldyn
+from repro.workloads.random_access import RndCopy, RndMemScale
+from repro.workloads.sparse import SparseMxV
+from repro.workloads.specfp import ArtSurrogate, SixtrackSurrogate, \
+    SwimSurrogate
+from repro.workloads.streams import StreamsAdd, StreamsCopy, StreamsScale, \
+    StreamsTriad
+
+
+def _build_registry() -> dict[str, Workload]:
+    workloads = [
+        StreamsCopy(), StreamsScale(), StreamsAdd(), StreamsTriad(),
+        RndCopy(), RndMemScale(),
+        SwimSurrogate(tiled=True), SwimSurrogate(tiled=False),
+        ArtSurrogate(), SixtrackSurrogate(),
+        DGEMM(), DTRMM(), SparseMxV(), BatchFFT(),
+        LU(), Linpack100(), LinpackTPP(),
+        Moldyn(),
+        CCRadix(),
+    ]
+    return {w.name: w for w in workloads}
+
+
+#: every benchmark, keyed by name
+REGISTRY: dict[str, Workload] = _build_registry()
+
+#: the application benchmarks plotted in Figures 6-8 (paper order)
+FIGURE_SUITE: tuple[str, ...] = (
+    "swim", "art", "sixtrack",
+    "dgemm", "dtrmm", "sparsemxv", "fft", "lu",
+    "linpack100", "linpacktpp",
+    "moldyn", "ccradix",
+)
+
+#: the memory-system microkernels of Table 4
+TABLE4_SUITE: tuple[str, ...] = (
+    "streams.copy", "streams.scale", "streams.add", "streams.triad",
+    "rndcopy", "rndmemscale",
+)
+
+
+def get(name: str) -> Workload:
+    """Look up one workload by its Table 2 name."""
+    try:
+        return REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(REGISTRY))
+        raise KeyError(f"unknown workload {name!r}; known: {known}") from None

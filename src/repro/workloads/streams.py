@@ -1,0 +1,178 @@
+"""STREAMS microkernels: Copy, Scale, Add, Triad (Table 2 / Table 4).
+
+McCalpin's four loops, hand-vectorized.  Every store overwrites whole
+cache lines, so the pump-store path takes the directory-transition
+allocation (the ``wh64`` accounting of section 6); software prefetch
+runs two 128-element blocks ahead, as the paper's "Pref? yes" column
+indicates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa.builder import KernelBuilder
+from repro.scalar.loopmodel import MemStream, ScalarLoopBody
+from repro.workloads.base import Arena, Workload, WorkloadInstance
+
+#: elements per array at scale=1.0
+BASE_ELEMENTS = 1 << 18
+#: software prefetch distance in 128-element blocks
+PREFETCH_BLOCKS = 2
+
+SCALE_FACTOR = 3.0
+
+
+class _StreamsKernel(Workload):
+    """Common scaffolding for the four STREAMS loops."""
+
+    category = "MicroKernels"
+    inputs = "Reference"
+    comments = "Padding=65856 bytes"
+    uses_prefetch = True
+    uses_drainm = False
+    paper_vectorization_pct = 99.5
+
+    #: subclasses fill these
+    reads: tuple[str, ...] = ()
+    writes: tuple[str, ...] = ()
+    flops_per_element: int = 0
+
+    def _elements(self, scale: float) -> int:
+        n = max(int(BASE_ELEMENTS * scale), 128)
+        return (n // 128) * 128
+
+    def _emit_block(self, kb: KernelBuilder, regs: dict[str, int],
+                    off: int) -> None:
+        raise NotImplementedError
+
+    def _reference(self, a, b, c):
+        raise NotImplementedError
+
+    def build(self, scale: float = 1.0) -> WorkloadInstance:
+        n = self._elements(scale)
+        arena = Arena()
+        addr = {name: arena.alloc_f64(name, n) for name in ("a", "b", "c")}
+        regs = {"a": 1, "b": 2, "c": 3}
+
+        kb = KernelBuilder(self.name)
+        for name, reg in regs.items():
+            kb.lda(reg, addr[name])
+        kb.setvl(128)
+        kb.setvs(8)
+        blocks = n // 128
+        for blk in range(blocks):
+            off = blk * 128 * 8
+            pf_blk = blk + PREFETCH_BLOCKS
+            if pf_blk < blocks:
+                for name in self.reads:
+                    kb.vprefetch(regs[name], disp=pf_blk * 128 * 8)
+            self._emit_block(kb, regs, off)
+
+        a0 = np.sin(np.arange(n) * 0.1) + 1.5
+        b0 = np.cos(np.arange(n) * 0.05) + 2.0
+        c0 = np.linspace(0.5, 1.5, n)
+
+        def setup(mem):
+            mem.write_f64(addr["a"], a0)
+            mem.write_f64(addr["b"], b0)
+            mem.write_f64(addr["c"], c0)
+
+        def check(mem):
+            expect = {"a": a0.copy(), "b": b0.copy(), "c": c0.copy()}
+            self._reference(expect["a"], expect["b"], expect["c"])
+            for name in self.writes + self.reads:
+                got = mem.read_f64(addr[name], n)
+                np.testing.assert_allclose(got, expect[name], rtol=1e-12,
+                                           err_msg=f"array {name}")
+
+        # the scalar baseline is evaluated in the paper's regime: STREAMS
+        # arrays (2M elements) never fit any cache
+        paper_footprint = 2_000_000 * 8
+        streams = []
+        for name in self.reads:
+            streams.append(MemStream(name, read_bytes_per_iter=8.0,
+                                     footprint_bytes=paper_footprint))
+        for name in self.writes:
+            streams.append(MemStream(name, write_bytes_per_iter=8.0,
+                                     footprint_bytes=paper_footprint,
+                                     full_line_writes=True))
+        loop = ScalarLoopBody(
+            name=self.name,
+            flops=float(self.flops_per_element),
+            int_ops=2.0, loads=float(len(self.reads)),
+            stores=float(len(self.writes)),
+            prefetches=float(len(self.reads)) / 8.0,  # one per line
+            streams=streams, iterations=n)
+
+        return WorkloadInstance(
+            name=self.name, program=kb.build(), scalar_loop=loop,
+            setup=setup, check=check,
+            workload_bytes=(len(self.reads) + len(self.writes)) * 8 * n,
+            flops_expected=self.flops_per_element * n)
+
+
+class StreamsCopy(_StreamsKernel):
+    name = "streams.copy"
+    description = "STREAMS Copy kernel: c(i) = a(i)"
+    reads = ("a",)
+    writes = ("c",)
+    flops_per_element = 0
+
+    def _emit_block(self, kb, regs, off):
+        kb.vloadq(4, rb=regs["a"], disp=off)
+        kb.vstoreq(4, rb=regs["c"], disp=off)
+
+    def _reference(self, a, b, c):
+        c[:] = a
+
+
+class StreamsScale(_StreamsKernel):
+    name = "streams.scale"
+    description = "STREAMS Scale kernel: b(i) = s * c(i)"
+    reads = ("c",)
+    writes = ("b",)
+    flops_per_element = 1
+
+    def _emit_block(self, kb, regs, off):
+        kb.vloadq(4, rb=regs["c"], disp=off)
+        kb.vsmult(5, 4, imm=SCALE_FACTOR)
+        kb.vstoreq(5, rb=regs["b"], disp=off)
+
+    def _reference(self, a, b, c):
+        b[:] = SCALE_FACTOR * c
+
+
+class StreamsAdd(_StreamsKernel):
+    name = "streams.add"
+    description = "STREAMS Add kernel: c(i) = a(i) + b(i)"
+    reads = ("a", "b")
+    writes = ("c",)
+    flops_per_element = 1
+
+    def _emit_block(self, kb, regs, off):
+        kb.vloadq(4, rb=regs["a"], disp=off)
+        kb.vloadq(5, rb=regs["b"], disp=off)
+        kb.vvaddt(6, 4, 5)
+        kb.vstoreq(6, rb=regs["c"], disp=off)
+
+    def _reference(self, a, b, c):
+        c[:] = a + b
+
+
+class StreamsTriad(_StreamsKernel):
+    name = "streams.triad"
+    description = "STREAMS Triad kernel: a(i) = b(i) + s * c(i)"
+    reads = ("b", "c")
+    writes = ("a",)
+    flops_per_element = 2
+
+    def _emit_block(self, kb, regs, off):
+        kb.vloadq(4, rb=regs["b"], disp=off)
+        kb.vloadq(5, rb=regs["c"], disp=off)
+        kb.vsmult(6, 5, imm=SCALE_FACTOR)
+        kb.vvaddt(7, 4, 6)
+        kb.vstoreq(7, rb=regs["a"], disp=off)
+
+    def _reference(self, a, b, c):
+        a[:] = b + SCALE_FACTOR * c

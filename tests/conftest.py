@@ -1,0 +1,22 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.core.functional import FunctionalSimulator
+from repro.mem.memory import MainMemory
+
+
+@pytest.fixture
+def mem():
+    return MainMemory()
+
+
+@pytest.fixture
+def sim():
+    return FunctionalSimulator()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0xA1FA)

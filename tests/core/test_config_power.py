@@ -1,0 +1,103 @@
+"""Table 3 configurations and the Table 1 power model."""
+
+import pytest
+
+from repro.core.config import (
+    CONFIGURATIONS,
+    ev8,
+    ev8_plus,
+    tarantula,
+    tarantula10,
+    tarantula4,
+    tarantula_no_pump,
+)
+from repro.core.power import (
+    cmp_ev8_model,
+    gflops_per_watt_advantage,
+    table1_rows,
+    tarantula_model,
+)
+
+
+class TestTable3Configs:
+    def test_frequencies_derive_from_rambus_ratio(self):
+        assert tarantula().core_ghz == pytest.approx(2.13, abs=0.01)
+        assert tarantula4().core_ghz == pytest.approx(4.8, abs=0.01)
+        assert tarantula10().core_ghz == pytest.approx(10.66, abs=0.01)
+
+    def test_rambus_bandwidths_match_table3(self):
+        assert ev8().rambus_gbs == pytest.approx(16.6, abs=0.1)
+        assert ev8_plus().rambus_gbs == pytest.approx(66.6, abs=0.1)
+        assert tarantula().rambus_gbs == pytest.approx(66.6, abs=0.1)
+        assert tarantula4().rambus_gbs == pytest.approx(75.0, abs=0.1)
+        assert tarantula10().rambus_gbs == pytest.approx(83.3, abs=0.1)
+
+    def test_l2_bandwidth_rows(self):
+        # Table 3 L2 BW: 273 GB/s for EV8/EV8+, 1091 for T, 2457 for T4
+        assert ev8().l2_bytes_per_cycle * ev8().core_ghz == \
+            pytest.approx(273, rel=0.01)
+        t = tarantula()
+        assert t.l2_bytes_per_cycle * t.core_ghz == pytest.approx(1091, rel=0.01)
+        t4 = tarantula4()
+        assert t4.l2_bytes_per_cycle * t4.core_ghz == pytest.approx(2458, rel=0.01)
+
+    def test_l2_sizes(self):
+        assert ev8().l2_bytes == 4 << 20
+        assert ev8_plus().l2_bytes == 16 << 20
+        assert tarantula().l2_bytes == 16 << 20
+
+    def test_load_to_use_latencies(self):
+        t = tarantula()
+        assert (t.l2_scalar_load_use, t.l2_stride1_load_use,
+                t.l2_odd_stride_load_use) == (28.0, 34.0, 38.0)
+        assert ev8().l2_scalar_load_use == 12.0
+
+    def test_peak_operations_per_cycle_is_104(self):
+        """Section 1: 32 arithmetic + 32 loads + 32 stores + 8 scalar."""
+        assert tarantula().peak_operations_per_cycle == 104
+        assert ev8().peak_operations_per_cycle == 8
+
+    def test_peak_flop_ratio_is_8x(self):
+        assert tarantula().peak_gflops / ev8().peak_gflops == pytest.approx(8.0)
+
+    def test_no_pump_variant(self):
+        assert not tarantula_no_pump().pump_enabled
+        assert tarantula().pump_enabled
+
+    def test_registry_complete(self):
+        assert set(CONFIGURATIONS) == {"EV8", "EV8+", "T", "T4", "T10",
+                                       "T-nopump"}
+
+
+class TestTable1Power:
+    def test_total_watts_match_paper(self):
+        assert cmp_ev8_model().total_watts == pytest.approx(128.0, abs=0.2)
+        assert tarantula_model().total_watts == pytest.approx(143.7, abs=0.2)
+
+    def test_peak_gflops(self):
+        assert cmp_ev8_model().peak_gflops == pytest.approx(20.0)
+        assert tarantula_model().peak_gflops == pytest.approx(80.0)
+
+    def test_gflops_per_watt(self):
+        assert cmp_ev8_model().gflops_per_watt == pytest.approx(0.16, abs=0.01)
+        assert tarantula_model().gflops_per_watt == pytest.approx(0.55, abs=0.01)
+
+    def test_headline_advantage(self):
+        """Section 5: 'Tarantula is 3.4X better in terms of Gflops/Watt'."""
+        assert gflops_per_watt_advantage() == pytest.approx(3.4, abs=0.25)
+
+    def test_fmac_doubles_the_rate(self):
+        """Section 5: FMAC units 'could double this rate'."""
+        assert gflops_per_watt_advantage(fmac=True) == \
+            pytest.approx(2 * gflops_per_watt_advantage(), rel=0.01)
+
+    def test_die_areas(self):
+        assert cmp_ev8_model().die_area_mm2 == 250.0
+        assert tarantula_model().die_area_mm2 == 286.0
+
+    def test_table_rows_regenerate(self):
+        rows = table1_rows()
+        assert rows["Vbox"]["t_watts"] == 30.9
+        assert rows["Vbox"]["cmp_watts"] is None
+        assert rows["Total"]["t_watts"] == pytest.approx(143.7, abs=0.15)
+        assert rows["Gflops/Watt"]["cmp_watts"] == pytest.approx(0.16, abs=0.01)

@@ -1,0 +1,111 @@
+"""Operation accounting: the Figure-6 categories, and TimingResult math."""
+
+import numpy as np
+import pytest
+
+from repro.core.functional import FunctionalSimulator, OperationCounts
+from repro.core.metrics import TimingResult
+from repro.isa.builder import KernelBuilder
+from repro.isa.instructions import Instruction
+
+
+class TestOperationCounts:
+    def _run(self, build):
+        sim = FunctionalSimulator()
+        kb = KernelBuilder()
+        build(kb)
+        sim.run(kb.build())
+        return sim.counts
+
+    def test_flops_count_active_elements(self):
+        counts = self._run(lambda kb: (kb.setvl(100),
+                                       kb.vvaddt(3, 1, 2)))
+        assert counts.flops == 100
+
+    def test_integer_vector_ops_count_as_other(self):
+        counts = self._run(lambda kb: (kb.setvl(128),
+                                       kb.vvaddq(3, 1, 2)))
+        assert counts.other >= 128
+        assert counts.flops == 0
+
+    def test_memory_elements(self):
+        def build(kb):
+            kb.lda(1, 0x1000)
+            kb.setvl(64)
+            kb.setvs(8)
+            kb.vloadq(2, rb=1)
+            kb.vstoreq(2, rb=1)
+        counts = self._run(build)
+        assert counts.memory_elements == 128  # 64 loaded + 64 stored
+
+    def test_prefetches_do_not_count_as_work(self):
+        def build(kb):
+            kb.lda(1, 0x1000)
+            kb.setvl(128)
+            kb.setvs(8)
+            kb.vprefetch(1)
+        counts = self._run(build)
+        assert counts.memory_elements == 0
+        assert counts.prefetch_elements == 128
+
+    def test_masked_ops_count_only_active(self):
+        sim = FunctionalSimulator()
+        vm = np.zeros(128, dtype=bool)
+        vm[:32] = True
+        sim.state.ctrl.set_vm(vm)
+        sim.step(Instruction("vvaddt", va=1, vb=2, vd=3, masked=True))
+        assert sim.counts.flops == 32
+
+    def test_scalar_instructions_counted(self):
+        counts = self._run(lambda kb: (kb.lda(1, 0), kb.addq(2, 1, imm=1)))
+        assert counts.scalar_instructions == 2
+        assert counts.other == 2
+
+    def test_vectorization_percent(self):
+        counts = OperationCounts(flops=900, memory_elements=50, other=50,
+                                 scalar_instructions=50)
+        assert counts.vectorization_percent == pytest.approx(95.0)
+
+    def test_by_tag_accounting(self):
+        sim = FunctionalSimulator()
+        kb = KernelBuilder()
+        kb.setvl(128)
+        kb.tag("compute")
+        kb.vvaddt(3, 1, 2)
+        sim.run(kb.build())
+        assert sim.counts.by_tag["compute"] == 128
+
+
+class TestTimingResult:
+    def _result(self, **kw):
+        counts = OperationCounts(flops=1000, memory_elements=2000,
+                                 other=100, scalar_instructions=100)
+        defaults = dict(config_name="T", kernel="k", cycles=100.0,
+                        counts=counts, core_ghz=2.0)
+        defaults.update(kw)
+        return TimingResult(**defaults)
+
+    def test_rates(self):
+        r = self._result()
+        assert r.opc == pytest.approx(31.0)
+        assert r.fpc == pytest.approx(10.0)
+        assert r.mpc == pytest.approx(20.0)
+        assert r.other_pc == pytest.approx(1.0)
+
+    def test_seconds_and_bandwidth(self):
+        r = self._result(workload_bytes=4000, mem_raw_bytes=6000)
+        assert r.seconds == pytest.approx(100 / 2.0e9)
+        assert r.streams_mbytes_per_s == pytest.approx(
+            4000 / r.seconds / 1e6)
+        assert r.raw_mbytes_per_s == pytest.approx(6000 / r.seconds / 1e6)
+
+    def test_gflops(self):
+        r = self._result()
+        assert r.gflops == pytest.approx(1000 / (100 / 2.0e9) / 1e9)
+
+    def test_zero_cycles_safe(self):
+        r = self._result(cycles=0.0)
+        assert r.opc == 0.0 and r.seconds == 0.0
+
+    def test_summary_text(self):
+        assert "OPC" in self._result().summary()

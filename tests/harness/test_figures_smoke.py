@@ -1,0 +1,43 @@
+"""Figure generators: smoke tests on small kernel subsets."""
+
+import pytest
+
+from repro.harness.figures import (
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    scale_for,
+)
+
+SUBSET = ("streams.copy", "art")
+
+
+class TestFigureGenerators:
+    def test_figure6_subset(self):
+        rows = figure6(kernels=SUBSET, quick=True)
+        assert set(rows) == set(SUBSET)
+        for row in rows.values():
+            assert row.opc > 0
+            assert row.opc == pytest.approx(
+                row.fpc + row.mpc + row.other, rel=0.01)
+
+    def test_figure7_subset(self):
+        rows = figure7(kernels=SUBSET, quick=True)
+        for row in rows.values():
+            assert row.speedup_tarantula > 0
+            assert row.speedup_ev8_plus > 0
+
+    def test_figure8_subset(self):
+        rows = figure8(kernels=("art",), quick=True)
+        row = rows["art"]
+        assert row.speedup_t10 >= row.speedup_t4 * 0.9
+
+    def test_figure9_subset(self):
+        rows = figure9(kernels=("streams.copy",), quick=True)
+        assert rows["streams.copy"].relative_performance <= 1.05
+
+    def test_scale_for_quick_factor(self):
+        assert scale_for("dgemm", quick=True) == \
+            pytest.approx(scale_for("dgemm") * 0.25)
+        assert scale_for("unknown-kernel") == 1.0

@@ -1,0 +1,77 @@
+"""Harness smoke tests: runner plumbing, tables, renderers."""
+
+import pytest
+
+from repro.harness.runner import run, run_scalar, run_tarantula, speedup
+from repro.harness import report
+from repro.harness.tables import power_summary, table1, table3
+from repro.workloads.registry import get
+
+
+class TestRunner:
+    def test_run_by_name_routes_to_vector_machine(self):
+        out = run("streams.triad", "T", scale=0.05, check=True)
+        assert out.config_name == "T"
+        assert out.verified
+        assert out.opc > 0
+
+    def test_run_by_name_routes_to_scalar_machine(self):
+        out = run("streams.triad", "EV8", scale=0.05)
+        assert out.config_name == "EV8"
+        assert out.cycles > 0
+
+    def test_timing_run_verifies_output(self):
+        # check=True raises if the timing co-simulation corrupted state
+        run_tarantula(get("dgemm"), "T", 0.05, check=True)
+
+    def test_speedup_helper(self):
+        a = run("streams.triad", "EV8", scale=0.05)
+        b = run("streams.triad", "T", scale=0.05)
+        assert speedup("t", a, b) == pytest.approx(a.seconds / b.seconds)
+
+    def test_shared_instance_reuse(self):
+        inst = get("streams.copy").build(0.05)
+        t = run_tarantula(get("streams.copy"), "T", instance=inst,
+                          check=False)
+        e = run_scalar(get("streams.copy"), "EV8", instance=inst)
+        assert t.kernel == e.kernel == "streams.copy"
+
+
+class TestTables:
+    def test_table1_has_all_blocks(self):
+        rows = table1()
+        assert "Vbox" in rows and "L2 cache" in rows
+        assert "Gflops/Watt" in rows
+
+    def test_table3_matches_paper_grid(self):
+        rows = table3()
+        assert rows["T"]["peak_ops_per_cycle"] == 104
+        assert rows["EV8"]["l2_mbytes"] == 4
+        assert rows["T4"]["core_ghz"] == 4.8
+        assert rows["T10"]["rambus_gbytes_per_s"] == pytest.approx(83.3)
+
+    def test_power_summary(self):
+        summary = power_summary()
+        assert summary["advantage"] == pytest.approx(3.4, abs=0.25)
+
+
+class TestRenderers:
+    def test_render_table1(self):
+        text = report.render_table1(table1())
+        assert "Tarantula" in text and "Vbox" in text
+
+    def test_render_table3(self):
+        text = report.render_table3(table3())
+        assert "core_ghz" in text
+
+    def test_render_figure6_shape(self):
+        from repro.harness.figures import Figure6Row
+        rows = {"dgemm": Figure6Row("dgemm", 30.0, 25.0, 4.0, 1.0)}
+        text = report.render_figure6(rows)
+        assert "dgemm" in text and "paper" in text
+
+    def test_render_figure7_average_line(self):
+        from repro.harness.figures import Figure7Row
+        rows = {"x": Figure7Row("x", 1.2, 6.0)}
+        text = report.render_figure7(rows)
+        assert "average" in text

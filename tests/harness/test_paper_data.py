@@ -1,0 +1,36 @@
+"""Sanity of the transcribed paper data used for comparisons."""
+
+from repro.harness import paper_data
+from repro.workloads.registry import FIGURE_SUITE, TABLE4_SUITE
+
+
+def test_table4_covers_the_suite():
+    assert set(paper_data.TABLE4) == set(TABLE4_SUITE)
+    for name, row in paper_data.TABLE4.items():
+        assert row["streams"] > 0
+        assert row["raw"] is None or row["raw"] >= row["streams"]
+
+
+def test_figure_readings_cover_the_suite():
+    assert set(paper_data.FIGURE6_OPC) == set(FIGURE_SUITE)
+    assert set(paper_data.FIGURE7_SPEEDUP_T) == set(FIGURE_SUITE)
+
+
+def test_opc_readings_within_machine_peak():
+    """Bar readings must respect the 104-op/cycle hardware ceiling and
+    the paper's stated 10-to-50 range."""
+    values = paper_data.FIGURE6_OPC.values()
+    assert all(5 <= v <= 50 for v in values)
+
+
+def test_speedups_positive_and_bounded():
+    for v in paper_data.FIGURE7_SPEEDUP_T.values():
+        assert 1.0 < v <= 20.0
+
+
+def test_claims_consistent():
+    claims = paper_data.CLAIMS
+    assert claims["peak_flop_ratio"] == 8.0
+    assert claims["peak_operations_per_cycle"] == 104
+    # "almost 3X" for radix and the 15-OPC figure come as a pair
+    assert claims["ccradix_speedup"] < claims["average_speedup_over_ev8"]

@@ -1,0 +1,22 @@
+"""Sensitivity-sweep utilities (small, fast configurations)."""
+
+from repro.harness.sweeps import (
+    render_sweep,
+    sweep_cr_cost,
+    sweep_maf_entries,
+)
+
+
+def test_maf_sweep_monotone_improvement():
+    curve = sweep_maf_entries(values=(2, 32), scale=0.1)
+    assert curve[2] >= curve[32]
+
+
+def test_cr_sweep_monotone_cost():
+    curve = sweep_cr_cost(values=(1.0, 8.0), scale=0.1)
+    assert curve[8.0] > curve[1.0]
+
+
+def test_render_sweep_text():
+    text = render_sweep("demo", {1: 100.0, 2: 200.0}, " u")
+    assert "demo" in text and "2.00x" in text

@@ -1,0 +1,53 @@
+"""Pipeline-trace facility tests."""
+
+from repro.harness.trace import critical_summary, render_gantt, trace_program
+from repro.isa.builder import KernelBuilder
+
+
+def _program():
+    kb = KernelBuilder("traced")
+    kb.lda(1, 0x100000)
+    kb.setvl(128)
+    kb.setvs(8)
+    for blk in range(4):
+        kb.vloadq(2, rb=1, disp=blk * 1024)
+        kb.vvaddt(3, 2, 2)
+        kb.vstoreq(3, rb=1, disp=0x8000 + blk * 1024)
+    return kb.build()
+
+
+class TestTraceProgram:
+    def test_every_instruction_recorded(self):
+        entries, cycles = trace_program(_program())
+        assert len(entries) == len(_program())
+        assert cycles >= max(e.complete for e in entries) - 1e-9
+
+    def test_dispatch_before_completion(self):
+        entries, _ = trace_program(_program())
+        for e in entries:
+            assert e.complete >= e.dispatch
+
+    def test_warm_ranges_reduce_latency(self):
+        cold, _ = trace_program(_program())
+        warm, _ = trace_program(_program(),
+                                warm_ranges=[(0x100000, 1 << 16)])
+        cold_load = next(e for e in cold if "vloadq" in e.text)
+        warm_load = next(e for e in warm if "vloadq" in e.text)
+        assert warm_load.latency < cold_load.latency
+
+
+class TestRendering:
+    def test_gantt_contains_bars(self):
+        entries, _ = trace_program(_program())
+        chart = render_gantt(entries)
+        assert "#" in chart
+        assert "vloadq" in chart
+
+    def test_empty_window(self):
+        assert "empty" in render_gantt([], start=100)
+
+    def test_critical_summary_sorted(self):
+        entries, _ = trace_program(_program())
+        hot = critical_summary(entries, top=3)
+        assert len(hot) == 3
+        assert hot[0].latency >= hot[1].latency >= hot[2].latency

@@ -1,0 +1,105 @@
+"""Integration: the paper's headline claims, checked end to end.
+
+These run the actual timing simulator across machines and assert the
+*shape* of the published results — who wins, by roughly what factor —
+per DESIGN.md's reproduction criteria.  Scales are kept small enough
+for CI (the full-size numbers live in the benchmark harness and
+EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.harness.figures import tiling_ablation
+from repro.harness.runner import run_scalar, run_tarantula
+from repro.workloads.registry import get
+
+
+def _speedup(name, scale):
+    workload = get(name)
+    inst = workload.build(scale)
+    t = run_tarantula(workload, "T", instance=inst, check=False)
+    e8 = run_scalar(workload, "EV8", instance=inst)
+    return e8.seconds / t.seconds, t
+
+
+class TestHeadlineClaims:
+    def test_tarantula_beats_ev8_on_dense_kernels(self):
+        """Abstract: 'an average speedup of 5X over EV8'."""
+        speedups = []
+        for name, scale in (("dgemm", 0.25), ("sixtrack", 0.5),
+                            ("swim", 0.5), ("lu", 0.25)):
+            s, _ = _speedup(name, scale)
+            speedups.append(s)
+            assert s > 2.0, f"{name} speedup only {s:.2f}"
+        assert sum(speedups) / len(speedups) > 4.0
+
+    def test_gather_scatter_kernel_speedup_modest_but_real(self):
+        """Abstract: radix sort 'a speedup of almost 3X over EV8'."""
+        s, t = _speedup("ccradix", 2.0)
+        # the paper reports 2.9x; our CR-box calibration (tied to Table
+        # 4's RndCopy rate) lands lower but Tarantula still wins --
+        # EXPERIMENTS.md discusses the gap
+        assert 1.0 < s < 8.0
+        assert t.opc > 8.0   # the '15 sustained operations/cycle' regime
+
+    def test_several_benchmarks_exceed_20_opc(self):
+        """Abstract: 'Several benchmarks exceed 20 operations/cycle.'"""
+        over20 = 0
+        for name, scale in (("dgemm", 0.25), ("fft", 0.5),
+                            ("sixtrack", 0.5), ("linpacktpp", 0.25)):
+            out = run_tarantula(get(name), "T", scale, check=False)
+            if out.opc > 20:
+                over20 += 1
+        assert over20 >= 3
+
+    def test_vector_wins_come_from_vectors_not_memory_system(self):
+        """Figure 7's EV8+ bars: the better memory system alone does not
+        explain the speedup — 'it's the use of vector instructions'."""
+        workload = get("dgemm")
+        inst = workload.build(0.25)
+        ev8 = run_scalar(workload, "EV8", instance=inst)
+        ev8p = run_scalar(workload, "EV8+", instance=inst)
+        t = run_tarantula(workload, "T", instance=inst, check=False)
+        assert ev8.seconds / ev8p.seconds < 1.5
+        assert ev8.seconds / t.seconds > 4.0
+
+
+class TestMicroArchClaims:
+    def test_swim_tiling_ablation(self):
+        """Section 6: the non-tiled swim 'was almost 2X slower'."""
+        result = tiling_ablation(quick=True)
+        assert result["slowdown"] > 1.2
+
+    def test_pump_matters_for_stride1_heavy_kernels(self):
+        """Figure 9: disabling the pump slows stride-1-heavy codes."""
+        for name, scale, bound in (("swim.untiled", 0.5, 0.95),
+                                   ("ccradix", 1.0, 0.99)):
+            workload = get(name)
+            base = run_tarantula(workload, "T", scale, check=False)
+            nopump = run_tarantula(workload, "T-nopump", scale, check=False)
+            rel = base.seconds / nopump.seconds
+            assert rel < bound, f"{name}: pump made no difference ({rel:.2f})"
+
+    def test_frequency_scaling_splits_by_memory_boundedness(self):
+        """Figure 8: cache-resident codes scale with frequency, memory-
+        bound ones barely move."""
+        cached = get("dgemm")
+        bound = get("streams.triad")
+        c_t = run_tarantula(cached, "T", 0.25, check=False)
+        c_t4 = run_tarantula(cached, "T4", 0.25, check=False)
+        m_t = run_tarantula(bound, "T", 0.25, check=False)
+        m_t4 = run_tarantula(bound, "T4", 0.25, check=False)
+        cached_scaling = c_t.seconds / c_t4.seconds
+        memory_scaling = m_t.seconds / m_t4.seconds
+        assert cached_scaling > memory_scaling
+        assert cached_scaling > 1.5
+        assert memory_scaling < 1.6
+
+
+class TestTimingFunctionalAgreement:
+    @pytest.mark.parametrize("name,scale", [("fft", 0.5), ("moldyn", 0.25),
+                                            ("ccradix", 0.25)])
+    def test_timing_cosimulation_preserves_results(self, name, scale):
+        """The timing simulator must produce bit-identical architectural
+        results to the functional simulator (co-simulation check)."""
+        run_tarantula(get(name), "T", scale, check=True)

@@ -1,0 +1,122 @@
+"""Text assembler: syntax, binding, round trips, error reporting."""
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.isa.assembler import assemble, disassemble
+
+
+class TestBasicSyntax:
+    def test_operate_dest_last(self):
+        prog = assemble("vvaddt v1, v2, v3")
+        instr = prog[0]
+        assert (instr.va, instr.vb, instr.vd) == (1, 2, 3)
+
+    def test_vs_with_float_immediate(self):
+        instr = assemble("vsmult v1, #2.5, v4")[0]
+        assert instr.imm == 2.5 and instr.vd == 4
+
+    def test_vs_with_scalar_register(self):
+        instr = assemble("vsaddq v1, r7, v2")[0]
+        assert instr.ra == 7
+
+    def test_memory_operands(self):
+        instr = assemble("vloadq v0, 16(r1)")[0]
+        assert (instr.vd, instr.disp, instr.rb) == (0, 16, 1)
+        instr = assemble("vstoreq v2, -8(r3)")[0]
+        assert (instr.va, instr.disp, instr.rb) == (2, -8, 3)
+
+    def test_gather_scatter(self):
+        g = assemble("vgathq v1, v2, 0(r3)")[0]
+        assert (g.vd, g.vb, g.rb) == (1, 2, 3)
+        s = assemble("vscatq v1, v2, 0(r3)")[0]
+        assert (s.va, s.vb, s.rb) == (1, 2, 3)
+
+    def test_masked_qualifier(self):
+        instr = assemble("vvaddt v1, v2, v3 /m")[0]
+        assert instr.masked
+
+    def test_comments_and_blank_lines(self):
+        prog = assemble("""
+        ; header comment
+        setvl #128   ; trailing comment
+
+        setvs #8
+        """)
+        assert len(prog) == 2
+
+    def test_hex_immediates(self):
+        instr = assemble("lda r1, #0x1000")[0]
+        assert instr.imm == 0x1000
+
+    def test_bare_integer_immediate(self):
+        instr = assemble("lda r1, 4096")[0]
+        assert instr.imm == 4096
+
+    def test_control_ops(self):
+        prog = assemble("""
+        setvm v8
+        viota v3
+        vextq v1, #5, r2
+        vsumt v4, r6
+        drainm
+        """)
+        assert [i.op for i in prog] == ["setvm", "viota", "vextq",
+                                        "vsumt", "drainm"]
+
+    def test_scalar_ops(self):
+        prog = assemble("""
+        addq r1, #8, r2
+        mulq r2, r3, r4
+        ldq r5, 0(r1)
+        stq r5, 8(r1)
+        wh64 0(r2)
+        """)
+        assert len(prog) == 5
+        assert prog[1].rb == 3
+
+
+class TestErrors:
+    def test_unknown_mnemonic_reports_line(self):
+        with pytest.raises(AssemblerError, match="line 2"):
+            assemble("setvl #1\nbogus v1, v2, v3")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblerError):
+            assemble("vvaddt v1, v2")
+
+    def test_wrong_operand_kind(self):
+        with pytest.raises(AssemblerError):
+            assemble("vvaddt v1, v2, r3")
+
+    def test_bad_token(self):
+        with pytest.raises(AssemblerError):
+            assemble("vloadq v0, fish(r1)")
+
+    def test_masked_scalar_rejected(self):
+        with pytest.raises(Exception):
+            assemble("addq r1, #1, r2 /m")
+
+
+class TestRoundTrip:
+    SOURCE = """
+    setvl #128
+    setvs #8
+    lda r1, #65536
+    vloadq v0, 0(r1)
+    vsmult v0, #3.0, v1
+    vvaddt v0, v1, v2
+    vstoreq v2, 128(r1) /m
+    vgathq v3, v0, 0(r1)
+    vscatq v3, v0, 0(r1)
+    vsumt v2, r5
+    drainm
+    """
+
+    def test_disassemble_reassembles_identically(self):
+        prog = assemble(self.SOURCE)
+        text = disassemble(prog)
+        prog2 = assemble(text)
+        assert [str(a) for a in prog] == [str(b) for b in prog2]
+        for a, b in zip(prog, prog2):
+            assert a.op == b.op and a.masked == b.masked

@@ -1,0 +1,97 @@
+"""KernelBuilder DSL and Program container."""
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.isa.builder import KernelBuilder
+from repro.isa.instructions import Group
+from repro.isa.program import Program
+
+
+class TestBuilder:
+    def test_generated_operate_methods_exist(self):
+        kb = KernelBuilder()
+        kb.vvaddt(3, 1, 2)
+        kb.vsmulq(4, 3, imm=2)
+        kb.vsqrtt(5, 4)
+        assert [i.op for i in kb.program] == ["vvaddt", "vsmulq", "vsqrtt"]
+
+    def test_operate_method_operand_order_dest_first(self):
+        kb = KernelBuilder()
+        instr = kb.vvsubt(7, 1, 2)
+        assert (instr.vd, instr.va, instr.vb) == (7, 1, 2)
+
+    def test_vs_requires_scalar(self):
+        kb = KernelBuilder()
+        with pytest.raises(ProgramError):
+            kb.vsaddt(1, 2)
+
+    def test_prefetch_aliases(self):
+        kb = KernelBuilder()
+        assert kb.vprefetch(1).is_prefetch
+        assert kb.vgath_prefetch(2, 1).is_prefetch
+
+    def test_setvm_all_is_two_instructions(self):
+        kb = KernelBuilder()
+        kb.setvm_all()
+        assert [i.op for i in kb.program] == ["vvcmpeq", "setvm"]
+
+    def test_tags_propagate(self):
+        kb = KernelBuilder()
+        kb.tag("phase1")
+        instr = kb.vvaddq(1, 2, 3)
+        assert instr.tag == "phase1"
+
+    def test_emit_arbitrary(self):
+        kb = KernelBuilder()
+        instr = kb.emit("vvmult", va=1, vb=2, vd=3, masked=True)
+        assert instr.masked
+
+    def test_build_returns_program(self):
+        kb = KernelBuilder("xyz")
+        kb.setvl(64)
+        prog = kb.build()
+        assert isinstance(prog, Program)
+        assert prog.name == "xyz"
+
+
+class TestProgramStats:
+    def _program(self):
+        kb = KernelBuilder()
+        kb.lda(1, 0x1000)
+        kb.setvl(128)
+        kb.vloadq(1, rb=1)
+        kb.vprefetch(1, disp=1024)
+        kb.vvaddt(2, 1, 1, masked=True)
+        kb.vstoreq(2, rb=1)
+        return kb.build()
+
+    def test_counts(self):
+        stats = self._program().stats()
+        assert stats.total == 6
+        assert stats.scalar_instructions == 1
+        assert stats.vector_instructions == 5
+        assert stats.memory_instructions == 3
+        assert stats.masked_instructions == 1
+        assert stats.prefetches == 1
+
+    def test_by_group(self):
+        stats = self._program().stats()
+        assert stats.by_group["SC"] == 1
+        assert stats.by_group["SM"] == 3
+        assert stats.by_group["VV"] == 1
+        assert stats.by_group["VC"] == 1
+
+    def test_static_vector_fraction(self):
+        assert self._program().stats().static_vector_fraction == pytest.approx(5 / 6)
+
+    def test_listing_contains_every_instruction(self):
+        prog = self._program()
+        listing = prog.listing()
+        assert len(listing.splitlines()) == len(prog)
+        assert "vloadq" in listing
+
+    def test_indexing_and_iteration(self):
+        prog = self._program()
+        assert prog[0].op == "lda"
+        assert len(list(prog)) == len(prog)

@@ -1,0 +1,83 @@
+"""Binary encoding: explicit cases and refusal paths."""
+
+import pytest
+
+from repro.isa.encodings import EncodingError, FCODES, MAJOR_OPCODE, \
+    decode, encode
+from repro.isa.instructions import INSTRUCTION_SET, Instruction
+
+
+class TestEncodeBasics:
+    def test_major_opcode_field(self):
+        word = encode(Instruction("vvaddt", va=1, vb=2, vd=3))
+        assert (word >> 26) & 0x3F == MAJOR_OPCODE
+
+    def test_every_mnemonic_has_a_function_code(self):
+        assert set(FCODES) == set(INSTRUCTION_SET)
+        assert len(set(FCODES.values())) == len(FCODES)
+        assert max(FCODES.values()) < 256
+
+    def test_distinct_instructions_encode_distinctly(self):
+        a = encode(Instruction("vvaddt", va=1, vb=2, vd=3))
+        b = encode(Instruction("vvaddt", va=1, vb=2, vd=4))
+        c = encode(Instruction("vvsubt", va=1, vb=2, vd=3))
+        assert len({a, b, c}) == 3
+
+    def test_masked_bit(self):
+        plain = encode(Instruction("vvaddt", va=1, vb=2, vd=3))
+        masked = encode(Instruction("vvaddt", va=1, vb=2, vd=3, masked=True))
+        assert plain != masked
+        assert decode(masked).masked
+
+
+class TestEncodeRefusals:
+    def test_large_immediate_refused(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("vsaddq", va=1, imm=1000, vd=2))
+
+    def test_float_immediate_refused(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("vsaddt", va=1, imm=1.5, vd=2))
+
+    def test_huge_displacement_refused(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("vloadq", vd=1, rb=2, disp=4096))
+
+    def test_unaligned_displacement_refused(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("ldq", rd=1, rb=2, disp=4))
+
+    def test_indexed_displacement_refused(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("vgathq", vd=1, vb=2, rb=3, disp=8))
+
+
+class TestDecodeRefusals:
+    def test_wrong_major_opcode(self):
+        with pytest.raises(EncodingError):
+            decode(0)
+
+    def test_unknown_function_code(self):
+        word = (MAJOR_OPCODE << 26) | (0xFF << 18)
+        with pytest.raises(EncodingError):
+            decode(word)
+
+
+class TestExplicitRoundTrips:
+    CASES = [
+        Instruction("vloadq", vd=5, rb=7, disp=-512),
+        Instruction("vloadq", vd=5, rb=7, disp=504),
+        Instruction("vstoreq", va=0, rb=31, disp=0),
+        Instruction("setvs", ra=9),
+        Instruction("vextq", va=4, imm=31, rd=8),
+        Instruction("vinsq", ra=2, imm=0, vd=30),
+        Instruction("viota", vd=12),
+        Instruction("wh64", rb=3, disp=64),
+        Instruction("lda", rd=6, imm=16, rb=2),
+        Instruction("sll", ra=1, rb=2, rd=3),
+    ]
+
+    @pytest.mark.parametrize("instr", CASES, ids=lambda i: str(i))
+    def test_round_trip(self, instr):
+        back = decode(encode(instr))
+        assert str(back) == str(instr)

@@ -1,0 +1,104 @@
+"""Instruction table and operand validation."""
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.isa.instructions import (
+    EXTENSIONS,
+    Group,
+    INSTRUCTION_SET,
+    Instruction,
+    TimingClass,
+    vector_instruction_count,
+)
+
+
+class TestInstructionSet:
+    def test_paper_scale_instruction_count(self):
+        """Section 2: ~45 new instructions, not counting data-type
+        variations; we count concrete vector mnemonics."""
+        assert 40 <= vector_instruction_count() <= 60
+
+    def test_extensions_are_documented(self):
+        assert set(EXTENSIONS) == {"viota", "vsumq", "vsumt",
+                                   "vvmaddt", "vsmaddt"}
+
+    def test_five_groups_populated(self):
+        groups = {d.group for d in INSTRUCTION_SET.values()}
+        assert groups == set(Group)
+
+    def test_vv_and_vs_mirror_each_other(self):
+        vv = {m[2:] for m, d in INSTRUCTION_SET.items()
+              if d.group is Group.VV and "vb" in d.fields}
+        vs = {m[2:] for m, d in INSTRUCTION_SET.items()
+              if d.group is Group.VS}
+        assert vv == vs
+
+    def test_memory_groups(self):
+        assert INSTRUCTION_SET["vloadq"].is_load
+        assert INSTRUCTION_SET["vstoreq"].is_store
+        assert INSTRUCTION_SET["vgathq"].is_indexed
+        assert INSTRUCTION_SET["vscatq"].is_indexed
+        assert INSTRUCTION_SET["vscatq"].is_store
+
+    def test_fp_ops_count_flops(self):
+        assert INSTRUCTION_SET["vvaddt"].flops == 1
+        assert INSTRUCTION_SET["vvaddq"].flops == 0
+        assert INSTRUCTION_SET["vvdivt"].timing is TimingClass.FP_DIV
+
+
+class TestOperandValidation:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(ProgramError):
+            Instruction("vfrobnicate", vd=0)
+
+    def test_missing_operand(self):
+        with pytest.raises(ProgramError):
+            Instruction("vvaddq", va=1, vb=2)  # no vd
+
+    def test_register_range(self):
+        with pytest.raises(ProgramError):
+            Instruction("vvaddq", va=1, vb=2, vd=32)
+
+    def test_vs_needs_scalar(self):
+        with pytest.raises(ProgramError):
+            Instruction("vsaddq", va=1, vd=2)
+        Instruction("vsaddq", va=1, vd=2, imm=5)
+        Instruction("vsaddq", va=1, vd=2, ra=3)
+
+    def test_scalar_ops_cannot_be_masked(self):
+        with pytest.raises(ProgramError):
+            Instruction("lda", rd=1, imm=0, masked=True)
+
+    def test_scalar_arith_needs_second_source(self):
+        with pytest.raises(ProgramError):
+            Instruction("addq", ra=1, rd=2)
+        Instruction("addq", ra=1, rd=2, imm=4)
+        Instruction("addq", ra=1, rd=2, rb=3)
+
+
+class TestDependenceQueries:
+    def test_reads_and_writes(self):
+        instr = Instruction("vvaddt", va=1, vb=2, vd=3)
+        assert instr.vreg_reads() == (1, 2)
+        assert instr.vreg_writes() == (3,)
+
+    def test_v31_excluded(self):
+        instr = Instruction("vvaddt", va=31, vb=2, vd=31)
+        assert instr.vreg_reads() == (2,)
+        assert instr.vreg_writes() == ()
+
+    def test_masked_operate_reads_destination(self):
+        instr = Instruction("vvaddt", va=1, vb=2, vd=3, masked=True)
+        assert 3 in instr.vreg_reads()
+
+    def test_masked_store_does_not_read_destination_extra(self):
+        instr = Instruction("vstoreq", va=2, rb=1, masked=True)
+        assert instr.vreg_reads() == (2,)
+
+    def test_prefetch_detection(self):
+        assert Instruction("vloadq", vd=31, rb=1).is_prefetch
+        assert not Instruction("vloadq", vd=3, rb=1).is_prefetch
+        assert Instruction("vgathq", vd=31, vb=2, rb=1).is_prefetch
+        # a store to v31 is not a prefetch (v31 is a *source* there)
+        assert not Instruction("vstoreq", va=31, rb=1).is_prefetch

@@ -1,0 +1,126 @@
+"""Unit tests for the architectural register files."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProgramError
+from repro.isa.registers import (
+    MVL,
+    ArchState,
+    ControlRegisters,
+    ScalarRegisterFile,
+    VectorRegisterFile,
+)
+
+
+class TestVectorRegisterFile:
+    def test_initial_state_is_zero(self):
+        vrf = VectorRegisterFile()
+        for i in (0, 15, 31):
+            assert np.all(vrf.read(i) == 0)
+
+    def test_write_read_roundtrip(self):
+        vrf = VectorRegisterFile()
+        values = np.arange(MVL, dtype=np.uint64)
+        vrf.write(3, values)
+        assert np.array_equal(vrf.read(3), values)
+
+    def test_read_returns_copy(self):
+        vrf = VectorRegisterFile()
+        vrf.write(1, np.ones(MVL, dtype=np.uint64))
+        snapshot = vrf.read(1)
+        snapshot[:] = 0
+        assert np.all(vrf.read(1) == 1)
+
+    def test_v31_reads_zero_and_ignores_writes(self):
+        vrf = VectorRegisterFile()
+        vrf.write(31, np.full(MVL, 7, dtype=np.uint64))
+        assert np.all(vrf.read(31) == 0)
+
+    def test_write_elements_partial(self):
+        vrf = VectorRegisterFile()
+        vrf.write(2, np.zeros(MVL, dtype=np.uint64))
+        vrf.write_elements(2, np.array([0, 5]), np.array([9, 9], dtype=np.uint64))
+        reg = vrf.read(2)
+        assert reg[0] == 9 and reg[5] == 9 and reg[1] == 0
+
+    def test_bad_index_raises(self):
+        vrf = VectorRegisterFile()
+        with pytest.raises(ProgramError):
+            vrf.read(32)
+        with pytest.raises(ProgramError):
+            vrf.write(-1, np.zeros(MVL, dtype=np.uint64))
+
+    def test_bad_shape_raises(self):
+        vrf = VectorRegisterFile()
+        with pytest.raises(ProgramError):
+            vrf.write(0, np.zeros(MVL - 1, dtype=np.uint64))
+
+
+class TestScalarRegisterFile:
+    def test_r31_is_zero(self):
+        srf = ScalarRegisterFile()
+        srf.write(31, 123)
+        assert srf.read(31) == 0
+
+    def test_wraps_to_64_bits(self):
+        srf = ScalarRegisterFile()
+        srf.write(0, 1 << 65)
+        assert srf.read(0) == 0
+        srf.write(0, -1)
+        assert srf.read(0) == (1 << 64) - 1
+
+    def test_bad_index(self):
+        srf = ScalarRegisterFile()
+        with pytest.raises(ProgramError):
+            srf.read(99)
+
+
+class TestControlRegisters:
+    def test_defaults(self):
+        ctrl = ControlRegisters()
+        assert ctrl.vl == MVL
+        assert ctrl.vs == 8
+        assert ctrl.vm.all()
+
+    def test_vl_bounds(self):
+        ctrl = ControlRegisters()
+        ctrl.set_vl(0)
+        ctrl.set_vl(MVL)
+        with pytest.raises(ProgramError):
+            ctrl.set_vl(MVL + 1)
+        with pytest.raises(ProgramError):
+            ctrl.set_vl(-1)
+
+    def test_vs_signed_64(self):
+        ctrl = ControlRegisters()
+        ctrl.set_vs(-64)
+        assert ctrl.vs == -64
+        with pytest.raises(ProgramError):
+            ctrl.set_vs(1 << 63)
+
+    def test_vm_copy_semantics(self):
+        ctrl = ControlRegisters()
+        bits = np.zeros(MVL, dtype=bool)
+        ctrl.set_vm(bits)
+        bits[:] = True
+        assert not ctrl.vm.any()
+
+
+class TestActiveMask:
+    def test_vl_truncates(self):
+        state = ArchState()
+        state.ctrl.set_vl(10)
+        mask = state.active_mask(masked=False)
+        assert mask[:10].all() and not mask[10:].any()
+
+    def test_mask_applies_only_when_requested(self):
+        state = ArchState()
+        vm = np.zeros(MVL, dtype=bool)
+        vm[::2] = True
+        state.ctrl.set_vm(vm)
+        state.ctrl.set_vl(8)
+        unmasked = state.active_mask(masked=False)
+        masked = state.active_mask(masked=True)
+        assert unmasked[:8].all()
+        assert masked[:8].sum() == 4

@@ -1,0 +1,181 @@
+"""Per-operation semantics coverage beyond the Figure-1 examples."""
+
+import numpy as np
+import pytest
+
+from repro.core.functional import FunctionalSimulator
+from repro.isa.instructions import Instruction
+from repro.isa.semantics import bits_to_float, float_to_bits
+
+
+def _f(sim, reg):
+    return sim.state.vregs.read(reg).view(np.float64)
+
+
+def _setup_ints(sim, reg, values):
+    data = np.zeros(128, dtype=np.uint64)
+    data[:len(values)] = np.array(values, dtype=np.uint64)
+    sim.state.vregs.write(reg, data)
+
+
+class TestIntegerOps:
+    def test_wraparound_add(self, sim):
+        _setup_ints(sim, 1, [(1 << 64) - 1])
+        sim.step(Instruction("vsaddq", va=1, imm=1, vd=2))
+        assert sim.state.vregs.read(2)[0] == 0
+
+    def test_logicals(self, sim):
+        _setup_ints(sim, 1, [0b1100])
+        _setup_ints(sim, 2, [0b1010])
+        sim.step(Instruction("vvand", va=1, vb=2, vd=3))
+        sim.step(Instruction("vvbis", va=1, vb=2, vd=4))
+        sim.step(Instruction("vvxor", va=1, vb=2, vd=5))
+        assert sim.state.vregs.read(3)[0] == 0b1000
+        assert sim.state.vregs.read(4)[0] == 0b1110
+        assert sim.state.vregs.read(5)[0] == 0b0110
+
+    def test_shifts(self, sim):
+        _setup_ints(sim, 1, [1])
+        sim.step(Instruction("vssll", va=1, imm=3, vd=2))
+        assert sim.state.vregs.read(2)[0] == 8
+        sim.step(Instruction("vssrl", va=2, imm=2, vd=3))
+        assert sim.state.vregs.read(3)[0] == 2
+
+    def test_arithmetic_shift_sign_extends(self, sim):
+        _setup_ints(sim, 1, [(1 << 64) - 16])  # -16
+        sim.step(Instruction("vssra", va=1, imm=2, vd=2))
+        assert sim.state.vregs.read(2)[0] == (1 << 64) - 4  # -4
+
+    def test_compares_produce_0_and_1(self, sim):
+        _setup_ints(sim, 1, [5, 7])
+        sim.step(Instruction("vscmpeq", va=1, imm=5, vd=2))
+        out = sim.state.vregs.read(2)
+        assert out[0] == 1 and out[1] == 0
+
+    def test_signed_compare(self, sim):
+        _setup_ints(sim, 1, [(1 << 64) - 1])  # -1 signed
+        sim.step(Instruction("vscmplt", va=1, imm=0, vd=2))
+        assert sim.state.vregs.read(2)[0] == 1
+
+    def test_vnot(self, sim):
+        _setup_ints(sim, 1, [0])
+        sim.step(Instruction("vnot", va=1, vd=2))
+        assert sim.state.vregs.read(2)[0] == (1 << 64) - 1
+
+
+class TestFloatOps:
+    def test_divide(self, sim):
+        sim.state.vregs.write(1, np.full(128, 10.0).view(np.uint64))
+        sim.step(Instruction("vsdivt", va=1, imm=4.0, vd=2))
+        np.testing.assert_allclose(_f(sim, 2), 2.5)
+
+    def test_sqrt(self, sim):
+        sim.state.vregs.write(1, np.full(128, 9.0).view(np.uint64))
+        sim.step(Instruction("vsqrtt", va=1, vd=2))
+        np.testing.assert_allclose(_f(sim, 2), 3.0)
+
+    def test_min_max(self, sim):
+        sim.state.vregs.write(1, np.full(128, 2.0).view(np.uint64))
+        sim.state.vregs.write(2, np.full(128, -3.0).view(np.uint64))
+        sim.step(Instruction("vvmaxt", va=1, vb=2, vd=3))
+        sim.step(Instruction("vvmint", va=1, vb=2, vd=4))
+        assert _f(sim, 3)[0] == 2.0
+        assert _f(sim, 4)[0] == -3.0
+
+    def test_conversions_roundtrip(self, sim):
+        _setup_ints(sim, 1, [42])
+        sim.step(Instruction("vcvtqt", va=1, vd=2))
+        assert _f(sim, 2)[0] == 42.0
+        sim.step(Instruction("vcvttq", va=2, vd=3))
+        assert sim.state.vregs.read(3)[0] == 42
+
+    def test_cvttq_truncates_toward_zero(self, sim):
+        sim.state.vregs.write(1, np.full(128, -2.7).view(np.uint64))
+        sim.step(Instruction("vcvttq", va=1, vd=2))
+        assert sim.state.vregs.read(2).view(np.int64)[0] == -2
+
+    def test_fp_compare(self, sim):
+        sim.state.vregs.write(1, np.full(128, 1.5).view(np.uint64))
+        sim.step(Instruction("vscmptlt", va=1, imm=2.0, vd=2))
+        assert sim.state.vregs.read(2)[0] == 1
+
+
+class TestMaskIdiom:
+    def test_paper_mask_pipeline(self, sim):
+        """Section 2's idiom: compares feed a full vector register, then
+        setvm — no scalar round trip."""
+        a = np.zeros(128)
+        a[::2] = 3.0
+        sim.state.vregs.write(1, a.view(np.uint64))
+        sim.step(Instruction("vscmpteq", va=1, imm=3.0, vd=6))
+        sim.step(Instruction("setvm", va=6))
+        assert sim.state.ctrl.vm[::2].all()
+        assert not sim.state.ctrl.vm[1::2].any()
+
+    def test_masked_merge_preserves_dest(self, sim):
+        vm = np.zeros(128, dtype=bool)
+        vm[:4] = True
+        sim.state.ctrl.set_vm(vm)
+        sim.state.vregs.write(3, np.full(128, 9, dtype=np.uint64))
+        sim.step(Instruction("vsaddq", va=31, imm=1, vd=3, masked=True))
+        out = sim.state.vregs.read(3)
+        assert np.all(out[:4] == 1) and np.all(out[4:] == 9)
+
+
+class TestControlOps:
+    def test_vextq_vinsq(self, sim):
+        _setup_ints(sim, 1, [10, 20, 30])
+        sim.step(Instruction("vextq", va=1, imm=2, rd=5))
+        assert sim.state.sregs.read(5) == 30
+        sim.step(Instruction("vinsq", ra=5, imm=7, vd=2))
+        assert sim.state.vregs.read(2)[7] == 30
+
+    def test_viota(self, sim):
+        sim.step(Instruction("viota", vd=1))
+        assert np.array_equal(sim.state.vregs.read(1),
+                              np.arange(128, dtype=np.uint64))
+
+    def test_vsumq_respects_vl(self, sim):
+        _setup_ints(sim, 1, [1] * 128)
+        sim.state.vregs.write(1, np.ones(128, dtype=np.uint64))
+        sim.state.ctrl.set_vl(10)
+        sim.step(Instruction("vsumq", va=1, rd=2))
+        assert sim.state.sregs.read(2) == 10
+
+    def test_vsumt(self, sim):
+        sim.state.vregs.write(1, np.full(128, 0.5).view(np.uint64))
+        sim.step(Instruction("vsumt", va=1, rd=2))
+        assert bits_to_float(sim.state.sregs.read(2)) == pytest.approx(64.0)
+
+    def test_setvl_clamps(self, sim):
+        sim.step(Instruction("setvl", imm=1000))
+        assert sim.state.ctrl.vl == 128
+
+    def test_setvs_negative(self, sim):
+        sim.step(Instruction("setvs", imm=-24))
+        assert sim.state.ctrl.vs == -24
+
+
+class TestScalarOps:
+    def test_lda_float_materializes_bits(self, sim):
+        sim.step(Instruction("lda", rd=1, imm=2.5))
+        assert sim.state.sregs.read(1) == float_to_bits(2.5)
+
+    def test_lda_with_base(self, sim):
+        sim.state.sregs.write(2, 100)
+        sim.step(Instruction("lda", rd=1, imm=28, rb=2))
+        assert sim.state.sregs.read(1) == 128
+
+    def test_scalar_arith(self, sim):
+        sim.state.sregs.write(1, 6)
+        sim.step(Instruction("mulq", ra=1, imm=7, rd=2))
+        assert sim.state.sregs.read(2) == 42
+        sim.step(Instruction("sll", ra=2, imm=1, rd=3))
+        assert sim.state.sregs.read(3) == 84
+
+    def test_ldq_stq(self, sim):
+        sim.state.sregs.write(1, 0x9000)
+        sim.state.sregs.write(2, 1234)
+        sim.step(Instruction("stq", ra=2, rb=1, disp=8))
+        sim.step(Instruction("ldq", rd=3, rb=1, disp=8))
+        assert sim.state.sregs.read(3) == 1234

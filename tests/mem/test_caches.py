@@ -1,0 +1,120 @@
+"""Set-associative tag array, L1 write buffer, and P-bit state tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.mem.banks import SetAssocCache, bank_of, quadrant_of
+from repro.mem.l1cache import L1DataCache
+
+
+class TestGeometry:
+    def test_bank_bits_9_to_6(self):
+        assert bank_of(0x000) == 0
+        assert bank_of(0x040) == 1
+        assert bank_of(0x3C0) == 15
+        assert bank_of(0x400) == 0  # wraps every 1 KiB
+
+    def test_quadrant_bits_7_to_6(self):
+        assert quadrant_of(0x00) == 0
+        assert quadrant_of(0x40) == 1
+        assert quadrant_of(0xC0) == 3
+
+    def test_bad_capacity_raises(self):
+        with pytest.raises(ConfigError):
+            SetAssocCache(1000, 8)
+
+
+class TestSetAssocCache:
+    def _tiny(self):
+        # 4 sets x 2 ways x 64B = 512 bytes: easy to force evictions
+        return SetAssocCache(512, 2)
+
+    def test_miss_then_hit(self):
+        cache = self._tiny()
+        hit, _ = cache.access(0x0)
+        assert not hit
+        hit, _ = cache.access(0x0)
+        assert hit
+
+    def test_same_line_quadwords_hit(self):
+        cache = self._tiny()
+        cache.access(0x0)
+        assert cache.contains(0x38)
+
+    def test_lru_eviction_order(self):
+        cache = self._tiny()
+        # set 0 holds lines 0x000, 0x100, 0x200... (4 sets of 64B)
+        cache.access(0x000)
+        cache.access(0x100)
+        cache.access(0x000)          # refresh line 0
+        _, evicted = cache.access(0x200)
+        assert evicted is not None
+        assert evicted.addr == 0x100  # LRU, not the refreshed line
+
+    def test_dirty_eviction_reports_writeback(self):
+        cache = self._tiny()
+        cache.access(0x000, is_write=True)
+        cache.access(0x100)
+        _, evicted = cache.access(0x200)
+        assert evicted.addr == 0x000 and evicted.dirty
+
+    def test_pbit_set_by_core_access_and_sticky(self):
+        cache = self._tiny()
+        cache.access(0x0, from_core=True)
+        assert cache.lookup(0x0).pbit
+        cache.access(0x0, from_core=False)
+        assert cache.lookup(0x0).pbit  # vector touch does not clear here
+
+    def test_invalidate_removes_line(self):
+        cache = self._tiny()
+        cache.access(0x0)
+        assert cache.invalidate(0x0) is not None
+        assert not cache.contains(0x0)
+        assert cache.invalidate(0x0) is None
+
+    def test_flush_returns_dirty_lines(self):
+        cache = self._tiny()
+        cache.access(0x000, is_write=True)
+        cache.access(0x100)
+        dirty = cache.flush()
+        assert [e.addr for e in dirty] == [0x000]
+        assert cache.resident_lines == 0
+
+    def test_counters(self):
+        cache = self._tiny()
+        cache.access(0x0)
+        cache.access(0x0)
+        assert cache.counters["hits"] == 1
+        assert cache.counters["misses"] == 1
+
+
+class TestL1WriteBuffer:
+    def test_store_is_invisible_until_drain(self):
+        l1 = L1DataCache()
+        l1.store(0x1000)
+        assert 0x1000 in l1.pending_lines()
+        assert not l1.tags.contains(0x1000)
+
+    def test_drain_pushes_stores_and_reports_lines(self):
+        l1 = L1DataCache()
+        l1.store(0x1000)
+        l1.store(0x2000)
+        drained = l1.drain()
+        assert set(drained) == {0x1000, 0x2000}
+        assert l1.tags.contains(0x1000)
+        assert not l1.pending_lines()
+
+    def test_buffer_overflow_spills_oldest(self):
+        l1 = L1DataCache(write_buffer_entries=2)
+        l1.store(0x1000)
+        l1.store(0x2000)
+        l1.store(0x3000)
+        assert l1.counters["write_buffer_spills"] == 1
+        assert l1.tags.contains(0x1000)
+
+    def test_invalidate_reports_dirtiness(self):
+        l1 = L1DataCache()
+        l1.store(0x1000)
+        l1.drain()
+        assert l1.invalidate(0x1000) is True   # dirty write-through
+        assert l1.invalidate(0x1000) is False  # already gone

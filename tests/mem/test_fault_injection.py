@@ -1,0 +1,95 @@
+"""Fault injection: forcing the rare paths of the memory system.
+
+The replay/panic machinery of section 3.4 exists for livelock-class
+corner cases that normal workloads never hit; these tests construct the
+hostile conditions directly.
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.mem.l2cache import BankedL2, L2Config
+from repro.mem.maf import MissAddressFile
+from repro.mem.zbox import Zbox
+
+
+class TestReplayPath:
+    def test_eviction_between_fill_and_retry_causes_replay(self):
+        """A hostile interleaving: while slice A sleeps on its miss,
+        competing accesses evict its line, so its retry walk misses
+        again and replays."""
+        # 1 set x 2 ways: trivially thrashable
+        l2 = BankedL2(L2Config(capacity_bytes=2 * 64, ways=2), Zbox())
+
+        # occupy the MAF path with a miss that wakes late
+        t = l2.access_slice([0x000], 1, False, 0.0)
+        assert l2.counters["line_misses"] == 1
+        # before the wake completes in *simulated* time we schedule two
+        # more accesses that evict line 0x000 (same single set)
+        l2.access_slice([0x040], 1, False, 1.0)
+        l2.access_slice([0x080], 1, False, 2.0)
+        # now a second access to 0x000 must re-miss (it was evicted)
+        t2 = l2.access_slice([0x000], 1, False, 3.0)
+        assert l2.counters["line_misses"] >= 3
+        assert t2 > 0
+
+    def test_hard_replay_bound_guards_model_bugs(self):
+        """The paper's panic mode guarantees forward progress; in the
+        model, exceeding MAX_REPLAYS raises instead of spinning."""
+        from repro.mem import l2cache
+        assert l2cache.MAX_REPLAYS >= 8
+
+
+class TestMafPanic:
+    def test_panic_mode_cycle(self):
+        maf = MissAddressFile(entries=2, replay_threshold=1)
+        entry = maf.allocate(0.0, {0x0})
+        maf.record_replay(entry)          # 1: at threshold
+        tripped = maf.record_replay(entry)  # 2: beyond -> panic
+        assert tripped and maf.panic_mode
+        maf.release(entry, 100.0)
+        assert not maf.panic_mode
+
+    def test_only_one_panic_entry_counted(self):
+        maf = MissAddressFile(entries=2, replay_threshold=0)
+        e = maf.allocate(0.0, {0x0})
+        maf.record_replay(e)
+        maf.record_replay(e)
+        assert maf.counters["panic_entries"] == 1
+
+    def test_allocate_when_full_is_a_bug(self):
+        maf = MissAddressFile(entries=1)
+        e = maf.allocate(0.0, {0})
+        maf.release(e, 100.0)     # entry stays occupied until cycle 100
+        with pytest.raises(Exception):
+            maf.allocate(0.0, {128})
+        # honoring earliest_entry first is the correct protocol
+        t = maf.earliest_entry(0.0)
+        assert t == 100.0
+        maf.allocate(t, {128})
+
+
+class TestSliceWidth:
+    def test_oversized_slice_rejected(self):
+        l2 = BankedL2(L2Config(), Zbox())
+        with pytest.raises(SimulationError):
+            l2.access_slice([i * 64 for i in range(17)], 17, False, 0.0)
+
+
+class TestMissMerge:
+    def test_second_slice_waits_for_inflight_fill(self):
+        """Two slices touching the same cold line: the second 'hits' the
+        freshly allocated tags but must wait for the fill in flight."""
+        l2 = BankedL2(L2Config(), Zbox())
+        t1 = l2.access_slice([0x0], 1, False, 0.0)
+        t2 = l2.access_slice([0x0], 1, False, 1.0)
+        # the merge makes t2 comparable to t1, not a cheap 28-cycle hit
+        assert t2 >= t1 - l2.config.hit_latency
+        assert l2.counters["miss_merges"] == 1
+
+    def test_after_fill_lands_hits_are_cheap_again(self):
+        l2 = BankedL2(L2Config(), Zbox())
+        t1 = l2.access_slice([0x0], 1, False, 0.0)
+        t2 = l2.access_slice([0x0], 1, False, t1 + 10.0)
+        assert t2 <= t1 + 10.0 + l2.config.hit_latency + 1.0
+        assert l2.counters["miss_merges"] == 0

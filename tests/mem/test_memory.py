@@ -1,0 +1,65 @@
+"""Main-memory substrate tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AlignmentTrap, InvalidAddressTrap
+from repro.mem.memory import ADDRESS_LIMIT, MainMemory
+
+
+class TestQuadAccess:
+    def test_read_of_untouched_memory_is_zero(self, mem):
+        assert mem.read_quad(0x1234560) == 0
+
+    def test_scalar_roundtrip(self, mem):
+        mem.write_quad(0x1000, 0xDEADBEEF)
+        assert mem.read_quad(0x1000) == 0xDEADBEEF
+
+    def test_write_wraps_to_64_bits(self, mem):
+        mem.write_quad(0x1000, 1 << 70)
+        assert mem.read_quad(0x1000) == 0
+
+    def test_vector_roundtrip_across_chunks(self, mem):
+        # straddle the 1 MiB chunk boundary
+        base = (1 << 20) - 64
+        addrs = np.uint64(base) + np.uint64(8) * np.arange(32, dtype=np.uint64)
+        values = np.arange(32, dtype=np.uint64) + 7
+        mem.write_quads(addrs, values)
+        assert np.array_equal(mem.read_quads(addrs), values)
+
+    def test_duplicate_addresses_last_writer_wins(self, mem):
+        addrs = np.array([0x100, 0x108, 0x100], dtype=np.uint64)
+        mem.write_quads(addrs, np.array([1, 2, 3], dtype=np.uint64))
+        assert mem.read_quad(0x100) == 3
+
+    def test_unaligned_raises(self, mem):
+        with pytest.raises(AlignmentTrap):
+            mem.read_quad(0x1001)
+        with pytest.raises(AlignmentTrap):
+            mem.write_quads(np.array([12], dtype=np.uint64),
+                            np.array([0], dtype=np.uint64))
+
+    def test_out_of_range_raises(self, mem):
+        with pytest.raises(InvalidAddressTrap):
+            mem.read_quad(ADDRESS_LIMIT)
+
+    def test_empty_vector_access(self, mem):
+        empty = np.array([], dtype=np.uint64)
+        assert mem.read_quads(empty).size == 0
+        mem.write_quads(empty, empty)  # no-op, no error
+
+
+class TestBlockHelpers:
+    def test_f64_roundtrip(self, mem):
+        values = np.linspace(-1.0, 1.0, 100)
+        mem.write_f64(0x4000, values)
+        np.testing.assert_array_equal(mem.read_f64(0x4000, 100), values)
+
+    def test_write_array_accepts_floats(self, mem):
+        mem.write_array(0x8000, np.array([1.5, 2.5]))
+        np.testing.assert_array_equal(mem.read_f64(0x8000, 2), [1.5, 2.5])
+
+    def test_sparse_allocation(self, mem):
+        mem.write_quad(0x0, 1)
+        mem.write_quad(1 << 40, 2)
+        assert mem.bytes_allocated == 2 * (1 << 20)

@@ -1,0 +1,51 @@
+"""Page table: 512 MB pages, translation, walk accounting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TLBMissTrap
+from repro.mem.pages import PAGE_BYTES, PageTable
+
+
+class TestPageTable:
+    def test_tarantula_page_size(self):
+        assert PAGE_BYTES == 512 << 20
+
+    def test_identity_default(self):
+        pt = PageTable()
+        assert pt.translate(0x1234) == 0x1234
+        assert pt.translate(PAGE_BYTES + 8) == PAGE_BYTES + 8
+
+    def test_explicit_mapping(self):
+        pt = PageTable(page_bytes=1 << 16)
+        pt.map(2, 5)
+        assert pt.translate((2 << 16) | 0x18) == (5 << 16) | 0x18
+
+    def test_non_identity_without_mapping_traps(self):
+        pt = PageTable(page_bytes=1 << 16, identity=False)
+        with pytest.raises(TLBMissTrap):
+            pt.translate(0x10000)
+
+    def test_unmap(self):
+        pt = PageTable(page_bytes=1 << 16)
+        pt.map(1, 9)
+        pt.unmap(1)
+        assert pt.translate(1 << 16) == 1 << 16  # identity fallback
+
+    def test_walks_counted(self):
+        pt = PageTable()
+        pt.translate(0)
+        pt.translate(8)
+        assert pt.walks == 2
+
+    def test_translate_many_vectorized(self):
+        pt = PageTable(page_bytes=1 << 16)
+        pt.map(0, 3)
+        addrs = np.array([0x8, 0x10, (1 << 16) + 8], dtype=np.uint64)
+        out = pt.translate_many(addrs)
+        assert out.tolist() == [(3 << 16) + 8, (3 << 16) + 0x10,
+                                (1 << 16) + 8]
+
+    def test_bad_page_size_rejected(self):
+        with pytest.raises(ValueError):
+            PageTable(page_bytes=1000)

@@ -1,0 +1,99 @@
+"""RAMBUS channel model: bandwidth, turnaround, row-buffer behavior."""
+
+import pytest
+
+from repro.mem.rambus import RambusConfig, RambusSystem
+from repro.mem.zbox import Zbox
+
+
+class TestBandwidth:
+    def test_line_transfer_cycles(self):
+        cfg = RambusConfig(ports=8, bytes_per_core_cycle=32.0)
+        assert cfg.line_transfer_cycles == pytest.approx(16.0)
+
+    def test_streaming_reads_approach_raw_bandwidth(self):
+        cfg = RambusConfig(turnaround_cycles=0.0, row_activate_cycles=0.0,
+                           row_precharge_cycles=0.0)
+        ram = RambusSystem(cfg)
+        n = 512
+        for i in range(n):
+            ram.transaction(i * 64, "read", 0.0)
+        achieved = n * 64 / ram.last_finish()
+        assert achieved == pytest.approx(cfg.bytes_per_core_cycle, rel=0.05)
+
+    def test_ports_parallelize(self):
+        cfg = RambusConfig(ports=8, turnaround_cycles=0.0,
+                           row_activate_cycles=0.0, row_precharge_cycles=0.0)
+        one = RambusSystem(RambusConfig(ports=1, turnaround_cycles=0.0,
+                                        row_activate_cycles=0.0,
+                                        row_precharge_cycles=0.0,
+                                        bytes_per_core_cycle=cfg.bytes_per_core_cycle / 8))
+        eight = RambusSystem(cfg)
+        for i in range(64):
+            one.transaction(i * 64, "read", 0.0)
+            eight.transaction(i * 64, "read", 0.0)
+        assert eight.last_finish() < one.last_finish() / 7
+
+
+class TestTurnaround:
+    def test_alternating_reads_writes_cost_more(self):
+        base = dict(row_activate_cycles=0.0, row_precharge_cycles=0.0)
+        quiet = RambusSystem(RambusConfig(ports=1, turnaround_cycles=0.0, **base))
+        noisy = RambusSystem(RambusConfig(ports=1, turnaround_cycles=8.0, **base))
+        for i in range(32):
+            kind = "read" if i % 2 == 0 else "write"
+            quiet.transaction(0, kind, 0.0)
+            noisy.transaction(0, kind, 0.0)
+        assert noisy.last_finish() > quiet.last_finish()
+        assert noisy.counters["turnarounds"] == 31
+
+    def test_dirread_uses_read_bus_direction(self):
+        ram = RambusSystem(RambusConfig(ports=1))
+        ram.transaction(0, "read", 0.0)
+        ram.transaction(64 * 8, "dirread", 0.0)
+        assert ram.counters["turnarounds"] == 0
+
+
+class TestRowBuffer:
+    def test_sequential_hits_open_row(self):
+        ram = RambusSystem(RambusConfig(ports=1, row_bytes=2048))
+        for i in range(16):
+            ram.transaction(i * 64, "read", 0.0)
+        # first access activates; the other 31 lines of the row hit
+        assert ram.counters["row_activates"] == 1
+        assert ram.counters["row_hits"] == 15
+
+    def test_random_pattern_activates_much_more(self, rng):
+        seq = RambusSystem(RambusConfig())
+        rand = RambusSystem(RambusConfig())
+        for i in range(256):
+            seq.transaction(i * 64, "read", 0.0)
+        addrs = rng.integers(0, 1 << 26, 256) * 64
+        for a in addrs:
+            rand.transaction(int(a), "read", 0.0)
+        assert rand.counters["row_activates"] > 2 * seq.counters["row_activates"]
+
+
+class TestZbox:
+    def test_raw_vs_useful_bytes(self):
+        z = Zbox()
+        z.fill_line(0, 0.0)
+        z.writeback_line(64, 0.0)
+        z.dirty_transition(128, 0.0)
+        assert z.raw_bytes() == 3 * 64
+        assert z.useful_bytes() == 2 * 64
+
+    def test_fill_includes_access_latency(self):
+        z = Zbox()
+        ready = z.fill_line(0, 0.0)
+        assert ready > z.config.access_latency
+
+    def test_copy_pattern_directory_share_is_one_third(self):
+        """The STREAMS copy accounting of section 6: read + wh64 + write
+        -> 1/3 of raw bandwidth is directory traffic."""
+        z = Zbox()
+        for i in range(64):
+            z.fill_line(i * 64, 0.0)                 # load A
+            z.dirty_transition((1 << 20) + i * 64, 0.0)  # wh64 B
+            z.writeback_line((1 << 20) + i * 64, 0.0)    # store B
+        assert z.useful_bytes() / z.raw_bytes() == pytest.approx(2 / 3)

@@ -1,0 +1,142 @@
+"""Property-based checks on the ISA: semantics vs numpy, encode/decode."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.functional import FunctionalSimulator
+from repro.isa.encodings import decode, encode
+from repro.isa.instructions import Instruction
+from repro.isa.registers import MVL
+
+u64_vectors = arrays(np.uint64, MVL,
+                     elements=st.integers(0, (1 << 64) - 1))
+f64_vectors = arrays(np.float64, MVL,
+                     elements=st.floats(-1e100, 1e100,
+                                        allow_nan=False, allow_infinity=False))
+vls = st.integers(0, MVL)
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=u64_vectors, b=u64_vectors, vl=vls)
+def test_vvaddq_matches_numpy_below_vl(a, b, vl):
+    sim = FunctionalSimulator()
+    sim.state.vregs.write(1, a)
+    sim.state.vregs.write(2, b)
+    sim.state.ctrl.set_vl(vl)
+    sim.step(Instruction("vvaddq", va=1, vb=2, vd=3))
+    out = sim.state.vregs.read(3)
+    with np.errstate(over="ignore"):
+        expect = a + b
+    assert np.array_equal(out[:vl], expect[:vl])
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=f64_vectors, b=f64_vectors, vl=vls)
+def test_vvmult_matches_numpy(a, b, vl):
+    sim = FunctionalSimulator()
+    sim.state.vregs.write(1, a.view(np.uint64))
+    sim.state.vregs.write(2, b.view(np.uint64))
+    sim.state.ctrl.set_vl(vl)
+    sim.step(Instruction("vvmult", va=1, vb=2, vd=3))
+    out = sim.state.vregs.read(3).view(np.float64)
+    with np.errstate(over="ignore"):
+        np.testing.assert_array_equal(out[:vl], (a * b)[:vl])
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=u64_vectors, mask_bits=arrays(np.bool_, MVL), vl=vls)
+def test_masked_merge_invariant(a, mask_bits, vl):
+    """Inactive elements of the destination are bit-exactly preserved."""
+    sim = FunctionalSimulator()
+    old = np.arange(MVL, dtype=np.uint64) * np.uint64(3)
+    sim.state.vregs.write(1, a)
+    sim.state.vregs.write(3, old)
+    sim.state.ctrl.set_vm(mask_bits)
+    sim.state.ctrl.set_vl(vl)
+    sim.step(Instruction("vsaddq", va=1, imm=1, vd=3, masked=True))
+    out = sim.state.vregs.read(3)
+    active = np.zeros(MVL, dtype=bool)
+    active[:vl] = True
+    active &= mask_bits
+    assert np.array_equal(out[~active], old[~active])
+    with np.errstate(over="ignore"):
+        assert np.array_equal(out[active], (a + np.uint64(1))[active])
+
+
+@settings(max_examples=60, deadline=None)
+@given(values=u64_vectors, base=st.integers(0, 1 << 20), vl=vls)
+def test_store_load_roundtrip(values, base, vl):
+    sim = FunctionalSimulator()
+    addr = base * 8
+    sim.state.vregs.write(1, values)
+    sim.state.sregs.write(1, addr)
+    sim.state.ctrl.set_vl(vl)
+    sim.step(Instruction("vstoreq", va=1, rb=1))
+    sim.step(Instruction("vloadq", vd=2, rb=1))
+    out = sim.state.vregs.read(2)
+    assert np.array_equal(out[:vl], values[:vl])
+
+
+@settings(max_examples=60, deadline=None)
+@given(perm=st.permutations(list(range(MVL))))
+def test_scatter_gather_inverse(perm):
+    """Scattering through a permutation then gathering through it is
+    the identity (any requesting order, per Figure 1)."""
+    sim = FunctionalSimulator()
+    values = np.arange(MVL, dtype=np.uint64) + np.uint64(1000)
+    offsets = (np.array(perm, dtype=np.uint64) * np.uint64(8))
+    sim.state.vregs.write(1, values)
+    sim.state.vregs.write(2, offsets)
+    sim.state.sregs.write(1, 0x40000)
+    sim.step(Instruction("vscatq", va=1, vb=2, rb=1))
+    sim.step(Instruction("vgathq", vd=3, vb=2, rb=1))
+    assert np.array_equal(sim.state.vregs.read(3), values)
+
+
+# -- encode/decode round trip -------------------------------------------------
+
+regs = st.integers(0, 31)
+small_lits = st.integers(0, 31)
+disps = st.integers(-64, 63).map(lambda n: n * 8)
+
+encodable = st.one_of(
+    st.builds(lambda a, b, c, m: Instruction("vvaddt", va=a, vb=b, vd=c,
+                                             masked=m),
+              regs, regs, regs, st.booleans()),
+    st.builds(lambda a, i, c: Instruction("vsmulq", va=a, imm=i, vd=c),
+              regs, small_lits, regs),
+    st.builds(lambda a, r, c: Instruction("vssubt", va=a, ra=r, vd=c),
+              regs, regs, regs),
+    st.builds(lambda v, b, d, m: Instruction("vloadq", vd=v, rb=b, disp=d,
+                                             masked=m),
+              regs, regs, disps, st.booleans()),
+    st.builds(lambda v, b, d: Instruction("vstoreq", va=v, rb=b, disp=d),
+              regs, regs, disps),
+    st.builds(lambda v, i, b: Instruction("vgathq", vd=v, vb=i, rb=b),
+              regs, regs, regs),
+    st.builds(lambda v, i, b: Instruction("vscatq", va=v, vb=i, rb=b),
+              regs, regs, regs),
+    st.builds(lambda i: Instruction("setvl", imm=i), small_lits),
+    st.builds(lambda v: Instruction("setvm", va=v), regs),
+    st.builds(lambda a, r: Instruction("vsumt", va=a, rd=r), regs, regs),
+    st.builds(lambda a, i, r: Instruction("addq", ra=a, imm=i, rd=r),
+              regs, small_lits, regs),
+    st.just(Instruction("drainm")),
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(instr=encodable)
+def test_encode_decode_roundtrip(instr):
+    word = encode(instr)
+    assert 0 <= word < (1 << 32)
+    back = decode(word)
+    assert back.op == instr.op
+    assert back.masked == instr.masked
+    for f in ("vd", "va", "vb", "rd", "ra", "rb", "disp"):
+        got, want = getattr(back, f), getattr(instr, f)
+        if want is not None and f != "disp":
+            assert got == want, f"{instr.op}.{f}: {got} != {want}"
+    if instr.definition.is_memory and not instr.definition.is_indexed:
+        assert back.disp == instr.disp

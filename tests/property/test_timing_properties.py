@@ -1,0 +1,78 @@
+"""Property-based invariants of the timing components."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.mem.l2cache import BankedL2, L2Config
+from repro.mem.rambus import RambusConfig, RambusSystem
+from repro.mem.zbox import Zbox
+
+line_addrs = st.lists(
+    st.integers(0, 1 << 22).map(lambda n: n * 64),
+    min_size=1, max_size=16, unique=True)
+
+access_plans = st.lists(
+    st.tuples(line_addrs, st.booleans(), st.floats(0, 1000)),
+    min_size=1, max_size=25)
+
+
+@settings(max_examples=40, deadline=None)
+@given(plan=access_plans)
+def test_l2_completion_never_precedes_request(plan):
+    l2 = BankedL2(L2Config(), Zbox())
+    for lines, is_write, earliest in plan:
+        done = l2.access_slice(lines, len(lines), is_write, earliest)
+        assert done >= earliest
+
+
+@settings(max_examples=40, deadline=None)
+@given(plan=access_plans)
+def test_l2_timing_is_deterministic(plan):
+    def run():
+        l2 = BankedL2(L2Config(), Zbox())
+        return [l2.access_slice(lines, len(lines), w, t)
+                for lines, w, t in plan]
+    assert run() == run()
+
+
+@settings(max_examples=40, deadline=None)
+@given(plan=access_plans)
+def test_l2_counter_conservation(plan):
+    l2 = BankedL2(L2Config(), Zbox())
+    for lines, is_write, earliest in plan:
+        l2.access_slice(lines, len(lines), is_write, earliest)
+    c = l2.counters
+    touched = sum(len(set(lines)) for lines, _, _ in plan)
+    assert c["line_hits"] + c["line_misses"] == touched
+    assert c["slices"] == len(plan)
+    maf = l2.maf.counters
+    assert maf["allocations"] == maf["releases"]
+
+
+@settings(max_examples=40, deadline=None)
+@given(plan=access_plans)
+def test_warm_cache_never_slower(plan):
+    """Warming every line never increases any access's completion."""
+    cold = BankedL2(L2Config(), Zbox())
+    warm = BankedL2(L2Config(), Zbox())
+    for lines, _, _ in plan:
+        warm.warm(lines)
+    for lines, is_write, earliest in plan:
+        t_cold = cold.access_slice(lines, len(lines), is_write, earliest)
+        t_warm = warm.access_slice(lines, len(lines), is_write, earliest)
+        assert t_warm <= t_cold + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(addrs=st.lists(st.integers(0, 1 << 20).map(lambda n: n * 64),
+                      min_size=1, max_size=60),
+       kinds=st.lists(st.sampled_from(["read", "write", "dirread"]),
+                      min_size=60, max_size=60))
+def test_rambus_port_throughput_bound(addrs, kinds):
+    """No port can move more bytes than its share of the raw rate."""
+    cfg = RambusConfig()
+    ram = RambusSystem(cfg)
+    finish = 0.0
+    for addr, kind in zip(addrs, kinds):
+        finish = max(finish, ram.transaction(addr, kind, 0.0))
+    moved = ram.raw_bytes()
+    assert moved <= cfg.bytes_per_core_cycle * finish + 64 * cfg.ports

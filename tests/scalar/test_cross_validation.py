@@ -1,0 +1,90 @@
+"""Cross-validation: the analytic EV8 model vs the OoO trace simulator.
+
+DESIGN.md substitution 1 promises the bound model is a faithful stand-in
+for a cycle simulator on regular loops.  These tests run the same loop
+descriptor through both and require agreement within a factor that
+covers the bound model's idealizations.
+"""
+
+import pytest
+
+from repro.core.config import ev8
+from repro.scalar.ev8 import EV8Model
+from repro.scalar.loopmodel import AccessPattern, MemStream, ScalarLoopBody
+from repro.scalar.ooo import OoOCore, trace_from_loop
+
+
+def _compare(loop, iterations=400, tolerance=2.0):
+    analytic = EV8Model(ev8()).run(loop.scaled(iterations / loop.iterations))
+    trace = trace_from_loop(loop, iterations=iterations)
+    ooo = OoOCore(ev8()).run(trace)
+    a = analytic.cycles / iterations
+    o = ooo.cycles / iterations
+    assert o / tolerance <= a <= o * tolerance, \
+        f"analytic {a:.2f} vs OoO {o:.2f} cycles/iter"
+    return a, o
+
+
+class TestComputeBoundAgreement:
+    def test_flop_heavy_loop(self):
+        loop = ScalarLoopBody(name="flops", flops=8.0, int_ops=2.0,
+                              iterations=1)
+        _compare(loop)
+
+    def test_issue_bound_loop(self):
+        loop = ScalarLoopBody(name="int", flops=0.0, int_ops=16.0,
+                              iterations=1)
+        _compare(loop)
+
+    def test_recurrence_bound_loop(self):
+        # a serial FP chain: 2 flops of 4 cycles each per iteration
+        loop = ScalarLoopBody(name="chain", flops=2.0, int_ops=1.0,
+                              recurrence_cycles=8.0, iterations=1)
+        a, o = _compare(loop, tolerance=2.0)
+        assert o > 6.0  # the OoO core really is serialized
+
+
+class TestCacheBoundAgreement:
+    def test_l1_resident_stream(self):
+        loop = ScalarLoopBody(
+            name="resident", flops=2.0, int_ops=2.0, loads=2.0,
+            streams=[MemStream("a", read_bytes_per_iter=16.0,
+                               footprint_bytes=16 << 10,
+                               pattern=AccessPattern.RESIDENT)],
+            iterations=1)
+        _compare(loop)
+
+    def test_streaming_loop_misses_in_both(self):
+        loop = ScalarLoopBody(
+            name="stream", flops=1.0, int_ops=2.0, loads=1.0,
+            streams=[MemStream("a", read_bytes_per_iter=8.0,
+                               footprint_bytes=64 << 20)],
+            iterations=1)
+        analytic = EV8Model(ev8()).run(loop.scaled(2000))
+        trace = trace_from_loop(loop, iterations=2000)
+        ooo = OoOCore(ev8()).run(trace)
+        assert ooo.l2_misses > 0
+        a = analytic.cycles / 2000
+        o = ooo.cycles / 2000
+        assert o / 2.5 <= a <= o * 2.5
+
+
+class TestOoOEngineProperties:
+    def test_ipc_bounded_by_width(self):
+        loop = ScalarLoopBody(name="wide", int_ops=8.0, iterations=1)
+        trace = trace_from_loop(loop, iterations=500)
+        result = OoOCore(ev8()).run(trace)
+        assert result.ipc <= ev8().core_issue_width + 1e-6
+
+    def test_rob_limits_runahead(self):
+        # one very long latency op early should not stall a window's
+        # worth of independent work, but must stall beyond the ROB
+        loop = ScalarLoopBody(name="x", int_ops=4.0, iterations=1)
+        trace = trace_from_loop(loop, iterations=200)
+        trace[0].latency = 500.0
+        result = OoOCore(ev8()).run(trace)
+        # 800 ops, ROB 256: commit of op 0 at ~500 gates ops >256
+        assert result.cycles >= 500.0
+
+    def test_empty_trace(self):
+        assert OoOCore(ev8()).run([]).cycles == 0.0

@@ -1,0 +1,123 @@
+"""EV8 analytic model: bounds, traffic estimation, config sensitivity."""
+
+import pytest
+
+from repro.core.config import ev8, ev8_plus
+from repro.scalar.ev8 import EV8Model
+from repro.scalar.loopmodel import AccessPattern, MemStream, ScalarLoopBody
+
+
+def _loop(**kw):
+    defaults = dict(name="loop", flops=2.0, int_ops=2.0, loads=2.0,
+                    stores=1.0, iterations=1000)
+    defaults.update(kw)
+    return ScalarLoopBody(**defaults)
+
+
+class TestBounds:
+    def test_flop_bound_kernel(self):
+        loop = _loop(flops=8.0, loads=0.5, stores=0.0)
+        result = EV8Model(ev8()).run(loop)
+        assert result.binding_bound == "fp"
+        # 8 flops / (4 x 0.7 efficiency) cycles/iter
+        assert result.cycles_per_iter == pytest.approx(8 / 2.8)
+
+    def test_issue_bound_kernel(self):
+        loop = _loop(flops=1.0, int_ops=20.0)
+        result = EV8Model(ev8()).run(loop)
+        assert result.binding_bound == "issue"
+
+    def test_memory_bound_streaming_kernel(self):
+        loop = _loop(flops=1.0, streams=[
+            MemStream("a", read_bytes_per_iter=24.0,
+                      footprint_bytes=1 << 30),
+            MemStream("c", write_bytes_per_iter=8.0,
+                      footprint_bytes=1 << 30, full_line_writes=True),
+        ])
+        result = EV8Model(ev8()).run(loop)
+        assert result.binding_bound == "memory_bandwidth"
+
+    def test_mispredict_penalty_is_additive(self):
+        base = EV8Model(ev8()).run(_loop())
+        noisy = EV8Model(ev8()).run(_loop(mispredicts_per_iter=0.5))
+        assert noisy.cycles_per_iter == pytest.approx(
+            base.cycles_per_iter + 0.5 * ev8().mispredict_penalty)
+
+    def test_recurrence_bound(self):
+        loop = _loop(flops=0.5, recurrence_cycles=12.0)
+        result = EV8Model(ev8()).run(loop)
+        assert result.cycles_per_iter == pytest.approx(12.0)
+
+
+class TestTrafficEstimation:
+    def test_l1_resident_stream_is_free(self):
+        loop = _loop(streams=[MemStream("tiny", read_bytes_per_iter=8.0,
+                                        footprint_bytes=16 << 10)])
+        t = EV8Model(ev8()).traffic(loop)
+        assert t.l2_read_bytes == 0 and t.mem_read_bytes == 0
+
+    def test_l2_resident_stream_hits_l2_only(self):
+        loop = _loop(streams=[MemStream("mid", read_bytes_per_iter=8.0,
+                                        footprint_bytes=2 << 20)])
+        t = EV8Model(ev8()).traffic(loop)
+        assert t.l2_read_bytes == 8.0 and t.mem_read_bytes == 0
+
+    def test_streaming_store_write_allocates(self):
+        loop = _loop(streams=[MemStream("big", write_bytes_per_iter=8.0,
+                                        footprint_bytes=1 << 30)])
+        t = EV8Model(ev8()).traffic(loop)
+        # fill read + writeback
+        assert t.mem_read_bytes == 8.0 and t.mem_write_bytes == 8.0
+
+    def test_wh64_replaces_fill_with_directory_read(self):
+        loop = _loop(streams=[MemStream("big", write_bytes_per_iter=8.0,
+                                        footprint_bytes=1 << 30,
+                                        full_line_writes=True)])
+        t = EV8Model(ev8()).traffic(loop)
+        assert t.mem_read_bytes == 0 and t.mem_dir_bytes == 8.0
+
+    def test_random_pattern_amplifies_to_lines(self):
+        loop = _loop(streams=[MemStream("rand", read_bytes_per_iter=8.0,
+                                        footprint_bytes=1 << 30,
+                                        pattern=AccessPattern.RANDOM)])
+        t = EV8Model(ev8()).traffic(loop)
+        assert t.mem_read_bytes == pytest.approx(64.0, rel=0.01)
+        assert t.random_mem_misses == pytest.approx(1.0, rel=0.01)
+
+    def test_random_within_cache_partially_hits(self):
+        loop = _loop(streams=[MemStream("rand", read_bytes_per_iter=8.0,
+                                        footprint_bytes=8 << 20,
+                                        pattern=AccessPattern.RANDOM)])
+        t = EV8Model(ev8()).traffic(loop)   # EV8 L2 = 4 MB of 8 MB
+        assert 0 < t.mem_read_bytes < 64.0
+
+
+class TestMshrLimit:
+    def test_effective_bandwidth_capped_by_mshrs(self):
+        """Section 6: 'a superscalar machine that can generate at most
+        64 misses before stalling' cannot drive the 8-port array."""
+        model8 = EV8Model(ev8_plus())
+        raw = ev8_plus().rambus_bytes_per_cycle
+        assert model8.effective_memory_bandwidth() < raw
+
+    def test_ev8_narrow_ports_not_mshr_limited(self):
+        model = EV8Model(ev8())
+        assert model.effective_memory_bandwidth() == \
+            pytest.approx(ev8().rambus_bytes_per_cycle)
+
+
+class TestScaling:
+    def test_iterations_scale_linearly(self):
+        a = EV8Model(ev8()).run(_loop(iterations=1000))
+        b = EV8Model(ev8()).run(_loop(iterations=2000))
+        assert b.cycles > 1.9 * (a.cycles - ev8().memory_latency_cycles)
+
+    def test_scaled_helper(self):
+        loop = _loop(iterations=100)
+        assert loop.scaled(2.5).iterations == 250
+
+    def test_result_metrics(self):
+        result = EV8Model(ev8()).run(_loop(flops=4.0, iterations=100))
+        assert result.total_flops == 400
+        assert 0 < result.flops_per_cycle <= 4.0
+        assert result.ops_per_cycle > result.flops_per_cycle

@@ -1,0 +1,56 @@
+"""CLI surface tests (python -m repro ...)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for cmd in ("list", "run", "table1", "table2", "table3", "table4",
+                    "fig6", "fig7", "fig8", "fig9", "asm"):
+            args = parser.parse_args([cmd] if cmd not in ("run", "asm")
+                                     else [cmd, "dgemm" if cmd == "run"
+                                           else "x.s"])
+            assert args.command == cmd
+
+    def test_run_rejects_unknown_kernel(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "bogus"])
+
+    def test_run_rejects_unknown_config(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "dgemm", "--config", "EV9"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "dgemm" in out and "T10" in out
+
+    def test_run_vector(self, capsys):
+        assert main(["run", "streams.copy", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "OPC" in out and "verified" in out
+
+    def test_run_scalar(self, capsys):
+        assert main(["run", "streams.copy", "--config", "EV8",
+                     "--scale", "0.05"]) == 0
+        assert "OPC" in capsys.readouterr().out
+
+    def test_table3(self, capsys):
+        assert main(["table3"]) == 0
+        assert "core_ghz" in capsys.readouterr().out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        assert "Vbox" in capsys.readouterr().out
+
+    def test_asm(self, tmp_path, capsys):
+        src = tmp_path / "kernel.s"
+        src.write_text("setvl #128\nvvaddt v1, v2, v3\n")
+        assert main(["asm", str(src)]) == 0
+        out = capsys.readouterr().out
+        assert "vvaddt" in out and "2 instructions" in out

@@ -1,0 +1,108 @@
+"""Resource timeline primitives: in-order, calendar (backfill), ports."""
+
+import pytest
+
+from repro.utils.timeline import (
+    CalendarTimeline,
+    MultiPortTimeline,
+    ResourceTimeline,
+)
+
+
+class TestResourceTimeline:
+    def test_serializes(self):
+        r = ResourceTimeline()
+        assert r.reserve(0.0, 4.0) == 0.0
+        assert r.reserve(0.0, 4.0) == 4.0
+        assert r.reserve(10.0, 1.0) == 10.0
+
+    def test_peek_does_not_reserve(self):
+        r = ResourceTimeline()
+        r.reserve(0.0, 5.0)
+        assert r.peek(0.0) == 5.0
+        assert r.peek(0.0) == 5.0
+
+    def test_negative_occupancy_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceTimeline().reserve(0.0, -1.0)
+
+    def test_utilization(self):
+        r = ResourceTimeline()
+        r.reserve(0.0, 5.0)
+        assert r.utilization(10.0) == pytest.approx(0.5)
+
+
+class TestCalendarTimeline:
+    def test_backfills_earlier_gap(self):
+        c = CalendarTimeline()
+        assert c.reserve(100.0, 1.0) == 100.0
+        # a later-arriving request for an earlier slot gets it
+        assert c.reserve(5.0, 1.0) == 5.0
+
+    def test_no_overlap(self):
+        c = CalendarTimeline()
+        c.reserve(0.0, 10.0)
+        assert c.reserve(3.0, 2.0) == 10.0
+
+    def test_fills_exact_gap(self):
+        c = CalendarTimeline()
+        c.reserve(0.0, 2.0)
+        c.reserve(6.0, 2.0)
+        assert c.reserve(0.0, 4.0) == 2.0   # exactly fits [2,6)
+        assert c.reserve(0.0, 1.0) == 8.0   # nothing earlier left
+
+    def test_skips_too_small_gaps(self):
+        c = CalendarTimeline()
+        c.reserve(0.0, 2.0)
+        c.reserve(3.0, 2.0)   # gap [2,3) is 1 cycle wide
+        assert c.reserve(0.0, 2.0) == 5.0
+
+    def test_dense_sequence_is_contiguous(self):
+        c = CalendarTimeline()
+        starts = [c.reserve(0.0, 1.0) for _ in range(50)]
+        assert starts == [float(i) for i in range(50)]
+        # coalescing keeps the interval list tiny
+        assert len(c._busy) == 1
+
+    def test_peek_matches_reserve(self):
+        c = CalendarTimeline()
+        c.reserve(0.0, 4.0)
+        assert c.peek(1.0) == 4.0
+        assert c.reserve(1.0, 1.0) == 4.0
+
+    def test_pruning_keeps_memory_bounded(self):
+        c = CalendarTimeline()
+        step = 2.0
+        for i in range(20000):
+            c.reserve(i * step, 1.0)  # half-utilized, never coalesces
+        assert len(c._busy) < 2 * CalendarTimeline.PRUNE_SLACK / step + 4096
+
+    def test_randomized_never_overlaps(self, rng):
+        c = CalendarTimeline()
+        intervals = []
+        for _ in range(500):
+            earliest = float(rng.integers(0, 1000))
+            occ = float(rng.integers(1, 7))
+            start = c.reserve(earliest, occ)
+            assert start >= earliest
+            intervals.append((start, start + occ))
+        intervals.sort()
+        for (s0, e0), (s1, e1) in zip(intervals, intervals[1:]):
+            assert e0 <= s1 + 1e-9
+
+
+class TestMultiPortTimeline:
+    def test_parallel_ports(self):
+        m = MultiPortTimeline(2)
+        assert m.reserve(0.0, 4.0) == 0.0
+        assert m.reserve(0.0, 4.0) == 0.0
+        assert m.reserve(0.0, 4.0) == 4.0
+
+    def test_rejects_zero_ports(self):
+        with pytest.raises(ValueError):
+            MultiPortTimeline(0)
+
+    def test_utilization_accounts_all_ports(self):
+        m = MultiPortTimeline(4)
+        m.reserve(0.0, 8.0)
+        assert m.utilization(8.0) == pytest.approx(0.25)

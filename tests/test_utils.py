@@ -1,0 +1,101 @@
+"""Bitops and statistics helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.bitops import (
+    bank_of_address,
+    cache_index,
+    cache_tag,
+    ceil_div,
+    is_power_of_two,
+    line_address,
+    log2_exact,
+    odd_factor,
+    sign_extend,
+    to_u64,
+)
+from repro.utils.stats import Counter, RunningStats
+
+
+class TestBitops:
+    def test_to_u64_wraps(self):
+        assert to_u64(1 << 64) == 0
+        assert to_u64(-1) == (1 << 64) - 1
+
+    def test_sign_extend(self):
+        assert sign_extend(0xFF, 8) == -1
+        assert sign_extend(0x7F, 8) == 127
+
+    def test_ceil_div(self):
+        assert ceil_div(128, 16) == 8
+        assert ceil_div(1, 16) == 1
+        assert ceil_div(0, 16) == 0
+        with pytest.raises(ValueError):
+            ceil_div(1, 0)
+
+    def test_power_of_two(self):
+        assert is_power_of_two(1) and is_power_of_two(1024)
+        assert not is_power_of_two(0) and not is_power_of_two(12)
+        assert log2_exact(64) == 6
+        with pytest.raises(ValueError):
+            log2_exact(12)
+
+    def test_odd_factor(self):
+        assert odd_factor(24) == (3, 3)
+        assert odd_factor(7) == (7, 0)
+        assert odd_factor(-40) == (-5, 3)
+        with pytest.raises(ValueError):
+            odd_factor(0)
+
+    def test_line_and_bank(self):
+        assert line_address(0x1234) == 0x1200
+        assert bank_of_address(0x40) == 1
+        banks = bank_of_address(np.array([0, 0x40, 0x400], dtype=np.uint64))
+        assert banks.tolist() == [0, 1, 0]
+
+    def test_cache_index_tag_partition_address(self):
+        addr = 0xDEADBEC0
+        sets = 512
+        idx = cache_index(addr, sets)
+        tag = cache_tag(addr, sets)
+        rebuilt = (tag << (6 + 9)) | (idx << 6) | (addr & 63)
+        assert rebuilt == addr
+
+
+class TestCounter:
+    def test_add_and_get(self):
+        c = Counter()
+        c.add("x")
+        c.add("x", 5)
+        assert c["x"] == 6
+        assert c["missing"] == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Counter().add("x", -1)
+
+    def test_merge_with_prefix(self):
+        a, b = Counter(), Counter()
+        b.add("hits", 3)
+        a.merge(b, prefix="l2.")
+        assert a["l2.hits"] == 3
+
+    def test_reset_and_iter(self):
+        c = Counter()
+        c.add("a")
+        assert list(c) == ["a"]
+        c.reset()
+        assert c.as_dict() == {}
+
+
+class TestRunningStats:
+    def test_streaming_moments(self):
+        s = RunningStats()
+        for v in (1.0, 2.0, 3.0):
+            s.observe(v)
+        assert s.mean == pytest.approx(2.0)
+        assert s.minimum == 1.0 and s.maximum == 3.0
+
+    def test_empty(self):
+        assert RunningStats().mean == 0.0

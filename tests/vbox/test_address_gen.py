@@ -1,0 +1,121 @@
+"""Address generators: path selection and slice planning."""
+
+import numpy as np
+import pytest
+
+from repro.isa.instructions import Instruction
+from repro.isa.registers import ArchState
+from repro.vbox.address_gen import AddressGenerators
+
+
+def _state(vs=8, vl=128, base=0x100000, rb=1):
+    state = ArchState()
+    state.ctrl.set_vs(vs)
+    state.ctrl.set_vl(vl)
+    state.sregs.write(rb, base)
+    return state
+
+
+class TestPathSelection:
+    def test_unit_stride_takes_pump(self):
+        plan = AddressGenerators().plan(Instruction("vloadq", vd=1, rb=1),
+                                        _state(vs=8))
+        assert plan.kind == "pump"
+        assert all(s.pump for s in plan.slices)
+
+    def test_unit_stride_without_pump_reorders(self):
+        gens = AddressGenerators(pump_enabled=False)
+        plan = gens.plan(Instruction("vloadq", vd=1, rb=1), _state(vs=8))
+        assert plan.kind == "reordered"
+        assert len(plan.slices) == 8
+
+    def test_odd_stride_reorders(self):
+        plan = AddressGenerators().plan(Instruction("vloadq", vd=1, rb=1),
+                                        _state(vs=8 * 7))
+        assert plan.kind == "reordered"
+        assert len(plan.slices) == 8
+        assert all(s.is_conflict_free() for s in plan.slices)
+
+    def test_self_conflicting_stride_goes_to_cr(self):
+        gens = AddressGenerators()
+        plan = gens.plan(Instruction("vloadq", vd=1, rb=1), _state(vs=1024))
+        assert plan.kind == "cr"
+        assert gens.counters["self_conflicting_strides"] == 1
+
+    def test_gather_goes_to_cr(self, rng):
+        state = _state()
+        offsets = (rng.integers(0, 1 << 16, 128) * 8).astype(np.uint64)
+        state.vregs.write(2, offsets)
+        plan = AddressGenerators().plan(
+            Instruction("vgathq", vd=3, vb=2, rb=1), state)
+        assert plan.kind == "cr"
+        packed = sum(s.valid_count for s in plan.slices)
+        assert packed == 128
+
+
+class TestPumpPlans:
+    def test_aligned_full_vector_is_16_lines_one_slice(self):
+        plan = AddressGenerators().plan(Instruction("vloadq", vd=1, rb=1),
+                                        _state(base=0x100000))
+        assert len(plan.slices) == 1
+        assert plan.slices[0].valid_count == 16
+        assert plan.quadwords == 128
+
+    def test_misaligned_spans_17_lines_two_slices(self):
+        plan = AddressGenerators().plan(Instruction("vloadq", vd=1, rb=1),
+                                        _state(base=0x100008))
+        lines = sum(s.valid_count for s in plan.slices)
+        assert lines == 17
+        assert len(plan.slices) == 2
+
+    def test_full_line_store_flagged(self):
+        plan = AddressGenerators().plan(Instruction("vstoreq", va=1, rb=1),
+                                        _state(base=0x100000))
+        assert plan.is_write
+        assert plan.slices[0].full_line_write
+
+    def test_misaligned_store_not_full_line(self):
+        plan = AddressGenerators().plan(Instruction("vstoreq", va=1, rb=1),
+                                        _state(base=0x100008))
+        assert not all(s.full_line_write for s in plan.slices)
+
+    def test_short_vl_covers_fewer_lines(self):
+        plan = AddressGenerators().plan(Instruction("vloadq", vd=1, rb=1),
+                                        _state(vl=32))
+        assert plan.slices[0].valid_count == 4  # 32 qw = 4 lines
+        assert plan.quadwords == 32
+
+
+class TestReorderedPlans:
+    def test_short_vl_still_pays_8_cycles(self):
+        plan = AddressGenerators().plan(Instruction("vloadq", vd=1, rb=1),
+                                        _state(vs=24, vl=16))
+        assert plan.addr_gen_cycles == 8.0
+        assert sum(s.valid_count for s in plan.slices) == 16
+
+    def test_masked_elements_dropped(self):
+        state = _state(vs=24)
+        vm = np.zeros(128, dtype=bool)
+        vm[:64] = True
+        state.ctrl.set_vm(vm)
+        plan = AddressGenerators().plan(
+            Instruction("vloadq", vd=1, rb=1, masked=True), state)
+        assert sum(s.valid_count for s in plan.slices) == 64
+
+
+class TestEdgeCases:
+    def test_vl_zero_is_empty_plan(self):
+        plan = AddressGenerators().plan(Instruction("vloadq", vd=1, rb=1),
+                                        _state(vl=0))
+        assert plan.kind == "empty"
+        assert plan.slices == []
+
+    def test_non_memory_instruction_rejected(self):
+        with pytest.raises(ValueError):
+            AddressGenerators().plan(Instruction("vvaddq", va=1, vb=2, vd=3),
+                                     _state())
+
+    def test_prefetch_flagged(self):
+        plan = AddressGenerators().plan(Instruction("vloadq", vd=31, rb=1),
+                                        _state())
+        assert plan.is_prefetch

@@ -1,0 +1,62 @@
+"""Slice data structure: the memory pipeline's unit of work."""
+
+import numpy as np
+import pytest
+
+from repro.vbox.slices import SLICE_SIZE, Slice
+
+
+def _slice(elements, addresses, **kw):
+    return Slice(0, np.array(elements), np.array(addresses, dtype=np.uint64),
+                 **kw)
+
+
+class TestConstruction:
+    def test_basic(self):
+        s = _slice([0, 1], [0, 64])
+        assert s.valid_count == 2
+        assert s.quadwords == 2
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            _slice([0, 1], [0])
+
+    def test_too_many_addresses_rejected(self):
+        with pytest.raises(ValueError):
+            _slice(list(range(17)), [i * 64 for i in range(17)])
+
+    def test_explicit_quadwords_for_pump(self):
+        s = _slice(list(range(16)), [i * 64 for i in range(16)],
+                   pump=True, quadwords=128)
+        assert s.quadwords == 128
+
+
+class TestConflictChecks:
+    def test_lanes_are_element_mod_16(self):
+        s = _slice([0, 17, 35], [0, 64, 128])
+        assert s.lanes().tolist() == [0, 1, 3]
+
+    def test_banks_are_bits_9_to_6(self):
+        s = _slice([0, 1], [0x40, 0x3C0])
+        assert s.banks().tolist() == [1, 15]
+
+    def test_lane_conflict_detected(self):
+        s = _slice([0, 16], [0, 64])        # both lane 0
+        assert not s.is_lane_conflict_free()
+
+    def test_bank_conflict_detected(self):
+        s = _slice([0, 1], [0x000, 0x400])  # both bank 0, distinct lines
+        assert not s.is_bank_conflict_free()
+
+    def test_same_line_is_not_a_bank_conflict(self):
+        """Two quadwords of one line are served by one bank read."""
+        s = _slice([0, 1], [0x00, 0x08])
+        assert s.is_bank_conflict_free()
+
+    def test_fully_conflict_free(self):
+        s = _slice(list(range(16)), [i * 64 for i in range(16)])
+        assert s.is_conflict_free()
+
+    def test_line_addresses_deduplicate(self):
+        s = _slice([0, 1, 2], [0x00, 0x08, 0x40])
+        assert s.line_addresses() == [0x00, 0x40]

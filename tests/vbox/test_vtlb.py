@@ -1,0 +1,94 @@
+"""Vector TLB: per-lane translation, refill strategies, huge pages."""
+
+import numpy as np
+import pytest
+
+from repro.mem.pages import PAGE_BYTES, PageTable
+from repro.vbox.vtlb import LaneTLB, RefillStrategy, VectorTLB
+
+
+def _translate(tlb, addrs, elements=None):
+    addrs = np.asarray(addrs, dtype=np.uint64)
+    if elements is None:
+        elements = np.arange(len(addrs))
+    return tlb.translate_elements(np.asarray(elements), addrs)
+
+
+class TestLaneTLB:
+    def test_lru_eviction(self):
+        tlb = LaneTLB(entries=2)
+        tlb.insert(1, 1)
+        tlb.insert(2, 2)
+        tlb.lookup(1)            # refresh 1
+        evicted = tlb.insert(3, 3)
+        assert evicted == 2
+        assert tlb.lookup(1) == 1 and tlb.lookup(2) is None
+
+
+class TestIdentityTranslation:
+    def test_first_touch_pays_refill(self):
+        tlb = VectorTLB()
+        addrs = [0x1000, 0x2000]
+        _, penalty = _translate(tlb, addrs)
+        assert penalty == tlb.refill_penalty_cycles
+        assert tlb.counters["misses"] >= 1
+
+    def test_second_touch_is_free_and_identity(self):
+        tlb = VectorTLB()
+        addrs = np.arange(16, dtype=np.uint64) * 8 + 0x8000
+        _translate(tlb, addrs)
+        out, penalty = _translate(tlb, addrs)
+        assert penalty == 0.0
+        assert np.array_equal(out, addrs)
+
+    def test_whole_stride_refill_covers_all_lanes(self):
+        tlb = VectorTLB(strategy=RefillStrategy.WHOLE_STRIDE)
+        # lane 0 misses; whole-stride refill should cover lane 5 too
+        _translate(tlb, [0x1000], elements=[0])
+        _, penalty = _translate(tlb, [0x2000], elements=[5])
+        assert penalty == 0.0  # same page, already refilled everywhere
+
+    def test_per_miss_refill_is_per_lane(self):
+        tlb = VectorTLB(strategy=RefillStrategy.PER_MISS)
+        _translate(tlb, [0x1000], elements=[0])
+        _, penalty = _translate(tlb, [0x2000], elements=[5])
+        assert penalty == tlb.refill_penalty_cycles  # lane 5 still cold
+
+
+class TestExplicitMappings:
+    def test_non_identity_translation(self):
+        pt = PageTable(page_bytes=1 << 16)
+        pt.map(vpn=1, pfn=9)
+        tlb = VectorTLB(pt)
+        out, _ = _translate(tlb, [(1 << 16) + 0x18])
+        assert int(out[0]) == (9 << 16) + 0x18
+
+    def test_prefetch_ignores_misses(self):
+        pt = PageTable(page_bytes=1 << 16, identity=False)
+        tlb = VectorTLB(pt)
+        addrs = np.array([0x10000], dtype=np.uint64)
+        out, penalty = tlb.translate_elements(np.array([0]), addrs,
+                                              ignore_misses=True)
+        assert penalty == 0.0  # no refill, no trap
+
+    def test_giant_stride_many_pages_forward_progress(self):
+        """A stride touching one page per element must still translate —
+        the paper's reason for associative TLBs (section 3.4)."""
+        pt = PageTable(page_bytes=1 << 16)
+        tlb = VectorTLB(pt, entries_per_lane=32)
+        addrs = (np.arange(128, dtype=np.uint64) * np.uint64(1 << 16))
+        out, penalty = tlb.translate_elements(np.arange(128), addrs)
+        assert np.array_equal(out, addrs)
+        assert penalty > 0
+
+
+class TestHugePagesKeepTLBQuiet:
+    def test_512mb_pages_one_refill_per_huge_region(self):
+        tlb = VectorTLB()
+        a = np.arange(128, dtype=np.uint64) * 8
+        _translate(tlb, a)
+        refills_after_first = tlb.counters["refill_traps"]
+        for i in range(10):
+            out, penalty = _translate(tlb, a + i * 4096)
+            assert penalty == 0.0
+        assert tlb.counters["refill_traps"] == refills_after_first
