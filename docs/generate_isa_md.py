@@ -59,7 +59,10 @@ format diagrams).  The encoding covers register forms, 5-bit literals
 and 8-byte-multiple displacements in [-512, 504]; anything else (float
 immediates, large displacements) must be materialized through registers,
 as a real compiler would.  `encode`/`decode` round trips are
-property-tested.
+property-tested, and `python -m repro lint` round-trips every kernel
+through both the encoding and the assembler (see docs/ANALYSIS.md,
+which also documents the static dataflow checks over this ISA's
+`vl`/`vs`/`vm` control state).
 """
 
 

@@ -1,0 +1,43 @@
+"""Static analysis for hand-vectorized Tarantula kernels (``vlint``).
+
+The paper's methodology rests on hand-written vector assembly, and the
+reproduction mirrors it: every workload is authored through
+:class:`~repro.isa.builder.KernelBuilder` with no compiler in the path
+to catch authoring mistakes.  This package is the verification layer
+between kernel authoring and the timing model — it abstract-interprets
+a :class:`~repro.isa.program.Program` *without executing it* and reports
+:class:`Diagnostic` findings:
+
+* :mod:`repro.analysis.lattice` — a control-state lattice tracking
+  ``vl``/``vs``/``vm`` through the straight-line instruction stream;
+* :mod:`repro.analysis.dataflow` — def-use analysis over the 32 vector
+  registers and the scalar operands (use-before-def, dead writes,
+  uninitialized FMAC accumulators, writes to architectural zero);
+* :mod:`repro.analysis.depgraph` — a RAW/WAR/WAW dependence-graph
+  builder shared with the Vbox renamer tests;
+* :mod:`repro.analysis.encoding_lint` — round-trips every instruction
+  through :mod:`repro.isa.encodings` and every listing line through
+  :mod:`repro.isa.assembler`.
+
+Entry points: :func:`lint_program` for one program, :func:`lint_registry`
+for the whole Table 2 suite, and ``python -m repro lint`` on the command
+line.  Diagnostic codes and severities are documented in
+``docs/ANALYSIS.md``.
+"""
+
+from repro.analysis.diagnostics import (  # noqa: F401
+    Code,
+    Diagnostic,
+    LintError,
+    LintReport,
+    Severity,
+)
+from repro.analysis.depgraph import (  # noqa: F401
+    DepEdge,
+    DepGraph,
+    DepKind,
+    build_dep_graph,
+)
+from repro.analysis.effects import Effects, effects_of  # noqa: F401
+from repro.analysis.lattice import AbstractValue, ControlState  # noqa: F401
+from repro.analysis.linter import lint_program, lint_registry  # noqa: F401

@@ -1,0 +1,151 @@
+"""Control-state and def-use dataflow checks (one forward walk).
+
+Programs are straight-line (loop control runs on the EV8 core, kernels
+arrive fully unrolled), so a single pass over the instruction stream
+visits every program point.  The walk threads the
+:class:`~repro.analysis.lattice.ControlState` lattice for ``vl``/``vs``/
+``vm`` and a per-register def-use state for the two register files.
+
+Rules, in the order they can fire at one instruction (reads are checked
+against the state *before* the instruction, writes update it after):
+
+* ``VL_UNSET`` / ``VS_UNSET`` / ``VM_UNSET`` — element-wise, strided or
+  masked execution under never-initialized control state;
+* ``VM_STALE`` — masked execution under a mask computed at a different
+  (statically known) ``vl``;
+* ``VL_ZERO`` / ``VL_RANGE`` — suspicious ``setvl`` immediates;
+* ``USE_BEFORE_DEF`` / ``ACC_UNINIT`` / ``MERGE_UNINIT`` — reads of
+  never-written vector registers, classified by how they are read
+  (true source, FMAC accumulator, masked merge).  The zero idioms
+  (``vvxor v, v, d``) are definitions, not uses;
+* ``SCALAR_USE_BEFORE_DEF`` — same for the EV8-side registers;
+* ``DEAD_WRITE`` — a vector write that is overwritten (by a full,
+  unmasked write) or reaches the end of the program without ever being
+  read;
+* ``ZERO_DEST`` — a non-load write to ``v31``, which the register file
+  discards: only loads targeting ``v31`` mean something (prefetch).
+
+Control-state and use-before-def findings are reported once per
+register/resource — repeating them for every instruction of an unrolled
+loop would bury the signal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.isa.program import Program
+
+from repro.analysis.diagnostics import Code, LintReport
+from repro.analysis.effects import effects_of
+from repro.analysis.lattice import ControlState
+
+
+@dataclass
+class _Def:
+    """Last write to one vector register: where, and read since?"""
+
+    index: int
+    read: bool = False
+    op: str = ""
+
+
+def check_dataflow(program: Program, report: LintReport) -> None:
+    """Run the control-state and def-use rules, appending to ``report``."""
+    state = ControlState.initial()
+    vdefs: dict[int, _Def] = {}
+    sdefs: set[int] = set()
+    reported: set[tuple[Code, object]] = set()
+
+    def once(code: Code, key: object, index: int, message: str,
+             instruction: str = "") -> None:
+        if (code, key) not in reported:
+            reported.add((code, key))
+            report.add(code, index, message, instruction)
+
+    for i, instr in enumerate(program):
+        eff = effects_of(instr)
+        text = str(instr)
+
+        # -- control-state reads (against the incoming state) ----------
+        if eff.reads_vl and state.vl.is_unset:
+            once(Code.VL_UNSET, "vl", i,
+                 "vector instruction executes with vl never set "
+                 "(kernel relies on power-on/caller state)", text)
+        if eff.reads_vs and state.vs.is_unset:
+            once(Code.VS_UNSET, "vs", i,
+                 "strided access executes with vs never set", text)
+        if eff.reads_vm:
+            if state.vm.is_unset:
+                once(Code.VM_UNSET, "vm", i,
+                     "masked instruction but no setvm precedes it", text)
+            elif (state.vm.vl_at_def.is_known and state.vl.is_known
+                  and state.vm.vl_at_def.value != state.vl.value):
+                once(Code.VM_STALE, state.vm.set_at, i,
+                     f"mask was computed at vl={state.vm.vl_at_def.value} "
+                     f"but executes at vl={state.vl.value} "
+                     f"(setvm at instruction {state.vm.set_at})", text)
+
+        # -- setvl immediate sanity -------------------------------------
+        if instr.op == "setvl" and isinstance(instr.imm, int):
+            if instr.imm == 0:
+                report.add(Code.VL_ZERO, i,
+                           "vl=0 makes every vector instruction a no-op",
+                           text)
+            elif not 0 <= instr.imm <= 128:
+                report.add(Code.VL_RANGE, i,
+                           f"setvl {instr.imm} is clamped to [0, 128] "
+                           "by the hardware", text)
+
+        # -- vector register reads --------------------------------------
+        def _read(reg: Optional[int], code: Code, note: str) -> None:
+            if reg is None:
+                return
+            d = vdefs.get(reg)
+            if d is None:
+                once(code, reg, i, f"v{reg} {note}", text)
+            else:
+                d.read = True
+
+        if not eff.is_zero_idiom:
+            for reg in eff.vreg_sources:
+                _read(reg, Code.USE_BEFORE_DEF,
+                      "is read but never written before this point")
+        _read(eff.vreg_acc, Code.ACC_UNINIT,
+              "is accumulated into (reads_dest) but never initialized")
+        _read(eff.vreg_merge, Code.MERGE_UNINIT,
+              "merges inactive elements from a never-written register")
+
+        # -- scalar register reads --------------------------------------
+        for reg in eff.sreg_reads:
+            if reg not in sdefs:
+                once(Code.SCALAR_USE_BEFORE_DEF, reg, i,
+                     f"r{reg} is read but never written before this point",
+                     text)
+                sdefs.add(reg)   # report each register once
+
+        # -- writes -----------------------------------------------------
+        for reg in eff.vreg_writes:
+            prior = vdefs.get(reg)
+            full = eff.vreg_merge != reg and eff.vreg_acc != reg
+            if prior is not None and not prior.read and full:
+                report.add(Code.DEAD_WRITE, prior.index,
+                           f"v{reg} written here ({prior.op}) is "
+                           f"overwritten at instruction {i} without "
+                           "ever being read")
+            vdefs[reg] = _Def(index=i, op=text)
+        if eff.vreg_discard is not None:
+            report.add(Code.ZERO_DEST, i,
+                       "v31 is architectural zero; this write is "
+                       "discarded (only loads to v31 prefetch)", text)
+        sdefs.update(eff.sreg_writes)
+
+        state = state.step(instr, i)
+
+    # -- end of program: definitions that were never read ---------------
+    for reg, d in sorted(vdefs.items()):
+        if not d.read:
+            report.add(Code.DEAD_WRITE, d.index,
+                       f"v{reg} written here ({d.op}) is never read "
+                       "before the program ends")

@@ -1,0 +1,149 @@
+"""RAW / WAR / WAW dependence graph over a straight-line program.
+
+Nodes are instruction indices; a :class:`DepEdge` records the dependence
+kind and the resource that carries it (``v0``..``v30``, ``r0``..``r30``,
+``vl``/``vs``/``vm``, or the coarse ``mem`` token for load/store
+ordering).  ``v31``/``r31`` are architectural zero and never carry a
+dependence.
+
+The graph serves two customers:
+
+* the **linter**, which reports def-use anomalies found during the same
+  walk (see :mod:`repro.analysis.dataflow`);
+* the **Vbox renamer tests**: renaming eliminates exactly the WAR and
+  WAW edges over vector registers and ``vm`` (section 2 of the paper
+  notes ``vm`` is renamed so the next mask can be computed while the
+  current one is in use), so the timing model must schedule two kernels
+  identically when they differ only by false dependences — the graph is
+  how the tests identify those pairs.
+
+Masked and ``reads_dest`` instructions read their destination (the
+inactive elements merge), so a masked write carries a RAW edge from the
+previous writer, matching ``Instruction.vreg_reads``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.isa.program import Program
+
+from repro.analysis.effects import effects_of
+
+
+class DepKind(enum.Enum):
+    RAW = "read-after-write"
+    WAR = "write-after-read"
+    WAW = "write-after-write"
+
+
+@dataclass(frozen=True)
+class DepEdge:
+    """One dependence: ``src`` must precede ``dst`` because of ``resource``."""
+
+    src: int
+    dst: int
+    kind: DepKind
+    resource: str
+
+
+@dataclass
+class DepGraph:
+    """Dependence edges over one program, with simple query helpers."""
+
+    n_instructions: int
+    edges: list[DepEdge] = field(default_factory=list)
+
+    def by_kind(self, kind: DepKind) -> list[DepEdge]:
+        return [e for e in self.edges if e.kind is kind]
+
+    def predecessors(self, index: int) -> set[int]:
+        return {e.src for e in self.edges if e.dst == index}
+
+    def successors(self, index: int) -> set[int]:
+        return {e.dst for e in self.edges if e.src == index}
+
+    def on_resource(self, resource: str) -> list[DepEdge]:
+        return [e for e in self.edges if e.resource == resource]
+
+    def false_edges(self) -> list[DepEdge]:
+        """WAR/WAW edges over renamed resources (vregs and ``vm``).
+
+        These are exactly the dependences register renaming removes;
+        the renamer tests assert the timing model does not serialize on
+        them.
+        """
+        renamed = [e for e in self.edges
+                   if e.kind in (DepKind.WAR, DepKind.WAW)]
+        return [e for e in renamed
+                if e.resource == "vm"
+                or (e.resource[0] == "v" and e.resource[1:].isdigit())]
+
+    def raw_critical_path(self) -> int:
+        """Length (in instructions) of the longest RAW chain."""
+        depth = [1] * self.n_instructions
+        for edge in sorted(self.by_kind(DepKind.RAW), key=lambda e: e.dst):
+            depth[edge.dst] = max(depth[edge.dst], depth[edge.src] + 1)
+        return max(depth, default=0)
+
+
+def _resources(eff) -> tuple[list[str], list[str]]:
+    """(reads, writes) resource-token lists for one instruction."""
+    reads = [f"v{r}" for r in eff.vreg_reads]
+    reads += [f"r{r}" for r in eff.sreg_reads]
+    if eff.reads_vl:
+        reads.append("vl")
+    if eff.reads_vs:
+        reads.append("vs")
+    if eff.reads_vm:
+        reads.append("vm")
+    if eff.reads_mem:
+        reads.append("mem")
+    writes = [f"v{r}" for r in eff.vreg_writes]
+    writes += [f"r{r}" for r in eff.sreg_writes]
+    if eff.writes_vl:
+        writes.append("vl")
+    if eff.writes_vs:
+        writes.append("vs")
+    if eff.writes_vm:
+        writes.append("vm")
+    if eff.writes_mem:
+        writes.append("mem")
+    return reads, writes
+
+
+def build_dep_graph(program: Program, *, memory: bool = False) -> DepGraph:
+    """Build the dependence graph of ``program``.
+
+    ``memory=True`` adds coarse load/store ordering edges through a
+    single ``mem`` token (every store conflicts with every later access);
+    the default leaves memory disambiguation to the timing model, which
+    follows the Alpha memory model and reorders freely (kernels that
+    need ordering use ``drainm``).
+    """
+    graph = DepGraph(n_instructions=len(program))
+    last_writer: dict[str, int] = {}
+    readers_since: dict[str, list[int]] = {}
+
+    for i, instr in enumerate(program):
+        reads, writes = _resources(effects_of(instr))
+        if not memory:
+            reads = [r for r in reads if r != "mem"]
+            writes = [w for w in writes if w != "mem"]
+        for res in reads:
+            if res in last_writer:
+                graph.edges.append(
+                    DepEdge(last_writer[res], i, DepKind.RAW, res))
+            readers_since.setdefault(res, []).append(i)
+        for res in writes:
+            if res in last_writer:
+                graph.edges.append(
+                    DepEdge(last_writer[res], i, DepKind.WAW, res))
+            for reader in readers_since.get(res, ()):
+                if reader != i:
+                    graph.edges.append(
+                        DepEdge(reader, i, DepKind.WAR, res))
+            last_writer[res] = i
+            readers_since[res] = []
+    return graph

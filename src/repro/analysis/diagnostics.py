@@ -1,0 +1,161 @@
+"""Diagnostic model for the kernel linter.
+
+A :class:`Diagnostic` is one finding, identified by a stable
+:class:`Code` so tests can assert exactly which rule fired; a
+:class:`LintReport` is the ordered collection produced by one lint run.
+Severities follow compiler convention:
+
+* ``ERROR`` — the kernel is wrong (or relies on unarchitected state);
+  the ``lint=True`` hooks raise :class:`LintError` on these.
+* ``WARNING`` — legal but suspicious (dead writes, stale masks).
+* ``INFO`` — notes about documented limitations (e.g. instructions the
+  32-bit encoding intentionally cannot represent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.errors import ReproError
+
+
+class Severity(Enum):
+    """How bad a finding is; ordered so ``max()`` picks the worst."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+class Code(Enum):
+    """Stable diagnostic identifiers (documented in docs/ANALYSIS.md)."""
+
+    # control-state lattice
+    VL_UNSET = "vector instruction before any setvl"
+    VL_ZERO = "setvl to a known zero length"
+    VL_RANGE = "setvl immediate outside [0, 128] (hardware clamps)"
+    VS_UNSET = "strided memory instruction before any setvs"
+    VM_UNSET = "masked instruction but vm was never produced by setvm"
+    VM_STALE = "masked instruction under a vm computed at a different vl"
+    # def-use over the register files
+    USE_BEFORE_DEF = "vector register read before any write"
+    ACC_UNINIT = "FMAC accumulator (reads_dest) never initialized"
+    MERGE_UNINIT = "masked merge reads a never-written destination"
+    SCALAR_USE_BEFORE_DEF = "scalar register read before any write"
+    DEAD_WRITE = "vector register write is never read"
+    ZERO_DEST = "non-load write to v31 has no effect (not a prefetch)"
+    # encoding / assembler round-trips
+    ENC_MISMATCH = "encode/decode round-trip changed the instruction"
+    ENC_UNENCODABLE = "not representable in the 32-bit encoding"
+    ASM_MISMATCH = "listing line does not re-assemble to the instruction"
+
+    @property
+    def default_severity(self) -> Severity:
+        return _SEVERITIES[self]
+
+
+_SEVERITIES = {
+    Code.VL_UNSET: Severity.ERROR,
+    Code.VL_ZERO: Severity.WARNING,
+    Code.VL_RANGE: Severity.WARNING,
+    Code.VS_UNSET: Severity.ERROR,
+    Code.VM_UNSET: Severity.ERROR,
+    Code.VM_STALE: Severity.WARNING,
+    Code.USE_BEFORE_DEF: Severity.ERROR,
+    Code.ACC_UNINIT: Severity.ERROR,
+    Code.MERGE_UNINIT: Severity.INFO,
+    Code.SCALAR_USE_BEFORE_DEF: Severity.ERROR,
+    Code.DEAD_WRITE: Severity.WARNING,
+    Code.ZERO_DEST: Severity.WARNING,
+    Code.ENC_MISMATCH: Severity.ERROR,
+    Code.ENC_UNENCODABLE: Severity.INFO,
+    Code.ASM_MISMATCH: Severity.ERROR,
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: a rule, where it fired, and a human explanation."""
+
+    code: Code
+    severity: Severity
+    index: int                 # instruction index within the program
+    message: str
+    instruction: str = ""      # listing text of the offending instruction
+
+    def __str__(self) -> str:
+        loc = f"@{self.index}" if self.index >= 0 else ""
+        text = f"[{self.severity}] {self.code.name}{loc}: {self.message}"
+        if self.instruction:
+            text += f"  ({self.instruction})"
+        return text
+
+
+@dataclass
+class LintReport:
+    """All diagnostics from linting one program."""
+
+    program_name: str
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    def add(self, code: Code, index: int, message: str,
+            instruction: str = "", severity: Severity | None = None) -> None:
+        self.diagnostics.append(Diagnostic(
+            code=code, severity=severity or code.default_severity,
+            index=index, message=message, instruction=instruction))
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    @property
+    def infos(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.INFO]
+
+    @property
+    def has_errors(self) -> bool:
+        return bool(self.errors)
+
+    def by_code(self, code: Code) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.code is code]
+
+    def codes(self) -> set[Code]:
+        return {d.code for d in self.diagnostics}
+
+    def summary(self) -> str:
+        return (f"{self.program_name}: {len(self.errors)} error(s), "
+                f"{len(self.warnings)} warning(s), "
+                f"{len(self.infos)} note(s)")
+
+    def format(self, *, min_severity: Severity = Severity.INFO) -> str:
+        lines = [self.summary()]
+        for d in self.diagnostics:
+            if d.severity.value >= min_severity.value:
+                lines.append(f"  {d}")
+        return "\n".join(lines)
+
+    def __iter__(self):
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+
+class LintError(ReproError):
+    """Raised by the ``lint=True`` hooks when a program has errors."""
+
+    def __init__(self, report: LintReport):
+        self.report = report
+        detail = "; ".join(str(d) for d in report.errors[:5])
+        more = len(report.errors) - 5
+        if more > 0:
+            detail += f"; and {more} more"
+        super().__init__(f"lint failed for {report.program_name}: {detail}")

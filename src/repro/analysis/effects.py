@@ -1,0 +1,138 @@
+"""Architectural read/write effects of one instruction.
+
+Every analysis in this package (the control lattice, def-use, the
+dependence graph) needs the same question answered: *which architectural
+resources does this instruction read and write?*  This module derives
+that from :class:`~repro.isa.instructions.InstructionDef` metadata in
+one place, with the reads classified the way the lint rules need them:
+
+* ``vreg_sources`` — true data sources (``va``/``vb``: operands, store
+  data, gather/scatter indices).  ``v31`` reads are omitted — it is
+  architectural zero, so reading it is always defined.
+* ``vreg_acc`` — a ``reads_dest`` FMAC accumulator (``vd`` is also a
+  source; the paper's section-5 extension).
+* ``vreg_merge`` — a destination whose old value survives in inactive
+  elements: masked writes merge under ``vm`` (Figure 1), and ``vinsq``
+  preserves all elements but one.
+* ``vreg_writes`` / ``vreg_discard`` — architected destination writes;
+  a write to ``v31`` is discarded and reported separately (it is the
+  prefetch idiom on loads, and a likely bug anywhere else).
+
+Control-register effects follow the semantics module: every element-wise
+vector instruction reads ``vl``; SM-group accesses read ``vs``; ``/m``
+qualified instructions read ``vm``; ``setvl``/``setvs``/``setvm`` write
+them.  ``viota``/``vextq``/``vinsq`` touch all 128 elements regardless
+of ``vl`` (see :mod:`repro.isa.semantics`), so they do not read ``vl``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.isa.instructions import Group, Instruction
+
+#: VV mnemonics whose result is independent of the source value when
+#: both sources are the same register: the classic zero-idiom
+#: (``vvxor v, v, d`` / ``vvsubq v, v, d``).  Def-use treats these as
+#: pure definitions, not uses.
+ZERO_IDIOMS = ("vvxor", "vvsubq")
+
+
+@dataclass(frozen=True)
+class Effects:
+    """Resource read/write sets of one instruction."""
+
+    vreg_sources: tuple[int, ...]
+    vreg_acc: Optional[int]
+    vreg_merge: Optional[int]
+    vreg_writes: tuple[int, ...]
+    vreg_discard: Optional[int]
+    sreg_reads: tuple[int, ...]
+    sreg_writes: tuple[int, ...]
+    reads_vl: bool
+    reads_vs: bool
+    reads_vm: bool
+    writes_vl: bool
+    writes_vs: bool
+    writes_vm: bool
+    reads_mem: bool
+    writes_mem: bool
+    is_zero_idiom: bool
+
+    @property
+    def vreg_reads(self) -> tuple[int, ...]:
+        """All vector-register reads (sources, accumulator, merge)."""
+        reads = list(self.vreg_sources)
+        if self.vreg_acc is not None:
+            reads.append(self.vreg_acc)
+        if self.vreg_merge is not None:
+            reads.append(self.vreg_merge)
+        return tuple(reads)
+
+
+def effects_of(instr: Instruction) -> Effects:
+    """Classify the architectural effects of ``instr``."""
+    d = instr.definition
+    op = instr.op
+
+    sources: list[int] = []
+    acc: Optional[int] = None
+    merge: Optional[int] = None
+    writes: list[int] = []
+    discard: Optional[int] = None
+    sreads: list[int] = []
+    swrites: list[int] = []
+
+    zero_idiom = op in ZERO_IDIOMS and instr.va == instr.vb
+
+    # -- vector register operands ---------------------------------------
+    for fld in ("va", "vb"):
+        if fld in d.fields:
+            v = getattr(instr, fld)
+            if v is not None and v != 31:
+                sources.append(v)
+    if "vd" in d.fields and instr.vd is not None:
+        if instr.vd == 31:
+            if not d.is_load:
+                discard = 31
+        else:
+            writes.append(instr.vd)
+            if d.reads_dest:
+                acc = instr.vd
+            elif instr.masked or op == "vinsq":
+                # inactive / unselected elements keep their old value
+                merge = instr.vd
+
+    # -- scalar register operands ---------------------------------------
+    for reg in (instr.ra, instr.rb):
+        if reg is not None and reg != 31:
+            sreads.append(reg)
+    if instr.rd is not None and instr.rd != 31:
+        swrites.append(instr.rd)
+
+    # -- control registers ----------------------------------------------
+    elementwise = (d.group in (Group.VV, Group.VS, Group.SM, Group.RM)
+                   or op in ("vsumq", "vsumt"))
+    reads_vl = elementwise
+    reads_vs = d.group is Group.SM
+    reads_vm = instr.masked
+
+    return Effects(
+        vreg_sources=tuple(sources),
+        vreg_acc=acc,
+        vreg_merge=merge,
+        vreg_writes=tuple(writes),
+        vreg_discard=discard,
+        sreg_reads=tuple(sreads),
+        sreg_writes=tuple(swrites),
+        reads_vl=reads_vl,
+        reads_vs=reads_vs,
+        reads_vm=reads_vm,
+        writes_vl=op == "setvl",
+        writes_vs=op == "setvs",
+        writes_vm=d.writes_vm,
+        reads_mem=d.is_load and not instr.is_prefetch,
+        writes_mem=d.is_store,
+        is_zero_idiom=zero_idiom,
+    )

@@ -1,0 +1,89 @@
+"""Encoding and assembler round-trip lint.
+
+Two invariants tie the ISA definition together, and this pass checks
+both for every instruction of a program:
+
+* ``decode(encode(i)) == i`` whenever ``i`` is representable in the
+  32-bit encoding.  A mismatch means :mod:`repro.isa.encodings` would
+  corrupt a stored trace — always an error.
+* ``assemble(str(i)) == i``: every listing line must re-assemble to the
+  same instruction, so listings are an exact interchange format.
+
+Instructions the encoding *intentionally* cannot represent (float
+immediates, literals wider than 5 bits, displacements outside the
+8-byte-multiple [-512, 504] window — a real compiler materializes these
+through registers) are aggregated into a single INFO note instead of a
+per-instruction flood: an unrolled kernel has thousands of large
+displacements and that is a documented property, not a finding.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AssemblerError
+from repro.isa.assembler import assemble
+from repro.isa.encodings import EncodingError, decode, encode
+from repro.isa.program import Program
+
+from repro.analysis.diagnostics import Code, LintReport
+
+
+def _equivalent(a, b) -> bool:
+    """Instruction equality modulo the metrics tag (compare=False)."""
+    return a == b
+
+
+def check_encodings(program: Program, report: LintReport) -> None:
+    """Binary encode/decode round-trip for every instruction."""
+    unencodable = 0
+    first_example = None
+    seen_ops: set[str] = set()
+    for i, instr in enumerate(program):
+        try:
+            word = encode(instr)
+        except EncodingError as exc:
+            unencodable += 1
+            if first_example is None:
+                first_example = (i, str(exc))
+            continue
+        try:
+            back = decode(word)
+        except EncodingError as exc:
+            if instr.op not in seen_ops:
+                seen_ops.add(instr.op)
+                report.add(Code.ENC_MISMATCH, i,
+                           f"decode failed on own encoding: {exc}",
+                           str(instr))
+            continue
+        if not _equivalent(instr, back):
+            if instr.op not in seen_ops:
+                seen_ops.add(instr.op)
+                report.add(Code.ENC_MISMATCH, i,
+                           f"round-trip produced {back!s}", str(instr))
+    if unencodable:
+        index, example = first_example
+        report.add(Code.ENC_UNENCODABLE, index,
+                   f"{unencodable} of {len(program)} instructions are not "
+                   "representable in the 32-bit encoding (documented "
+                   f"limitation; first: {example})")
+
+
+def check_assembler_roundtrip(program: Program, report: LintReport) -> None:
+    """``assemble(str(instr))`` must reproduce every instruction."""
+    seen_ops: set[str] = set()   # gates reporting, not checking
+    for i, instr in enumerate(program):
+        text = str(instr)
+        try:
+            again = assemble(text)
+        except AssemblerError as exc:
+            if instr.op not in seen_ops:
+                seen_ops.add(instr.op)
+                report.add(Code.ASM_MISMATCH, i,
+                           f"listing line failed to assemble: {exc}", text)
+            continue
+        if len(again) != 1 or not _equivalent(again[0], instr):
+            if instr.op not in seen_ops:
+                seen_ops.add(instr.op)
+                got = str(again[0]) if len(again) == 1 \
+                    else f"{len(again)} instrs"
+                report.add(Code.ASM_MISMATCH, i,
+                           f"re-assembled to {got}", text)

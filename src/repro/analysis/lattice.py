@@ -1,0 +1,156 @@
+"""Control-state lattice for ``vl`` / ``vs`` / ``vm``.
+
+The linter abstract-interprets a program against a small lattice per
+control register::
+
+        UNKNOWN          (set, value not statically known)
+       /       \\
+   KNOWN(a)  KNOWN(b)    (set by an immediate)
+       \\       /
+         UNSET           (never written by the program)
+
+``UNSET`` means the kernel is relying on whatever the control register
+happened to hold — the paper's kernels never do this (they always
+``setvl``/``setvs`` on entry), so reads of UNSET state are lint errors.
+A ``setvl``/``setvs`` from a scalar register yields ``UNKNOWN``: set,
+but with no statically known value.
+
+Kernels are straight-line (no branches: loop control runs on the EV8
+core and programs arrive fully unrolled), so today the interpretation
+is a single forward walk.  ``join`` implements the lattice merge so the
+same machinery works if control flow is ever added: joining with UNSET
+stays UNSET (conservatively "maybe never set"), and disagreeing known
+values join to UNKNOWN.
+
+``vm`` additionally records *which* instruction produced it and the
+abstract ``vl`` at that point: a masked instruction executing after
+``vl`` changed is flagged stale, because a mask computed for one vector
+length silently mis-covers another (the classic hand-vectorization slip
+the paper's strip-mined loops invite).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.isa.instructions import Instruction
+
+from repro.analysis.effects import effects_of
+
+
+class _Kind(enum.Enum):
+    UNSET = "unset"
+    KNOWN = "known"
+    UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class AbstractValue:
+    """One lattice element for a scalar control register."""
+
+    kind: _Kind
+    value: Optional[int] = None
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def unset(cls) -> "AbstractValue":
+        return cls(_Kind.UNSET)
+
+    @classmethod
+    def known(cls, value: int) -> "AbstractValue":
+        return cls(_Kind.KNOWN, int(value))
+
+    @classmethod
+    def unknown(cls) -> "AbstractValue":
+        return cls(_Kind.UNKNOWN)
+
+    # -- queries --------------------------------------------------------
+    @property
+    def is_unset(self) -> bool:
+        return self.kind is _Kind.UNSET
+
+    @property
+    def is_known(self) -> bool:
+        return self.kind is _Kind.KNOWN
+
+    def join(self, other: "AbstractValue") -> "AbstractValue":
+        """Lattice merge of two control-flow paths."""
+        if self == other:
+            return self
+        if self.is_unset or other.is_unset:
+            return AbstractValue.unset()
+        return AbstractValue.unknown()
+
+    def __str__(self) -> str:
+        if self.is_known:
+            return f"known({self.value})"
+        return self.kind.value
+
+
+@dataclass(frozen=True)
+class MaskState:
+    """Abstract ``vm``: whether set, by which instruction, at which vl."""
+
+    set_at: Optional[int] = None          # producing instruction index
+    vl_at_def: AbstractValue = AbstractValue.unset()
+
+    @property
+    def is_unset(self) -> bool:
+        return self.set_at is None
+
+    def join(self, other: "MaskState") -> "MaskState":
+        if self == other:
+            return self
+        if self.is_unset or other.is_unset:
+            return MaskState()
+        # both set by different producers: keep "set, unknown regime"
+        return MaskState(set_at=min(self.set_at, other.set_at),
+                         vl_at_def=self.vl_at_def.join(other.vl_at_def))
+
+
+@dataclass(frozen=True)
+class ControlState:
+    """Abstract ``vl``/``vs``/``vm`` at one program point."""
+
+    vl: AbstractValue = AbstractValue.unset()
+    vs: AbstractValue = AbstractValue.unset()
+    vm: MaskState = MaskState()
+
+    @classmethod
+    def initial(cls) -> "ControlState":
+        """Program entry: nothing set.
+
+        The architecture powers up with ``vl=128, vs=8, vm=all-ones``
+        (:class:`~repro.isa.registers.ControlRegisters`), but a kernel
+        that silently relies on those defaults breaks the moment it is
+        called after another kernel — so the lattice starts UNSET and
+        the linter insists on explicit initialization, exactly like the
+        paper's hand-written prologues.
+        """
+        return cls()
+
+    def step(self, instr: Instruction, index: int) -> "ControlState":
+        """Transfer function: state after executing ``instr``."""
+        eff = effects_of(instr)
+        state = self
+        if eff.writes_vl:
+            value = (AbstractValue.known(instr.imm)
+                     if instr.imm is not None and isinstance(instr.imm, int)
+                     else AbstractValue.unknown())
+            state = replace(state, vl=value)
+        if eff.writes_vs:
+            value = (AbstractValue.known(instr.imm)
+                     if instr.imm is not None and isinstance(instr.imm, int)
+                     else AbstractValue.unknown())
+            state = replace(state, vs=value)
+        if eff.writes_vm:
+            state = replace(state, vm=MaskState(set_at=index,
+                                                vl_at_def=state.vl))
+        return state
+
+    def join(self, other: "ControlState") -> "ControlState":
+        return ControlState(vl=self.vl.join(other.vl),
+                            vs=self.vs.join(other.vs),
+                            vm=self.vm.join(other.vm))

@@ -1,0 +1,60 @@
+"""Linter entry points: one program, or the whole workload registry.
+
+:func:`lint_program` runs every pass and returns a
+:class:`~repro.analysis.diagnostics.LintReport`; :func:`lint_registry`
+is the suite gate — it builds each Table 2 workload (at test scale by
+default) and lints the generated kernel, which is what CI and
+``python -m repro lint --all`` run before any simulated cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.isa.program import Program
+
+from repro.analysis.dataflow import check_dataflow
+from repro.analysis.diagnostics import LintReport
+from repro.analysis.encoding_lint import (
+    check_assembler_roundtrip,
+    check_encodings,
+)
+
+
+def lint_program(program: Program, *, encoding: bool = True,
+                 roundtrip: bool = True) -> LintReport:
+    """Statically verify ``program`` without executing it.
+
+    ``encoding``/``roundtrip`` switch off the (slower) representation
+    checks; the dataflow rules always run.
+    """
+    report = LintReport(program_name=program.name)
+    check_dataflow(program, report)
+    if encoding:
+        check_encodings(program, report)
+    if roundtrip:
+        check_assembler_roundtrip(program, report)
+    return report
+
+
+def lint_registry(scale: Optional[float] = None, *,
+                  encoding: bool = True,
+                  roundtrip: bool = True) -> dict[str, LintReport]:
+    """Lint the hand-vectorized kernel of every registry workload.
+
+    ``scale=None`` uses each workload's test-sized instance
+    (``build_small``); pass an explicit scale to lint the kernels the
+    benchmark harness actually runs.  Returns ``{name: report}`` in
+    registry order.
+    """
+    from repro.workloads.registry import REGISTRY
+
+    reports: dict[str, LintReport] = {}
+    for name, workload in sorted(REGISTRY.items()):
+        instance = (workload.build_small() if scale is None
+                    else workload.build(scale))
+        report = lint_program(instance.program, encoding=encoding,
+                              roundtrip=roundtrip)
+        report.program_name = name
+        reports[name] = report
+    return reports

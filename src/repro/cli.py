@@ -6,7 +6,9 @@ Commands mirror the paper's evaluation artifacts:
 * ``table1|table2|table3|table4`` — regenerate a table;
 * ``fig6|fig7|fig8|fig9`` — regenerate a figure's data series;
 * ``list`` — the benchmark suite and the machine configurations;
-* ``asm <file>`` — assemble a text kernel and print its listing.
+* ``asm <file>`` — assemble a text kernel and print its listing;
+* ``lint <kernel|file.s>`` — statically verify a hand-vectorized kernel
+  (``--all`` gates the whole registry; see docs/ANALYSIS.md).
 
 Everything prints the paper's published values alongside where they
 exist, so the CLI doubles as a reproduction report generator.
@@ -88,8 +90,58 @@ def _cmd_asm(args) -> int:
     print(f"\n{stats.total} instructions "
           f"({stats.vector_instructions} vector, "
           f"{stats.scalar_instructions} scalar, "
-          f"{stats.memory_instructions} memory)")
+          f"{stats.memory_instructions} memory, "
+          f"{stats.prefetches} prefetch)")
     return 0
+
+
+def _lint_target_program(target: str, scale):
+    """Resolve a lint target: registry kernel name, or an assembly file."""
+    import os
+
+    from repro.errors import AssemblerError
+    from repro.isa.assembler import assemble
+
+    if target in REGISTRY:
+        workload = REGISTRY[target]
+        instance = (workload.build_small() if scale is None
+                    else workload.build(scale))
+        return instance.program
+    if os.path.exists(target):
+        with open(target) as handle:
+            source = handle.read()
+        try:
+            return assemble(source, name=target)
+        except AssemblerError as exc:
+            raise SystemExit(f"lint: {target} does not assemble: {exc}")
+    known = ", ".join(sorted(REGISTRY))
+    raise SystemExit(f"lint: {target!r} is neither a registry kernel nor "
+                     f"a file; kernels: {known}")
+
+
+def _cmd_lint(args) -> int:
+    from repro.analysis import Severity, lint_registry, lint_program
+
+    min_sev = Severity.INFO if args.verbose else Severity.WARNING
+    if args.all:
+        reports = lint_registry(scale=args.scale)
+    elif args.target is None:
+        raise SystemExit("lint: give a kernel name / .s file, or --all")
+    else:
+        program = _lint_target_program(args.target, args.scale)
+        report = lint_program(program)
+        reports = {report.program_name: report}
+    failed = 0
+    for report in reports.values():
+        if report.has_errors or report.warnings or args.verbose:
+            print(report.format(min_severity=min_sev))
+        else:
+            print(report.summary())
+        if report.has_errors:
+            failed += 1
+    if failed:
+        print(f"\nlint: {failed} of {len(reports)} program(s) have errors")
+    return 1 if failed else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -123,6 +175,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_asm = sub.add_parser("asm", help="assemble a text kernel")
     p_asm.add_argument("file")
     p_asm.set_defaults(fn=_cmd_asm)
+
+    p_lint = sub.add_parser(
+        "lint", help="statically verify a kernel (see docs/ANALYSIS.md)")
+    p_lint.add_argument("target", nargs="?", default=None,
+                        help="registry kernel name or assembly file")
+    p_lint.add_argument("--all", action="store_true",
+                        help="lint every registry workload")
+    p_lint.add_argument("--scale", type=float, default=None,
+                        help="problem scale (default: test-sized instance)")
+    p_lint.add_argument("--verbose", action="store_true",
+                        help="also show info-level notes")
+    p_lint.set_defaults(fn=_cmd_lint)
     return parser
 
 

@@ -204,11 +204,23 @@ def _bind(op: str, operands: list[_Operand], line: int) -> Instruction:
         raise AssemblerError(str(exc), line)
 
 
-def assemble(source: str, name: str = "asm") -> Program:
-    """Assemble source text into a :class:`Program`."""
+#: optional listing-style line prefix ("   12:  vloadq ..."), so the
+#: output of :meth:`Program.listing` assembles directly
+_LABEL_RE = re.compile(r"^\d+:\s*")
+
+
+def assemble(source: str, name: str = "asm", lint: bool = False) -> Program:
+    """Assemble source text into a :class:`Program`.
+
+    Accepts ``Program.listing()`` output verbatim (leading instruction
+    indices are treated as labels and ignored).  With ``lint=True`` the
+    assembled program passes through the static verifier
+    (:mod:`repro.analysis`) and errors raise ``LintError``.
+    """
     program = Program(name)
     for lineno, raw in enumerate(source.splitlines(), start=1):
         line = raw.split(";", 1)[0].strip()
+        line = _LABEL_RE.sub("", line)
         if not line:
             continue
         masked = False
@@ -227,6 +239,12 @@ def assemble(source: str, name: str = "asm") -> Program:
             # re-validate with the mask applied (scalar ops reject /m)
             instr.__post_init__()
         program.append(instr)
+    if lint:
+        from repro.analysis import LintError, lint_program
+
+        report = lint_program(program)
+        if report.has_errors:
+            raise LintError(report)
     return program
 
 

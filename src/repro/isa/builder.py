@@ -37,9 +37,12 @@ Scalar = Union[int, float]
 class KernelBuilder:
     """Fluent emitter of Tarantula instructions into a program."""
 
-    def __init__(self, name: str = "kernel") -> None:
+    def __init__(self, name: str = "kernel", lint: bool = False) -> None:
         self.program = Program(name)
         self._tag = ""
+        #: when True, :meth:`build` runs the static verifier
+        #: (:mod:`repro.analysis`) and raises ``LintError`` on errors
+        self.lint = lint
 
     # -- housekeeping -----------------------------------------------------
 
@@ -160,7 +163,20 @@ class KernelBuilder:
     # -- generated operate methods ------------------------------------------
 
     def build(self) -> Program:
-        """Return the assembled program."""
+        """Return the assembled program.
+
+        With ``lint=True`` the program first passes through the static
+        verifier; authoring mistakes (use-before-def, unset ``vl``,
+        masks that were never produced, ...) raise
+        :class:`~repro.analysis.diagnostics.LintError` here, before a
+        single simulated cycle runs.
+        """
+        if self.lint:
+            from repro.analysis import LintError, lint_program
+
+            report = lint_program(self.program)
+            if report.has_errors:
+                raise LintError(report)
         return self.program
 
 

@@ -346,6 +346,13 @@ class Instruction:
             parts = [f"r{self.rd}",
                      f"{self.imm}(r{self.rb})" if self.rb is not None
                      else f"#{self.imm}"]
+        elif self.definition.group is Group.SC and \
+                self.definition.fields == ("ra", "rd"):
+            # scalar operates carry a second source in rb *or* imm that
+            # the fields tuple does not list; render sources-first like
+            # the assembler expects: "addq ra, (rb|#imm), rd"
+            second = f"r{self.rb}" if self.rb is not None else f"#{self.imm}"
+            parts = [f"r{self.ra}", second, f"r{self.rd}"]
         else:
             parts = []
             for f in self.definition.fields:

@@ -19,7 +19,17 @@ from repro.isa.instructions import Group, Instruction
 
 @dataclass
 class ProgramStats:
-    """Static instruction-mix summary of a program."""
+    """Static instruction-mix summary of a program.
+
+    ``memory_instructions`` counts *architected* memory traffic only —
+    loads and stores whose elements the functional/timing models charge
+    as memory work.  Prefetches (loads targeting ``v31``) are counted
+    separately in ``prefetches`` and excluded from
+    ``memory_instructions``, mirroring the dynamic accounting
+    (:class:`~repro.core.functional.OperationCounts` keeps
+    ``prefetch_elements`` out of ``memory_elements``).  An SM/RM-group
+    prefetch still counts as a vector instruction and in ``by_group``.
+    """
 
     total: int = 0
     by_group: dict[str, int] = field(default_factory=dict)
@@ -71,12 +81,12 @@ class Program:
                 stats.scalar_instructions += 1
             else:
                 stats.vector_instructions += 1
-            if d.is_memory:
+            if instr.is_prefetch:
+                stats.prefetches += 1
+            elif d.is_memory:
                 stats.memory_instructions += 1
             if instr.masked:
                 stats.masked_instructions += 1
-            if instr.is_prefetch:
-                stats.prefetches += 1
         return stats
 
     def listing(self) -> str:

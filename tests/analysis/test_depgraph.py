@@ -1,0 +1,134 @@
+"""Dependency-graph builder: RAW/WAR/WAW classification."""
+
+from repro.analysis import DepKind, build_dep_graph
+from repro.isa.builder import KernelBuilder
+
+
+def _edges(graph, kind):
+    return {(e.src, e.dst, e.resource) for e in graph.by_kind(kind)}
+
+
+def _chain():
+    kb = KernelBuilder("chain")
+    kb.setvl(128)            # 0
+    kb.setvs(8)              # 1
+    kb.lda(1, 0x1000)        # 2
+    kb.vloadq(2, rb=1)       # 3
+    kb.vvaddt(3, 2, 2)       # 4
+    kb.vstoreq(3, rb=1)      # 5
+    return kb.build()
+
+
+class TestRawEdges:
+    def test_vector_raw_chain(self):
+        g = build_dep_graph(_chain())
+        raw = _edges(g, DepKind.RAW)
+        assert (3, 4, "v2") in raw     # load feeds the add
+        assert (4, 5, "v3") in raw     # add feeds the store
+
+    def test_scalar_address_raw(self):
+        g = build_dep_graph(_chain())
+        raw = _edges(g, DepKind.RAW)
+        assert (2, 3, "r1") in raw
+        assert (2, 5, "r1") in raw
+
+    def test_control_register_raw(self):
+        g = build_dep_graph(_chain())
+        raw = _edges(g, DepKind.RAW)
+        assert (0, 3, "vl") in raw     # setvl governs the load
+        assert (1, 3, "vs") in raw     # setvs governs the stride
+
+    def test_setvm_feeds_masked_op(self):
+        kb = KernelBuilder()
+        kb.setvl(128)                  # 0
+        kb.setvs(8)                    # 1
+        kb.lda(1, 0x1000)              # 2
+        kb.vloadq(2, rb=1)             # 3
+        kb.vscmptlt(3, 2, imm=0.0)     # 4
+        kb.setvm(3)                    # 5
+        kb.vstoreq(2, rb=1, masked=True)   # 6
+        g = build_dep_graph(kb.build())
+        raw = _edges(g, DepKind.RAW)
+        assert (4, 5, "v3") in raw
+        assert (5, 6, "vm") in raw
+
+    def test_raw_critical_path_of_serial_chain(self):
+        kb = KernelBuilder()
+        kb.setvl(128)
+        kb.vvaddq(1, 31, 31)
+        kb.vvaddq(2, 1, 1)
+        kb.vvaddq(3, 2, 2)
+        kb.vvaddq(4, 3, 3)
+        kb.vsumq(1, 4)
+        g = build_dep_graph(kb.build())
+        # setvl -> def v1 -> v2 -> v3 -> v4 -> sum: six nodes deep
+        assert g.raw_critical_path() == 6
+
+    def test_independent_ops_have_shallow_critical_path(self):
+        kb = KernelBuilder()
+        kb.setvl(128)
+        kb.vvaddq(1, 31, 31)
+        kb.vvaddq(2, 31, 31)
+        kb.vvaddq(3, 31, 31)
+        kb.vstoreq(1, rb=31)
+        g = build_dep_graph(kb.build())
+        assert g.raw_critical_path() <= 3   # setvl -> one def -> one use
+
+
+class TestFalseEdges:
+    def test_register_reuse_creates_war_waw(self):
+        kb = KernelBuilder("reuse")
+        kb.setvl(128)
+        kb.lda(1, 0x1000)
+        kb.setvs(8)
+        kb.vloadq(2, rb=1)             # 3
+        kb.vstoreq(2, rb=1)            # 4 reads v2
+        kb.vloadq(2, rb=1, disp=8)     # 5 rewrites v2: WAR with 4, WAW with 3
+        kb.vstoreq(2, rb=1, disp=8)    # 6
+        g = build_dep_graph(kb.build())
+        assert (4, 5, "v2") in _edges(g, DepKind.WAR)
+        assert (3, 5, "v2") in _edges(g, DepKind.WAW)
+        # these are exactly the edges the Vbox renamer removes
+        false = {(e.src, e.dst) for e in g.false_edges()}
+        assert (4, 5) in false and (3, 5) in false
+
+    def test_distinct_registers_have_no_false_edges(self):
+        g = build_dep_graph(_chain())
+        assert [e for e in g.false_edges() if e.resource.startswith("v")] == []
+
+    def test_setvl_overwrite_is_waw_on_vl(self):
+        kb = KernelBuilder()
+        kb.setvl(64)
+        kb.setvl(128)
+        g = build_dep_graph(kb.build())
+        assert (0, 1, "vl") in _edges(g, DepKind.WAW)
+        # control registers are renamed by the real hardware too, but the
+        # false_edges() contract covers only vector state (v*, vm)
+        assert all(not e.resource == "vl" for e in g.false_edges())
+
+
+class TestGraphQueries:
+    def test_predecessors_and_successors(self):
+        g = build_dep_graph(_chain())
+        assert 3 in g.predecessors(4)
+        assert 4 in g.successors(3)
+
+    def test_on_resource(self):
+        g = build_dep_graph(_chain())
+        v2_edges = g.on_resource("v2")
+        assert all(e.resource == "v2" for e in v2_edges)
+        assert v2_edges
+
+    def test_memory_token_serializes_stores(self):
+        kb = KernelBuilder()
+        kb.setvl(128)
+        kb.setvs(8)
+        kb.lda(1, 0x1000)
+        kb.vloadq(2, rb=1)             # 3
+        kb.vstoreq(2, rb=1)            # 4
+        kb.vloadq(3, rb=1)             # 5 reads memory after the store
+        no_mem = build_dep_graph(kb.build())
+        with_mem = build_dep_graph(kb.build(), memory=True)
+        mem_raw = _edges(with_mem, DepKind.RAW)
+        assert (4, 5, "mem") in mem_raw
+        assert (4, 5, "mem") not in _edges(no_mem, DepKind.RAW)

@@ -1,0 +1,284 @@
+"""One intentionally-broken kernel per diagnostic kind.
+
+Each test seeds the exact authoring mistake the rule exists to catch and
+asserts the precise :class:`~repro.analysis.diagnostics.Code` fires (and
+with the intended severity), so the diagnostic surface is pinned down as
+API.  A final test checks the clean prologue idiom stays silent.
+"""
+
+import pytest
+
+from repro.analysis import Code, LintError, Severity, lint_program
+from repro.analysis import encoding_lint
+from repro.isa.builder import KernelBuilder
+from repro.isa.instructions import Instruction
+from repro.isa.program import Program
+
+
+def _lint(build, **kw):
+    kb = KernelBuilder("broken")
+    build(kb)
+    return lint_program(kb.build(), **kw)
+
+
+def _codes(report):
+    return {d.code for d in report}
+
+
+class TestControlStateDiagnostics:
+    def test_vl_unset(self):
+        def build(kb):
+            kb.setvs(8)
+            kb.lda(1, 0x1000)
+            kb.vloadq(2, rb=1)       # executes with vl never set
+            kb.vstoreq(2, rb=1)
+        report = _lint(build)
+        assert Code.VL_UNSET in _codes(report)
+        assert report.by_code(Code.VL_UNSET)[0].severity is Severity.ERROR
+
+    def test_vs_unset(self):
+        def build(kb):
+            kb.setvl(128)
+            kb.lda(1, 0x1000)
+            kb.vloadq(2, rb=1)       # strided access with vs never set
+            kb.vstoreq(2, rb=1)
+        report = _lint(build)
+        assert Code.VS_UNSET in _codes(report)
+        assert Code.VL_UNSET not in _codes(report)
+
+    def test_vm_unset(self):
+        def build(kb):
+            kb.setvl(128)
+            kb.setvs(8)
+            kb.lda(1, 0x1000)
+            kb.vloadq(2, rb=1)
+            kb.vstoreq(2, rb=1, masked=True)   # no setvm anywhere
+        report = _lint(build)
+        assert Code.VM_UNSET in _codes(report)
+        assert report.by_code(Code.VM_UNSET)[0].severity is Severity.ERROR
+
+    def test_vm_stale_across_setvl(self):
+        def build(kb):
+            kb.setvl(128)
+            kb.setvs(8)
+            kb.lda(1, 0x1000)
+            kb.vloadq(2, rb=1)
+            kb.vscmptlt(3, 2, imm=0.0)
+            kb.setvm(3)              # mask computed at vl=128
+            kb.setvl(64)             # regime change
+            kb.vstoreq(2, rb=1, masked=True)   # stale mask
+        report = _lint(build)
+        assert Code.VM_STALE in _codes(report)
+        assert report.by_code(Code.VM_STALE)[0].severity is Severity.WARNING
+        assert Code.VM_UNSET not in _codes(report)
+
+    def test_vm_not_stale_when_vl_unchanged(self):
+        def build(kb):
+            kb.setvl(128)
+            kb.setvs(8)
+            kb.lda(1, 0x1000)
+            kb.vloadq(2, rb=1)
+            kb.vscmptlt(3, 2, imm=0.0)
+            kb.setvm(3)
+            kb.vstoreq(2, rb=1, masked=True)
+        assert Code.VM_STALE not in _codes(_lint(build))
+
+    def test_vl_zero(self):
+        report = _lint(lambda kb: kb.setvl(0))
+        assert Code.VL_ZERO in _codes(report)
+
+    def test_vl_out_of_range(self):
+        report = _lint(lambda kb: kb.setvl(200))
+        assert Code.VL_RANGE in _codes(report)
+
+
+class TestDefUseDiagnostics:
+    def test_use_before_def(self):
+        def build(kb):
+            kb.setvl(128)
+            kb.vvaddt(3, 1, 2)       # v1 and v2 never written
+        report = _lint(build)
+        offenders = report.by_code(Code.USE_BEFORE_DEF)
+        assert {d.message.split()[0] for d in offenders} == {"v1", "v2"}
+        assert all(d.severity is Severity.ERROR for d in offenders)
+
+    def test_v31_reads_are_always_defined(self):
+        def build(kb):
+            kb.setvl(128)
+            kb.vvaddq(3, 31, 31)     # architectural zero: fine
+            kb.vsumq(1, 3)
+        assert Code.USE_BEFORE_DEF not in _codes(_lint(build))
+
+    def test_zero_idiom_is_a_def_not_a_use(self):
+        def build(kb):
+            kb.setvl(128)
+            kb.setvs(8)
+            kb.lda(1, 0x1000)
+            kb.vvxor(10, 10, 10)     # ccradix zeroing idiom
+            kb.vstoreq(10, rb=1)
+        assert Code.USE_BEFORE_DEF not in _codes(_lint(build))
+
+    def test_fmac_accumulator_uninitialized(self):
+        def build(kb):
+            kb.setvl(128)
+            kb.setvs(8)
+            kb.lda(1, 0x1000)
+            kb.vloadq(1, rb=1)
+            kb.vvmaddt(3, 1, 1)      # v3 += ... but v3 never initialized
+            kb.vstoreq(3, rb=1)
+        report = _lint(build)
+        assert Code.ACC_UNINIT in _codes(report)
+        assert Code.USE_BEFORE_DEF not in _codes(report)
+
+    def test_masked_merge_uninitialized_is_info(self):
+        def build(kb):
+            kb.setvl(128)
+            kb.setvs(8)
+            kb.lda(1, 0x1000)
+            kb.vloadq(2, rb=1)
+            kb.vscmptlt(3, 2, imm=0.0)
+            kb.setvm(3)
+            kb.vvmult(4, 2, 2, masked=True)    # fresh v4 merges old bits
+            kb.vstoreq(4, rb=1, masked=True)
+        report = _lint(build)
+        merge = report.by_code(Code.MERGE_UNINIT)
+        assert merge and merge[0].severity is Severity.INFO
+
+    def test_scalar_use_before_def(self):
+        def build(kb):
+            kb.setvl(128)
+            kb.setvs(8)
+            kb.vloadq(2, rb=1)       # r1 never written
+            kb.vstoreq(2, rb=1)
+        report = _lint(build)
+        assert Code.SCALAR_USE_BEFORE_DEF in _codes(report)
+
+    def test_dead_write_overwritten(self):
+        def build(kb):
+            kb.setvl(128)
+            kb.setvs(8)
+            kb.lda(1, 0x1000)
+            kb.vloadq(2, rb=1)           # dead: overwritten unread
+            kb.vloadq(2, rb=1, disp=8)
+            kb.vstoreq(2, rb=1)
+        report = _lint(build)
+        dead = report.by_code(Code.DEAD_WRITE)
+        assert len(dead) == 1
+        assert dead[0].severity is Severity.WARNING
+
+    def test_dead_write_at_end_of_program(self):
+        def build(kb):
+            kb.setvl(128)
+            kb.setvs(8)
+            kb.lda(1, 0x1000)
+            kb.vloadq(2, rb=1)           # never read before the end
+        report = _lint(build)
+        assert Code.DEAD_WRITE in _codes(report)
+
+    def test_masked_overwrite_is_not_a_dead_write(self):
+        def build(kb):
+            kb.setvl(128)
+            kb.setvs(8)
+            kb.lda(1, 0x1000)
+            kb.vloadq(2, rb=1)
+            kb.vscmptlt(3, 2, imm=0.0)
+            kb.setvm(3)
+            # masked write merges the previous value: the first load is live
+            kb.vloadq(2, rb=1, disp=8, masked=True)
+            kb.vstoreq(2, rb=1)
+        assert Code.DEAD_WRITE not in _codes(_lint(build))
+
+    def test_write_to_v31_flagged(self):
+        def build(kb):
+            kb.setvl(128)
+            kb.lda(1, 0x1000)
+            kb.emit("vvaddq", va=31, vb=31, vd=31)
+        report = _lint(build)
+        assert Code.ZERO_DEST in _codes(report)
+
+    def test_prefetch_is_not_a_zero_dest(self):
+        def build(kb):
+            kb.setvl(128)
+            kb.setvs(8)
+            kb.lda(1, 0x1000)
+            kb.vprefetch(1)
+        assert Code.ZERO_DEST not in _codes(_lint(build))
+
+
+class TestRoundTripDiagnostics:
+    def test_unencodable_is_an_aggregated_info(self):
+        def build(kb):
+            kb.setvl(128)
+            kb.setvs(8)
+            kb.lda(1, 0x123456)      # far beyond a 5-bit literal
+            kb.lda(2, 0x234567)
+            kb.vloadq(2, rb=1)
+            kb.vstoreq(2, rb=2)
+        report = _lint(build)
+        notes = report.by_code(Code.ENC_UNENCODABLE)
+        assert len(notes) == 1       # aggregated, not per-instruction
+        assert "not" in notes[0].message
+        assert notes[0].severity is Severity.INFO
+
+    def test_encoding_mismatch(self, monkeypatch):
+        # a genuine encode/decode defect is simulated by corrupting the
+        # decoder; the lint must catch the round-trip divergence
+        def bad_decode(word):
+            return Instruction("vvsubt", va=1, vb=2, vd=3)
+        monkeypatch.setattr(encoding_lint, "decode", bad_decode)
+        def build(kb):
+            kb.setvl(16)
+            kb.vvaddt(3, 31, 31)
+            kb.vsumt(1, 3)
+        report = _lint(build)
+        assert Code.ENC_MISMATCH in _codes(report)
+        assert report.has_errors
+
+    def test_asm_mismatch_on_unparseable_listing(self):
+        # vinsq without a source register renders "#idx" where the
+        # assembler demands a scalar register: the listing line cannot
+        # round-trip and the lint says so
+        program = Program("asm-broken", [
+            Instruction("setvl", imm=128),
+            Instruction("vinsq", imm=3, vd=2),
+        ])
+        report = lint_program(program)
+        assert Code.ASM_MISMATCH in _codes(report)
+
+
+class TestCleanKernelAndHooks:
+    def _clean(self, kb):
+        kb.setvl(128)
+        kb.setvs(8)
+        kb.lda(1, 0x1000)
+        kb.lda(2, 0x2000)
+        kb.vloadq(3, rb=1)
+        kb.vsmult(4, 3, imm=2.0)
+        kb.vstoreq(4, rb=2)
+
+    def test_clean_kernel_has_no_errors_or_warnings(self):
+        kb = KernelBuilder("clean")
+        self._clean(kb)
+        report = lint_program(kb.build())
+        assert not report.errors and not report.warnings
+
+    def test_builder_lint_hook_raises(self):
+        kb = KernelBuilder("hooked", lint=True)
+        kb.setvl(128)
+        kb.vvaddt(3, 1, 2)           # use-before-def
+        with pytest.raises(LintError) as exc:
+            kb.build()
+        assert exc.value.report.has_errors
+
+    def test_builder_lint_hook_passes_clean_kernel(self):
+        kb = KernelBuilder("hooked", lint=True)
+        self._clean(kb)
+        assert len(kb.build()) == 7
+
+    def test_assembler_lint_hook(self):
+        from repro.isa.assembler import assemble
+
+        source = "setvl #128\nvvaddt v1, v2, v3\n"
+        assemble(source)             # no lint: accepted
+        with pytest.raises(LintError):
+            assemble(source, lint=True)

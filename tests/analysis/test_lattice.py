@@ -1,0 +1,67 @@
+"""Control-state lattice: transfer function and join."""
+
+from repro.analysis.lattice import AbstractValue, ControlState, MaskState
+from repro.isa.instructions import Instruction
+
+
+class TestAbstractValue:
+    def test_initial_is_unset(self):
+        assert AbstractValue.unset().is_unset
+
+    def test_join_identical(self):
+        a = AbstractValue.known(128)
+        assert a.join(AbstractValue.known(128)) == a
+
+    def test_join_disagreeing_knowns_is_unknown(self):
+        joined = AbstractValue.known(64).join(AbstractValue.known(128))
+        assert not joined.is_known
+        assert not joined.is_unset
+
+    def test_join_with_unset_stays_unset(self):
+        # "maybe never set" must survive the merge so reads get flagged
+        joined = AbstractValue.known(64).join(AbstractValue.unset())
+        assert joined.is_unset
+
+    def test_join_known_unknown(self):
+        joined = AbstractValue.known(64).join(AbstractValue.unknown())
+        assert not joined.is_known and not joined.is_unset
+
+
+class TestControlState:
+    def test_initial_everything_unset(self):
+        state = ControlState.initial()
+        assert state.vl.is_unset and state.vs.is_unset and state.vm.is_unset
+
+    def test_setvl_immediate_is_known(self):
+        state = ControlState.initial().step(Instruction("setvl", imm=64), 0)
+        assert state.vl == AbstractValue.known(64)
+
+    def test_setvl_from_register_is_unknown(self):
+        state = ControlState.initial().step(Instruction("setvl", ra=5), 0)
+        assert not state.vl.is_known and not state.vl.is_unset
+
+    def test_setvs_immediate(self):
+        state = ControlState.initial().step(Instruction("setvs", imm=8), 0)
+        assert state.vs == AbstractValue.known(8)
+
+    def test_setvm_records_producer_and_vl_regime(self):
+        state = ControlState.initial()
+        state = state.step(Instruction("setvl", imm=128), 0)
+        state = state.step(Instruction("setvm", va=3), 1)
+        assert state.vm.set_at == 1
+        assert state.vm.vl_at_def == AbstractValue.known(128)
+
+    def test_non_control_instruction_leaves_state(self):
+        state = ControlState.initial().step(Instruction("setvl", imm=128), 0)
+        after = state.step(Instruction("vvaddt", va=1, vb=2, vd=3), 1)
+        assert after == state
+
+    def test_join_of_paths(self):
+        a = ControlState.initial().step(Instruction("setvl", imm=64), 0)
+        b = ControlState.initial().step(Instruction("setvl", imm=128), 0)
+        joined = a.join(b)
+        assert not joined.vl.is_known and not joined.vl.is_unset
+
+    def test_mask_join_unset_dominates(self):
+        set_mask = MaskState(set_at=3, vl_at_def=AbstractValue.known(128))
+        assert set_mask.join(MaskState()).is_unset

@@ -1,0 +1,30 @@
+"""Lint gate over the whole workload registry.
+
+Every hand-vectorized kernel this repo ships must pass ``repro lint``
+clean — the diagnostics exist to catch exactly the authoring mistakes
+these kernels could contain.  A kernel that starts failing here has a
+real dataflow bug (or the linter has a false positive worth fixing, in
+which case tune the rule, not the gate).
+"""
+
+import pytest
+
+from repro.analysis import Severity, lint_program
+from repro.workloads.registry import REGISTRY
+
+
+@pytest.mark.parametrize("name", sorted(REGISTRY))
+def test_registry_kernel_lints_clean(name):
+    program = REGISTRY[name].build_small().program
+    report = lint_program(program)
+    assert not report.errors, report.format(min_severity=Severity.ERROR)
+    # the shipped kernels are also warning-free; keep them that way
+    assert not report.warnings, report.format(min_severity=Severity.WARNING)
+
+
+def test_registry_lint_helper_covers_every_workload():
+    from repro.analysis import lint_registry
+
+    reports = lint_registry()
+    assert set(reports) == set(REGISTRY)
+    assert not any(r.has_errors for r in reports.values())

@@ -4,7 +4,6 @@ These reproduce the protocol's guarantees *and* its one documented hole:
 a scalar write followed by a vector read is only correct after DrainM.
 """
 
-import pytest
 
 from repro.core.coherency import CoherencyController
 from repro.mem.l1cache import L1DataCache

@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import ProgramError
 from repro.isa.builder import KernelBuilder
-from repro.isa.instructions import Group
 from repro.isa.program import Program
 
 
@@ -71,9 +70,15 @@ class TestProgramStats:
         assert stats.total == 6
         assert stats.scalar_instructions == 1
         assert stats.vector_instructions == 5
-        assert stats.memory_instructions == 3
+        # prefetches (loads to v31) are charged separately from real
+        # memory traffic, matching the dynamic OperationCounts split
+        assert stats.memory_instructions == 2
         assert stats.masked_instructions == 1
         assert stats.prefetches == 1
+
+    def test_prefetch_not_double_counted(self):
+        stats = self._program().stats()
+        assert stats.memory_instructions + stats.prefetches == 3
 
     def test_by_group(self):
         stats = self._program().stats()

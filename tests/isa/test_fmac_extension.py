@@ -8,7 +8,6 @@ them cheaply because the third operand is the destination itself.
 """
 
 import numpy as np
-import pytest
 
 from repro.core.config import tarantula
 from repro.core.processor import TarantulaProcessor

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core.functional import FunctionalSimulator
 from repro.isa.instructions import Instruction
 from repro.isa.semantics import bits_to_float, float_to_bits
 

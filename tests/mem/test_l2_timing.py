@@ -1,6 +1,5 @@
 """Timing behavior of the banked L2: hits, misses, MAF, PUMP, Zbox."""
 
-import numpy as np
 import pytest
 
 from repro.mem.l1cache import L1DataCache

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import AlignmentTrap, InvalidAddressTrap
-from repro.mem.memory import ADDRESS_LIMIT, MainMemory
+from repro.mem.memory import ADDRESS_LIMIT
 
 
 class TestQuadAccess:

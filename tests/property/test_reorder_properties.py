@@ -15,7 +15,7 @@ from repro.vbox.reorder import (
     conflict_free_schedule,
     is_reorderable,
 )
-from repro.vbox.slices import SLICE_SIZE, Slice
+from repro.vbox.slices import Slice
 
 # byte strides sigma * 2^k with sigma odd, k in [3, 6]: the reorderable
 # family for the 16-bank / 64-byte-line geometry

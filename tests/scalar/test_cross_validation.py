@@ -6,7 +6,6 @@ descriptor through both and require agreement within a factor that
 covers the bound model's idealizations.
 """
 
-import pytest
 
 from repro.core.config import ev8
 from repro.scalar.ev8 import EV8Model

@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import ConfigError
 from repro.isa.instructions import TimingClass
-from repro.vbox.issue import FunctionalUnitLatencies, VboxIssue
+from repro.vbox.issue import VboxIssue
 from repro.vbox.lanes import LaneConfig, N_LANES, TOTAL_UNITS, lane_of_element
 from repro.vbox.rename import RenameAllocator
 from repro.vbox.vcu import COMPLETION_BUS_WIDTH, CompletionUnit, \

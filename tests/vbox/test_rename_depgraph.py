@@ -1,0 +1,96 @@
+"""Renaming removes false dependences — certified by the dep graph.
+
+The Vbox renames vector registers (and ``vm``), so WAR/WAW hazards must
+not serialize execution: a kernel that recycles one architectural
+destination must time identically to the same kernel spread over
+distinct destinations.  The dependence graph from ``repro.analysis``
+certifies which member of the pair actually carries the false edges, so
+the timing assertion tests what it claims to.
+"""
+
+from repro.analysis import DepKind, build_dep_graph
+from repro.core.config import tarantula
+from repro.core.processor import TarantulaProcessor
+from repro.isa.builder import KernelBuilder
+
+A = 0x100000
+
+
+def _run(program):
+    proc = TarantulaProcessor(tarantula())
+    proc.warm_l2(A, 1 << 17)
+    return proc.run(program)
+
+
+def _kernel(dests):
+    """One independent add per destination register in ``dests``."""
+    kb = KernelBuilder("renametest")
+    kb.lda(1, A)
+    kb.setvl(128)
+    kb.setvs(8)
+    kb.vloadq(2, rb=1)
+    for i, vd in enumerate(dests):
+        kb.vvaddt(vd, 2, 2)
+    kb.vstoreq(dests[-1], rb=1, disp=1 << 16)
+    return kb.build()
+
+
+class TestFalseDependencesAreFree:
+    def test_graph_distinguishes_the_pair(self):
+        recycled = _kernel([3] * 12)
+        spread = _kernel(list(range(3, 15)))
+        g_recycled = build_dep_graph(recycled)
+        g_spread = build_dep_graph(spread)
+        # recycling v3 creates a WAW chain the renamer must break...
+        assert len(g_recycled.false_edges()) >= 11
+        # ...while distinct destinations carry no false edges at all
+        assert g_spread.false_edges() == []
+        # and neither kernel chains RAW through the adds
+        assert g_recycled.raw_critical_path() == g_spread.raw_critical_path()
+
+    def test_renamer_times_the_pair_identically(self):
+        recycled = _run(_kernel([3] * 12))
+        spread = _run(_kernel(list(range(3, 15))))
+        assert recycled.cycles == spread.cycles
+
+    def test_true_raw_chain_is_not_free(self):
+        """Control: a genuine RAW chain must cost more than the
+        false-dependence kernel the renamer fixed up."""
+        kb = KernelBuilder("rawchain")
+        kb.lda(1, A)
+        kb.setvl(128)
+        kb.setvs(8)
+        kb.vloadq(2, rb=1)
+        for _ in range(24):
+            kb.vvaddt(3, 3, 2)       # reads the previous v3
+        kb.vstoreq(3, rb=1, disp=1 << 16)
+        chain = kb.build()
+        g = build_dep_graph(chain)
+        assert g.raw_critical_path() >= 25   # load + 24 chained adds
+        serial = _run(chain)
+        free = _run(_kernel([3] * 24))
+        assert serial.cycles > free.cycles * 1.5
+
+    def test_mask_rename_overlaps_mask_compute(self):
+        """Section 2: ``vm`` is renamed so a new mask can be computed
+        while an older one is in use — the setvm WAW must not serialize."""
+        def masked_kernel(n):
+            kb = KernelBuilder("masks")
+            kb.lda(1, A)
+            kb.setvl(128)
+            kb.setvs(8)
+            kb.vloadq(2, rb=1)
+            for i in range(n):
+                kb.vscmptlt(4, 2, imm=float(i))
+                kb.setvm(4)
+                kb.vvaddt(5 + i, 2, 2, masked=True)
+            return kb.build()
+
+        g = build_dep_graph(masked_kernel(4))
+        waw_vm = [e for e in g.by_kind(DepKind.WAW) if e.resource == "vm"]
+        assert len(waw_vm) == 3
+        assert all(e in g.false_edges() for e in waw_vm)
+        one = _run(masked_kernel(1)).cycles
+        four = _run(masked_kernel(4)).cycles
+        # four mask regimes pipeline: far cheaper than 4x a single one
+        assert four < 4 * one

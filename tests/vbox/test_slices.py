@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.vbox.slices import SLICE_SIZE, Slice
+from repro.vbox.slices import Slice
 
 
 def _slice(elements, addresses, **kw):

@@ -1,9 +1,8 @@
 """Vector TLB: per-lane translation, refill strategies, huge pages."""
 
 import numpy as np
-import pytest
 
-from repro.mem.pages import PAGE_BYTES, PageTable
+from repro.mem.pages import PageTable
 from repro.vbox.vtlb import LaneTLB, RefillStrategy, VectorTLB
 
 
