@@ -10,10 +10,11 @@ model, alongside the Gflops/W effect from the power model.
 import numpy as np
 from conftest import run_once
 
-from repro.core.config import tarantula
 from repro.core.power import gflops_per_watt_advantage
-from repro.core.processor import TarantulaProcessor
+from repro.harness.engine import run_instance
 from repro.isa.builder import KernelBuilder
+from repro.scalar.loopmodel import ScalarLoopBody
+from repro.workloads.base import WorkloadInstance
 
 A, B, C = 0x100000, 0x300000, 0x500000
 MK, N = 64, 128
@@ -45,15 +46,22 @@ def _gemm_kernel(fused: bool) -> "Program":
     return kb.build()
 
 
-def _run(fused: bool):
-    proc = TarantulaProcessor(tarantula())
+def _setup(memory):
     rng = np.random.default_rng(1)
-    proc.functional.memory.write_f64(A, rng.standard_normal(MK * MK))
-    proc.functional.memory.write_f64(B, rng.standard_normal(MK * N))
-    proc.warm_l2(A, MK * MK * 8)
-    proc.warm_l2(B, MK * N * 8)
-    proc.warm_l2(C, MK * N * 8)
-    return proc.run(_gemm_kernel(fused))
+    memory.write_f64(A, rng.standard_normal(MK * MK))
+    memory.write_f64(B, rng.standard_normal(MK * N))
+
+
+def _run(fused: bool):
+    # an ad-hoc (non-registry) kernel still runs through the engine's
+    # canonical loop via run_instance
+    program = _gemm_kernel(fused)
+    instance = WorkloadInstance(
+        name=program.name, program=program,
+        scalar_loop=ScalarLoopBody(name=program.name),
+        setup=_setup, check=lambda memory: None,
+        warm_ranges=[(A, MK * MK * 8), (B, MK * N * 8), (C, MK * N * 8)])
+    return run_instance(instance, "T", check=False)
 
 
 def test_fmac_ablation(benchmark):
@@ -69,6 +77,6 @@ def test_fmac_ablation(benchmark):
         "fmac_fpc": round(fused.fpc, 2),
         "speedup": round(gain, 2),
     })
-    assert base.counts.flops == fused.counts.flops
+    assert base.detail.counts.flops == fused.detail.counts.flops
     assert gain > 1.4          # 'could be doubled' at the port limit
     assert fused.fpc > base.fpc * 1.4

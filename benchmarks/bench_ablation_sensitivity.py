@@ -7,6 +7,7 @@ L2-capacity cliff under a sparse working set.
 
 from conftest import run_once
 
+from repro.harness.engine import default_jobs
 from repro.harness.sweeps import (
     render_sweep,
     sweep_cr_cost,
@@ -16,7 +17,8 @@ from repro.harness.sweeps import (
 
 
 def test_maf_size_sensitivity(benchmark):
-    curve = run_once(benchmark, lambda: sweep_maf_entries())
+    curve = run_once(benchmark,
+                     lambda: sweep_maf_entries(jobs=default_jobs()))
     print("\n" + render_sweep("MAF entries vs cycles (streams.triad, "
                               "memory-streaming)", curve, " ent"))
     benchmark.extra_info.update({str(k): round(v) for k, v in curve.items()})
@@ -26,7 +28,7 @@ def test_maf_size_sensitivity(benchmark):
 
 
 def test_cr_cost_sensitivity(benchmark):
-    curve = run_once(benchmark, lambda: sweep_cr_cost())
+    curve = run_once(benchmark, lambda: sweep_cr_cost(jobs=default_jobs()))
     print("\n" + render_sweep("CR tournament cost vs cycles (sparsemxv, "
                               "gather-bound)", curve, " cyc"))
     benchmark.extra_info.update({str(k): round(v) for k, v in curve.items()})
@@ -36,7 +38,7 @@ def test_cr_cost_sensitivity(benchmark):
 
 
 def test_l2_capacity_cliff(benchmark):
-    curve = run_once(benchmark, lambda: sweep_l2_size())
+    curve = run_once(benchmark, lambda: sweep_l2_size(jobs=default_jobs()))
     print("\n" + render_sweep("L2 capacity vs cycles (sparsemxv working "
                               "set)", curve, " B"))
     benchmark.extra_info.update({str(k): round(v) for k, v in curve.items()})

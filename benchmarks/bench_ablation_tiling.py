@@ -2,14 +2,15 @@
 
 from conftest import run_once
 
+from repro.harness.engine import ExperimentSpec, default_jobs, execute_many
 from repro.harness.figures import scale_for, tiling_ablation
-from repro.harness.runner import run_tarantula
-from repro.workloads.registry import get
 
 
 def test_swim_tiling_ablation(benchmark):
     """'The non-tiled version was almost 2X slower.'"""
-    result = run_once(benchmark, lambda: tiling_ablation(quick=False))
+    result = run_once(benchmark,
+                      lambda: tiling_ablation(quick=False,
+                                              jobs=default_jobs()))
     print(f"\nswim untiled/tiled slowdown: {result['slowdown']:.2f}x "
           f"(paper: ~2x)")
     benchmark.extra_info.update({k: round(v, 2) for k, v in result.items()})
@@ -21,10 +22,11 @@ def test_lu_register_tiling_contrast(benchmark):
     reason is that we performed register tiling for LU' — same math,
     fewer memory operations per flop."""
     def run_pair():
-        lu = run_tarantula(get("lu"), "T", scale_for("lu"), check=False)
-        tpp = run_tarantula(get("linpacktpp"), "T",
-                            scale_for("linpacktpp"), check=False)
-        return lu, tpp
+        return execute_many(
+            [ExperimentSpec("lu", "T", scale_for("lu"), check=False),
+             ExperimentSpec("linpacktpp", "T", scale_for("linpacktpp"),
+                            check=False)],
+            jobs=2)
 
     lu, tpp = run_once(benchmark, run_pair)
     print(f"\nlu OPC={lu.opc:.2f} (MPC={lu.mpc:.2f})  "

@@ -2,12 +2,14 @@
 
 from conftest import run_once
 
+from repro.harness.engine import default_jobs
 from repro.harness.figures import figure6
 from repro.harness.report import render_figure6
 
 
 def test_figure6_operations_per_cycle(benchmark):
-    rows = run_once(benchmark, lambda: figure6(quick=False))
+    rows = run_once(benchmark,
+                    lambda: figure6(quick=False, jobs=default_jobs()))
     print("\n" + render_figure6(rows))
     for name, row in rows.items():
         benchmark.extra_info[name] = round(row.opc, 2)

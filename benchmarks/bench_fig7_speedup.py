@@ -8,12 +8,14 @@ masks, prefetch reach).
 
 from conftest import run_once
 
+from repro.harness.engine import default_jobs
 from repro.harness.figures import figure7
 from repro.harness.report import render_figure7
 
 
 def test_figure7_speedups(benchmark):
-    rows = run_once(benchmark, lambda: figure7(quick=False))
+    rows = run_once(benchmark,
+                    lambda: figure7(quick=False, jobs=default_jobs()))
     print("\n" + render_figure7(rows))
     speedups = {n: r.speedup_tarantula for n, r in rows.items()}
     benchmark.extra_info.update(

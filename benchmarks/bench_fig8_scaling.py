@@ -7,12 +7,14 @@ frequency by 2.2X and 5X."
 
 from conftest import run_once
 
+from repro.harness.engine import default_jobs
 from repro.harness.figures import figure8
 from repro.harness.report import render_figure8
 
 
 def test_figure8_frequency_scaling(benchmark):
-    rows = run_once(benchmark, lambda: figure8(quick=False))
+    rows = run_once(benchmark,
+                    lambda: figure8(quick=False, jobs=default_jobs()))
     print("\n" + render_figure8(rows))
     benchmark.extra_info.update(
         {n: round(r.speedup_t10, 2) for n, r in rows.items()})

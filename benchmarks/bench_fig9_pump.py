@@ -7,12 +7,14 @@ per cycle down to sixteen"; MAF pressure also grows 8x.
 
 from conftest import run_once
 
+from repro.harness.engine import default_jobs
 from repro.harness.figures import figure9
 from repro.harness.report import render_figure9
 
 
 def test_figure9_pump_ablation(benchmark):
-    rows = run_once(benchmark, lambda: figure9(quick=False))
+    rows = run_once(benchmark,
+                    lambda: figure9(quick=False, jobs=default_jobs()))
     print("\n" + render_figure9(rows))
     benchmark.extra_info.update(
         {n: round(r.relative_performance, 3) for n, r in rows.items()})

@@ -2,12 +2,14 @@
 
 from conftest import run_once
 
+from repro.harness.engine import default_jobs
 from repro.harness.report import render_table2
 from repro.harness.tables import table2
 
 
 def test_table2_inventory(benchmark):
-    rows = run_once(benchmark, lambda: table2(scale=0.1))
+    rows = run_once(benchmark,
+                    lambda: table2(scale=0.1, jobs=default_jobs()))
     print("\n" + render_table2(rows))
     for name, row in rows.items():
         benchmark.extra_info[name] = round(row.measured_vect_pct, 1)

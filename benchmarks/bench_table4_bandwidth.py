@@ -8,12 +8,14 @@ gather bandwidth from the L2, and RndMemScale's random-RAMBUS floor.
 from conftest import run_once
 
 from repro.harness import paper_data
+from repro.harness.engine import default_jobs
 from repro.harness.report import render_table4
 from repro.harness.tables import table4
 
 
 def test_table4_bandwidth(benchmark):
-    rows = run_once(benchmark, lambda: table4(quick=False))
+    rows = run_once(benchmark,
+                    lambda: table4(quick=False, jobs=default_jobs()))
     print("\n" + render_table4(rows))
     for name, row in rows.items():
         benchmark.extra_info[name] = round(row.streams_mbytes_per_s)

@@ -3,12 +3,18 @@
 Commands mirror the paper's evaluation artifacts:
 
 * ``run <kernel>`` — one benchmark on one machine, with metrics;
+* ``report`` — regenerate every table and figure in one command,
+  process-parallel and incrementally cached (docs/HARNESS.md);
 * ``table1|table2|table3|table4`` — regenerate a table;
 * ``fig6|fig7|fig8|fig9`` — regenerate a figure's data series;
 * ``list`` — the benchmark suite and the machine configurations;
 * ``asm <file>`` — assemble a text kernel and print its listing;
 * ``lint <kernel|file.s>`` — statically verify a hand-vectorized kernel
   (``--all`` gates the whole registry; see docs/ANALYSIS.md).
+
+Simulation grids (table2/table4, the figures, report) accept
+``--jobs N`` for process-parallel fan-out and ``--no-cache`` to bypass
+the content-addressed result cache under ``.repro-cache/``.
 
 Everything prints the paper's published values alongside where they
 exist, so the CLI doubles as a reproduction report generator.
@@ -21,8 +27,16 @@ import sys
 
 from repro.core.config import CONFIGURATIONS
 from repro.harness import figures, report, tables
+from repro.harness.engine import ResultCache, default_jobs
 from repro.harness.runner import run
 from repro.workloads.registry import REGISTRY
+
+
+def _engine_args(args):
+    """(jobs, cache) from the shared --jobs/--no-cache flags."""
+    jobs = args.jobs if args.jobs > 0 else default_jobs()
+    cache = None if args.no_cache else ResultCache()
+    return jobs, cache
 
 
 def _cmd_list(args) -> int:
@@ -57,25 +71,61 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_table(args) -> int:
-    quick = args.quick
     if args.which == "table1":
         print(report.render_table1(tables.table1()))
-    elif args.which == "table2":
-        print(report.render_table2(tables.table2(scale=0.1)))
     elif args.which == "table3":
         print(report.render_table3(tables.table3()))
     else:
-        print(report.render_table4(tables.table4(quick=quick)))
+        jobs, cache = _engine_args(args)
+        if args.which == "table2":
+            print(report.render_table2(
+                tables.table2(quick=args.quick, jobs=jobs, cache=cache)))
+        else:
+            print(report.render_table4(
+                tables.table4(quick=args.quick, jobs=jobs, cache=cache)))
     return 0
 
 
 def _cmd_figure(args) -> int:
     quick = args.quick
-    fn = {"fig6": lambda: report.render_figure6(figures.figure6(quick=quick)),
-          "fig7": lambda: report.render_figure7(figures.figure7(quick=quick)),
-          "fig8": lambda: report.render_figure8(figures.figure8(quick=quick)),
-          "fig9": lambda: report.render_figure9(figures.figure9(quick=quick))}
-    print(fn[args.which]())
+    jobs, cache = _engine_args(args)
+    generate = {"fig6": figures.figure6, "fig7": figures.figure7,
+                "fig8": figures.figure8, "fig9": figures.figure9}
+    render = {"fig6": report.render_figure6, "fig7": report.render_figure7,
+              "fig8": report.render_figure8, "fig9": report.render_figure9}
+    rows = generate[args.which](quick=quick, jobs=jobs, cache=cache)
+    print(render[args.which](rows))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    """Regenerate every table and figure of the evaluation section."""
+    quick = args.quick
+    jobs, cache = _engine_args(args)
+    sections = [
+        report.render_table1(tables.table1()),
+        report.render_table2(tables.table2(quick=quick, jobs=jobs,
+                                           cache=cache)),
+        report.render_table3(tables.table3()),
+        report.render_table4(tables.table4(quick=quick, jobs=jobs,
+                                           cache=cache)),
+        report.render_figure6(figures.figure6(quick=quick, jobs=jobs,
+                                              cache=cache)),
+        report.render_figure7(figures.figure7(quick=quick, jobs=jobs,
+                                              cache=cache)),
+        report.render_figure8(figures.figure8(quick=quick, jobs=jobs,
+                                              cache=cache)),
+        report.render_figure9(figures.figure9(quick=quick, jobs=jobs,
+                                              cache=cache)),
+    ]
+    print("\n\n".join(sections))
+    # stderr, so cached and cold runs stay byte-identical on stdout
+    if cache is not None:
+        print(f"report: {cache.misses} cell(s) simulated, "
+              f"{cache.hits} loaded from {cache.root}/",
+              file=sys.stderr)
+    else:
+        print("report: cache disabled (--no-cache)", file=sys.stderr)
     return 0
 
 
@@ -162,15 +212,36 @@ def build_parser() -> argparse.ArgumentParser:
                        help="skip output verification")
     p_run.set_defaults(fn=_cmd_run)
 
-    for which in ("table1", "table2", "table3", "table4"):
+    def add_engine_flags(p, quick_help):
+        p.add_argument("--quick", action="store_true", help=quick_help)
+        p.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes (0 = all cores; default 1)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="bypass the .repro-cache/ result cache")
+
+    # table1/table3 are pure configuration arithmetic: no --quick (they
+    # reject it), no simulation grid to parallelize or cache
+    for which in ("table1", "table3"):
+        p = sub.add_parser(which, help=f"regenerate {which} (analytic; "
+                           "takes no --quick)")
+        p.set_defaults(fn=_cmd_table, which=which)
+    for which, quick_help in (
+            ("table2", "quarter the vectorization-census scale"),
+            ("table4", "quarter the bandwidth-kernel scales")):
         p = sub.add_parser(which, help=f"regenerate {which}")
-        p.add_argument("--quick", action="store_true")
+        add_engine_flags(p, quick_help)
         p.set_defaults(fn=_cmd_table, which=which)
 
     for which in ("fig6", "fig7", "fig8", "fig9"):
         p = sub.add_parser(which, help=f"regenerate {which}")
-        p.add_argument("--quick", action="store_true")
+        add_engine_flags(p, "quarter every kernel's problem scale")
         p.set_defaults(fn=_cmd_figure, which=which)
+
+    p_report = sub.add_parser(
+        "report", help="regenerate every table and figure "
+        "(parallel + cached; see docs/HARNESS.md)")
+    add_engine_flags(p_report, "quarter every problem scale")
+    p_report.set_defaults(fn=_cmd_report, jobs=0)
 
     p_asm = sub.add_parser("asm", help="assemble a text kernel")
     p_asm.add_argument("file")

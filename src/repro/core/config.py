@@ -66,6 +66,9 @@ class MachineConfig:
     pump_enabled: bool = True
     maf_entries: int = 32
     vbox_rename_registers: int = 16
+    #: CR-box tournament cost (cycles per 16x16 comparison round);
+    #: calibrated at 4.0 against Table 4's RndCopy bandwidth
+    crbox_cycles_per_round: float = 4.0
 
     # caches
     l1_bytes: int = 64 << 10

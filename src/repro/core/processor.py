@@ -78,7 +78,7 @@ class TarantulaProcessor:
         self.coherency = CoherencyController(self.l1, self.l2)
         self.vtlb = VectorTLB()
         self.addr_gens = AddressGenerators(
-            self.vtlb, ConflictResolutionBox(),
+            self.vtlb, ConflictResolutionBox(cfg.crbox_cycles_per_round),
             pump_enabled=cfg.pump_enabled)
         self.vbox = VboxIssue()
         self.vcu = CompletionUnit()

@@ -8,6 +8,13 @@ from repro.harness.figures import (
     figure9,
     tiling_ablation,
 )
+from repro.harness.engine import (
+    ExperimentSpec,
+    ResultCache,
+    cache_key,
+    execute,
+    execute_many,
+)
 from repro.harness.runner import RunOutcome, run, run_scalar, run_tarantula, \
     speedup
 from repro.harness.tables import power_summary, table1, table2, table3, table4
@@ -21,7 +28,12 @@ from repro.harness.trace import critical_summary, render_gantt, trace_program
 
 __all__ = [
     "DEFAULT_SCALES",
+    "ExperimentSpec",
+    "ResultCache",
     "RunOutcome",
+    "cache_key",
+    "execute",
+    "execute_many",
     "figure6",
     "figure7",
     "figure8",

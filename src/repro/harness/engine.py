@@ -1,0 +1,396 @@
+"""Unified experiment engine: one execution path for the whole harness.
+
+Every cell of the paper's evaluation grid — a (kernel, machine, scale)
+triple plus a handful of run flags — is one frozen, picklable
+:class:`ExperimentSpec`.  One canonical :func:`execute` turns a spec
+into a :class:`RunOutcome`, routing to the Tarantula timing simulator,
+the EV8 analytic model, or the functional simulator as the resolved
+machine demands.  :func:`execute_many` fans a grid out across worker
+processes (deterministic result order, serial fallback), and the
+content-addressed :class:`ResultCache` makes regeneration incremental:
+a spec's key digests the program bytes, the resolved configuration
+fields and the simulator source itself, so any change that could alter
+a result busts exactly the affected cells.
+
+The figure/table/sweep generators and ``python -m repro report`` all
+build spec grids and submit them here; no other module owns a
+setup/step/result loop.  docs/HARNESS.md documents the model.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+from repro.core.config import CONFIGURATIONS, MachineConfig
+from repro.errors import ConfigError
+from repro.workloads.base import Workload, WorkloadInstance, run_functional
+from repro.workloads.registry import get
+
+#: bump to invalidate every cached result regardless of code digests
+CACHE_SCHEMA = "repro-cache-v1"
+
+#: default cache location, relative to the working directory
+CACHE_DIR = Path(".repro-cache")
+
+_CONFIG_FIELDS = {f.name for f in dataclasses.fields(MachineConfig)}
+
+
+@dataclass
+class RunOutcome:
+    """Uniform result record across vector, scalar and functional runs."""
+
+    config_name: str
+    kernel: str
+    cycles: float
+    core_ghz: float
+    opc: float = 0.0
+    fpc: float = 0.0
+    mpc: float = 0.0
+    other_pc: float = 0.0
+    streams_mbytes_per_s: float = 0.0
+    raw_mbytes_per_s: float = 0.0
+    verified: bool = False
+    detail: object = None
+
+    @property
+    def seconds(self) -> float:
+        return self.cycles / (self.core_ghz * 1e9)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One cell of the evaluation grid, hashable and picklable.
+
+    ``overrides`` replaces :class:`MachineConfig` fields on the named
+    base configuration — the only sanctioned way to vary a machine
+    parameter (sweeps use it for ``maf_entries``, ``l2_bytes``,
+    ``crbox_cycles_per_round``; nothing mutates a processor after
+    construction).  ``apply_l2_hint`` controls whether the workload's
+    ``l2_bytes_hint`` (DESIGN.md substitution 6) is honored; an explicit
+    ``l2_bytes`` override always wins over the hint.
+    """
+
+    kernel: str
+    config: str = "T"
+    scale: float = 1.0
+    overrides: tuple = ()
+    check: bool = True
+    drain_dirty: bool = False
+    warm: bool = True
+    apply_l2_hint: bool = True
+    #: "auto" routes on ``has_vbox`` (timing vs EV8 model);
+    #: "functional" runs the functional simulator only (Table 2)
+    mode: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.config not in CONFIGURATIONS:
+            known = ", ".join(sorted(CONFIGURATIONS))
+            raise ConfigError(
+                f"unknown configuration {self.config!r}; known: {known}")
+        if self.mode not in ("auto", "functional"):
+            raise ConfigError(f"unknown spec mode {self.mode!r}")
+        canon = tuple(sorted((str(k), v) for k, v in self.overrides))
+        for name, _ in canon:
+            if name not in _CONFIG_FIELDS:
+                raise ConfigError(
+                    f"override {name!r} is not a MachineConfig field")
+        object.__setattr__(self, "overrides", canon)
+
+    def workload(self) -> Workload:
+        return get(self.kernel)
+
+    def resolve_config(self,
+                       instance: Optional[WorkloadInstance] = None
+                       ) -> MachineConfig:
+        """The machine this spec runs on, hint and overrides applied.
+
+        Order: base configuration, then the instance's ``l2_bytes_hint``
+        (when ``apply_l2_hint``), then explicit overrides — so an
+        ``l2_bytes`` override beats the hint.  The hint models the
+        paper's footprint/16MB-L2 ratio on the *vector* machine
+        (DESIGN.md substitution 6); scalar EV8/EV8+ baselines keep
+        their own configured L2.
+        """
+        cfg = CONFIGURATIONS[self.config]()
+        if self.apply_l2_hint and cfg.has_vbox and instance is not None \
+                and instance.l2_bytes_hint is not None:
+            cfg = replace(cfg, l2_bytes=instance.l2_bytes_hint)
+        if self.overrides:
+            cfg = replace(cfg, **dict(self.overrides))
+        return cfg
+
+
+# -- canonical execution ---------------------------------------------------
+
+
+def _run_vector_instance(cfg: MachineConfig, instance: WorkloadInstance,
+                         check: bool = True, drain_dirty: bool = False,
+                         warm: bool = True) -> RunOutcome:
+    """The one timing-simulator loop: setup, warm, step, account, verify.
+
+    ``drain_dirty`` flushes dirty L2 lines through the Zbox at the end
+    and counts the drain in both bytes *and* cycles — the steady-state
+    accounting the bandwidth microkernels (Table 4) need.  Application
+    kernels leave it off: their outputs legitimately stay cached.
+    """
+    from repro.core.processor import TarantulaProcessor
+
+    proc = TarantulaProcessor(cfg)
+    instance.setup(proc.functional.memory)
+    if warm:
+        for base, nbytes in instance.warm_ranges:
+            proc.warm_l2(base, nbytes)
+    for instr in instance.program:
+        proc.step(instr)
+    result = proc.result(instance.name, workload_bytes=instance.workload_bytes)
+    if drain_dirty:
+        drain_at = result.cycles
+        for eviction in proc.l2.tags.flush():
+            if eviction.dirty:
+                proc.zbox.writeback_line(eviction.addr, drain_at)
+        result.cycles = max(result.cycles, proc.zbox.rambus.last_finish())
+        result.mem_raw_bytes = proc.zbox.raw_bytes()
+        result.mem_useful_bytes = proc.zbox.useful_bytes()
+    if check:
+        instance.check(proc.functional.memory)
+    return RunOutcome(
+        config_name=cfg.name, kernel=instance.name, cycles=result.cycles,
+        core_ghz=cfg.core_ghz, opc=result.opc, fpc=result.fpc,
+        mpc=result.mpc, other_pc=result.other_pc,
+        streams_mbytes_per_s=result.streams_mbytes_per_s,
+        raw_mbytes_per_s=result.raw_mbytes_per_s,
+        verified=check, detail=result)
+
+
+def _run_scalar_instance(cfg: MachineConfig,
+                         instance: WorkloadInstance) -> RunOutcome:
+    """Run the scalar loop descriptor on the EV8/EV8+ analytic model."""
+    from repro.scalar.ev8 import EV8Model
+
+    result = EV8Model(cfg).run(instance.scalar_loop)
+    return RunOutcome(
+        config_name=cfg.name, kernel=instance.name, cycles=result.cycles,
+        core_ghz=cfg.core_ghz, opc=result.ops_per_cycle,
+        fpc=result.flops_per_cycle, detail=result)
+
+
+def _run_functional_instance(cfg: MachineConfig,
+                             instance: WorkloadInstance) -> RunOutcome:
+    """Functional-simulator run: operation counts, output verified."""
+    counts = run_functional(instance)
+    return RunOutcome(
+        config_name=cfg.name, kernel=instance.name, cycles=0.0,
+        core_ghz=cfg.core_ghz, verified=True, detail=counts)
+
+
+def run_instance(instance: WorkloadInstance, config="T", *,
+                 check: bool = True, drain_dirty: bool = False,
+                 warm: bool = True) -> RunOutcome:
+    """Run an ad-hoc :class:`WorkloadInstance` (one not in the registry,
+    e.g. the FMAC-extension kernels) through the canonical loop.
+    Registry kernels should build an :class:`ExperimentSpec` instead so
+    they can fan out and cache."""
+    cfg = CONFIGURATIONS[config]() if isinstance(config, str) else config
+    if cfg.has_vbox:
+        return _run_vector_instance(cfg, instance, check=check,
+                                    drain_dirty=drain_dirty, warm=warm)
+    return _run_scalar_instance(cfg, instance)
+
+
+def execute(spec: ExperimentSpec,
+            _instance: Optional[WorkloadInstance] = None) -> RunOutcome:
+    """Run one spec to completion.  The engine's only entry into the
+    simulators; everything (runner, sweeps, tables, figures, report)
+    funnels through here."""
+    instance = _instance if _instance is not None \
+        else spec.workload().build(spec.scale)
+    cfg = spec.resolve_config(instance)
+    if spec.mode == "functional":
+        return _run_functional_instance(cfg, instance)
+    if cfg.has_vbox:
+        return _run_vector_instance(cfg, instance, check=spec.check,
+                                    drain_dirty=spec.drain_dirty,
+                                    warm=spec.warm)
+    return _run_scalar_instance(cfg, instance)
+
+
+# -- content-addressed result cache ----------------------------------------
+
+
+def _digest_program(program) -> str:
+    """Content digest of an assembled program (operands, masks, order)."""
+    h = hashlib.sha256()
+    h.update(program.name.encode())
+    for instr in program:
+        h.update(repr((instr.op, instr.vd, instr.va, instr.vb, instr.rd,
+                       instr.ra, instr.rb, instr.imm, instr.disp,
+                       instr.masked)).encode())
+    return h.hexdigest()
+
+
+def _digest_scalar_loop(loop) -> str:
+    """Content digest of an EV8 loop descriptor (streams included)."""
+    blob = json.dumps(dataclasses.asdict(loop), sort_keys=True, default=repr)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+_code_version_cache: Optional[str] = None
+
+
+def code_version() -> str:
+    """Digest of the whole ``repro`` package source — the cache salt.
+
+    Any edit to the simulators, the workloads or the harness invalidates
+    every cached result; correctness is worth the occasional cold rerun.
+    """
+    global _code_version_cache
+    if _code_version_cache is None:
+        import repro
+
+        root = Path(repro.__file__).parent
+        h = hashlib.sha256(CACHE_SCHEMA.encode())
+        for path in sorted(root.rglob("*.py")):
+            h.update(str(path.relative_to(root)).encode())
+            h.update(path.read_bytes())
+        _code_version_cache = h.hexdigest()
+    return _code_version_cache
+
+
+def cache_key(spec: ExperimentSpec,
+              instance: Optional[WorkloadInstance] = None) -> str:
+    """Content address of a spec's result.
+
+    Digests the program bytes, the scalar-loop descriptor, every
+    resolved :class:`MachineConfig` field, the run flags, and the
+    package source (:func:`code_version`) — a change to any of them
+    yields a different key.
+    """
+    if instance is None:
+        instance = spec.workload().build(spec.scale)
+    cfg = spec.resolve_config(instance)
+    blob = json.dumps({
+        "salt": code_version(),
+        "kernel": spec.kernel,
+        "scale": spec.scale,
+        "check": spec.check,
+        "drain_dirty": spec.drain_dirty,
+        "warm": spec.warm,
+        "mode": spec.mode,
+        "config": dataclasses.asdict(cfg),
+        "program": _digest_program(instance.program),
+        "scalar_loop": _digest_scalar_loop(instance.scalar_loop),
+        "workload_bytes": instance.workload_bytes,
+        "warm_ranges": instance.warm_ranges,
+    }, sort_keys=True, default=repr)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class ResultCache:
+    """Content-addressed on-disk store of :class:`RunOutcome` pickles.
+
+    Layout: ``<root>/<key[:2]>/<key>.pkl``.  Corrupt or unreadable
+    entries count as misses and are overwritten.  ``hits``/``misses``/
+    ``stores`` track this cache object's traffic so ``repro report``
+    can prove a warm run re-simulated zero cells.
+    """
+
+    def __init__(self, root: Path | str = CACHE_DIR) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[RunOutcome]:
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                outcome = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            self.misses += 1
+            return None
+        if not isinstance(outcome, RunOutcome):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return outcome
+
+    def put(self, key: str, outcome: RunOutcome) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp, "wb") as handle:
+            pickle.dump(outcome, handle)
+        os.replace(tmp, path)
+        self.stores += 1
+
+
+# -- grid execution --------------------------------------------------------
+
+
+def default_jobs() -> int:
+    """Worker count for ``--jobs 0`` / the report command: all cores."""
+    return max(1, os.cpu_count() or 1)
+
+
+def _execute_serial(specs: Sequence[ExperimentSpec]) -> list:
+    return [execute(spec) for spec in specs]
+
+
+def _execute_pool(specs: Sequence[ExperimentSpec], jobs: int) -> list:
+    """Process-pool fan-out; falls back to serial when the platform
+    cannot fork/spawn workers (sandboxes, exotic schedulers)."""
+    from concurrent.futures import ProcessPoolExecutor
+    from concurrent.futures.process import BrokenProcessPool
+
+    try:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(specs))) as pool:
+            return list(pool.map(execute, specs))
+    except (OSError, PermissionError, BrokenProcessPool):
+        return _execute_serial(specs)
+
+
+def execute_many(specs: Iterable[ExperimentSpec], jobs: int = 1,
+                 cache: Optional[ResultCache] = None) -> list:
+    """Run a grid of specs; returns outcomes in input order.
+
+    Duplicate specs are simulated once.  With ``jobs > 1`` the misses
+    fan out over a ``ProcessPoolExecutor`` (specs and outcomes are
+    picklable; ``pool.map`` keeps ordering deterministic, so parallel
+    and serial runs produce identical results).  With a ``cache``,
+    previously computed cells are loaded instead of re-simulated.
+    """
+    specs = list(specs)
+    unique = list(dict.fromkeys(specs))
+
+    outcomes: dict[ExperimentSpec, RunOutcome] = {}
+    keys: dict[ExperimentSpec, str] = {}
+    misses: list[ExperimentSpec] = []
+    for spec in unique:
+        if cache is not None:
+            keys[spec] = cache_key(spec)
+            hit = cache.get(keys[spec])
+            if hit is not None:
+                outcomes[spec] = hit
+                continue
+        misses.append(spec)
+
+    if jobs > 1 and len(misses) > 1:
+        fresh = _execute_pool(misses, jobs)
+    else:
+        fresh = _execute_serial(misses)
+    for spec, outcome in zip(misses, fresh):
+        outcomes[spec] = outcome
+        if cache is not None:
+            cache.put(keys[spec], outcome)
+    return [outcomes[spec] for spec in specs]

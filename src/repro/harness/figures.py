@@ -5,14 +5,20 @@ benchmark harness can print them and tests can assert on shapes.  The
 problem scales below were chosen so every kernel runs in its paper
 regime (L2-resident vs memory-streaming) while staying simulable in
 seconds; EXPERIMENTS.md records them.
+
+Every figure is a grid of :class:`~repro.harness.engine.ExperimentSpec`
+cells submitted to ``engine.execute_many`` in one batch — pass
+``jobs``/``cache`` to fan the grid out over worker processes and to
+reuse previously simulated cells (``python -m repro report`` does).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
-from repro.harness.runner import run_scalar, run_tarantula
-from repro.workloads.registry import FIGURE_SUITE, get
+from repro.harness.engine import ExperimentSpec, ResultCache, execute_many
+from repro.workloads.registry import FIGURE_SUITE
 
 #: per-kernel problem scales used for the figure sweeps
 DEFAULT_SCALES: dict[str, float] = {
@@ -37,6 +43,17 @@ def scale_for(kernel: str, quick: bool = False) -> float:
     return scale * (0.25 if quick else 1.0)
 
 
+def _grid(kernels, configs, quick: bool, jobs: int,
+          cache: Optional[ResultCache]) -> dict:
+    """Run a (kernel x config) grid; returns outcome[kernel][config]."""
+    specs = [ExperimentSpec(name, config, scale_for(name, quick), check=False)
+             for name in kernels for config in configs]
+    outcomes = execute_many(specs, jobs=jobs, cache=cache)
+    it = iter(outcomes)
+    return {name: {config: next(it) for config in configs}
+            for name in kernels}
+
+
 @dataclass
 class Figure6Row:
     """One bar of Figure 6: OPC split into FPC / MPC / Other."""
@@ -48,16 +65,13 @@ class Figure6Row:
     other: float
 
 
-def figure6(kernels=FIGURE_SUITE, quick: bool = False,
-            config="T") -> dict[str, Figure6Row]:
+def figure6(kernels=FIGURE_SUITE, quick: bool = False, config="T",
+            jobs: int = 1,
+            cache: Optional[ResultCache] = None) -> dict[str, Figure6Row]:
     """Sustained operations per cycle, per benchmark (Figure 6)."""
-    rows: dict[str, Figure6Row] = {}
-    for name in kernels:
-        out = run_tarantula(get(name), config, scale_for(name, quick),
-                            check=False)
-        rows[name] = Figure6Row(name, out.opc, out.fpc, out.mpc,
-                                out.other_pc)
-    return rows
+    grid = _grid(kernels, (config,), quick, jobs, cache)
+    return {name: Figure6Row(name, out.opc, out.fpc, out.mpc, out.other_pc)
+            for name, out in ((n, grid[n][config]) for n in kernels)}
 
 
 @dataclass
@@ -69,17 +83,13 @@ class Figure7Row:
     speedup_tarantula: float
 
 
-def figure7(kernels=FIGURE_SUITE, quick: bool = False) -> dict[str, Figure7Row]:
+def figure7(kernels=FIGURE_SUITE, quick: bool = False, jobs: int = 1,
+            cache: Optional[ResultCache] = None) -> dict[str, Figure7Row]:
     """Speedup of EV8+ and Tarantula over EV8 (Figure 7)."""
+    grid = _grid(kernels, ("T", "EV8", "EV8+"), quick, jobs, cache)
     rows: dict[str, Figure7Row] = {}
     for name in kernels:
-        workload = get(name)
-        scale = scale_for(name, quick)
-        instance = workload.build(scale)
-        t = run_tarantula(workload, "T", scale, check=False,
-                          instance=instance)
-        ev8 = run_scalar(workload, "EV8", scale, instance=instance)
-        ev8p = run_scalar(workload, "EV8+", scale, instance=instance)
+        t, ev8, ev8p = (grid[name][c] for c in ("T", "EV8", "EV8+"))
         rows[name] = Figure7Row(
             name,
             speedup_ev8_plus=ev8.seconds / ev8p.seconds,
@@ -96,15 +106,13 @@ class Figure8Row:
     speedup_t10: float
 
 
-def figure8(kernels=FIGURE_SUITE, quick: bool = False) -> dict[str, Figure8Row]:
+def figure8(kernels=FIGURE_SUITE, quick: bool = False, jobs: int = 1,
+            cache: Optional[ResultCache] = None) -> dict[str, Figure8Row]:
     """Performance scaling at 4.8 GHz (T4) and 10.66 GHz (T10)."""
+    grid = _grid(kernels, ("T", "T4", "T10"), quick, jobs, cache)
     rows: dict[str, Figure8Row] = {}
     for name in kernels:
-        workload = get(name)
-        scale = scale_for(name, quick)
-        base = run_tarantula(workload, "T", scale, check=False)
-        t4 = run_tarantula(workload, "T4", scale, check=False)
-        t10 = run_tarantula(workload, "T10", scale, check=False)
+        base, t4, t10 = (grid[name][c] for c in ("T", "T4", "T10"))
         rows[name] = Figure8Row(
             name,
             speedup_t4=base.seconds / t4.seconds,
@@ -120,20 +128,18 @@ class Figure9Row:
     relative_performance: float   # no-pump time fraction (<= ~1.0)
 
 
-def figure9(kernels=FIGURE_SUITE + ("swim.untiled",),
-            quick: bool = False) -> dict[str, Figure9Row]:
+def figure9(kernels=FIGURE_SUITE + ("swim.untiled",), quick: bool = False,
+            jobs: int = 1,
+            cache: Optional[ResultCache] = None) -> dict[str, Figure9Row]:
     """Slowdown from disabling stride-1 double-bandwidth mode."""
-    rows: dict[str, Figure9Row] = {}
-    for name in kernels:
-        workload = get(name)
-        scale = scale_for(name, quick)
-        base = run_tarantula(workload, "T", scale, check=False)
-        nopump = run_tarantula(workload, "T-nopump", scale, check=False)
-        rows[name] = Figure9Row(name, base.seconds / nopump.seconds)
-    return rows
+    grid = _grid(kernels, ("T", "T-nopump"), quick, jobs, cache)
+    return {name: Figure9Row(
+                name, grid[name]["T"].seconds / grid[name]["T-nopump"].seconds)
+            for name in kernels}
 
 
-def tiling_ablation(quick: bool = False) -> dict[str, float]:
+def tiling_ablation(quick: bool = False, jobs: int = 1,
+                    cache: Optional[ResultCache] = None) -> dict[str, float]:
     """Section 6's swim experiment: the non-tiled version is ~2X slower.
 
     The effect requires the grids to exceed the L2 (the reference swim
@@ -141,16 +147,16 @@ def tiling_ablation(quick: bool = False) -> dict[str, float]:
     preserve the grid/L2 ratio by shrinking the modeled L2 instead
     (DESIGN.md substitution 6).
     """
-    from dataclasses import replace
-
-    from repro.core.config import tarantula
-
     scale = scale_for("swim", quick)
     # grids at these scales total ~0.2 MB (quick) / ~1.5 MB (full); an
     # L2 an order of magnitude smaller reproduces the paper's ratio
-    config = replace(tarantula(), l2_bytes=(1 << 15) if quick else (1 << 18))
-    tiled = run_tarantula(get("swim"), config, scale, check=False)
-    naive = run_tarantula(get("swim.untiled"), config, scale, check=False)
+    overrides = (("l2_bytes", (1 << 15) if quick else (1 << 18)),)
+    tiled, naive = execute_many(
+        [ExperimentSpec("swim", "T", scale, overrides=overrides,
+                        check=False),
+         ExperimentSpec("swim.untiled", "T", scale, overrides=overrides,
+                        check=False)],
+        jobs=jobs, cache=cache)
     return {
         "tiled_cycles": tiled.cycles,
         "untiled_cycles": naive.cycles,

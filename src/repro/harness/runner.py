@@ -1,5 +1,13 @@
 """Harness runner: one workload on one machine configuration.
 
+Thin, workload-object-level wrappers over the unified experiment
+engine (:mod:`repro.harness.engine`), kept for callers that already
+hold a :class:`~repro.workloads.base.Workload` or a built
+:class:`~repro.workloads.base.WorkloadInstance`.  Grid consumers
+(tables, figures, sweeps, ``repro report``) build
+:class:`~repro.harness.engine.ExperimentSpec` lists and submit them to
+``engine.execute_many`` instead.
+
 Tarantula configurations run the hand-vectorized program through the
 full timing simulator (co-simulated functionally, output verified
 against the numpy reference).  EV8/EV8+ run the workload's scalar loop
@@ -10,36 +18,19 @@ mix them freely.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import replace
 from typing import Optional
 
 from repro.core.config import CONFIGURATIONS, MachineConfig
-from repro.core.processor import TarantulaProcessor
-from repro.scalar.ev8 import EV8Model
+from repro.harness.engine import (
+    RunOutcome,
+    _run_scalar_instance,
+    _run_vector_instance,
+)
 from repro.workloads.base import Workload, WorkloadInstance
 from repro.workloads.registry import get
 
-
-@dataclass
-class RunOutcome:
-    """Uniform result record across vector and scalar machines."""
-
-    config_name: str
-    kernel: str
-    cycles: float
-    core_ghz: float
-    opc: float = 0.0
-    fpc: float = 0.0
-    mpc: float = 0.0
-    other_pc: float = 0.0
-    streams_mbytes_per_s: float = 0.0
-    raw_mbytes_per_s: float = 0.0
-    verified: bool = False
-    detail: object = None
-
-    @property
-    def seconds(self) -> float:
-        return self.cycles / (self.core_ghz * 1e9)
+__all__ = ["RunOutcome", "run", "run_scalar", "run_tarantula", "speedup"]
 
 
 def _resolve(config) -> MachineConfig:
@@ -54,40 +45,15 @@ def run_tarantula(workload: Workload, config="T", scale: float = 1.0,
                   drain_dirty: bool = False) -> RunOutcome:
     """Run the vector program on a Tarantula timing simulator.
 
-    ``drain_dirty`` flushes dirty L2 lines through the Zbox at the end
-    and counts the drain in both bytes *and* cycles — the steady-state
-    accounting the bandwidth microkernels (Table 4) need.  Application
-    kernels leave it off: their outputs legitimately stay cached.
+    See :func:`repro.harness.engine._run_vector_instance` for the
+    ``drain_dirty`` semantics (Table 4's steady-state accounting).
     """
     cfg = _resolve(config)
     inst = instance if instance is not None else workload.build(scale)
     if inst.l2_bytes_hint is not None:
-        from dataclasses import replace
         cfg = replace(cfg, l2_bytes=inst.l2_bytes_hint)
-    proc = TarantulaProcessor(cfg)
-    inst.setup(proc.functional.memory)
-    for base, nbytes in inst.warm_ranges:
-        proc.warm_l2(base, nbytes)
-    for instr in inst.program:
-        proc.step(instr)
-    result = proc.result(inst.name, workload_bytes=inst.workload_bytes)
-    if drain_dirty:
-        drain_at = result.cycles
-        for eviction in proc.l2.tags.flush():
-            if eviction.dirty:
-                proc.zbox.writeback_line(eviction.addr, drain_at)
-        result.cycles = max(result.cycles, proc.zbox.rambus.last_finish())
-        result.mem_raw_bytes = proc.zbox.raw_bytes()
-        result.mem_useful_bytes = proc.zbox.useful_bytes()
-    if check:
-        inst.check(proc.functional.memory)
-    return RunOutcome(
-        config_name=cfg.name, kernel=inst.name, cycles=result.cycles,
-        core_ghz=cfg.core_ghz, opc=result.opc, fpc=result.fpc,
-        mpc=result.mpc, other_pc=result.other_pc,
-        streams_mbytes_per_s=result.streams_mbytes_per_s,
-        raw_mbytes_per_s=result.raw_mbytes_per_s,
-        verified=check, detail=result)
+    return _run_vector_instance(cfg, inst, check=check,
+                                drain_dirty=drain_dirty)
 
 
 def run_scalar(workload: Workload, config="EV8",
@@ -96,22 +62,35 @@ def run_scalar(workload: Workload, config="EV8",
     """Run the scalar loop descriptor on the EV8/EV8+ analytic model."""
     cfg = _resolve(config)
     inst = instance if instance is not None else workload.build(scale)
-    model = EV8Model(cfg)
-    result = model.run(inst.scalar_loop)
-    return RunOutcome(
-        config_name=cfg.name, kernel=inst.name, cycles=result.cycles,
-        core_ghz=cfg.core_ghz, opc=result.ops_per_cycle,
-        fpc=result.flops_per_cycle, detail=result)
+    return _run_scalar_instance(cfg, inst)
 
 
 def run(workload_name: str, config="T", scale: float = 1.0,
         **kw) -> RunOutcome:
-    """Convenience: run a registered workload by name on any machine."""
+    """Convenience: run a registered workload by name on any machine.
+
+    Keyword arguments are forwarded to :func:`run_tarantula` /
+    :func:`run_scalar` according to where the machine routes; passing
+    one the resolved model does not accept (e.g. ``check=`` for a
+    scalar machine) is an error, not a silent no-op.
+    """
     workload = get(workload_name)
     cfg = _resolve(config)
     if cfg.has_vbox:
+        allowed = {"check", "instance", "drain_dirty"}
+        target = "run_tarantula"
+    else:
+        allowed = {"instance"}
+        target = "run_scalar"
+    unknown = sorted(set(kw) - allowed)
+    if unknown:
+        raise TypeError(
+            f"run({workload_name!r}, config={cfg.name!r}): {target}() does "
+            f"not accept {', '.join(unknown)} (accepts: "
+            f"{', '.join(sorted(allowed))})")
+    if cfg.has_vbox:
         return run_tarantula(workload, cfg, scale, **kw)
-    return run_scalar(workload, cfg, scale)
+    return run_scalar(workload, cfg, scale, **kw)
 
 
 def speedup(kernel: str, baseline: RunOutcome, contender: RunOutcome) -> float:

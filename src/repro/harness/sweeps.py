@@ -5,79 +5,67 @@ tournament, the 16 MB L2 — without sensitivity data.  These sweeps vary
 one parameter at a time on a fixed workload and return (value, cycles)
 curves, quantifying which choices sit on a cliff and which on a plateau.
 Used by ``benchmarks/bench_ablation_sensitivity.py``.
+
+Each sweep is a grid of :class:`~repro.harness.engine.ExperimentSpec`
+cells — one machine-field override per point — submitted to
+``engine.execute_many``, so sweeps parallelize and cache like every
+other harness consumer.  Sweeps study the *machine* axis, so the
+workload's ``l2_bytes_hint`` is disabled: every point runs on exactly
+the configured machine plus the one overridden field.
 """
 
 from __future__ import annotations
 
-from dataclasses import replace
+from typing import Optional
 
-from repro.core.config import MachineConfig, tarantula
-from repro.core.processor import TarantulaProcessor
-from repro.workloads.base import WorkloadInstance
-from repro.workloads.registry import get
+from repro.harness.engine import ExperimentSpec, ResultCache, execute_many
 
 
-def _run(instance: WorkloadInstance, config: MachineConfig,
-         crbox_cycles: float | None = None) -> float:
-    proc = TarantulaProcessor(config)
-    if crbox_cycles is not None:
-        proc.addr_gens.crbox.cycles_per_round = crbox_cycles
-    instance.setup(proc.functional.memory)
-    for base, nbytes in instance.warm_ranges:
-        proc.warm_l2(base, nbytes)
-    for instr in instance.program:
-        proc.step(instr)
-    return proc.result(instance.name).cycles
+def _sweep(kernel: str, scale: float, field: str, values,
+           jobs: int = 1, cache: Optional[ResultCache] = None) -> dict:
+    specs = [ExperimentSpec(kernel, "T", scale,
+                            overrides=((field, value),),
+                            check=False, apply_l2_hint=False)
+             for value in values]
+    outcomes = execute_many(specs, jobs=jobs, cache=cache)
+    return {value: out.cycles for value, out in zip(values, outcomes)}
 
 
 def sweep_maf_entries(kernel: str = "streams.triad", scale: float = 0.25,
-                      values=(2, 4, 8, 16, 32, 64)) -> dict[int, float]:
+                      values=(2, 4, 8, 16, 32, 64),
+                      jobs: int = 1,
+                      cache: Optional[ResultCache] = None) -> dict[int, float]:
     """Cycles vs MAF size on a memory-streaming kernel.
 
     Figure 9's mechanism in isolation: too few entries throttle the
     number of miss slices in flight and bandwidth collapses.
     """
-    workload = get(kernel)
-    out: dict[int, float] = {}
-    for entries in values:
-        instance = workload.build(scale)
-        config = replace(tarantula(), maf_entries=entries)
-        out[entries] = _run(instance, config)
-    return out
+    return _sweep(kernel, scale, "maf_entries", values, jobs, cache)
 
 
 def sweep_cr_cost(kernel: str = "sparsemxv", scale: float = 0.25,
-                  values=(1.0, 2.0, 4.0, 8.0)) -> dict[float, float]:
+                  values=(1.0, 2.0, 4.0, 8.0),
+                  jobs: int = 1,
+                  cache: Optional[ResultCache] = None) -> dict[float, float]:
     """Cycles vs CR-box tournament cost on a gather-bound kernel.
 
     The knob our Table-4 calibration fixed at 4.0 cycles/round; the
     curve shows how directly gather-bound kernels ride on it.
     """
-    workload = get(kernel)
-    out: dict[float, float] = {}
-    for cycles_per_round in values:
-        instance = workload.build(scale)
-        out[cycles_per_round] = _run(instance, tarantula(),
-                                     crbox_cycles=cycles_per_round)
-    return out
+    return _sweep(kernel, scale, "crbox_cycles_per_round", values, jobs,
+                  cache)
 
 
 def sweep_l2_size(kernel: str = "sparsemxv", scale: float = 0.5,
-                  values=(1 << 18, 1 << 19, 1 << 20, 1 << 21, 1 << 22)
-                  ) -> dict[int, float]:
+                  values=(1 << 18, 1 << 19, 1 << 20, 1 << 21, 1 << 22),
+                  jobs: int = 1,
+                  cache: Optional[ResultCache] = None) -> dict[int, float]:
     """Cycles vs L2 capacity around a working-set cliff.
 
     The paper's L2-centric thesis in one curve: performance falls off a
     cliff when the working set stops fitting.
     """
-    workload = get(kernel)
-    out: dict[int, float] = {}
-    for l2_bytes in values:
-        instance = workload.build(scale)
-        instance.l2_bytes_hint = None   # sweep overrides the hint
-        config = replace(tarantula(), l2_bytes=l2_bytes)
-        out[l2_bytes] = _run(instance, config)
-    return out
+    return _sweep(kernel, scale, "l2_bytes", values, jobs, cache)
 
 
 def render_sweep(title: str, curve: dict, unit: str = "") -> str:

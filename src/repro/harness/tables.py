@@ -6,18 +6,24 @@
 * Table 3 prints the configured machines' derived quantities.
 * Table 4 runs the memory microkernels on the timing simulator and
   reports sustained Streams/Raw bandwidth in MB/s.
+
+Tables 2 and 4 are simulation grids: they build
+:class:`~repro.harness.engine.ExperimentSpec` lists (functional mode
+for the Table 2 vectorization census, drain-accounted timing runs for
+the Table 4 bandwidths) and submit them to ``engine.execute_many``;
+Tables 1 and 3 are pure configuration arithmetic.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
+from typing import Optional
 
-from repro.core.config import CONFIGURATIONS, tarantula
+from repro.core.config import CONFIGURATIONS
 from repro.core.power import cmp_ev8_model, table1_rows, tarantula_model
-from repro.harness.runner import run_tarantula
+from repro.harness.engine import ExperimentSpec, ResultCache, execute_many
 from repro.workloads.random_access import RNDMEMSCALE_BASE
-from repro.workloads.base import run_functional
-from repro.workloads.registry import REGISTRY, TABLE4_SUITE, get
+from repro.workloads.registry import REGISTRY, TABLE4_SUITE
 
 
 def table1() -> dict:
@@ -38,18 +44,30 @@ class Table2Row:
     surrogate: bool
 
 
-def table2(scale: float = 0.1) -> dict[str, Table2Row]:
-    """Benchmark inventory with measured vectorization percentages."""
+def table2(scale: float = 0.1, quick: bool = False, jobs: int = 1,
+           cache: Optional[ResultCache] = None) -> dict[str, Table2Row]:
+    """Benchmark inventory with measured vectorization percentages.
+
+    ``quick`` quarters the census scale, like the figure generators;
+    the dynamic vectorization fraction is scale-insensitive well past
+    that point (loop control lives in the Python-side "compiler").
+    """
+    if quick:
+        scale *= 0.25
+    names = sorted(REGISTRY)
+    specs = [ExperimentSpec(name, "T", scale, mode="functional")
+             for name in names]
+    outcomes = execute_many(specs, jobs=jobs, cache=cache)
     rows: dict[str, Table2Row] = {}
-    for name, workload in sorted(REGISTRY.items()):
-        counts = run_functional(workload.build(scale))
+    for name, outcome in zip(names, outcomes):
+        workload = REGISTRY[name]
         rows[name] = Table2Row(
             name=name, description=workload.description,
             inputs=workload.inputs, comments=workload.comments,
             uses_prefetch=workload.uses_prefetch,
             uses_drainm=workload.uses_drainm,
             paper_vect_pct=workload.paper_vectorization_pct,
-            measured_vect_pct=counts.vectorization_percent,
+            measured_vect_pct=outcome.detail.vectorization_percent,
             surrogate=workload.surrogate)
     return rows
 
@@ -94,29 +112,31 @@ TABLE4_SCALES = {
 }
 
 
-def table4(quick: bool = False) -> dict[str, Table4Row]:
+def _table4_spec(name: str, quick: bool) -> ExperimentSpec:
+    scale = TABLE4_SCALES[name] * (0.25 if quick else 1.0)
+    overrides = ()
+    if name == "rndmemscale":
+        # "All data from memory": the paper's B does not stay L2
+        # resident; we preserve the footprint/L2 ratio (~2x) by
+        # shrinking the modeled L2 (see EXPERIMENTS.md)
+        # an L2 of exactly the footprint keeps the run dominated by
+        # first-touch misses — the paper's single-pass regime
+        footprint = int(RNDMEMSCALE_BASE * scale) * 8
+        overrides = (("l2_bytes", 1 << max(footprint.bit_length() - 1, 17)),)
+    # rndcopy works entirely from the L2 ("prefetched into L2"; the
+    # paper reports no raw column for it) — no drain for it
+    return ExperimentSpec(name, "T", scale, overrides=overrides,
+                          check=False, drain_dirty=(name != "rndcopy"))
+
+
+def table4(quick: bool = False, jobs: int = 1,
+           cache: Optional[ResultCache] = None) -> dict[str, Table4Row]:
     """Sustained memory bandwidth microkernels (Table 4)."""
-    rows: dict[str, Table4Row] = {}
-    for name in TABLE4_SUITE:
-        workload = get(name)
-        scale = TABLE4_SCALES[name] * (0.25 if quick else 1.0)
-        config = tarantula()
-        if name == "rndmemscale":
-            # "All data from memory": the paper's B does not stay L2
-            # resident; we preserve the footprint/L2 ratio (~2x) by
-            # shrinking the modeled L2 (see EXPERIMENTS.md)
-            # an L2 of exactly the footprint keeps the run dominated by
-            # first-touch misses — the paper's single-pass regime
-            footprint = int(RNDMEMSCALE_BASE * scale) * 8
-            l2 = 1 << max(footprint.bit_length() - 1, 17)
-            config = replace(config, l2_bytes=l2)
-        # rndcopy works entirely from the L2 ("prefetched into L2"; the
-        # paper reports no raw column for it) — no drain for it
-        out = run_tarantula(workload, config, scale, check=False,
-                            drain_dirty=(name != "rndcopy"))
-        rows[name] = Table4Row(name, out.streams_mbytes_per_s,
-                               out.raw_mbytes_per_s)
-    return rows
+    specs = [_table4_spec(name, quick) for name in TABLE4_SUITE]
+    outcomes = execute_many(specs, jobs=jobs, cache=cache)
+    return {name: Table4Row(name, out.streams_mbytes_per_s,
+                            out.raw_mbytes_per_s)
+            for name, out in zip(TABLE4_SUITE, outcomes)}
 
 
 def power_summary() -> dict[str, float]:

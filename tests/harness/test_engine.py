@@ -1,0 +1,220 @@
+"""Unified experiment engine: specs, routing, fan-out, result cache."""
+
+import pickle
+
+import pytest
+
+from repro.core.config import CONFIGURATIONS, tarantula
+from repro.errors import ConfigError
+from repro.harness import engine
+from repro.harness.engine import (
+    ExperimentSpec,
+    ResultCache,
+    cache_key,
+    execute,
+    execute_many,
+)
+from repro.harness.runner import run, run_tarantula
+from repro.isa.builder import KernelBuilder
+from repro.workloads.registry import get
+
+SCALE = 0.05
+
+
+def _outcome_fields(out):
+    return (out.config_name, out.kernel, out.cycles, out.core_ghz, out.opc,
+            out.fpc, out.mpc, out.other_pc, out.streams_mbytes_per_s,
+            out.raw_mbytes_per_s, out.verified)
+
+
+class TestExperimentSpec:
+    def test_pickle_round_trip(self):
+        spec = ExperimentSpec("streams.triad", "T", SCALE,
+                              overrides=(("maf_entries", 8),),
+                              check=False, drain_dirty=True)
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert hash(clone) == hash(spec)
+
+    def test_overrides_are_order_canonical(self):
+        a = ExperimentSpec("fft", overrides=(("maf_entries", 8),
+                                             ("l2_bytes", 1 << 20)))
+        b = ExperimentSpec("fft", overrides=(("l2_bytes", 1 << 20),
+                                             ("maf_entries", 8)))
+        assert a == b and hash(a) == hash(b)
+
+    def test_rejects_unknown_config(self):
+        with pytest.raises(ConfigError, match="unknown configuration"):
+            ExperimentSpec("fft", "EV9")
+
+    def test_rejects_unknown_override_field(self):
+        with pytest.raises(ConfigError, match="not a MachineConfig field"):
+            ExperimentSpec("fft", overrides=(("l3_bytes", 1),))
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ConfigError, match="mode"):
+            ExperimentSpec("fft", mode="rtl")
+
+
+class TestL2HintResolution:
+    """The workload's l2_bytes_hint is an engine concern: applied on
+    vector machines, beaten by an explicit override, off on request."""
+
+    def test_hint_applies_on_vector_machine(self):
+        inst = get("sparsemxv").build(SCALE)
+        assert inst.l2_bytes_hint is not None
+        cfg = ExperimentSpec("sparsemxv", "T", SCALE).resolve_config(inst)
+        assert cfg.l2_bytes == inst.l2_bytes_hint
+
+    def test_explicit_override_beats_hint(self):
+        inst = get("sparsemxv").build(SCALE)
+        spec = ExperimentSpec("sparsemxv", "T", SCALE,
+                              overrides=(("l2_bytes", 1 << 22),))
+        assert spec.resolve_config(inst).l2_bytes == 1 << 22
+
+    def test_hint_disabled_keeps_machine_l2(self):
+        inst = get("sparsemxv").build(SCALE)
+        spec = ExperimentSpec("sparsemxv", "T", SCALE, apply_l2_hint=False)
+        assert spec.resolve_config(inst).l2_bytes == tarantula().l2_bytes
+
+    def test_scalar_machines_never_take_the_hint(self):
+        inst = get("sparsemxv").build(SCALE)
+        cfg = ExperimentSpec("sparsemxv", "EV8", SCALE).resolve_config(inst)
+        assert cfg.l2_bytes == CONFIGURATIONS["EV8"]().l2_bytes
+
+
+class TestExecute:
+    def test_matches_runner_wrapper(self):
+        spec = ExperimentSpec("streams.triad", "T", SCALE, check=True)
+        via_engine = execute(spec)
+        via_runner = run_tarantula(get("streams.triad"), "T", SCALE)
+        assert _outcome_fields(via_engine) == _outcome_fields(via_runner)
+
+    def test_routes_to_scalar_model(self):
+        out = execute(ExperimentSpec("streams.triad", "EV8", SCALE))
+        assert out.config_name == "EV8"
+        assert out.cycles > 0 and out.opc > 0
+
+    def test_functional_mode_counts_vectorization(self):
+        out = execute(ExperimentSpec("streams.triad", "T", SCALE,
+                                     mode="functional"))
+        assert out.verified
+        assert out.detail.vectorization_percent > 90.0
+
+    def test_crbox_override_reaches_the_timing_model(self):
+        cheap, dear = execute_many(
+            [ExperimentSpec("sparsemxv", "T", 0.1, check=False,
+                            apply_l2_hint=False,
+                            overrides=(("crbox_cycles_per_round", v),))
+             for v in (1.0, 8.0)])
+        assert dear.cycles > cheap.cycles
+
+
+class TestExecuteMany:
+    GRID = [
+        ExperimentSpec("streams.triad", "T", SCALE, check=False),
+        ExperimentSpec("streams.triad", "EV8", SCALE),
+        ExperimentSpec("streams.copy", "T", SCALE, check=False),
+        ExperimentSpec("fft", "T", SCALE, check=False),
+    ]
+
+    def test_parallel_matches_serial_exactly(self):
+        serial = execute_many(self.GRID, jobs=1)
+        parallel = execute_many(self.GRID, jobs=4)
+        for a, b in zip(serial, parallel):
+            assert _outcome_fields(a) == _outcome_fields(b)
+
+    def test_preserves_input_order(self):
+        outs = execute_many(self.GRID, jobs=1)
+        assert [o.kernel for o in outs] == [s.kernel for s in self.GRID]
+        assert [o.config_name for o in outs] == [s.config for s in self.GRID]
+
+    def test_duplicates_simulated_once(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = ExperimentSpec("streams.copy", "T", SCALE, check=False)
+        outs = execute_many([spec, spec, spec], jobs=1, cache=cache)
+        assert len(outs) == 3
+        assert cache.stores == 1
+        assert _outcome_fields(outs[0]) == _outcome_fields(outs[2])
+
+
+class TestResultCache:
+    SPEC = ExperimentSpec("streams.copy", "T", SCALE, check=False)
+
+    def test_miss_then_hit_round_trips_outcome(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        first, = execute_many([self.SPEC], cache=cache)
+        assert (cache.hits, cache.misses, cache.stores) == (0, 1, 1)
+        second, = execute_many([self.SPEC], cache=cache)
+        assert cache.hits == 1
+        assert _outcome_fields(second) == _outcome_fields(first)
+        assert second.detail.cycles == first.detail.cycles
+
+    def test_warm_run_simulates_nothing(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+        execute_many([self.SPEC], cache=cache)
+        monkeypatch.setattr(
+            engine, "_run_vector_instance",
+            lambda *a, **kw: pytest.fail("cache hit should not simulate"))
+        out, = execute_many([self.SPEC], cache=cache)
+        assert out.kernel == "streams.copy"
+
+    def test_config_field_change_busts_key(self):
+        base = cache_key(self.SPEC)
+        tweaked = ExperimentSpec("streams.copy", "T", SCALE, check=False,
+                                 overrides=(("maf_entries", 8),))
+        assert cache_key(tweaked) != base
+
+    def test_scale_and_flags_bust_key(self):
+        base = cache_key(self.SPEC)
+        assert cache_key(ExperimentSpec("streams.copy", "T", 0.06,
+                                        check=False)) != base
+        assert cache_key(ExperimentSpec("streams.copy", "T", SCALE,
+                                        check=False,
+                                        drain_dirty=True)) != base
+
+    def test_program_change_busts_digest(self):
+        def program(n):
+            kb = KernelBuilder("digest-probe")
+            kb.setvl(n)
+            kb.vvaddt(1, 2, 3)
+            return kb.build()
+
+        assert engine._digest_program(program(64)) != \
+            engine._digest_program(program(128))
+        assert engine._digest_program(program(64)) == \
+            engine._digest_program(program(64))
+
+    def test_code_version_salts_key(self, monkeypatch):
+        base = cache_key(self.SPEC)
+        monkeypatch.setattr(engine, "_code_version_cache", "deadbeef")
+        assert cache_key(self.SPEC) != base
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key(self.SPEC)
+        execute_many([self.SPEC], cache=cache)
+        path = cache._path(key)
+        path.write_bytes(b"not a pickle")
+        assert cache.get(key) is None
+        # and execute_many recovers by re-simulating + re-storing
+        out, = execute_many([self.SPEC], cache=cache)
+        assert out.cycles > 0
+        assert cache.get(key) is not None
+
+
+class TestRunnerKwargValidation:
+    """run() must reject kwargs the routed model cannot honor instead
+    of silently dropping them (the old scalar path ate check=...)."""
+
+    def test_scalar_route_rejects_check(self):
+        with pytest.raises(TypeError, match="check"):
+            run("streams.triad", "EV8", scale=SCALE, check=True)
+
+    def test_vector_route_rejects_unknown(self):
+        with pytest.raises(TypeError, match="bogus"):
+            run("streams.triad", "T", scale=SCALE, bogus=1)
+
+    def test_vector_route_accepts_flags(self):
+        out = run("streams.triad", "T", scale=SCALE, check=False)
+        assert not out.verified

@@ -1,5 +1,6 @@
 """Sensitivity-sweep utilities (small, fast configurations)."""
 
+from repro.harness.engine import ResultCache
 from repro.harness.sweeps import (
     render_sweep,
     sweep_cr_cost,
@@ -10,6 +11,18 @@ from repro.harness.sweeps import (
 def test_maf_sweep_monotone_improvement():
     curve = sweep_maf_entries(values=(2, 32), scale=0.1)
     assert curve[2] >= curve[32]
+
+
+def test_sweep_parallel_cached_matches_serial(tmp_path):
+    serial = sweep_maf_entries(values=(2, 32), scale=0.1)
+    cache = ResultCache(tmp_path)
+    parallel = sweep_maf_entries(values=(2, 32), scale=0.1, jobs=2,
+                                 cache=cache)
+    assert parallel == serial
+    assert cache.stores == 2
+    # warm rerun loads both points from the cache
+    assert sweep_maf_entries(values=(2, 32), scale=0.1, cache=cache) == serial
+    assert cache.hits == 2
 
 
 def test_cr_sweep_monotone_cost():

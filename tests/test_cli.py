@@ -8,8 +8,8 @@ from repro.cli import build_parser, main
 class TestParser:
     def test_all_commands_registered(self):
         parser = build_parser()
-        for cmd in ("list", "run", "table1", "table2", "table3", "table4",
-                    "fig6", "fig7", "fig8", "fig9", "asm"):
+        for cmd in ("list", "run", "report", "table1", "table2", "table3",
+                    "table4", "fig6", "fig7", "fig8", "fig9", "asm"):
             args = parser.parse_args([cmd] if cmd not in ("run", "asm")
                                      else [cmd, "dgemm" if cmd == "run"
                                            else "x.s"])
@@ -22,6 +22,24 @@ class TestParser:
     def test_run_rejects_unknown_config(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "dgemm", "--config", "EV9"])
+
+    def test_analytic_tables_reject_quick(self):
+        # table1/table3 run no simulation; --quick would be a silent lie
+        for cmd in ("table1", "table3"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args([cmd, "--quick"])
+
+    def test_simulation_grids_take_engine_flags(self):
+        parser = build_parser()
+        for cmd in ("table2", "table4", "fig6", "fig7", "fig8", "fig9",
+                    "report"):
+            args = parser.parse_args([cmd, "--quick", "--jobs", "2",
+                                      "--no-cache"])
+            assert args.quick and args.jobs == 2 and args.no_cache
+
+    def test_report_defaults_to_all_cores_and_cache(self):
+        args = build_parser().parse_args(["report"])
+        assert args.jobs == 0 and not args.no_cache
 
 
 class TestCommands:
