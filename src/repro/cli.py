@@ -7,6 +7,9 @@ Commands mirror the paper's evaluation artifacts:
   process-parallel and incrementally cached (docs/HARNESS.md);
 * ``table1|table2|table3|table4`` — regenerate a table;
 * ``fig6|fig7|fig8|fig9`` — regenerate a figure's data series;
+* ``chaos`` — run the fault-injection recovery suite: seeded faults at
+  every site type, precise-trap recovery, differential state oracle
+  (docs/FAULTS.md);
 * ``list`` — the benchmark suite and the machine configurations;
 * ``asm <file>`` — assemble a text kernel and print its listing;
 * ``lint <kernel|file.s>`` — statically verify a hand-vectorized kernel
@@ -129,6 +132,40 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    """Run the recovery oracle over workloads (docs/FAULTS.md)."""
+    from repro.errors import ReproError
+    from repro.faults import SITE_TYPES, run_recovery_oracle
+
+    sites = tuple(args.sites) if args.sites else SITE_TYPES
+    for site in sites:
+        if site not in SITE_TYPES:
+            raise SystemExit(f"chaos: unknown site {site!r}; "
+                             f"known: {', '.join(SITE_TYPES)}")
+    kernels = args.kernel if args.kernel else sorted(REGISTRY)
+    print(f"chaos: seed={args.seed} sites={','.join(sites)} "
+          f"kernels={len(kernels)}")
+    failures = 0
+    for kernel in kernels:
+        try:
+            result = run_recovery_oracle(kernel, seed=args.seed, sites=sites,
+                                         scale=args.scale)
+        except (ReproError, AssertionError) as exc:
+            failures += 1
+            print(f"{kernel:<14s} ERROR  {type(exc).__name__}: {exc}")
+            continue
+        print(result.summary())
+        if not result.ok:
+            failures += 1
+    if failures:
+        print(f"\nchaos: {failures} of {len(kernels)} workload(s) failed "
+              "recovery")
+        return 1
+    print(f"\nchaos: all {len(kernels)} workload(s) recovered to "
+          "bit-identical state")
+    return 0
+
+
 def _cmd_asm(args) -> int:
     from repro.isa.assembler import assemble
 
@@ -242,6 +279,21 @@ def build_parser() -> argparse.ArgumentParser:
         "(parallel + cached; see docs/HARNESS.md)")
     add_engine_flags(p_report, "quarter every problem scale")
     p_report.set_defaults(fn=_cmd_report, jobs=0)
+
+    p_chaos = sub.add_parser(
+        "chaos", help="fault-injection recovery suite (docs/FAULTS.md)")
+    p_chaos.add_argument("--seed", type=int, default=1234,
+                         help="FaultPlan seed (default 1234)")
+    p_chaos.add_argument("--kernel", action="append", default=None,
+                         metavar="NAME", choices=sorted(REGISTRY),
+                         help="restrict to one kernel (repeatable; "
+                         "default: all)")
+    p_chaos.add_argument("--sites", nargs="+", default=None,
+                         metavar="SITE",
+                         help="fault site types (default: all four)")
+    p_chaos.add_argument("--scale", type=float, default=None,
+                         help="problem scale (default: test-sized instance)")
+    p_chaos.set_defaults(fn=_cmd_chaos)
 
     p_asm = sub.add_parser("asm", help="assemble a text kernel")
     p_asm.add_argument("file")

@@ -14,15 +14,17 @@ the timing simulator replays the identical instruction stream.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.errors import ArchitecturalTrap
 from repro.isa.instructions import Group, Instruction, TimingClass
 from repro.isa.program import Program
-from repro.isa.registers import ArchState
+from repro.isa.registers import ArchSnapshot, ArchState
 from repro.isa.semantics import execute
-from repro.mem.memory import MainMemory
+from repro.mem.memory import MainMemory, MemorySnapshot
 
 
 @dataclass
@@ -58,6 +60,23 @@ class OperationCounts:
     def _bump_tag(self, tag: str, amount: int) -> None:
         if tag:
             self.by_tag[tag] = self.by_tag.get(tag, 0) + amount
+
+
+@dataclass
+class Checkpoint:
+    """A resumable point in a program's execution.
+
+    Captures everything a restart from instruction ``index`` can
+    observe: the architectural registers, the complete memory image,
+    and the operation counters (so a recovered run's Figure-6 numbers
+    match the fault-free run exactly).  Taken at trap PCs by the
+    fault-recovery machinery (docs/FAULTS.md).
+    """
+
+    index: int
+    state: ArchSnapshot
+    memory: MemorySnapshot
+    counts: OperationCounts
 
 
 class FunctionalSimulator:
@@ -105,10 +124,37 @@ class FunctionalSimulator:
             self.counts.other += n
             self.counts._bump_tag(instr.tag, n)
 
+    def checkpoint(self) -> Checkpoint:
+        """Snapshot the full resumable state at the current instruction."""
+        return Checkpoint(
+            index=self.instructions_executed,
+            state=self.state.snapshot(),
+            memory=self.memory.snapshot(),
+            counts=dataclasses.replace(self.counts,
+                                       by_tag=dict(self.counts.by_tag)))
+
+    def restore(self, cp: Checkpoint) -> None:
+        """Rewind to a checkpoint; the next step re-runs ``cp.index``."""
+        self.state.restore(cp.state)
+        self.memory.restore(cp.memory)
+        self.counts = dataclasses.replace(cp.counts,
+                                          by_tag=dict(cp.counts.by_tag))
+        self.instructions_executed = cp.index
+
     def step(self, instr: Instruction) -> None:
-        """Execute a single instruction."""
+        """Execute a single instruction.
+
+        Execution precedes accounting so that a trapping instruction
+        leaves the operation counters untouched (it will be re-counted
+        when recovery re-executes it), and every escaping trap carries
+        the faulting instruction index — the paper's precise-PC report.
+        """
+        try:
+            execute(instr, self.state, self.memory,
+                    poison_tail=self.poison_tail)
+        except ArchitecturalTrap as trap:
+            raise trap.attribute(self.instructions_executed) from None
         self._account(instr)
-        execute(instr, self.state, self.memory, poison_tail=self.poison_tail)
         self.instructions_executed += 1
 
     def run(self, program: Program) -> OperationCounts:

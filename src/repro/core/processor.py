@@ -23,7 +23,7 @@ from repro.core.config import MachineConfig, tarantula
 from repro.core.coherency import CoherencyController
 from repro.core.functional import FunctionalSimulator
 from repro.core.metrics import TimingResult
-from repro.errors import SimulationError
+from repro.errors import ArchitecturalTrap, SimulationError
 from repro.isa.instructions import Group, Instruction, TimingClass
 from repro.isa.program import Program
 from repro.mem.l1cache import L1DataCache
@@ -288,24 +288,45 @@ class TarantulaProcessor:
     def step(self, instr: Instruction) -> float:
         """Time one instruction, then execute it functionally.
 
-        Returns its completion cycle.
+        Returns its completion cycle.  An :class:`ArchitecturalTrap`
+        escaping either half (the timing model's TLB walk or the
+        functional executor) is attributed to this instruction's index
+        before propagating — the paper's precise-PC contract (section
+        2).  The trapping instruction does not retire: the index stays
+        put so a recovered run can re-execute it in place.
         """
+        idx = self._instr_index
         d = instr.definition
-        t0 = max(self._dispatch_time(instr), self._sources_ready(instr))
-        if d.group is Group.SC:
-            done = self._time_scalar(instr, t0)
-        elif d.group is Group.VC:
-            done = self._time_control(instr, t0)
-        elif d.is_memory:
-            done = self._time_memory(instr, t0)
-        else:
-            done = self._time_arithmetic(instr, t0)
+        try:
+            t0 = max(self._dispatch_time(instr), self._sources_ready(instr))
+            if d.group is Group.SC:
+                done = self._time_scalar(instr, t0)
+            elif d.group is Group.VC:
+                done = self._time_control(instr, t0)
+            elif d.is_memory:
+                done = self._time_memory(instr, t0)
+            else:
+                done = self._time_arithmetic(instr, t0)
+            self.functional.step(instr)
+        except ArchitecturalTrap as trap:
+            raise trap.attribute(idx) from None
         self._retire(done)
         if self.trace is not None:
-            self.trace.append((self._instr_index, instr, t0, done))
-        self._instr_index += 1
-        self.functional.step(instr)
+            self.trace.append((idx, instr, t0, done))
+        self._instr_index = idx + 1
         return done
+
+    def resume_at(self, index: int) -> None:
+        """Point the co-simulated pair at instruction ``index``.
+
+        Used by fault recovery after restoring a functional checkpoint:
+        the timing scoreboard keeps whatever reservations it made (the
+        trapped attempt's cycles are real — the pipe did the work), but
+        both instruction counters rewind so the stream re-executes from
+        the checkpoint.
+        """
+        self._instr_index = index
+        self.functional.instructions_executed = index
 
     def run(self, program: Program) -> TimingResult:
         """Run a whole program; returns timing + operation metrics."""

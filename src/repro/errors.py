@@ -49,6 +49,22 @@ class ArchitecturalTrap(ReproError):
             message = f"pc={pc}: {message}"
         super().__init__(message)
 
+    def attribute(self, pc: int) -> "ArchitecturalTrap":
+        """Attach the faulting instruction index to an in-flight trap.
+
+        Deep raise sites (memory, page table, TLB) do not know the
+        program counter; the simulators catch the trap at the step
+        boundary and attribute it before re-raising, so every trap that
+        escapes a run carries its precise PC (section 2's contract).
+        Attribution is idempotent: an already-attributed trap keeps its
+        original PC.
+        """
+        if self.pc is None:
+            self.pc = pc
+            message = self.args[0] if self.args else ""
+            self.args = (f"pc={pc}: {message}",)
+        return self
+
 
 class TLBMissTrap(ArchitecturalTrap):
     """A vector memory instruction touched an unmapped page.
@@ -68,3 +84,12 @@ class InvalidAddressTrap(ArchitecturalTrap):
 
 class ArithmeticTrap(ArchitecturalTrap):
     """Integer divide-by-zero or similar faults inside a vector op."""
+
+
+class MachineCheckTrap(ArchitecturalTrap):
+    """An access touched a poisoned cache line.
+
+    Raised by the fault-injection subsystem (docs/FAULTS.md): poisoned
+    lines model uncorrectable data errors; precise-trap recovery scrubs
+    the line and restarts the faulting instruction.
+    """

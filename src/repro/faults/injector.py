@@ -1,0 +1,251 @@
+"""Drives planned faults through a timing processor, recovering precisely.
+
+The injector owns the main loop that a PALcode + OS pair would own on
+real hardware: it steps the co-simulated processor one instruction at a
+time, arms each planned fault just before its victim instruction, and
+when the architectural trap arrives it *services* the fault (maps the
+page back in, scrubs the poisoned line), restores the checkpoint taken
+at the trap PC, and resumes — re-executing the faulting instruction in
+place, exactly the restart the paper's precise-trap model promises
+(section 2).
+
+Two fault sites never trap at all and exercise different guarantees:
+
+* ``maf_panic`` storms the Miss Address File until livelock panic mode
+  trips, then holds the offending entry for a few instructions so the
+  workload's own misses get NACKed — state must be bit-identical anyway
+  because the MAF is purely a timing structure;
+* ``kill_replay`` abandons the processor mid-kernel and resumes a
+  freshly constructed one from an architectural checkpoint — the
+  context-switch/migration story.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.processor import TarantulaProcessor
+from repro.errors import ArchitecturalTrap, SimulationError
+from repro.faults.plan import (
+    SITE_KILL,
+    SITE_MAF,
+    SITE_POISON,
+    SITE_TLB,
+    FaultEvent,
+    FaultPlan,
+    _vector_memory_indices,
+)
+from repro.isa.program import Program
+from repro.isa.semantics import indexed_addresses, strided_addresses
+
+#: instructions the MAF panic entry is held across before release
+PANIC_HOLD_INSTRUCTIONS = 4
+#: recoveries allowed per event before declaring the fault stuck
+MAX_RECOVERIES_PER_EVENT = 3
+
+
+@dataclass
+class InjectionRecord:
+    """What one planned event actually did."""
+
+    site: str
+    index: int
+    outcome: str          # recovered | suppressed | panicked | killed | unfired
+    trap_pc: int | None = None
+    detail: str = ""
+
+
+@dataclass
+class InjectionLog:
+    """Aggregate result of one injector run."""
+
+    records: list = field(default_factory=list)
+    recoveries: int = 0
+    suppressed: int = 0
+    kills: int = 0
+    nacks: int = 0
+
+    def fired_sites(self) -> set:
+        return {r.site for r in self.records
+                if r.outcome in ("recovered", "panicked", "killed")}
+
+    def outcome_of(self, site: str) -> list:
+        return [r for r in self.records if r.site == site]
+
+
+def _first_active_address(instr, state) -> int | None:
+    """Effective address of the first active element, or None if vl/vm
+    leaves the instruction with nothing to do."""
+    addrs = indexed_addresses(instr, state) if instr.definition.is_indexed \
+        else strided_addresses(instr, state)
+    active = state.active_mask(instr.masked)
+    idx = np.nonzero(active)[0]
+    if idx.size == 0:
+        return None
+    return int(addrs[idx[0]])
+
+
+class FaultInjector:
+    """Runs ``program`` on ``proc`` while injecting ``plan``'s faults."""
+
+    def __init__(self, proc: TarantulaProcessor, program: Program,
+                 plan: FaultPlan) -> None:
+        self.proc = proc
+        self.program = program
+        self.plan = plan
+        self.log = InjectionLog()
+        self._events: dict[int, list] = {}
+        for event in plan.schedule(program):
+            self._events.setdefault(event.index, []).append(event)
+        # armed per-trap-site state
+        self._armed: dict[int, tuple] = {}   # index -> (event, kind, token)
+        self._panic_hold: tuple | None = None  # (entry, release_index, nacks0)
+
+    # -- arming ------------------------------------------------------------
+
+    def _defer(self, event: FaultEvent, reason: str) -> None:
+        """Re-attach an unarmable event to the next eligible index."""
+        eligible = _vector_memory_indices(
+            self.program, loads_only=event.site == SITE_POISON,
+            prefetch=not event.expect_fire)
+        later = [i for i in eligible
+                 if i > event.index and i not in self._events]
+        if later:
+            moved = FaultEvent(event.site, later[0], event.expect_fire)
+            self._events.setdefault(moved.index, []).append(moved)
+        else:
+            self.log.records.append(InjectionRecord(
+                event.site, event.index, "unfired", detail=reason))
+
+    def _arm(self, event: FaultEvent, index: int) -> None:
+        proc, instr = self.proc, self.program[index]
+        if event.site == SITE_TLB:
+            addr = _first_active_address(instr, proc.functional.state)
+            if addr is None:
+                self._defer(event, "no active elements")
+                return
+            vpn = proc.vtlb.page_table.vpn_of(addr)
+            proc.vtlb.page_table.punch_hole(vpn)
+            proc.vtlb.invalidate(vpn)
+            self._armed[index] = (event, SITE_TLB, vpn)
+        elif event.site == SITE_POISON:
+            addr = _first_active_address(instr, proc.functional.state)
+            if addr is None:
+                self._defer(event, "no active elements")
+                return
+            proc.functional.memory.poison_line(addr)
+            self._armed[index] = (event, SITE_POISON, addr)
+        elif event.site == SITE_MAF:
+            maf = proc.l2.maf
+            now = proc._last_completion
+            t = maf.earliest_entry(now)
+            entry = maf.allocate(t, {0xFAD_0000})
+            while not maf.panic_mode:
+                maf.record_replay(entry)
+            self._panic_hold = (entry, index + PANIC_HOLD_INSTRUCTIONS,
+                                maf.counters.get("nacks"))
+            self.log.records.append(InjectionRecord(
+                event.site, index, "panicked",
+                detail=f"owner slice {entry.slice_id}"))
+        elif event.site == SITE_KILL:
+            self._release_panic()  # the doomed MAF dies with its processor
+            cp = proc.functional.checkpoint()
+            replacement = TarantulaProcessor(proc.config)
+            replacement.functional.restore(cp)
+            replacement.resume_at(index)
+            self.proc = replacement
+            self.log.kills += 1
+            self.log.records.append(InjectionRecord(
+                event.site, index, "killed",
+                detail=f"resumed at instruction {index}"))
+
+    def _disarm(self, index: int) -> tuple | None:
+        armed = self._armed.pop(index, None)
+        if armed is None:
+            return None
+        _, kind, token = armed
+        if kind == SITE_TLB:
+            self.proc.vtlb.page_table.fill_hole(token)
+        elif kind == SITE_POISON:
+            self.proc.functional.memory.scrub_line(token)
+        return armed
+
+    def _release_panic(self) -> None:
+        if self._panic_hold is None:
+            return
+        entry, _, nacks0 = self._panic_hold
+        self._panic_hold = None
+        maf = self.proc.l2.maf
+        self.log.nacks += maf.counters.get("nacks") - nacks0
+        maf.release(entry, self.proc._last_completion)
+
+    # -- the recovery loop -------------------------------------------------
+
+    def run(self, recover: bool = True) -> InjectionLog:
+        """Execute the whole program, injecting and recovering.
+
+        With ``recover=False`` the first architectural trap escapes to
+        the caller (the engine's deliberate-failure path); otherwise
+        every planned trap is serviced and execution resumes until the
+        program completes.
+        """
+        instrs = list(self.program)
+        attempts: dict[int, int] = {}
+        i = 0
+        while i < len(instrs):
+            if self._panic_hold is not None and i >= self._panic_hold[1]:
+                self._release_panic()
+            pending = self._events.pop(i, ())
+            # Checkpoint BEFORE arming: the snapshot must describe the
+            # fault-free world, or restoring it would re-inject the fault
+            # (a poisoned line in the memory image) and trap forever.
+            checkpoint = self.proc.functional.checkpoint() if pending else None
+            for event in pending:
+                self._arm(event, i)
+            armed = self._armed.get(i)
+            try:
+                self.proc.step(instrs[i])
+            except ArchitecturalTrap as trap:
+                if not recover or armed is None:
+                    raise
+                if trap.pc != i:
+                    raise SimulationError(
+                        f"imprecise trap: planned at {i}, reported pc="
+                        f"{trap.pc} ({trap})") from trap
+                event = armed[0]
+                if not event.expect_fire:
+                    raise SimulationError(
+                        f"prefetch probe at {i} trapped ({trap}); "
+                        "prefetch-via-v31 must suppress faults") from trap
+                attempts[i] = attempts.get(i, 0) + 1
+                if attempts[i] > MAX_RECOVERIES_PER_EVENT:
+                    raise SimulationError(
+                        f"fault at {i} still trapping after "
+                        f"{MAX_RECOVERIES_PER_EVENT} recoveries") from trap
+                self._disarm(i)  # service: map the page back / scrub
+                self.proc.functional.restore(checkpoint)
+                self.proc.resume_at(i)
+                self.log.recoveries += 1
+                self.log.records.append(InjectionRecord(
+                    event.site, i, "recovered", trap_pc=trap.pc,
+                    detail=str(trap)))
+                continue  # re-execute instruction i, now fault-free
+            if armed is not None:
+                event = armed[0]
+                self._disarm(i)
+                if event.expect_fire:
+                    raise SimulationError(
+                        f"planned {event.site} fault at {i} did not trap")
+                self.log.suppressed += 1
+                self.log.records.append(InjectionRecord(
+                    event.site, i, "suppressed",
+                    detail="prefetch ignored the armed fault"))
+            i += 1
+        self._release_panic()
+        for index, pending in sorted(self._events.items()):
+            for event in pending:  # planned past the end of the program
+                self.log.records.append(InjectionRecord(
+                    event.site, index, "unfired", detail="past program end"))
+        return self.log

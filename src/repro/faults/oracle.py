@@ -1,0 +1,103 @@
+"""Differential recovery oracle.
+
+Runs each workload twice — once fault-free on the functional simulator
+(the golden run), once on the timing processor under a seeded
+:class:`~repro.faults.plan.FaultPlan` with full recovery — and asserts
+the two end in bit-identical architectural state.  This is the
+executable form of the paper's section-2 contract: a trap, serviced and
+resumed, must be invisible to the program.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.core.config import CONFIGURATIONS
+from repro.core.functional import FunctionalSimulator
+from repro.core.processor import TarantulaProcessor
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import SITE_TYPES, FaultPlan
+from repro.workloads import registry
+
+
+def state_digest(sim: FunctionalSimulator) -> str:
+    """SHA-256 over the complete architectural state + memory image."""
+    snap = sim.state.snapshot()
+    h = hashlib.sha256()
+    h.update(snap.vregs.tobytes())
+    h.update(repr(snap.sregs).encode())
+    h.update(repr((snap.vl, snap.vs)).encode())
+    h.update(snap.vm.tobytes())
+    h.update(sim.memory.content_digest().encode())
+    return h.hexdigest()
+
+
+@dataclass
+class OracleResult:
+    """Verdict of one workload's inject → recover → compare cycle."""
+
+    kernel: str
+    seed: int
+    matched: bool
+    schedule_reproducible: bool
+    golden_digest: str
+    faulted_digest: str
+    fired_sites: tuple = ()
+    recoveries: int = 0
+    suppressed: int = 0
+    kills: int = 0
+    nacks: int = 0
+    records: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.matched and self.schedule_reproducible
+
+    def summary(self) -> str:
+        status = "ok" if self.ok else "STATE MISMATCH" if not self.matched \
+            else "SCHEDULE DRIFT"
+        sites = ",".join(sorted(self.fired_sites)) or "-"
+        return (f"{self.kernel:<14s} {status:<6s} recoveries={self.recoveries} "
+                f"kills={self.kills} suppressed={self.suppressed} "
+                f"nacks={self.nacks} sites={sites}")
+
+
+def run_recovery_oracle(kernel: str, seed: int = 0,
+                        sites: tuple = SITE_TYPES,
+                        scale: float | None = None,
+                        config: str = "T") -> OracleResult:
+    """Prove inject → trap → recover → resume is invisible for ``kernel``.
+
+    Also verifies the kernel's own numeric ``check`` against the
+    recovered memory image, and that two independently constructed
+    plans with the same seed describe byte-identical schedules.
+    """
+    workload = registry.get(kernel)
+    instance = workload.build(scale) if scale is not None \
+        else workload.build_small()
+
+    golden = FunctionalSimulator()
+    instance.setup(golden.memory)
+    golden.run(instance.program)
+    golden_digest = state_digest(golden)
+
+    plan = FaultPlan(seed, sites)
+    reproducible = plan.describe(instance.program) == \
+        FaultPlan(seed, sites).describe(instance.program)
+
+    proc = TarantulaProcessor(CONFIGURATIONS[config]())
+    instance.setup(proc.functional.memory)
+    injector = FaultInjector(proc, instance.program, plan)
+    log = injector.run(recover=True)
+    faulted_digest = state_digest(injector.proc.functional)
+    instance.check(injector.proc.functional.memory)
+
+    return OracleResult(
+        kernel=kernel, seed=seed,
+        matched=faulted_digest == golden_digest,
+        schedule_reproducible=reproducible,
+        golden_digest=golden_digest, faulted_digest=faulted_digest,
+        fired_sites=tuple(sorted(log.fired_sites())),
+        recoveries=log.recoveries, suppressed=log.suppressed,
+        kills=log.kills, nacks=log.nacks, records=log.records)

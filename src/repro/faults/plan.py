@@ -1,0 +1,127 @@
+"""Seeded, deterministic fault schedules.
+
+A :class:`FaultPlan` turns ``(seed, site filters)`` into a concrete
+schedule of :class:`FaultEvent`\\ s for a given program.  The same seed
+against the same program always yields the same schedule — byte for
+byte, as :meth:`FaultPlan.describe` makes checkable — so every chaos
+run is reproducible from its command line.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.isa.instructions import Group
+from repro.isa.program import Program
+
+#: A vector memory instruction's page is unmapped behind its back
+#: (page-table hole + TLB shootdown) -> TLBMissTrap from the vTLB walk.
+SITE_TLB = "tlb_unmap"
+#: A replay storm trips the MAF's livelock panic mode; competing
+#: requests are NACKed until the offending slice completes.
+SITE_MAF = "maf_panic"
+#: A line a vector load will read is poisoned -> MachineCheckTrap.
+SITE_POISON = "poison_line"
+#: The processor is killed mid-kernel and a fresh one resumes from an
+#: architectural checkpoint.
+SITE_KILL = "kill_replay"
+
+#: All site types, in canonical scheduling order.
+SITE_TYPES = (SITE_TLB, SITE_MAF, SITE_POISON, SITE_KILL)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One planned fault: inject ``site`` before instruction ``index``.
+
+    ``expect_fire=False`` marks a *probe*: the fault is armed but must
+    NOT trap (used to assert prefetch-via-v31 fault transparency).
+    """
+
+    site: str
+    index: int
+    expect_fire: bool = True
+
+
+def _vector_memory_indices(program: Program, loads_only: bool = False,
+                           prefetch: bool = False) -> list:
+    """Instruction indices eligible for memory-seam faults."""
+    out = []
+    for i, instr in enumerate(program):
+        d = instr.definition
+        if d.group not in (Group.SM, Group.RM) or not d.is_memory:
+            continue
+        if instr.is_prefetch != prefetch:
+            continue
+        if loads_only and not d.is_load:
+            continue
+        out.append(i)
+    return out
+
+
+class FaultPlan:
+    """Deterministic fault-site chooser.
+
+    ``sites`` restricts which fault types are scheduled (default: all);
+    ``probe_prefetch`` additionally schedules a TLB hole under a
+    prefetch instruction with ``expect_fire=False``, asserting the
+    section-2 promise that prefetch-via-v31 suppresses faults entirely.
+    """
+
+    def __init__(self, seed: int, sites: tuple = SITE_TYPES,
+                 probe_prefetch: bool = True) -> None:
+        for site in sites:
+            if site not in SITE_TYPES:
+                raise ValueError(
+                    f"unknown fault site {site!r}; known: {SITE_TYPES}")
+        self.seed = seed
+        self.sites = tuple(sites)
+        self.probe_prefetch = probe_prefetch
+
+    def schedule(self, program: Program) -> list:
+        """The fault events for ``program``, sorted by instruction index.
+
+        Site eligibility: TLB holes and poisoned lines need a real
+        vector memory access to trip on (poison additionally needs a
+        load); MAF storms and kill-and-replay can strike anywhere.
+        Each event gets a distinct index so recoveries never overlap.
+        """
+        rng = random.Random(self.seed)
+        n = len(program)
+        taken: set = set()
+        events = []
+
+        def pick(eligible: list) -> int | None:
+            free = [i for i in eligible if i not in taken]
+            if not free:
+                return None
+            choice = rng.choice(free)
+            taken.add(choice)
+            return choice
+
+        for site in self.sites:
+            if site == SITE_TLB:
+                eligible = _vector_memory_indices(program)
+            elif site == SITE_POISON:
+                eligible = _vector_memory_indices(program, loads_only=True)
+            else:  # MAF storms / kills can hit any instruction boundary
+                eligible = list(range(n))
+            index = pick(eligible)
+            if index is not None:
+                events.append(FaultEvent(site, index))
+        if self.probe_prefetch and SITE_TLB in self.sites:
+            probe = pick(_vector_memory_indices(program, prefetch=True))
+            if probe is not None:
+                events.append(FaultEvent(SITE_TLB, probe, expect_fire=False))
+        return sorted(events, key=lambda e: (e.index, e.site))
+
+    def describe(self, program: Program) -> str:
+        """Canonical textual form of the schedule (byte-reproducible)."""
+        lines = [f"# FaultPlan seed={self.seed} sites={','.join(self.sites)} "
+                 f"probe_prefetch={self.probe_prefetch} "
+                 f"program={program.name}/{len(program)}"]
+        for event in self.schedule(program):
+            fire = "fire" if event.expect_fire else "probe"
+            lines.append(f"{event.index:6d} {event.site} {fire}")
+        return "\n".join(lines) + "\n"

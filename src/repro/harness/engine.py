@@ -22,14 +22,17 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import math
 import os
 import pickle
-from dataclasses import dataclass, replace
+import traceback
+import warnings
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Iterable, Optional, Sequence
 
 from repro.core.config import CONFIGURATIONS, MachineConfig
-from repro.errors import ConfigError
+from repro.errors import ArchitecturalTrap, ConfigError
 from repro.workloads.base import Workload, WorkloadInstance, run_functional
 from repro.workloads.registry import get
 
@@ -40,6 +43,31 @@ CACHE_SCHEMA = "repro-cache-v1"
 CACHE_DIR = Path(".repro-cache")
 
 _CONFIG_FIELDS = {f.name for f in dataclasses.fields(MachineConfig)}
+
+
+@dataclass
+class EngineStats:
+    """Module-level counters for the engine's failure machinery.
+
+    Reset with :meth:`reset` (tests) — per-run traffic lives on the
+    :class:`ResultCache` instance, but pool fallbacks and cell failures
+    have no natural per-call home, so they accumulate here.
+    """
+
+    pool_fallbacks: int = 0
+    cell_failures: int = 0
+    retries: int = 0
+    quarantined: int = 0
+
+    def reset(self) -> None:
+        self.pool_fallbacks = 0
+        self.cell_failures = 0
+        self.retries = 0
+        self.quarantined = 0
+
+
+#: the engine's shared stats bag (per-process; pool workers get their own)
+STATS = EngineStats()
 
 
 @dataclass
@@ -59,9 +87,57 @@ class RunOutcome:
     verified: bool = False
     detail: object = None
 
+    #: discriminator shared with CellFailure (not a dataclass field)
+    failed = False
+
     @property
     def seconds(self) -> float:
         return self.cycles / (self.core_ghz * 1e9)
+
+
+#: metric names a CellFailure answers with NaN so partial tables render
+_NAN_METRICS = frozenset({
+    "cycles", "core_ghz", "opc", "fpc", "mpc", "other_pc",
+    "streams_mbytes_per_s", "raw_mbytes_per_s", "seconds",
+})
+
+
+@dataclass
+class CellFailure:
+    """One grid cell that raised instead of completing.
+
+    Carries everything a post-mortem needs — the spec, the formatted
+    traceback, and the trap PC when the failure was an
+    :class:`ArchitecturalTrap` — while quacking enough like a
+    :class:`RunOutcome` (NaN metrics, ``verified=False``) that the
+    table/figure renderers can mark the cell and move on instead of
+    dying.  ``attempts`` is 2 once the retry also failed (quarantined).
+    """
+
+    spec: "ExperimentSpec"
+    error_type: str
+    message: str
+    traceback_text: str
+    trap_pc: Optional[int] = None
+    attempts: int = 1
+
+    failed = True
+    verified = False
+    detail = None
+
+    @property
+    def kernel(self) -> str:
+        return self.spec.kernel
+
+    @property
+    def config_name(self) -> str:
+        return self.spec.config
+
+    def __getattr__(self, name: str):
+        if name in _NAN_METRICS:
+            return math.nan
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}")
 
 
 @dataclass(frozen=True)
@@ -88,6 +164,11 @@ class ExperimentSpec:
     #: "auto" routes on ``has_vbox`` (timing vs EV8 model);
     #: "functional" runs the functional simulator only (Table 2)
     mode: str = "auto"
+    #: ``(site, seed)`` arms a deliberate, unrecovered fault at a seeded
+    #: site (see repro.faults) — the cell is *expected* to fail, which
+    #: is how tests and chaos drills produce real CellFailures through
+    #: the pool path without monkeypatching workers.  Empty = no fault.
+    fault: tuple = ()
 
     def __post_init__(self) -> None:
         if self.config not in CONFIGURATIONS:
@@ -96,6 +177,16 @@ class ExperimentSpec:
                 f"unknown configuration {self.config!r}; known: {known}")
         if self.mode not in ("auto", "functional"):
             raise ConfigError(f"unknown spec mode {self.mode!r}")
+        if self.fault:
+            from repro.faults.plan import SITE_TYPES
+
+            fault = tuple(self.fault)
+            if len(fault) != 2 or fault[0] not in SITE_TYPES \
+                    or not isinstance(fault[1], int):
+                raise ConfigError(
+                    f"fault must be (site, seed) with site in {SITE_TYPES}, "
+                    f"got {self.fault!r}")
+            object.__setattr__(self, "fault", fault)
         canon = tuple(sorted((str(k), v) for k, v in self.overrides))
         for name, _ in canon:
             if name not in _CONFIG_FIELDS:
@@ -204,6 +295,34 @@ def run_instance(instance: WorkloadInstance, config="T", *,
     return _run_scalar_instance(cfg, instance)
 
 
+def _run_faulted_instance(cfg: MachineConfig, instance: WorkloadInstance,
+                          spec: "ExperimentSpec") -> RunOutcome:
+    """Run with a deliberate, *unrecovered* fault armed (spec.fault).
+
+    The planned trap escapes to the caller — :func:`execute_captured`
+    turns it into a :class:`CellFailure` with the trap PC attached.  A
+    fault site that never fires (e.g. the program has no eligible
+    instruction) completes normally and returns a real outcome.
+    """
+    from repro.core.processor import TarantulaProcessor
+    from repro.faults.injector import FaultInjector
+    from repro.faults.plan import FaultPlan
+
+    site, seed = spec.fault
+    proc = TarantulaProcessor(cfg)
+    instance.setup(proc.functional.memory)
+    plan = FaultPlan(seed, sites=(site,), probe_prefetch=False)
+    FaultInjector(proc, instance.program, plan).run(recover=False)
+    result = proc.result(instance.name, workload_bytes=instance.workload_bytes)
+    return RunOutcome(
+        config_name=cfg.name, kernel=instance.name, cycles=result.cycles,
+        core_ghz=cfg.core_ghz, opc=result.opc, fpc=result.fpc,
+        mpc=result.mpc, other_pc=result.other_pc,
+        streams_mbytes_per_s=result.streams_mbytes_per_s,
+        raw_mbytes_per_s=result.raw_mbytes_per_s,
+        verified=False, detail=result)
+
+
 def execute(spec: ExperimentSpec,
             _instance: Optional[WorkloadInstance] = None) -> RunOutcome:
     """Run one spec to completion.  The engine's only entry into the
@@ -212,6 +331,11 @@ def execute(spec: ExperimentSpec,
     instance = _instance if _instance is not None \
         else spec.workload().build(spec.scale)
     cfg = spec.resolve_config(instance)
+    if spec.fault:
+        if spec.mode == "functional" or not cfg.has_vbox:
+            raise ConfigError(
+                "fault injection requires the vector timing model")
+        return _run_faulted_instance(cfg, instance, spec)
     if spec.mode == "functional":
         return _run_functional_instance(cfg, instance)
     if cfg.has_vbox:
@@ -219,6 +343,23 @@ def execute(spec: ExperimentSpec,
                                     drain_dirty=spec.drain_dirty,
                                     warm=spec.warm)
     return _run_scalar_instance(cfg, instance)
+
+
+def execute_captured(spec: ExperimentSpec,
+                     _instance: Optional[WorkloadInstance] = None):
+    """:func:`execute`, but exceptions become :class:`CellFailure`.
+
+    This is what grid execution maps over: one bad cell must not abort
+    the other 47 cells of a figure sweep.
+    """
+    try:
+        return execute(spec, _instance)
+    except Exception as err:  # noqa: BLE001 - the cell boundary
+        STATS.cell_failures += 1
+        trap_pc = err.pc if isinstance(err, ArchitecturalTrap) else None
+        return CellFailure(
+            spec=spec, error_type=type(err).__name__, message=str(err),
+            traceback_text=traceback.format_exc(), trap_pc=trap_pc)
 
 
 # -- content-addressed result cache ----------------------------------------
@@ -283,6 +424,7 @@ def cache_key(spec: ExperimentSpec,
         "drain_dirty": spec.drain_dirty,
         "warm": spec.warm,
         "mode": spec.mode,
+        "fault": list(spec.fault),
         "config": dataclasses.asdict(cfg),
         "program": _digest_program(instance.program),
         "scalar_loop": _digest_scalar_loop(instance.scalar_loop),
@@ -295,10 +437,12 @@ def cache_key(spec: ExperimentSpec,
 class ResultCache:
     """Content-addressed on-disk store of :class:`RunOutcome` pickles.
 
-    Layout: ``<root>/<key[:2]>/<key>.pkl``.  Corrupt or unreadable
-    entries count as misses and are overwritten.  ``hits``/``misses``/
-    ``stores`` track this cache object's traffic so ``repro report``
-    can prove a warm run re-simulated zero cells.
+    Layout: ``<root>/<key[:2]>/<key>.pkl``.  A file that fails to
+    unpickle is quarantined to ``<key>.corrupt`` (counted in
+    ``corrupt``) so the slot can be re-stored — a truncated pickle must
+    not shadow its key forever.  ``hits``/``misses``/``stores`` track
+    this cache object's traffic so ``repro report`` can prove a warm
+    run re-simulated zero cells.
     """
 
     def __init__(self, root: Path | str = CACHE_DIR) -> None:
@@ -306,6 +450,7 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.corrupt = 0
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.pkl"
@@ -318,12 +463,27 @@ class ResultCache:
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
                 ImportError, IndexError):
             self.misses += 1
+            self._quarantine(path)
             return None
         if not isinstance(outcome, RunOutcome):
             self.misses += 1
+            self._quarantine(path)
             return None
         self.hits += 1
         return outcome
+
+    def _quarantine(self, path: Path) -> None:
+        """Move an unreadable entry aside; a plain miss (no file) is not
+        corruption and FileNotFoundError is an OSError, hence the probe."""
+        if not path.exists():
+            return
+        try:
+            os.replace(path, path.with_suffix(".corrupt"))
+        except OSError:
+            return
+        self.corrupt += 1
+        warnings.warn(f"quarantined corrupt cache entry {path.name}",
+                      RuntimeWarning, stacklevel=3)
 
     def put(self, key: str, outcome: RunOutcome) -> None:
         path = self._path(key)
@@ -344,19 +504,26 @@ def default_jobs() -> int:
 
 
 def _execute_serial(specs: Sequence[ExperimentSpec]) -> list:
-    return [execute(spec) for spec in specs]
+    return [execute_captured(spec) for spec in specs]
 
 
 def _execute_pool(specs: Sequence[ExperimentSpec], jobs: int) -> list:
     """Process-pool fan-out; falls back to serial when the platform
-    cannot fork/spawn workers (sandboxes, exotic schedulers)."""
+    cannot fork/spawn workers (sandboxes, exotic schedulers).  The
+    fallback is audible: a RuntimeWarning plus ``STATS.pool_fallbacks``,
+    because a silently serialized 200-cell grid looks like a hang."""
     from concurrent.futures import ProcessPoolExecutor
     from concurrent.futures.process import BrokenProcessPool
 
     try:
         with ProcessPoolExecutor(max_workers=min(jobs, len(specs))) as pool:
-            return list(pool.map(execute, specs))
-    except (OSError, PermissionError, BrokenProcessPool):
+            return list(pool.map(execute_captured, specs))
+    except (OSError, PermissionError, BrokenProcessPool) as err:
+        STATS.pool_fallbacks += 1
+        warnings.warn(
+            f"process pool unavailable ({type(err).__name__}: {err}); "
+            f"re-running {len(specs)} specs serially",
+            RuntimeWarning, stacklevel=2)
         return _execute_serial(specs)
 
 
@@ -369,11 +536,17 @@ def execute_many(specs: Iterable[ExperimentSpec], jobs: int = 1,
     picklable; ``pool.map`` keeps ordering deterministic, so parallel
     and serial runs produce identical results).  With a ``cache``,
     previously computed cells are loaded instead of re-simulated.
+
+    A cell that raises becomes a :class:`CellFailure` instead of
+    aborting the grid: it is retried once serially (transient pool
+    deaths, OOM-killed workers), and if it fails again it is quarantined
+    (``attempts=2``, counted in ``STATS.quarantined``).  Failures are
+    never cached — the next run gets a fresh attempt.
     """
     specs = list(specs)
     unique = list(dict.fromkeys(specs))
 
-    outcomes: dict[ExperimentSpec, RunOutcome] = {}
+    outcomes: dict[ExperimentSpec, object] = {}
     keys: dict[ExperimentSpec, str] = {}
     misses: list[ExperimentSpec] = []
     for spec in unique:
@@ -390,7 +563,15 @@ def execute_many(specs: Iterable[ExperimentSpec], jobs: int = 1,
     else:
         fresh = _execute_serial(misses)
     for spec, outcome in zip(misses, fresh):
+        if isinstance(outcome, CellFailure):
+            STATS.retries += 1
+            retry = execute_captured(spec)
+            if isinstance(retry, CellFailure):
+                STATS.quarantined += 1
+                outcome = dataclasses.replace(retry, attempts=2)
+            else:
+                outcome = retry
         outcomes[spec] = outcome
-        if cache is not None:
+        if cache is not None and isinstance(outcome, RunOutcome):
             cache.put(keys[spec], outcome)
     return [outcomes[spec] for spec in specs]

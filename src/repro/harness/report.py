@@ -18,8 +18,19 @@ from repro.harness.tables import Table2Row, Table4Row
 
 
 def _bar(value: float, scale: float = 1.0, width: int = 40) -> str:
+    if value != value:  # NaN: a failed cell draws no bar
+        return ""
     n = max(0, min(width, int(round(value * scale))))
     return "#" * n
+
+
+def _num(value: float, spec: str) -> str:
+    """Format one metric; a failed cell's NaN renders as ``FAIL`` so
+    partial grids still produce a readable table."""
+    if value != value:
+        width = spec.split(".")[0]
+        return "FAIL".rjust(int(width)) if width.isdigit() else "FAIL"
+    return format(value, spec)
 
 
 def render_table1(rows: dict) -> str:
@@ -45,7 +56,7 @@ def render_table2(rows: dict[str, Table2Row]) -> str:
         tag = " (surrogate)" if row.surrogate else ""
         lines.append(f"{name:<14s} {'yes' if row.uses_prefetch else '':>4s} "
                      f"{'yes' if row.uses_drainm else '':>6s} "
-                     f"{paper:>7s} {row.measured_vect_pct:7.1f}  "
+                     f"{paper:>7s} {_num(row.measured_vect_pct, '7.1f')}  "
                      f"{row.description}{tag}")
     return "\n".join(lines)
 
@@ -76,9 +87,9 @@ def render_table4(rows: dict[str, Table4Row]) -> str:
         p_s = paper.get("streams")
         p_r = paper.get("raw")
         lines.append(
-            f"{name:<14s} {row.streams_mbytes_per_s:9.0f} "
+            f"{name:<14s} {_num(row.streams_mbytes_per_s, '9.0f')} "
             f"{p_s if p_s else '--':>9} "
-            f"{row.raw_mbytes_per_s:9.0f} "
+            f"{_num(row.raw_mbytes_per_s, '9.0f')} "
             f"{p_r if p_r else '--':>9}")
     return "\n".join(lines)
 
@@ -89,23 +100,27 @@ def render_figure6(rows: dict[str, Figure6Row]) -> str:
     for name, row in rows.items():
         paper = paper_data.FIGURE6_OPC.get(name)
         note = f" (paper ~{paper:.0f})" if paper else ""
-        lines.append(f"{name:<14s} OPC={row.opc:6.2f}  "
-                     f"FPC={row.fpc:6.2f} MPC={row.mpc:6.2f} "
-                     f"Other={row.other:5.2f}  |{_bar(row.opc, 0.6)}{note}")
+        lines.append(f"{name:<14s} OPC={_num(row.opc, '6.2f')}  "
+                     f"FPC={_num(row.fpc, '6.2f')} "
+                     f"MPC={_num(row.mpc, '6.2f')} "
+                     f"Other={_num(row.other, '5.2f')}  "
+                     f"|{_bar(row.opc, 0.6)}{note}")
     return "\n".join(lines)
 
 
 def render_figure7(rows: dict[str, Figure7Row]) -> str:
     lines = ["Figure 7 — speedup over EV8 (paper bar in parentheses)"]
-    total = 0.0
+    total, counted = 0.0, 0
     for name, row in rows.items():
         paper = paper_data.FIGURE7_SPEEDUP_T.get(name)
         note = f" (paper ~{paper:.1f})" if paper else ""
-        total += row.speedup_tarantula
-        lines.append(f"{name:<14s} EV8+={row.speedup_ev8_plus:5.2f}  "
-                     f"T={row.speedup_tarantula:6.2f}  "
+        if row.speedup_tarantula == row.speedup_tarantula:
+            total += row.speedup_tarantula
+            counted += 1
+        lines.append(f"{name:<14s} EV8+={_num(row.speedup_ev8_plus, '5.2f')}  "
+                     f"T={_num(row.speedup_tarantula, '6.2f')}  "
                      f"|{_bar(row.speedup_tarantula, 2)}{note}")
-    lines.append(f"{'average':<14s} T={total / max(len(rows), 1):6.2f}  "
+    lines.append(f"{'average':<14s} T={total / max(counted, 1):6.2f}  "
                  f"(paper: ~5X average, 8X peak-flop ratio)")
     return "\n".join(lines)
 
@@ -114,8 +129,8 @@ def render_figure8(rows: dict[str, Figure8Row]) -> str:
     lines = ["Figure 8 — frequency scaling: speedup over T "
              "(T4 = 4.8 GHz, T10 = 10.66 GHz)"]
     for name, row in rows.items():
-        lines.append(f"{name:<14s} T4={row.speedup_t4:5.2f} "
-                     f"T10={row.speedup_t10:5.2f}  "
+        lines.append(f"{name:<14s} T4={_num(row.speedup_t4, '5.2f')} "
+                     f"T10={_num(row.speedup_t10, '5.2f')}  "
                      f"|{_bar(row.speedup_t10, 6)}")
     return "\n".join(lines)
 
@@ -126,6 +141,6 @@ def render_figure9(rows: dict[str, Figure9Row]) -> str:
     for name, row in rows.items():
         hit = " <- hard hit" if name in paper_data.FIGURE9_HARD_HIT and \
             row.relative_performance < 0.9 else ""
-        lines.append(f"{name:<14s} {row.relative_performance:5.2f}  "
+        lines.append(f"{name:<14s} {_num(row.relative_performance, '5.2f')}  "
                      f"|{_bar(row.relative_performance, 30)}{hit}")
     return "\n".join(lines)

@@ -61,13 +61,16 @@ def table2(scale: float = 0.1, quick: bool = False, jobs: int = 1,
     rows: dict[str, Table2Row] = {}
     for name, outcome in zip(names, outcomes):
         workload = REGISTRY[name]
+        # a failed cell has no detail; NaN renders as a FAIL marker
+        measured = float("nan") if getattr(outcome, "failed", False) \
+            else outcome.detail.vectorization_percent
         rows[name] = Table2Row(
             name=name, description=workload.description,
             inputs=workload.inputs, comments=workload.comments,
             uses_prefetch=workload.uses_prefetch,
             uses_drainm=workload.uses_drainm,
             paper_vect_pct=workload.paper_vectorization_pct,
-            measured_vect_pct=outcome.detail.vectorization_percent,
+            measured_vect_pct=measured,
             surrogate=workload.surrogate)
     return rows
 

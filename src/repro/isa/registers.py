@@ -16,6 +16,8 @@ address arithmetic.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.errors import ProgramError
@@ -121,6 +123,24 @@ class ControlRegisters:
         self.vm = bits.astype(bool, copy=True)
 
 
+@dataclass
+class ArchSnapshot:
+    """A point-in-time copy of the complete architectural register state.
+
+    The unit of the precise-trap contract (paper section 2): a trap
+    reports its PC, the snapshot taken there restores every register a
+    restarted instruction could observe — all 32 vector registers,
+    the scalar file, and ``vl``/``vs``/``vm``.  All arrays are copies;
+    a snapshot stays valid however execution proceeds.
+    """
+
+    vregs: np.ndarray         # (NUM_VREGS, MVL) uint64
+    sregs: tuple              # NUM_SREGS ints
+    vl: int
+    vs: int
+    vm: np.ndarray            # (MVL,) bool
+
+
 class ArchState:
     """Complete architectural state visible to a Tarantula program."""
 
@@ -136,3 +156,19 @@ class ArchState:
         if masked:
             active &= self.ctrl.vm
         return active
+
+    def snapshot(self) -> ArchSnapshot:
+        """Copy the full architectural register state (checkpoint)."""
+        return ArchSnapshot(
+            vregs=self.vregs._regs.copy(),
+            sregs=tuple(self.sregs._regs),
+            vl=self.ctrl.vl, vs=self.ctrl.vs,
+            vm=self.ctrl.vm.copy())
+
+    def restore(self, snap: ArchSnapshot) -> None:
+        """Restore a snapshot taken by :meth:`snapshot` (resume)."""
+        self.vregs._regs[:] = snap.vregs
+        self.sregs._regs = list(snap.sregs)
+        self.ctrl.vl = int(snap.vl)
+        self.ctrl.vs = int(snap.vs)
+        self.ctrl.vm = snap.vm.copy()

@@ -201,14 +201,16 @@ def indexed_addresses(instr: Instruction, state: ArchState) -> np.ndarray:
 def _exec_memory(instr: Instruction, state: ArchState, mem: MainMemory,
                  poison_tail: bool) -> None:
     d = instr.definition
+    if instr.is_prefetch:
+        # Prefetches have no architectural effect; TLB misses, alignment
+        # faults and machine checks are all ignored (section 2), so the
+        # addresses are never even materialized against memory here.
+        # The timing model still sees the access pattern.
+        return
     addrs = indexed_addresses(instr, state) if d.is_indexed \
         else strided_addresses(instr, state)
     active = state.active_mask(instr.masked)
     idx = np.nonzero(active)[0]
-    if instr.is_prefetch:
-        # Prefetches have no architectural effect; TLB misses and faults
-        # are ignored (section 2).  The timing model still sees them.
-        return
     if d.is_load:
         values = np.zeros(MVL, dtype=np.uint64)
         values[idx] = mem.read_quads(addrs[idx])

@@ -39,13 +39,17 @@ class MafEntry:
 class MissAddressFile:
     """Entry-limited sleep/wake tracker for vector miss slices."""
 
-    def __init__(self, entries: int = 32, replay_threshold: int = 8) -> None:
+    def __init__(self, entries: int = 32, replay_threshold: int = 8,
+                 nack_retry_cycles: float = 16.0) -> None:
         if entries < 1:
             raise ConfigError("MAF needs at least one entry")
         self.capacity = entries
         self.replay_threshold = replay_threshold
+        self.nack_retry_cycles = nack_retry_cycles
         self.counters = Counter()
         self.panic_mode = False
+        #: slice_id of the entry that tripped panic mode (None otherwise)
+        self.panic_owner: int | None = None
         self._next_id = 0
         #: min-heap of (free_time, entry_id) for occupied entries
         self._occupied: list[tuple[float, int]] = []
@@ -60,11 +64,22 @@ class MissAddressFile:
         return len(self._occupied)
 
     def earliest_entry(self, time: float) -> float:
-        """Earliest cycle >= ``time`` at which an entry is available."""
+        """Earliest cycle >= ``time`` at which an entry is available.
+
+        While panic mode is active every *competing* allocation request
+        is NACKed: the requester is told to retry ``nack_retry_cycles``
+        later, keeping the L2 pipe clear for the offending slice
+        (section 3.4's livelock escape hatch).
+        """
         self.occupancy_at(time)
         if len(self._occupied) < self.capacity:
-            return time
-        return self._occupied[0][0]
+            t = time
+        else:
+            t = self._occupied[0][0]
+        if self.panic_mode:
+            self.counters.add("nacks")
+            t = max(t, time + self.nack_retry_cycles)
+        return t
 
     def allocate(self, time: float, missing_lines: set[int]) -> MafEntry:
         """Take an entry (caller must have honored :meth:`earliest_entry`)."""
@@ -89,6 +104,7 @@ class MissAddressFile:
         self.counters.add("replays")
         if entry.replays > self.replay_threshold and not self.panic_mode:
             self.panic_mode = True
+            self.panic_owner = entry.slice_id
             self.counters.add("panic_entries")
             return True
         return False
@@ -102,5 +118,6 @@ class MissAddressFile:
         if self.panic_mode and entry.replays > self.replay_threshold:
             # the offending slice was finally serviced: resume normal mode
             self.panic_mode = False
+            self.panic_owner = None
             self.counters.add("panic_exits")
         self.counters.add("releases")

@@ -11,15 +11,31 @@ the timing model does not care about data values).
 
 from __future__ import annotations
 
+import hashlib
+from dataclasses import dataclass
+
 import numpy as np
 
-from repro.errors import AlignmentTrap, InvalidAddressTrap
+from repro.errors import AlignmentTrap, InvalidAddressTrap, MachineCheckTrap
 
 #: Chunk size in bytes (1 MiB); must be a power of two and multiple of 8.
 CHUNK_BYTES = 1 << 20
 CHUNK_QUADS = CHUNK_BYTES // 8
 #: Highest valid byte address + 1 (48-bit physical space).
 ADDRESS_LIMIT = 1 << 48
+#: Cache-line granularity of poisoned-line tracking.
+LINE_BYTES = 64
+#: Pattern a poisoned line reads as while the fault is armed.
+POISON_QUAD = 0xBADC_0FFE_BADC_0FFE
+
+
+@dataclass
+class MemorySnapshot:
+    """Deep copy of memory contents (fault-recovery checkpointing)."""
+
+    chunks: dict[int, np.ndarray]
+    bytes_allocated: int
+    poisoned: dict[int, np.ndarray]
 
 
 class MainMemory:
@@ -28,6 +44,8 @@ class MainMemory:
     def __init__(self) -> None:
         self._chunks: dict[int, np.ndarray] = {}
         self.bytes_allocated = 0
+        #: poisoned line base address -> the original 8 quadwords
+        self._poisoned: dict[int, np.ndarray] = {}
 
     # -- chunk plumbing ---------------------------------------------------
 
@@ -50,12 +68,22 @@ class MainMemory:
             bad = int(addrs[np.nonzero(addrs >= np.uint64(ADDRESS_LIMIT))[0][0]])
             raise InvalidAddressTrap(f"address {bad:#x} beyond 48-bit space")
 
+    def _check_poison(self, addrs: np.ndarray) -> None:
+        if not self._poisoned:
+            return
+        lines = addrs & ~np.uint64(LINE_BYTES - 1)
+        for line in np.unique(lines):
+            if int(line) in self._poisoned:
+                raise MachineCheckTrap(
+                    f"access touched poisoned line {int(line):#x}")
+
     # -- vector access ----------------------------------------------------
 
     def read_quads(self, addrs: np.ndarray) -> np.ndarray:
         """Read one quadword per byte address in ``addrs`` (uint64 array)."""
         addrs = np.ascontiguousarray(addrs, dtype=np.uint64)
         self._check_addresses(addrs)
+        self._check_poison(addrs)
         out = np.zeros(addrs.shape, dtype=np.uint64)
         if addrs.size == 0:
             return out
@@ -75,6 +103,7 @@ class MainMemory:
         if addrs.shape != values.shape:
             raise ValueError("write_quads: address/value shape mismatch")
         self._check_addresses(addrs)
+        self._check_poison(addrs)
         if addrs.size == 0:
             return
         chunk_ids = addrs >> np.uint64(20)
@@ -119,3 +148,62 @@ class MainMemory:
     def write_f64(self, addr: int, values: np.ndarray) -> None:
         """Write IEEE doubles as raw quadwords."""
         self.write_array(addr, np.ascontiguousarray(values, dtype=np.float64))
+
+    # -- fault injection: poisoned lines -----------------------------------
+
+    def poison_line(self, addr: int) -> None:
+        """Mark the 64-byte line holding ``addr`` as poisoned.
+
+        Models an uncorrectable data error: the original quadwords are
+        saved, the line reads as :data:`POISON_QUAD`, and any quadword
+        access to it raises :class:`MachineCheckTrap` until the line is
+        scrubbed.  The fault injector arms this seam (docs/FAULTS.md).
+        """
+        line = addr & ~(LINE_BYTES - 1)
+        if line in self._poisoned:
+            return
+        original = self.read_array(line, LINE_BYTES // 8).copy()
+        self.write_array(line, np.full(LINE_BYTES // 8, POISON_QUAD,
+                                       dtype=np.uint64))
+        self._poisoned[line] = original
+
+    def scrub_line(self, addr: int) -> None:
+        """Scrub a poisoned line: restore its data, clear the mark."""
+        line = addr & ~(LINE_BYTES - 1)
+        original = self._poisoned.pop(line, None)
+        if original is not None:
+            self.write_array(line, original)
+
+    @property
+    def poisoned_lines(self) -> tuple:
+        """Base addresses of currently poisoned lines (sorted)."""
+        return tuple(sorted(self._poisoned))
+
+    # -- checkpoint / restore ----------------------------------------------
+
+    def snapshot(self) -> MemorySnapshot:
+        """Deep-copy the memory contents (checkpoint at a trap PC)."""
+        return MemorySnapshot(
+            chunks={cid: chunk.copy() for cid, chunk in self._chunks.items()},
+            bytes_allocated=self.bytes_allocated,
+            poisoned={line: quads.copy()
+                      for line, quads in self._poisoned.items()})
+
+    def restore(self, snap: MemorySnapshot) -> None:
+        """Restore contents captured by :meth:`snapshot` (resume)."""
+        self._chunks = {cid: chunk.copy() for cid, chunk in snap.chunks.items()}
+        self.bytes_allocated = snap.bytes_allocated
+        self._poisoned = {line: quads.copy()
+                          for line, quads in snap.poisoned.items()}
+
+    def content_digest(self) -> str:
+        """SHA-256 over all non-zero chunks (all-zero chunks are skipped,
+        so a restored memory digests identically to one that never
+        allocated the untouched chunk)."""
+        h = hashlib.sha256()
+        for cid in sorted(self._chunks):
+            chunk = self._chunks[cid]
+            if chunk.any():
+                h.update(str(cid).encode())
+                h.update(chunk.tobytes())
+        return h.hexdigest()

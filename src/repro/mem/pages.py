@@ -34,6 +34,9 @@ class PageTable:
         self.identity = identity
         self._map: dict[int, int] = {}
         self.walks = 0  # number of page-table walks (refill cost metric)
+        #: vpns with a deliberately punched hole: they fault even under
+        #: identity mapping (fault-injection seam, docs/FAULTS.md)
+        self._holes: set[int] = set()
 
     def map(self, vpn: int, pfn: int) -> None:
         """Install an explicit translation."""
@@ -42,12 +45,27 @@ class PageTable:
     def unmap(self, vpn: int) -> None:
         self._map.pop(vpn, None)
 
+    def punch_hole(self, vpn: int) -> None:
+        """Force ``vpn`` to fault on the next walk, even under identity.
+
+        The fault injector uses holes to provoke a :class:`TLBMissTrap`
+        that PALcode cannot service transparently — the OS-has-paged-it-
+        out case the precise-trap contract exists for.
+        """
+        self._holes.add(vpn)
+
+    def fill_hole(self, vpn: int) -> None:
+        """Service a hole: the page is mapped again on the next walk."""
+        self._holes.discard(vpn)
+
     def vpn_of(self, vaddr: int) -> int:
         return vaddr >> self.page_shift
 
     def translate_page(self, vpn: int) -> int:
         """PFN for ``vpn``; walks the table (counted) or identity-maps."""
         self.walks += 1
+        if vpn in self._holes:
+            raise TLBMissTrap(f"vpn {vpn:#x} unmapped (hole)")
         pfn = self._map.get(vpn)
         if pfn is None:
             if not self.identity:

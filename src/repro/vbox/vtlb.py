@@ -45,6 +45,10 @@ class LaneTLB:
             self._map.move_to_end(vpn)
         return pfn
 
+    def remove(self, vpn: int) -> None:
+        """Drop a mapping if present (TLB shootdown)."""
+        self._map.pop(vpn, None)
+
     def insert(self, vpn: int, pfn: int) -> int | None:
         """Install a mapping; returns the evicted vpn, if any."""
         if vpn in self._map:
@@ -79,6 +83,18 @@ class VectorTLB:
 
     def _vpn(self, addr: int) -> int:
         return addr >> self.page_table.page_shift
+
+    def invalidate(self, vpn: int) -> None:
+        """Shoot ``vpn`` down from every lane (and the identity fast path).
+
+        Required by the fault injector after punching a page-table hole:
+        a stale lane entry would otherwise keep translating the page and
+        the planned :class:`TLBMissTrap` would never fire.
+        """
+        for lane in self.lanes:
+            lane.remove(vpn)
+        self._hot_identity_vpns.discard(vpn)
+        self.counters.add("shootdowns")
 
     def translate_elements(self, elements: np.ndarray,
                            addresses: np.ndarray,

@@ -1,0 +1,148 @@
+"""Precise-trap attribution, checkpoint/restore, and kill-and-replay.
+
+Section 2's exception contract: a faulting vector instruction reports
+its PC (instruction index) and the machine can be rolled back to the
+trap point and resumed.  These are the primitives the fault injector
+(:mod:`repro.faults`) builds on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import tarantula
+from repro.core.functional import FunctionalSimulator
+from repro.core.processor import TarantulaProcessor
+from repro.errors import (
+    AlignmentTrap,
+    InvalidAddressTrap,
+    MachineCheckTrap,
+    TLBMissTrap,
+)
+from repro.isa.builder import KernelBuilder
+
+A = 0x100000
+
+
+def _program_with_bad_load(disp):
+    kb = KernelBuilder("bad")
+    kb.lda(1, A)
+    kb.setvl(8)
+    kb.setvs(8)
+    kb.vloadq(2, rb=1)                 # index 3: fine
+    kb.vloadq(3, rb=1, disp=disp)      # index 4: the faulting one
+    kb.vvaddq(4, 2, 3)
+    return kb.build()
+
+
+class TestTrapPCAttribution:
+    def test_alignment_trap_carries_pc(self):
+        sim = FunctionalSimulator()
+        with pytest.raises(AlignmentTrap) as exc:
+            sim.run(_program_with_bad_load(disp=4))
+        assert exc.value.pc == 4
+        assert "pc=4" in str(exc.value)
+
+    def test_invalid_address_trap_carries_pc(self):
+        sim = FunctionalSimulator()
+        with pytest.raises(InvalidAddressTrap) as exc:
+            sim.run(_program_with_bad_load(disp=1 << 50))
+        assert exc.value.pc == 4
+
+    def test_poisoned_line_trap_carries_pc(self):
+        sim = FunctionalSimulator()
+        sim.memory.poison_line(A)
+        with pytest.raises(MachineCheckTrap) as exc:
+            sim.run(_program_with_bad_load(disp=0))
+        assert exc.value.pc == 3       # first load touches the line
+
+    def test_attribution_is_idempotent(self):
+        trap = TLBMissTrap("boom")
+        trap.attribute(7)
+        trap.attribute(99)
+        assert trap.pc == 7
+        assert "pc=7" in str(trap)
+
+    def test_timing_model_tlb_trap_carries_pc(self):
+        proc = TarantulaProcessor(tarantula())
+        program = _program_with_bad_load(disp=0)
+        proc.vtlb.page_table.punch_hole(A >> proc.vtlb.page_table.page_shift)
+        with pytest.raises(TLBMissTrap) as exc:
+            proc.run(program)
+        assert exc.value.pc == 3
+
+    def test_executed_count_excludes_the_trapping_instruction(self):
+        sim = FunctionalSimulator()
+        with pytest.raises(AlignmentTrap):
+            sim.run(_program_with_bad_load(disp=4))
+        assert sim.instructions_executed == 4  # indices 0..3 retired
+
+
+class TestCheckpointRestore:
+    def _sim_after(self, n):
+        sim = FunctionalSimulator()
+        program = _program_with_bad_load(disp=0)
+        for instr in program[:n]:
+            sim.step(instr)
+        return sim, program
+
+    def test_roundtrip_restores_arch_and_memory(self):
+        sim, program = self._sim_after(4)
+        cp = sim.checkpoint()
+        v2_before = sim.state.vregs.read(2).copy()
+        for instr in program[4:]:
+            sim.step(instr)
+        sim.state.vregs.write(2, sim.state.vregs.read(2) + 1)
+        sim.memory.write_quad(A, 0xDEAD)
+        sim.restore(cp)
+        assert sim.instructions_executed == 4
+        assert np.array_equal(sim.state.vregs.read(2), v2_before)
+        assert sim.memory.read_quad(A) == 0
+
+    def test_restore_rewinds_operation_counts(self):
+        sim, program = self._sim_after(4)
+        cp = sim.checkpoint()
+        flops_then = sim.counts.total
+        for instr in program[4:]:
+            sim.step(instr)
+        assert sim.counts.total > flops_then
+        sim.restore(cp)
+        assert sim.counts.total == flops_then
+        # and the restored counts are independent of the checkpoint's
+        sim.step(program[4])
+        assert cp.counts.total == flops_then
+
+    def test_replay_after_restore_is_deterministic(self):
+        sim, program = self._sim_after(2)
+        cp = sim.checkpoint()
+        for instr in program[2:]:
+            sim.step(instr)
+        final = sim.state.vregs.read(4).copy()
+        sim.restore(cp)
+        for instr in program[2:]:
+            sim.step(instr)
+        assert np.array_equal(sim.state.vregs.read(4), final)
+
+
+class TestResumeAt:
+    def test_kill_and_replay_reaches_same_state(self):
+        """The injector's kill site: a fresh processor restored from a
+        checkpoint and resumed mid-program must finish identically."""
+        program = _program_with_bad_load(disp=0)
+        golden = TarantulaProcessor(tarantula())
+        golden.run(program)
+        want = golden.functional.state.vregs.read(4).copy()
+
+        first = TarantulaProcessor(tarantula())
+        for instr in program[:3]:
+            first.step(instr)
+        cp = first.functional.checkpoint()
+
+        replacement = TarantulaProcessor(tarantula())
+        replacement.functional.restore(cp)
+        replacement.resume_at(cp.index)
+        for instr in program[cp.index:]:
+            replacement.step(instr)
+        assert replacement.functional.instructions_executed == \
+            len(program)
+        assert np.array_equal(
+            replacement.functional.state.vregs.read(4), want)

@@ -1,0 +1,200 @@
+"""FaultInjector: each site's inject → trap → recover → resume path."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import tarantula
+from repro.core.processor import TarantulaProcessor
+from repro.errors import ArchitecturalTrap, MachineCheckTrap, TLBMissTrap
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    SITE_KILL,
+    SITE_MAF,
+    SITE_POISON,
+    SITE_TLB,
+    FaultEvent,
+    FaultPlan,
+)
+from repro.isa.builder import KernelBuilder
+
+A, B = 0x100000, 0x200000
+N = 64
+
+
+def _program(prefetch=False):
+    kb = KernelBuilder("victim")
+    kb.lda(1, A)
+    kb.lda(2, B)
+    kb.setvl(N)
+    kb.setvs(8)
+    if prefetch:
+        kb.vprefetch(1)
+    kb.vloadq(3, rb=1)
+    kb.vvaddq(4, 3, 3)
+    kb.vstoreq(4, rb=2)
+    return kb.build()
+
+
+def _golden_output(program):
+    proc = TarantulaProcessor(tarantula())
+    _seed_input(proc)
+    proc.run(program)
+    return proc.functional.memory.read_array(B, N).copy()
+
+
+def _seed_input(proc):
+    proc.functional.memory.write_array(
+        A, np.arange(N, dtype=np.uint64) + 1)
+
+
+class _FixedPlan(FaultPlan):
+    """A plan with a hand-picked schedule (bypasses the RNG)."""
+
+    def __init__(self, events):
+        super().__init__(seed=0)
+        self._events = list(events)
+
+    def schedule(self, program):
+        return list(self._events)
+
+
+def _run(events, program=None, recover=True):
+    program = program or _program()
+    proc = TarantulaProcessor(tarantula())
+    _seed_input(proc)
+    injector = FaultInjector(proc, program, _FixedPlan(events))
+    log = injector.run(recover=recover)
+    return injector, log
+
+
+class TestTLBRecovery:
+    def test_trap_recover_resume_is_invisible(self):
+        program = _program()
+        injector, log = _run([FaultEvent(SITE_TLB, 4)], program)
+        assert log.recoveries == 1
+        [rec] = log.outcome_of(SITE_TLB)
+        assert rec.outcome == "recovered" and rec.trap_pc == 4
+        out = injector.proc.functional.memory.read_array(B, N)
+        assert np.array_equal(out, _golden_output(program))
+
+    def test_hole_is_serviced(self):
+        injector, _ = _run([FaultEvent(SITE_TLB, 4)])
+        assert injector.proc.vtlb.page_table._holes == set()
+
+    def test_no_recover_escapes(self):
+        with pytest.raises(TLBMissTrap):
+            _run([FaultEvent(SITE_TLB, 4)], recover=False)
+
+
+class TestPoisonRecovery:
+    def test_trap_recover_resume_is_invisible(self):
+        program = _program()
+        injector, log = _run([FaultEvent(SITE_POISON, 4)], program)
+        assert log.recoveries == 1
+        assert injector.proc.functional.memory.poisoned_lines == ()
+        out = injector.proc.functional.memory.read_array(B, N)
+        assert np.array_equal(out, _golden_output(program))
+
+    def test_no_recover_escapes(self):
+        with pytest.raises(MachineCheckTrap):
+            _run([FaultEvent(SITE_POISON, 4)], recover=False)
+
+
+class TestKillReplay:
+    def test_fresh_processor_finishes_identically(self):
+        program = _program()
+        injector, log = _run([FaultEvent(SITE_KILL, 5)], program)
+        assert log.kills == 1
+        [rec] = log.outcome_of(SITE_KILL)
+        assert rec.outcome == "killed"
+        out = injector.proc.functional.memory.read_array(B, N)
+        assert np.array_equal(out, _golden_output(program))
+
+    def test_processor_object_was_actually_replaced(self):
+        proc = TarantulaProcessor(tarantula())
+        _seed_input(proc)
+        injector = FaultInjector(proc, _program(),
+                                 _FixedPlan([FaultEvent(SITE_KILL, 5)]))
+        injector.run()
+        assert injector.proc is not proc
+
+
+class TestMafPanic:
+    def test_panic_storm_is_timing_only(self):
+        program = _program()
+        injector, log = _run([FaultEvent(SITE_MAF, 4)], program)
+        [rec] = log.outcome_of(SITE_MAF)
+        assert rec.outcome == "panicked"
+        # the storm NACKed the workload's own misses...
+        maf = injector.proc.l2.maf
+        assert maf.counters["panic_entries"] == 1
+        # ...but panic exited and state is untouched
+        assert not maf.panic_mode
+        out = injector.proc.functional.memory.read_array(B, N)
+        assert np.array_equal(out, _golden_output(program))
+
+
+class TestPrefetchProbe:
+    def test_probe_is_suppressed_not_fired(self):
+        program = _program(prefetch=True)
+        injector, log = _run(
+            [FaultEvent(SITE_TLB, 4, expect_fire=False)], program)
+        assert log.suppressed == 1
+        [rec] = log.outcome_of(SITE_TLB)
+        assert rec.outcome == "suppressed"
+        out = injector.proc.functional.memory.read_array(B, N)
+        assert np.array_equal(out, _golden_output(program))
+
+
+class TestMultipleSites:
+    def test_all_four_sites_in_one_run(self):
+        # distinct indices, as FaultPlan.schedule guarantees: the
+        # injector arms at most one trap-site per instruction
+        kb = KernelBuilder("two-block")
+        kb.lda(1, A)
+        kb.lda(2, B)
+        kb.setvl(N)
+        kb.setvs(8)
+        for blk in range(2):
+            off = blk * N * 8
+            kb.vloadq(3, rb=1, disp=off)      # indices 4, 7
+            kb.vvaddq(4, 3, 3)
+            kb.vstoreq(4, rb=2, disp=off)     # indices 6, 9
+        program = kb.build()
+        events = [FaultEvent(SITE_MAF, 2), FaultEvent(SITE_TLB, 4),
+                  FaultEvent(SITE_POISON, 7), FaultEvent(SITE_KILL, 9)]
+        injector, log = _run(events, program)
+        assert log.fired_sites() == {SITE_MAF, SITE_TLB, SITE_POISON,
+                                     SITE_KILL}
+        out = injector.proc.functional.memory.read_array(B, N)
+        assert np.array_equal(out, _golden_output(program))
+
+    def test_unplanned_trap_still_escapes(self):
+        kb = KernelBuilder("bad")
+        kb.lda(1, A)
+        kb.setvl(8)
+        kb.setvs(8)
+        kb.vloadq(2, rb=1, disp=4)   # misaligned: not a planned fault
+        program = kb.build()
+        proc = TarantulaProcessor(tarantula())
+        injector = FaultInjector(proc, program, _FixedPlan([]))
+        with pytest.raises(ArchitecturalTrap):
+            injector.run()
+
+
+class TestDeferral:
+    def test_masked_off_instruction_defers_to_next_seam(self):
+        kb = KernelBuilder("masked")
+        kb.lda(1, A)
+        kb.setvl(0)                  # vl=0: no active elements
+        kb.vloadq(3, rb=1)           # index 2: unarmable
+        kb.setvl(8)
+        kb.setvs(8)
+        kb.vloadq(4, rb=1)           # index 5: the deferral target
+        program = kb.build()
+        proc = TarantulaProcessor(tarantula())
+        injector = FaultInjector(proc, program,
+                                 _FixedPlan([FaultEvent(SITE_POISON, 2)]))
+        log = injector.run()
+        [rec] = [r for r in log.records if r.outcome == "recovered"]
+        assert rec.index == 5

@@ -1,0 +1,116 @@
+"""FaultPlan: deterministic, seedable, eligibility-aware schedules."""
+
+import pytest
+
+from repro.faults.plan import (
+    SITE_KILL,
+    SITE_MAF,
+    SITE_POISON,
+    SITE_TLB,
+    SITE_TYPES,
+    FaultPlan,
+    _vector_memory_indices,
+)
+from repro.isa.builder import KernelBuilder
+
+A, B = 0x100000, 0x200000
+
+
+def _program(prefetch=False):
+    kb = KernelBuilder("planned")
+    kb.lda(1, A)
+    kb.lda(2, B)
+    kb.setvl(64)
+    kb.setvs(8)
+    if prefetch:
+        kb.vprefetch(1, disp=64 * 8)
+    for blk in range(4):
+        off = blk * 64 * 8
+        kb.vloadq(3, rb=1, disp=off)
+        kb.vvaddq(4, 3, 3)
+        kb.vstoreq(4, rb=2, disp=off)
+    return kb.build()
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        program = _program()
+        assert FaultPlan(7).schedule(program) == FaultPlan(7).schedule(program)
+
+    def test_describe_is_byte_reproducible(self):
+        program = _program(prefetch=True)
+        a = FaultPlan(1234).describe(program)
+        b = FaultPlan(1234).describe(program)
+        assert a == b
+        assert a.encode() == b.encode()
+
+    def test_different_seeds_differ(self):
+        program = _program()
+        schedules = {tuple(FaultPlan(s).schedule(program)) for s in range(8)}
+        assert len(schedules) > 1
+
+    def test_schedule_sorted_by_index(self):
+        events = FaultPlan(3).schedule(_program())
+        assert [e.index for e in events] == sorted(e.index for e in events)
+
+
+class TestEligibility:
+    def test_memory_seam_sites_land_on_vector_memory(self):
+        program = _program()
+        mem_idx = set(_vector_memory_indices(program))
+        load_idx = set(_vector_memory_indices(program, loads_only=True))
+        for event in FaultPlan(5).schedule(program):
+            if event.site == SITE_TLB:
+                assert event.index in mem_idx
+            elif event.site == SITE_POISON:
+                assert event.index in load_idx
+
+    def test_events_get_distinct_indices(self):
+        for seed in range(10):
+            events = FaultPlan(seed).schedule(_program())
+            assert len({e.index for e in events}) == len(events)
+
+    def test_sites_filter_restricts_schedule(self):
+        events = FaultPlan(0, sites=(SITE_KILL,),
+                           probe_prefetch=False).schedule(_program())
+        assert [e.site for e in events] == [SITE_KILL]
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            FaultPlan(0, sites=("cosmic_ray",))
+
+    def test_all_sites_scheduled_when_eligible(self):
+        events = FaultPlan(2, probe_prefetch=False).schedule(_program())
+        assert {e.site for e in events} == set(SITE_TYPES)
+
+
+class TestPrefetchProbe:
+    def test_probe_scheduled_on_prefetch_instruction(self):
+        # seed 1 leaves the (only) prefetch index free for the probe;
+        # other seeds may legally spend it on a MAF/kill event instead
+        program = _program(prefetch=True)
+        events = FaultPlan(1).schedule(program)
+        probes = [e for e in events if not e.expect_fire]
+        assert len(probes) == 1
+        assert probes[0].site == SITE_TLB
+        assert program[probes[0].index].is_prefetch
+
+    def test_no_prefetch_no_probe(self):
+        events = FaultPlan(0).schedule(_program(prefetch=False))
+        assert all(e.expect_fire for e in events)
+
+    def test_probe_disabled(self):
+        events = FaultPlan(0, probe_prefetch=False).schedule(
+            _program(prefetch=True))
+        assert all(e.expect_fire for e in events)
+
+
+class TestSiteEligibilityHelpers:
+    def test_scalar_only_program_has_no_memory_seams(self):
+        kb = KernelBuilder("scalar")
+        kb.lda(1, 0x1000)
+        kb.addq(2, 1, imm=1)
+        program = kb.build()
+        assert _vector_memory_indices(program) == []
+        for event in FaultPlan(0).schedule(program):
+            assert event.site in (SITE_MAF, SITE_KILL)

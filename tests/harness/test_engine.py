@@ -196,7 +196,11 @@ class TestResultCache:
         execute_many([self.SPEC], cache=cache)
         path = cache._path(key)
         path.write_bytes(b"not a pickle")
-        assert cache.get(key) is None
+        with pytest.warns(RuntimeWarning, match="quarantined corrupt"):
+            assert cache.get(key) is None
+        # the bad bytes were moved aside, not deleted silently
+        assert path.with_suffix(".corrupt").exists()
+        assert cache.corrupt == 1
         # and execute_many recovers by re-simulating + re-storing
         out, = execute_many([self.SPEC], cache=cache)
         assert out.cycles > 0

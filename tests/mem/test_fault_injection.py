@@ -69,6 +69,61 @@ class TestMafPanic:
         maf.allocate(t, {128})
 
 
+class TestMafNackAccounting:
+    """Panic mode NACKs competing requests (section 3.4's livelock
+    escape): entry via the replay threshold, NACK accounting while
+    panicked, and the exit back to normal arbitration."""
+
+    def _panicked_maf(self):
+        maf = MissAddressFile(entries=4, replay_threshold=1,
+                              nack_retry_cycles=16.0)
+        owner = maf.allocate(0.0, {0x0})
+        while not maf.panic_mode:
+            maf.record_replay(owner)
+        return maf, owner
+
+    def test_entry_records_the_owner(self):
+        maf, owner = self._panicked_maf()
+        assert maf.panic_owner == owner.slice_id
+        assert maf.counters["panic_entries"] == 1
+
+    def test_competitors_are_nacked_while_panicked(self):
+        maf, _ = self._panicked_maf()
+        # free entries exist, but panic mode NACKs the request and
+        # tells the competitor to retry nack_retry_cycles later
+        t = maf.earliest_entry(10.0)
+        assert t == 26.0
+        assert maf.counters["nacks"] == 1
+        # every retry while still panicked is NACKed again
+        t = maf.earliest_entry(t)
+        assert t == 42.0
+        assert maf.counters["nacks"] == 2
+
+    def test_innocent_release_does_not_exit_panic(self):
+        maf, _ = self._panicked_maf()
+        bystander = maf.allocate(maf.earliest_entry(0.0), {0x40})
+        maf.release(bystander, 50.0)
+        assert maf.panic_mode and maf.panic_owner is not None
+
+    def test_owner_release_restores_normal_arbitration(self):
+        maf, owner = self._panicked_maf()
+        maf.release(owner, 100.0)
+        assert not maf.panic_mode
+        assert maf.panic_owner is None
+        assert maf.counters["panic_exits"] == 1
+        nacks_before = maf.counters["nacks"]
+        assert maf.earliest_entry(200.0) == 200.0  # no NACK delay
+        assert maf.counters["nacks"] == nacks_before
+
+    def test_normal_operation_never_nacks(self):
+        maf = MissAddressFile(entries=2, replay_threshold=8)
+        e = maf.allocate(maf.earliest_entry(0.0), {0x0})
+        maf.record_replay(e)
+        maf.release(e, 10.0)
+        assert maf.earliest_entry(5.0) == 5.0
+        assert maf.counters["nacks"] == 0
+
+
 class TestSliceWidth:
     def test_oversized_slice_rejected(self):
         l2 = BankedL2(L2Config(), Zbox())

@@ -63,3 +63,74 @@ class TestBlockHelpers:
         mem.write_quad(0x0, 1)
         mem.write_quad(1 << 40, 2)
         assert mem.bytes_allocated == 2 * (1 << 20)
+
+
+class TestPoisonedLines:
+    def test_poisoned_read_machine_checks(self, mem):
+        from repro.errors import MachineCheckTrap
+        mem.write_quad(0x1000, 42)
+        mem.poison_line(0x1008)   # same 64-byte line as 0x1000
+        with pytest.raises(MachineCheckTrap):
+            mem.read_quad(0x1000)
+        with pytest.raises(MachineCheckTrap):
+            mem.write_quad(0x1038, 1)
+
+    def test_scrub_restores_original_data(self, mem):
+        values = np.arange(8, dtype=np.uint64) + 100
+        mem.write_array(0x2000, values)
+        mem.poison_line(0x2010)
+        assert mem.poisoned_lines == (0x2000,)
+        mem.scrub_line(0x2000)
+        assert mem.poisoned_lines == ()
+        assert np.array_equal(mem.read_array(0x2000, 8), values)
+
+    def test_neighbor_lines_unaffected(self, mem):
+        mem.write_quad(0x3040, 7)
+        mem.poison_line(0x3000)
+        assert mem.read_quad(0x3040) == 7
+
+    def test_poison_is_idempotent(self, mem):
+        mem.write_quad(0x4000, 9)
+        mem.poison_line(0x4000)
+        mem.poison_line(0x4008)   # second poison must not clobber the
+        mem.scrub_line(0x4000)    # saved originals with the pattern
+        assert mem.read_quad(0x4000) == 9
+
+    def test_scrub_of_clean_line_is_a_noop(self, mem):
+        mem.scrub_line(0x5000)
+        assert mem.poisoned_lines == ()
+
+
+class TestSnapshotRestore:
+    def test_roundtrip_is_bit_identical(self, mem):
+        mem.write_array(0x1000, np.arange(16, dtype=np.uint64))
+        snap = mem.snapshot()
+        digest = mem.content_digest()
+        mem.write_quad(0x1000, 999)
+        mem.write_quad(0x7777770, 1)
+        assert mem.content_digest() != digest
+        mem.restore(snap)
+        assert mem.content_digest() == digest
+        assert mem.read_quad(0x1000) == 0
+
+    def test_snapshot_is_a_deep_copy(self, mem):
+        mem.write_quad(0x1000, 5)
+        snap = mem.snapshot()
+        mem.write_quad(0x1000, 6)
+        assert snap.chunks[0][0x1000 // 8] == 5
+
+    def test_digest_skips_all_zero_chunks(self, mem):
+        mem.write_quad(0x1000, 1)
+        digest = mem.content_digest()
+        mem.write_quad(1 << 30, 0)   # allocates a chunk, stays all-zero
+        assert mem.content_digest() == digest
+
+    def test_snapshot_preserves_poison_marks(self, mem):
+        from repro.errors import MachineCheckTrap
+        mem.write_quad(0x1000, 3)
+        mem.poison_line(0x1000)
+        snap = mem.snapshot()
+        mem.scrub_line(0x1000)
+        mem.restore(snap)
+        with pytest.raises(MachineCheckTrap):
+            mem.read_quad(0x1000)

@@ -49,3 +49,39 @@ class TestPageTable:
     def test_bad_page_size_rejected(self):
         with pytest.raises(ValueError):
             PageTable(page_bytes=1000)
+
+
+class TestHoles:
+    """Punched holes: the fault injector's TLB-unmap seam — the page
+    faults on the next walk even under identity mapping."""
+
+    def test_hole_traps_under_identity(self):
+        pt = PageTable()
+        pt.punch_hole(0)
+        with pytest.raises(TLBMissTrap, match="hole"):
+            pt.translate(0x1234)
+
+    def test_fill_hole_services_the_fault(self):
+        pt = PageTable()
+        pt.punch_hole(0)
+        pt.fill_hole(0)
+        assert pt.translate(0x1234) == 0x1234
+
+    def test_hole_beats_an_explicit_mapping(self):
+        pt = PageTable(page_bytes=1 << 16)
+        pt.map(2, 5)
+        pt.punch_hole(2)
+        with pytest.raises(TLBMissTrap):
+            pt.translate_page(2)
+
+    def test_other_pages_unaffected(self):
+        pt = PageTable(page_bytes=1 << 16)
+        pt.punch_hole(7)
+        assert pt.translate_page(3) == 3
+
+    def test_translate_many_hits_the_hole(self):
+        pt = PageTable(page_bytes=1 << 16)
+        pt.punch_hole(1)
+        addrs = np.array([0x100, (1 << 16) + 8], dtype=np.uint64)
+        with pytest.raises(TLBMissTrap):
+            pt.translate_many(addrs)

@@ -1,6 +1,7 @@
 """Vector TLB: per-lane translation, refill strategies, huge pages."""
 
 import numpy as np
+import pytest
 
 from repro.mem.pages import PageTable
 from repro.vbox.vtlb import LaneTLB, RefillStrategy, VectorTLB
@@ -91,3 +92,66 @@ class TestHugePagesKeepTLBQuiet:
             out, penalty = _translate(tlb, a + i * 4096)
             assert penalty == 0.0
         assert tlb.counters["refill_traps"] == refills_after_first
+
+
+class TestShootdown:
+    def test_invalidate_drops_every_lane(self):
+        tlb = VectorTLB()
+        a = np.arange(16, dtype=np.uint64) * 8
+        _translate(tlb, a)           # warm all lanes (whole-stride refill)
+        tlb.invalidate(0)
+        assert all(lane.lookup(0) is None for lane in tlb.lanes)
+        assert tlb.counters["shootdowns"] == 1
+        # next touch re-walks the page table (pays the refill again)
+        _, penalty = _translate(tlb, a)
+        assert penalty == tlb.refill_penalty_cycles
+
+    def test_invalidate_clears_identity_fast_path(self):
+        tlb = VectorTLB()
+        a = np.arange(16, dtype=np.uint64) * 8
+        _translate(tlb, a)
+        assert 0 in tlb._hot_identity_vpns
+        tlb.invalidate(0)
+        assert 0 not in tlb._hot_identity_vpns
+
+
+class TestPrefetchFaultTransparency:
+    """Section 2: prefetches (writes to v31) never fault.  The timing
+    half of that promise lives here: a hole punched in the page table
+    must trap demand accesses but leave ``ignore_misses`` translation
+    silent — no trap, no refill, no PALcode penalty."""
+
+    def _holed_tlb(self):
+        from repro.errors import TLBMissTrap
+        pt = PageTable()
+        pt.punch_hole(0)
+        return VectorTLB(pt), TLBMissTrap
+
+    def test_demand_access_traps_on_hole(self):
+        tlb, TLBMissTrap = self._holed_tlb()
+        with pytest.raises(TLBMissTrap):
+            _translate(tlb, [0x1000])
+
+    def test_prefetch_sails_over_the_hole(self):
+        tlb, _ = self._holed_tlb()
+        addrs = np.array([0x1000, 0x2000], dtype=np.uint64)
+        out, penalty = tlb.translate_elements(np.arange(2), addrs,
+                                              ignore_misses=True)
+        assert penalty == 0.0
+        assert tlb.counters["refill_traps"] == 0
+        # and it installed nothing: a later demand access still walks
+        assert all(lane.lookup(0) is None for lane in tlb.lanes)
+
+    def test_shootdown_then_prefetch_still_silent(self):
+        from repro.errors import TLBMissTrap
+        pt = PageTable()
+        tlb = VectorTLB(pt)
+        a = np.arange(16, dtype=np.uint64) * 8
+        _translate(tlb, a)                      # warm
+        pt.punch_hole(0)
+        tlb.invalidate(0)                       # injector's arm sequence
+        out, penalty = tlb.translate_elements(np.arange(16), a,
+                                              ignore_misses=True)
+        assert penalty == 0.0
+        with pytest.raises(TLBMissTrap):
+            _translate(tlb, a)
