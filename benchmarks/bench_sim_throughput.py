@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Standalone wrapper for the simulator-throughput benchmark.
+
+Equivalent to ``python -m repro bench``; exists so the benchmark can be
+run from a checkout without installing the package::
+
+    python benchmarks/bench_sim_throughput.py [--quick]
+        [--out FILE] [--check-against BASELINE]
+
+Writes ``BENCH_sim_throughput.json`` (instructions/sec and wall-clock
+per registered workload, cold and warm) and, with ``--check-against``,
+exits 1 when the total warm wall-clock regresses more than 20% against
+the given baseline.  See docs/PERF.md.
+"""
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.harness.bench import DEFAULT_OUTPUT, main  # noqa: E402
+
+
+def parse_args(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized problem scale")
+    parser.add_argument("--out", default=DEFAULT_OUTPUT, metavar="FILE",
+                        help="output JSON path ('-' skips writing)")
+    parser.add_argument("--check-against", default=None, metavar="FILE",
+                        help="baseline JSON to gate against")
+    parser.add_argument("--kernel", action="append", default=None,
+                        metavar="NAME", help="restrict to one kernel")
+    return parser.parse_args(argv)
+
+
+if __name__ == "__main__":
+    args = parse_args()
+    out = None if args.out == "-" else args.out
+    sys.exit(main(quick=args.quick, output=out,
+                  check_against=args.check_against, kernels=args.kernel))

@@ -10,6 +10,9 @@ Commands mirror the paper's evaluation artifacts:
 * ``chaos`` — run the fault-injection recovery suite: seeded faults at
   every site type, precise-trap recovery, differential state oracle
   (docs/FAULTS.md);
+* ``bench`` — measure simulator throughput (wall-clock and simulated
+  instructions per host second) per workload and write
+  ``BENCH_sim_throughput.json`` (docs/PERF.md);
 * ``list`` — the benchmark suite and the machine configurations;
 * ``asm <file>`` — assemble a text kernel and print its listing;
 * ``lint <kernel|file.s>`` — statically verify a hand-vectorized kernel
@@ -103,6 +106,14 @@ def _cmd_figure(args) -> int:
 
 def _cmd_report(args) -> int:
     """Regenerate every table and figure of the evaluation section."""
+    if getattr(args, "profile", False):
+        from repro.harness.profiling import profiled
+        with profiled():
+            return _report_body(args)
+    return _report_body(args)
+
+
+def _report_body(args) -> int:
     quick = args.quick
     jobs, cache = _engine_args(args)
     sections = [
@@ -134,6 +145,14 @@ def _cmd_report(args) -> int:
 
 def _cmd_chaos(args) -> int:
     """Run the recovery oracle over workloads (docs/FAULTS.md)."""
+    if getattr(args, "profile", False):
+        from repro.harness.profiling import profiled
+        with profiled():
+            return _chaos_body(args)
+    return _chaos_body(args)
+
+
+def _chaos_body(args) -> int:
     from repro.errors import ReproError
     from repro.faults import SITE_TYPES, run_recovery_oracle
 
@@ -164,6 +183,18 @@ def _cmd_chaos(args) -> int:
     print(f"\nchaos: all {len(kernels)} workload(s) recovered to "
           "bit-identical state")
     return 0
+
+
+def _cmd_bench(args) -> int:
+    """Benchmark simulator throughput (docs/PERF.md)."""
+    from repro.harness.bench import DEFAULT_OUTPUT, main as bench_main
+
+    out = args.out if args.out is not None else DEFAULT_OUTPUT
+    if out == "-":
+        out = None
+    return bench_main(quick=args.quick, output=out,
+                      check_against=args.check_against,
+                      kernels=args.kernel)
 
 
 def _cmd_asm(args) -> int:
@@ -278,6 +309,9 @@ def build_parser() -> argparse.ArgumentParser:
         "report", help="regenerate every table and figure "
         "(parallel + cached; see docs/HARNESS.md)")
     add_engine_flags(p_report, "quarter every problem scale")
+    p_report.add_argument("--profile", action="store_true",
+                          help="print per-component time to stderr "
+                          "(docs/PERF.md)")
     p_report.set_defaults(fn=_cmd_report, jobs=0)
 
     p_chaos = sub.add_parser(
@@ -293,7 +327,26 @@ def build_parser() -> argparse.ArgumentParser:
                          help="fault site types (default: all four)")
     p_chaos.add_argument("--scale", type=float, default=None,
                          help="problem scale (default: test-sized instance)")
+    p_chaos.add_argument("--profile", action="store_true",
+                         help="print per-component time to stderr "
+                         "(docs/PERF.md)")
     p_chaos.set_defaults(fn=_cmd_chaos)
+
+    p_bench = sub.add_parser(
+        "bench", help="measure simulator throughput per workload "
+        "(docs/PERF.md)")
+    p_bench.add_argument("--quick", action="store_true",
+                         help="CI-sized problem scale")
+    p_bench.add_argument("--out", default=None, metavar="FILE",
+                         help="output JSON path (default "
+                         "BENCH_sim_throughput.json; '-' skips writing)")
+    p_bench.add_argument("--check-against", default=None, metavar="FILE",
+                         help="fail (exit 1) when the total warm "
+                         "wall-clock regresses >20%% vs this baseline")
+    p_bench.add_argument("--kernel", action="append", default=None,
+                         metavar="NAME", choices=sorted(REGISTRY),
+                         help="restrict to one kernel (repeatable)")
+    p_bench.set_defaults(fn=_cmd_bench)
 
     p_asm = sub.add_parser("asm", help="assemble a text kernel")
     p_asm.add_argument("file")

@@ -94,7 +94,7 @@ class FunctionalSimulator:
         """Elements this instruction operates on under current vl/vm."""
         if instr.definition.group is Group.SC:
             return 0
-        return int(np.count_nonzero(self.state.active_mask(instr.masked)))
+        return self.state.active_count(instr.masked)
 
     def _account(self, instr: Instruction) -> None:
         d = instr.definition

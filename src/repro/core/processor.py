@@ -44,6 +44,11 @@ from repro.vbox.vtlb import VectorTLB
 #: (half the 20-cycle round trip of section 2)
 SCALAR_TRANSFER = 10.0
 
+#: precomputed counter labels for _time_memory (hot path: building
+#: f"mem_{kind}" per retired memory instruction is measurable)
+_MEM_COUNTER = {kind: f"mem_{kind}" for kind in
+                ("pump", "reordered", "cr", "empty")}
+
 
 class TarantulaProcessor:
     """Cycle-level model of the whole chip, per Table 3 configuration."""
@@ -92,6 +97,10 @@ class TarantulaProcessor:
         # independent locations, but same-address RAW/WAW is real).
         self._last_store: dict[int, float] = {}
         self._store_watermark = 0.0
+        #: amortized pruning bound for _last_store; doubles when a prune
+        #: reclaims less than half the map, so a large live store window
+        #: never degrades into an O(n) rebuild per store
+        self._store_prune_threshold = 1 << 17
 
         #: optional per-instruction trace: set to a list to record
         #: (index, instruction, dispatch_cycle, completion_cycle)
@@ -117,28 +126,37 @@ class TarantulaProcessor:
 
     def _sources_ready(self, instr: Instruction) -> float:
         d = instr.definition
+        vreg_ready = self._vreg_ready
+        sreg_ready = self._sreg_ready
         ready = 0.0
         for reg in instr.vreg_reads():
             if d.is_store and reg == instr.va:
                 # store *data* does not gate address generation/tag lookup
                 # (the store queue holds it); _time_memory accounts for it
                 continue
-            ready = max(ready, self._vreg_ready[reg])
+            t = vreg_ready[reg]
+            if t > ready:
+                ready = t
         # scalar operands cross the narrow interface
         for reg in (instr.ra, instr.rb):
-            if reg is not None and d.group is not Group.SC:
-                ready = max(ready, self._sreg_ready[reg] + SCALAR_TRANSFER)
-            elif reg is not None:
-                ready = max(ready, self._sreg_ready[reg])
-        if d.group in (Group.VV, Group.VS, Group.SM, Group.RM):
-            ready = max(ready, self._vl_ready)
-        if d.is_memory and not d.is_indexed:
-            ready = max(ready, self._vs_ready)
-        if instr.masked:
-            ready = max(ready, self._vm_ready)
+            if reg is not None:
+                t = sreg_ready[reg]
+                if d.group is not Group.SC:
+                    t += SCALAR_TRANSFER
+                if t > ready:
+                    ready = t
+        if d.group in (Group.VV, Group.VS, Group.SM, Group.RM) \
+                and self._vl_ready > ready:
+            ready = self._vl_ready
+        if d.is_memory and not d.is_indexed and self._vs_ready > ready:
+            ready = self._vs_ready
+        if instr.masked and self._vm_ready > ready:
+            ready = self._vm_ready
         if d.group in (Group.RM,) or (d.is_memory and d.is_indexed):
             if instr.vb is not None and instr.vb != 31:
-                ready = max(ready, self._vreg_ready[instr.vb])
+                t = vreg_ready[instr.vb]
+                if t > ready:
+                    ready = t
         return ready
 
     def _dispatch_time(self, instr: Instruction) -> float:
@@ -147,11 +165,14 @@ class TarantulaProcessor:
         self._front_all += 1.0 / self.config.core_issue_width
         t = self._front_all
         if d.group is not Group.SC:
-            self._front_vec = max(self._front_vec, t) + \
-                1.0 / self.config.vbox_issue_width
-            t = self._front_vec
+            fv = self._front_vec
+            if t > fv:
+                fv = t
+            t = self._front_vec = fv + 1.0 / self.config.vbox_issue_width
         if len(self._rob) >= self.config.rob_entries:
-            t = max(t, self._rob.popleft())
+            head = self._rob.popleft()
+            if head > t:
+                t = head
         return t
 
     def _retire(self, completion: float) -> None:
@@ -164,9 +185,10 @@ class TarantulaProcessor:
     def _time_arithmetic(self, instr: Instruction, t0: float) -> float:
         d = instr.definition
         vl = self.functional.state.ctrl.vl
-        t0 = self.rename.allocate(t0, t0 + 1.0) if instr.vreg_writes() else t0
+        writes = instr.vreg_writes()
+        t0 = self.rename.allocate(t0, t0 + 1.0) if writes else t0
         start, done = self.vbox.issue_arithmetic(t0, vl, d.timing)
-        for reg in instr.vreg_writes():
+        for reg in writes:
             self._vreg_ready[reg] = done
         self.vcu.complete(done)
         return done
@@ -176,11 +198,14 @@ class TarantulaProcessor:
         done = t0 + 1.0
         if op == "setvl":
             self._vl_ready = done
+            self.addr_gens.invalidate_plans()
         elif op == "setvs":
             self._vs_ready = done
+            self.addr_gens.invalidate_plans()
         elif op == "setvm":
             # vm is renamed: the new mask is ready once va is, +1 cycle
             self._vm_ready = done
+            self.addr_gens.invalidate_plans()
         elif op in ("vextq", "vsumq", "vsumt"):
             # reductions sweep the register (ceil(vl/16)) then transfer
             vl = self.functional.state.ctrl.vl
@@ -200,7 +225,14 @@ class TarantulaProcessor:
     def _memory_order(self, touched: tuple, earliest: float) -> float:
         """Delay an access behind in-flight stores to the same quadwords."""
         last = self._last_store
-        if not last:
+        if not last or earliest >= self._store_watermark:
+            # no store still completes after `earliest`, so nothing in
+            # the map can push this access later — skip the per-address
+            # walk entirely (the common case once stores drain)
+            return earliest
+        if last.keys().isdisjoint(touched):
+            # C-speed membership sweep, no set materialized — accesses
+            # rarely alias an in-flight store
             return earliest
         bound = earliest
         for addr in touched:
@@ -212,16 +244,21 @@ class TarantulaProcessor:
         return bound
 
     def _record_store(self, touched: tuple, completion: float) -> None:
-        for addr in touched:
-            self._last_store[addr] = completion
+        self._last_store.update(dict.fromkeys(touched, completion))
         if completion > self._store_watermark:
             self._store_watermark = completion
         # prune entries that completed far in the past: anything that old
         # can no longer delay an access (dispatch times only move forward)
-        if len(self._last_store) > 1 << 17:
+        if len(self._last_store) > self._store_prune_threshold:
+            before = len(self._last_store)
             cutoff = self._store_watermark - 100000.0
             self._last_store = {a: t for a, t in self._last_store.items()
                                 if t > cutoff}
+            pruned = before - len(self._last_store)
+            if pruned:
+                self.counters.add("store_map_pruned", pruned)
+            if len(self._last_store) > self._store_prune_threshold >> 1:
+                self._store_prune_threshold <<= 1
 
     def _time_memory(self, instr: Instruction, t0: float) -> float:
         plan = self.addr_gens.plan(instr, self.functional.state)
@@ -230,7 +267,7 @@ class TarantulaProcessor:
         t0 = self._memory_order(plan.touched, t0)
         gen_time = plan.addr_gen_cycles + plan.tlb_penalty
         gen_start = self.vbox.addr_gen.reserve(t0, gen_time)
-        self.counters.add(f"mem_{plan.kind}")
+        self.counters.add(_MEM_COUNTER[plan.kind])
         if not plan.slices:
             return gen_start + gen_time
         per_slice = gen_time / len(plan.slices)
@@ -239,7 +276,8 @@ class TarantulaProcessor:
             t_slice = gen_start + (i + 1) * per_slice
             done = self.l2.access_slice(
                 s.line_addresses(), s.quadwords, plan.is_write, t_slice,
-                pump_bit=s.pump, full_line_write=s.full_line_write)
+                pump_bit=s.pump, full_line_write=s.full_line_write,
+                canonical=True)
             completion = max(completion, done)
         if plan.is_write and instr.va is not None and instr.va != 31:
             # the store retires once its data has streamed out of the
@@ -298,7 +336,10 @@ class TarantulaProcessor:
         idx = self._instr_index
         d = instr.definition
         try:
-            t0 = max(self._dispatch_time(instr), self._sources_ready(instr))
+            t0 = self._dispatch_time(instr)
+            src = self._sources_ready(instr)
+            if src > t0:
+                t0 = src
             if d.group is Group.SC:
                 done = self._time_scalar(instr, t0)
             elif d.group is Group.VC:

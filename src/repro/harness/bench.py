@@ -1,0 +1,158 @@
+"""Simulator-throughput benchmark harness (``python -m repro bench``).
+
+Measures how fast the *simulator itself* runs — wall-clock and simulated
+instructions per host second for every registered workload — and writes
+the results to ``BENCH_sim_throughput.json``.  The committed copy of
+that file is the performance baseline: CI reruns the quick benchmark
+and fails when the total slows down by more than
+:data:`REGRESSION_TOLERANCE` (see docs/PERF.md).
+
+Two timings per workload:
+
+* **cold** — build the workload instance (program assembly + numpy
+  reference data) and simulate it, on a process with empty memo caches;
+* **warm** — simulate again with the instance memo, splat/stride/plan
+  caches and interpreter warm: the steady-state cost a sweep pays per
+  additional cell.
+
+Runs go through :func:`repro.harness.engine.execute` — the same path
+the report uses — with ``check=True``, so a benchmark run is also a
+correctness run.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+#: benchmark problem scale: small enough for CI, big enough that the
+#: timing hot path (not workload build) dominates
+QUICK_SCALE = 0.05
+FULL_SCALE = 0.25
+
+#: CI gate: fail when total warm wall-clock regresses past this factor
+REGRESSION_TOLERANCE = 1.20
+
+DEFAULT_OUTPUT = "BENCH_sim_throughput.json"
+SCHEMA = "repro-bench-v1"
+
+
+def _clear_memos() -> None:
+    """Reset every per-process cache a cold measurement must not see."""
+    from repro.harness import engine
+    from repro.isa import semantics
+
+    engine._INSTANCE_MEMO.clear()
+    semantics._SPLAT_CACHE.clear()
+    semantics._STRIDED_CACHE = (None, None)
+
+
+def _run_once(kernel: str, scale: float) -> tuple[float, object]:
+    """One timed simulation of ``kernel``; returns (seconds, outcome)."""
+    from repro.harness.engine import ExperimentSpec, execute
+
+    spec = ExperimentSpec(kernel=kernel, config="T", scale=scale)
+    t0 = time.perf_counter()
+    outcome = execute(spec)
+    elapsed = time.perf_counter() - t0
+    if getattr(outcome, "failed", False):
+        raise RuntimeError(
+            f"bench: {kernel} failed: {outcome.message}")  # type: ignore
+    return elapsed, outcome
+
+
+def _instructions(outcome) -> int:
+    counts = outcome.detail.counts
+    return counts.scalar_instructions + counts.vector_instructions
+
+
+def run_benchmarks(quick: bool = False,
+                   kernels: list[str] | None = None,
+                   progress=None) -> dict:
+    """Benchmark every registered workload; returns the result document."""
+    from repro.workloads.registry import REGISTRY
+
+    scale = QUICK_SCALE if quick else FULL_SCALE
+    names = kernels if kernels else sorted(REGISTRY)
+    workloads: dict[str, dict] = {}
+    for name in names:
+        _clear_memos()
+        cold_s, outcome = _run_once(name, scale)
+        warm_s, warm_outcome = _run_once(name, scale)
+        if warm_outcome.cycles != outcome.cycles:
+            raise RuntimeError(
+                f"bench: {name} warm rerun diverged "
+                f"({warm_outcome.cycles} != {outcome.cycles} cycles)")
+        instructions = _instructions(outcome)
+        workloads[name] = {
+            "instructions": instructions,
+            "simulated_cycles": outcome.cycles,
+            "cold_wall_s": round(cold_s, 4),
+            "warm_wall_s": round(warm_s, 4),
+            "cold_instr_per_s": round(instructions / cold_s, 1),
+            "warm_instr_per_s": round(instructions / warm_s, 1),
+        }
+        if progress is not None:
+            print(f"bench: {name:<14s} {instructions:>8d} instr  "
+                  f"cold {cold_s:6.2f}s  warm {warm_s:6.2f}s  "
+                  f"({instructions / warm_s:>9.0f} instr/s warm)",
+                  file=progress)
+    totals = {
+        "cold_wall_s": round(sum(w["cold_wall_s"] for w in workloads.values()), 4),
+        "warm_wall_s": round(sum(w["warm_wall_s"] for w in workloads.values()), 4),
+        "instructions": sum(w["instructions"] for w in workloads.values()),
+    }
+    return {
+        "schema": SCHEMA,
+        "quick": quick,
+        "scale": scale,
+        "python": sys.version.split()[0],
+        "workloads": workloads,
+        "totals": totals,
+    }
+
+
+def check_regression(current: dict, baseline_path: Path,
+                     tolerance: float = REGRESSION_TOLERANCE,
+                     stream=None) -> bool:
+    """Compare against a committed baseline; True when within tolerance.
+
+    The gate is the *total warm* wall-clock — per-workload numbers are
+    too noisy on shared CI runners, but a real regression moves the
+    sum.  A baseline recorded at a different scale or schema is a
+    configuration error, not a pass.
+    """
+    stream = stream if stream is not None else sys.stderr
+    baseline = json.loads(baseline_path.read_text())
+    if baseline.get("schema") != current["schema"] \
+            or baseline.get("scale") != current["scale"]:
+        print(f"bench: baseline {baseline_path} has schema/scale "
+              f"{baseline.get('schema')}/{baseline.get('scale')}, "
+              f"current run is {current['schema']}/{current['scale']}",
+              file=stream)
+        return False
+    base_total = baseline["totals"]["warm_wall_s"]
+    cur_total = current["totals"]["warm_wall_s"]
+    ratio = cur_total / base_total if base_total else float("inf")
+    verdict = "OK" if ratio <= tolerance else "REGRESSION"
+    print(f"bench: warm total {cur_total:.2f}s vs baseline "
+          f"{base_total:.2f}s ({ratio:.2f}x, tolerance {tolerance:.2f}x) "
+          f"-> {verdict}", file=stream)
+    return ratio <= tolerance
+
+
+def main(quick: bool = False, output: str | None = DEFAULT_OUTPUT,
+         check_against: str | None = None,
+         kernels: list[str] | None = None) -> int:
+    """Entry point shared by the CLI and benchmarks/ wrapper script."""
+    doc = run_benchmarks(quick=quick, kernels=kernels, progress=sys.stderr)
+    if output:
+        Path(output).write_text(json.dumps(doc, indent=2, sort_keys=True)
+                                + "\n")
+        print(f"bench: wrote {output}", file=sys.stderr)
+    if check_against is not None:
+        if not check_regression(doc, Path(check_against)):
+            return 1
+    return 0

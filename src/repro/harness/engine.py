@@ -70,6 +70,32 @@ class EngineStats:
 STATS = EngineStats()
 
 
+#: per-process memo of built workload instances, keyed by (kernel, scale)
+_INSTANCE_MEMO: dict[tuple[str, float], WorkloadInstance] = {}
+_INSTANCE_MEMO_MAX = 64
+
+
+def _build_instance(spec: "ExperimentSpec") -> WorkloadInstance:
+    """Build — or reuse — the workload instance a spec needs.
+
+    A sweep revisits each (kernel, scale) pair once per machine config,
+    and building is expensive: program assembly plus the numpy reference
+    computation.  Instances are safe to share because they are immutable
+    after ``build``: the simulators never mutate instructions, ``setup``
+    copies the captured arrays into a fresh memory image per run, and
+    ``check`` compares without modifying its captured expectations (see
+    tests/harness/test_engine.py::test_instance_reuse_is_deterministic).
+    """
+    key = (spec.kernel, spec.scale)
+    inst = _INSTANCE_MEMO.get(key)
+    if inst is None:
+        if len(_INSTANCE_MEMO) >= _INSTANCE_MEMO_MAX:
+            _INSTANCE_MEMO.clear()
+        inst = get(spec.kernel).build(spec.scale)
+        _INSTANCE_MEMO[key] = inst
+    return inst
+
+
 @dataclass
 class RunOutcome:
     """Uniform result record across vector, scalar and functional runs."""
@@ -328,8 +354,7 @@ def execute(spec: ExperimentSpec,
     """Run one spec to completion.  The engine's only entry into the
     simulators; everything (runner, sweeps, tables, figures, report)
     funnels through here."""
-    instance = _instance if _instance is not None \
-        else spec.workload().build(spec.scale)
+    instance = _instance if _instance is not None else _build_instance(spec)
     cfg = spec.resolve_config(instance)
     if spec.fault:
         if spec.mode == "functional" or not cfg.has_vbox:
@@ -414,7 +439,7 @@ def cache_key(spec: ExperimentSpec,
     yields a different key.
     """
     if instance is None:
-        instance = spec.workload().build(spec.scale)
+        instance = _build_instance(spec)
     cfg = spec.resolve_config(instance)
     blob = json.dumps({
         "salt": code_version(),

@@ -1,0 +1,93 @@
+"""Per-component time profiling for the simulation commands.
+
+``repro report --profile`` / ``repro chaos --profile`` wrap the whole
+command in :func:`profiled`, which runs ``cProfile`` and aggregates the
+flat function stats into *component buckets* — the simulator's own
+layers (vbox, mem, core, isa, ...) plus numpy and "everything else" —
+so a regression shows up as "the memory system got slower", not as 400
+lines of pstats.  The table goes to **stderr**: stdout stays
+byte-identical with and without ``--profile``, which is what lets the
+report's output-diff contract (docs/PERF.md) coexist with diagnostics.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import sys
+from contextlib import contextmanager
+
+#: bucket name -> path fragment that claims a function for it; first
+#: match wins, order matters (most specific first)
+_BUCKETS: tuple[tuple[str, str], ...] = (
+    ("mem", "/repro/mem/"),
+    ("vbox", "/repro/vbox/"),
+    ("core", "/repro/core/"),
+    ("isa", "/repro/isa/"),
+    ("scalar", "/repro/scalar/"),
+    ("faults", "/repro/faults/"),
+    ("workloads", "/repro/workloads/"),
+    ("harness", "/repro/harness/"),
+    ("utils", "/repro/utils/"),
+    ("numpy", "/numpy/"),
+)
+
+
+def bucket_of(filename: str) -> str:
+    """Component bucket for a profiled function's source file."""
+    path = filename.replace("\\", "/")
+    for name, fragment in _BUCKETS:
+        if fragment in path:
+            return name
+    return "other"
+
+
+def aggregate(stats: pstats.Stats) -> dict[str, dict[str, float]]:
+    """Fold flat pstats into per-bucket totals.
+
+    Returns ``{bucket: {"tottime": s, "calls": n}}`` where ``tottime``
+    is the *exclusive* time spent in the bucket's own functions — the
+    buckets therefore sum to the profiled total and can be compared
+    across runs without double counting (cumulative time would count a
+    core->mem call in both layers).
+    """
+    out: dict[str, dict[str, float]] = {}
+    for (filename, _lineno, _name), (_cc, ncalls, tottime, _cum, _callers) \
+            in stats.stats.items():  # type: ignore[attr-defined]
+        bucket = out.setdefault(bucket_of(filename),
+                                {"tottime": 0.0, "calls": 0})
+        bucket["tottime"] += tottime
+        bucket["calls"] += ncalls
+    return out
+
+
+def render(buckets: dict[str, dict[str, float]], total: float) -> str:
+    """Human-readable per-component table, widest consumer first."""
+    lines = [f"profile: {total:.2f}s total (cProfile overhead included)",
+             f"  {'component':<12s} {'time':>9s} {'share':>7s} {'calls':>12s}"]
+    for name, agg in sorted(buckets.items(),
+                            key=lambda kv: -kv[1]["tottime"]):
+        share = 100.0 * agg["tottime"] / total if total else 0.0
+        lines.append(f"  {name:<12s} {agg['tottime']:8.2f}s {share:6.1f}% "
+                     f"{int(agg['calls']):>12d}")
+    return "\n".join(lines)
+
+
+@contextmanager
+def profiled(stream=None):
+    """Profile the enclosed block; print the component table on exit.
+
+    The table goes to ``stream`` (default stderr) so the wrapped
+    command's stdout is unchanged.  Exceptions propagate after the
+    table prints — a slow *and* failing run still yields its profile.
+    """
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield profiler
+    finally:
+        profiler.disable()
+        stats = pstats.Stats(profiler)
+        total = stats.total_tt  # type: ignore[attr-defined]
+        print(render(aggregate(stats), total),
+              file=stream if stream is not None else sys.stderr)

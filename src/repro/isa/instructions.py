@@ -259,15 +259,27 @@ class Instruction:
     tag: str = field(default="", compare=False)
 
     def __post_init__(self) -> None:
-        self.op = self.op.lower()
-        d = INSTRUCTION_SET.get(self.op)
+        op = self.op
+        d = INSTRUCTION_SET.get(op)
         if d is None:
-            raise ProgramError(f"unknown mnemonic {self.op!r}")
+            # mnemonics are case-insensitive; only lowercase when the
+            # direct lookup misses (assemblers emit lowercase already)
+            op = op.lower()
+            self.op = op
+            d = INSTRUCTION_SET.get(op)
+            if d is None:
+                raise ProgramError(f"unknown mnemonic {op!r}")
         self._validate(d)
-
-    @property
-    def definition(self) -> InstructionDef:
-        return INSTRUCTION_SET[self.op]
+        # cache the table lookups as plain attributes (not properties):
+        # the timing and functional simulators consult
+        # definition/is_prefetch several times per executed instruction,
+        # and operand fields never change after assembly
+        self.definition = self._definition = d
+        #: loads targeting v31 are prefetches (paper, section 2)
+        self.is_prefetch = self._is_prefetch = \
+            d.is_load and self.vd == 31 and d.group in (Group.SM, Group.RM)
+        self._vreg_reads: Optional[tuple[int, ...]] = None
+        self._vreg_writes: Optional[tuple[int, ...]] = None
 
     def _validate(self, d: InstructionDef) -> None:
         for f in d.fields:
@@ -280,14 +292,20 @@ class Instruction:
                     raise ProgramError(f"{self.op}: missing immediate")
             elif getattr(self, f) is None:
                 raise ProgramError(f"{self.op}: missing operand {f!r}")
-        for reg in ("vd", "va", "vb"):
-            v = getattr(self, reg)
-            if v is not None and not 0 <= v < 32:
-                raise ProgramError(f"{self.op}: {reg}=v{v} out of range")
-        for reg in ("rd", "ra", "rb"):
-            v = getattr(self, reg)
-            if v is not None and not 0 <= v < 32:
-                raise ProgramError(f"{self.op}: {reg}=r{v} out of range")
+        if (self.vd is not None and not 0 <= self.vd < 32) or \
+                (self.va is not None and not 0 <= self.va < 32) or \
+                (self.vb is not None and not 0 <= self.vb < 32):
+            for reg in ("vd", "va", "vb"):
+                v = getattr(self, reg)
+                if v is not None and not 0 <= v < 32:
+                    raise ProgramError(f"{self.op}: {reg}=v{v} out of range")
+        if (self.rd is not None and not 0 <= self.rd < 32) or \
+                (self.ra is not None and not 0 <= self.ra < 32) or \
+                (self.rb is not None and not 0 <= self.rb < 32):
+            for reg in ("rd", "ra", "rb"):
+                v = getattr(self, reg)
+                if v is not None and not 0 <= v < 32:
+                    raise ProgramError(f"{self.op}: {reg}=r{v} out of range")
         if self.masked and d.group in (Group.SC,):
             raise ProgramError(f"{self.op}: scalar ops cannot be masked")
         if d.group is Group.SC and self.op in ("addq", "subq", "mulq", "sll") \
@@ -298,7 +316,10 @@ class Instruction:
 
     def vreg_reads(self) -> tuple[int, ...]:
         """Vector registers this instruction reads (excluding v31)."""
-        d = self.definition
+        cached = self._vreg_reads
+        if cached is not None:
+            return cached
+        d = self._definition
         reads = []
         for f in ("va", "vb"):
             if f in d.fields:
@@ -310,19 +331,20 @@ class Instruction:
         if (self.masked or d.reads_dest) and self.vd is not None \
                 and self.vd != 31 and not d.is_memory:
             reads.append(self.vd)
-        return tuple(reads)
+        self._vreg_reads = result = tuple(reads)
+        return result
 
     def vreg_writes(self) -> tuple[int, ...]:
-        d = self.definition
+        cached = self._vreg_writes
+        if cached is not None:
+            return cached
+        d = self._definition
         if "vd" in d.fields and self.vd is not None and self.vd != 31:
-            return (self.vd,)
-        return ()
-
-    @property
-    def is_prefetch(self) -> bool:
-        """Loads targeting v31 are prefetches (paper, section 2)."""
-        return self.definition.is_load and self.vd == 31 and \
-            self.definition.group in (Group.SM, Group.RM)
+            result: tuple[int, ...] = (self.vd,)
+        else:
+            result = ()
+        self._vreg_writes = result
+        return result
 
     def __str__(self) -> str:
         """Render in the assembler's syntax (see repro.isa.assembler)."""

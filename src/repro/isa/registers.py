@@ -105,6 +105,8 @@ class ControlRegisters:
         self.vl: int = MVL
         self.vs: int = 8
         self.vm: np.ndarray = np.ones(MVL, dtype=bool)
+        #: bumped whenever vm is replaced; keys the active-mask cache
+        self.vm_version: int = 0
 
     def set_vl(self, value: int) -> None:
         if not 0 <= value <= MVL:
@@ -121,6 +123,7 @@ class ControlRegisters:
         if bits.shape != (MVL,):
             raise ProgramError(f"vm must be {MVL} bits, got {bits.shape}")
         self.vm = bits.astype(bool, copy=True)
+        self.vm_version += 1
 
 
 @dataclass
@@ -148,14 +151,43 @@ class ArchState:
         self.vregs = VectorRegisterFile()
         self.sregs = ScalarRegisterFile()
         self.ctrl = ControlRegisters()
+        # active-mask cache, keyed by (vl, vm replacement version); the
+        # derived counts and nonzero-index arrays are filled lazily
+        self._mask_key = (-1, -1)
+        self._mask_cache: dict = {}
+
+    def _mask_entry(self) -> dict:
+        key = (self.ctrl.vl, self.ctrl.vm_version)
+        if key != self._mask_key:
+            active = np.zeros(MVL, dtype=bool)
+            active[: key[0]] = True
+            self._mask_key = key
+            self._mask_cache = {False: active, True: active & self.ctrl.vm}
+        return self._mask_cache
 
     def active_mask(self, masked: bool) -> np.ndarray:
-        """Boolean per-element activity: below vl, and vm if ``masked``."""
-        active = np.zeros(MVL, dtype=bool)
-        active[: self.ctrl.vl] = True
-        if masked:
-            active &= self.ctrl.vm
-        return active
+        """Boolean per-element activity: below vl, and vm if ``masked``.
+
+        The array is cached until vl or vm changes and shared between
+        callers — treat it as read-only.
+        """
+        return self._mask_entry()[masked]
+
+    def active_count(self, masked: bool) -> int:
+        """Number of active elements under the current vl/vm."""
+        entry = self._mask_entry()
+        n = entry.get(("n", masked))
+        if n is None:
+            n = entry[("n", masked)] = int(np.count_nonzero(entry[masked]))
+        return n
+
+    def active_indices(self, masked: bool) -> np.ndarray:
+        """Indices of active elements (shared cache — read-only)."""
+        entry = self._mask_entry()
+        idx = entry.get(("i", masked))
+        if idx is None:
+            idx = entry[("i", masked)] = np.nonzero(entry[masked])[0]
+        return idx
 
     def snapshot(self) -> ArchSnapshot:
         """Copy the full architectural register state (checkpoint)."""
@@ -171,4 +203,4 @@ class ArchState:
         self.sregs._regs = list(snap.sregs)
         self.ctrl.vl = int(snap.vl)
         self.ctrl.vs = int(snap.vs)
-        self.ctrl.vm = snap.vm.copy()
+        self.ctrl.set_vm(snap.vm)

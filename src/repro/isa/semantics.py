@@ -27,8 +27,29 @@ from repro.isa.instructions import Group, Instruction
 from repro.isa.registers import MVL, ArchState
 from repro.mem.memory import MainMemory
 
+#: hoisted element-index vector (strided_addresses runs per memory
+#: instruction; never mutated — ufuncs below always allocate fresh output)
+_IOTA = np.arange(MVL, dtype=np.uint64)
+
 #: Poison value written beyond ``vl`` when tail poisoning is on.
 POISON = np.uint64(0xDEAD_BEEF_DEAD_BEEF)
+
+#: scalar bit pattern -> read-only MVL-wide splat of it.  VS operands
+#: repeat across loop iterations; the arrays are marked non-writeable so
+#: any accidental in-place use fails loudly instead of corrupting state.
+_SPLAT_CACHE: dict[int, np.ndarray] = {}
+
+
+def _splat(bits) -> np.ndarray:
+    key = int(bits)
+    arr = _SPLAT_CACHE.get(key)
+    if arr is None:
+        if len(_SPLAT_CACHE) > 512:
+            _SPLAT_CACHE.clear()
+        arr = np.full(MVL, key, dtype=np.uint64)
+        arr.setflags(write=False)
+        _SPLAT_CACHE[key] = arr
+    return arr
 
 
 def float_to_bits(value: float) -> int:
@@ -64,6 +85,11 @@ def _is_fp_suffix(suffix: str) -> bool:
 def _merge_write(instr, state, result, active, poison_tail):
     """Write ``result`` into vd honoring mask/vl merge semantics."""
     vd = instr.vd
+    if state.active_count(instr.masked) == MVL:
+        # every element is active (vl == MVL, mask all-true): the merge
+        # is the identity and there is no tail to poison
+        state.vregs.write(vd, result)
+        return
     old = state.vregs.read(vd)
     out = np.where(active, result, old)
     if poison_tail:
@@ -118,7 +144,7 @@ def _exec_madd(instr: Instruction, state: ArchState, mem: MainMemory,
         b = state.vregs.read(instr.vb).view(np.float64)
     else:
         bits = resolve_scalar(instr, state, as_float=True)
-        b = np.full(MVL, bits, dtype=np.uint64).view(np.float64)
+        b = _splat(bits).view(np.float64)
     acc = state.vregs.read(instr.vd).view(np.float64)
     active = state.active_mask(instr.masked)
     with np.errstate(over="ignore", invalid="ignore"):
@@ -134,12 +160,11 @@ def _exec_operate(instr: Instruction, state: ArchState, mem: MainMemory,
     if d.group is Group.VV and "vb" in d.fields:
         b = state.vregs.read(instr.vb)
     else:
-        b = np.full(MVL, resolve_scalar(instr, state, _is_fp_suffix(suffix)),
-                    dtype=np.uint64)
+        b = _splat(resolve_scalar(instr, state, _is_fp_suffix(suffix)))
     active = state.active_mask(instr.masked)
     if suffix in _INT_BINOPS:
-        with np.errstate(over="ignore"):
-            result = _INT_BINOPS[suffix](a, b)
+        # integer *array* ops wrap silently in numpy; no errstate needed
+        result = _INT_BINOPS[suffix](a, b)
     elif suffix in _FP_COMPARES:
         result = _FP_COMPARES[suffix](a.view(np.float64), b.view(np.float64))
         result = result.astype(np.uint64)
@@ -178,24 +203,37 @@ def _exec_unary(instr: Instruction, state: ArchState, mem: MainMemory,
 # -- memory groups (SM / RM) ------------------------------------------------
 
 
+#: one-entry (base, stride) -> address-vector cache: each memory
+#: instruction computes its addresses twice (functional execute, then
+#: the timing planner) with identical operands.  The array is returned
+#: read-only and shared; every consumer copies or fancy-reads it.
+_STRIDED_CACHE: tuple = (None, None)
+
+
 def strided_addresses(instr: Instruction, state: ArchState) -> np.ndarray:
     """Effective addresses of a strided (SM-group) access, all 128 slots.
 
     ``ea_i = rb + disp + i * vs`` with 64-bit wraparound, per Figure 1.
+    The returned array is shared and non-writeable.
     """
-    base = np.uint64((state.sregs.read(instr.rb) + instr.disp) & ((1 << 64) - 1))
-    stride = np.uint64(state.ctrl.vs & ((1 << 64) - 1))
-    i = np.arange(MVL, dtype=np.uint64)
-    with np.errstate(over="ignore"):
-        return base + i * stride
+    global _STRIDED_CACHE
+    base = (state.sregs.read(instr.rb) + instr.disp) & ((1 << 64) - 1)
+    stride = state.ctrl.vs & ((1 << 64) - 1)
+    key, cached = _STRIDED_CACHE
+    if key == (base, stride):
+        return cached
+    # integer array ops wrap silently (scalar-only overflow warns)
+    addrs = np.uint64(base) + _IOTA * np.uint64(stride)
+    addrs.setflags(write=False)
+    _STRIDED_CACHE = ((base, stride), addrs)
+    return addrs
 
 
 def indexed_addresses(instr: Instruction, state: ArchState) -> np.ndarray:
     """Effective addresses of a gather/scatter: ``rb + disp + vb[i]``."""
     base = np.uint64((state.sregs.read(instr.rb) + instr.disp) & ((1 << 64) - 1))
     offsets = state.vregs.read(instr.vb)
-    with np.errstate(over="ignore"):
-        return base + offsets
+    return base + offsets
 
 
 def _exec_memory(instr: Instruction, state: ArchState, mem: MainMemory,
@@ -210,7 +248,7 @@ def _exec_memory(instr: Instruction, state: ArchState, mem: MainMemory,
     addrs = indexed_addresses(instr, state) if d.is_indexed \
         else strided_addresses(instr, state)
     active = state.active_mask(instr.masked)
-    idx = np.nonzero(active)[0]
+    idx = state.active_indices(instr.masked)
     if d.is_load:
         values = np.zeros(MVL, dtype=np.uint64)
         values[idx] = mem.read_quads(addrs[idx])

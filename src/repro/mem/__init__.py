@@ -6,7 +6,9 @@ composes :class:`BankedL2` (tags + MAF + PUMP) over :class:`Zbox`
 side for the P-bit / DrainM coherency protocol.
 """
 
-from repro.mem.banks import Eviction, Line, SetAssocCache, bank_of, quadrant_of
+from repro.mem.banks import (Eviction, Line, SetAssocCache,
+                             SetAssocCacheReference, bank_of, make_tag_cache,
+                             quadrant_of, use_tag_model)
 from repro.mem.l1cache import L1DataCache, PendingStore
 from repro.mem.l2cache import BankedL2, L2Config
 from repro.mem.maf import MafEntry, MissAddressFile
@@ -35,7 +37,10 @@ __all__ = [
     "RambusConfig",
     "RambusSystem",
     "SetAssocCache",
+    "SetAssocCacheReference",
     "Zbox",
     "bank_of",
+    "make_tag_cache",
     "quadrant_of",
+    "use_tag_model",
 ]

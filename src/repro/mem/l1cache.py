@@ -16,7 +16,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.mem.banks import SetAssocCache
+import numpy as np
+
+from repro.mem.banks import make_tag_cache
 from repro.utils.bitops import line_address
 from repro.utils.stats import Counter
 
@@ -41,7 +43,7 @@ class L1DataCache:
 
     def __init__(self, capacity_bytes: int = 64 << 10, ways: int = 2,
                  line_bytes: int = 64, write_buffer_entries: int = 32) -> None:
-        self.tags = SetAssocCache(capacity_bytes, ways, line_bytes, name="L1")
+        self.tags = make_tag_cache(capacity_bytes, ways, line_bytes, name="L1")
         self.write_buffer: list[PendingStore] = []
         self.write_buffer_entries = write_buffer_entries
         self.counters = Counter()
@@ -73,10 +75,11 @@ class L1DataCache:
         Returns the drained line addresses (the caller updates L2 state
         and P-bits for each).
         """
-        drained = []
-        for pending in self.write_buffer:
-            self.tags.access(pending.addr, is_write=True, from_core=True)
-            drained.append(pending.addr)
+        drained = [pending.addr for pending in self.write_buffer]
+        if drained:
+            # batched tag walk; duplicate lines (two stores to one line)
+            # resolve sequentially inside access_many
+            self.tags.access_many(drained, is_write=True, from_core=True)
         self.write_buffer.clear()
         self.counters.add("drains")
         self.counters.add("drained_stores", len(drained))

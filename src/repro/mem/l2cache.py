@@ -23,8 +23,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Optional
 
+import numpy as np
+
 from repro.errors import ConfigError, SimulationError
-from repro.mem.banks import SetAssocCache
+from repro.mem.banks import make_tag_cache
 from repro.mem.l1cache import L1DataCache
 from repro.mem.maf import MissAddressFile
 from repro.mem.pump import PumpUnit
@@ -71,8 +73,8 @@ class BankedL2:
         self.zbox = zbox or Zbox()
         self.pump = pump or PumpUnit()
         self.l1 = l1
-        self.tags = SetAssocCache(self.config.capacity_bytes, self.config.ways,
-                                  self.config.line_bytes, name="L2")
+        self.tags = make_tag_cache(self.config.capacity_bytes, self.config.ways,
+                                   self.config.line_bytes, name="L2")
         self.maf = MissAddressFile(self.config.maf_entries,
                                    self.config.replay_threshold)
         # slice lookups arrive out of order (retry walks wake long after
@@ -81,6 +83,10 @@ class BankedL2:
         #: line address -> time its in-flight fill arrives; accesses that
         #: "hit" such a line sleep in the MAF until then (miss merging)
         self._fill_ready: dict[int, float] = {}
+        #: amortized pruning bound for _fill_ready; doubles whenever a
+        #: prune fails to reclaim half the dict, so a large steady-state
+        #: working set never degrades into an O(n) rebuild per slice
+        self._fill_prune_threshold = 1 << 15
         self.counters = Counter()
 
     # -- warmup helpers (no timing effects) ----------------------------------
@@ -88,13 +94,27 @@ class BankedL2:
     def warm(self, addrs: Iterable[int], dirty: bool = False,
              from_core: bool = False) -> None:
         """Preload lines into the tags (e.g. 'prefetched into L2')."""
-        for addr in addrs:
-            self.tags.access(line_address(addr), is_write=dirty,
-                             from_core=from_core)
+        lines = np.fromiter((line_address(a) for a in addrs),
+                            dtype=np.uint64)
+        # chunked batched walk: consecutive-line warms stay conflict-free
+        # inside a 4K chunk, anything stranger falls back sequentially
+        # inside access_many
+        chunk = 4096
+        for start in range(0, lines.size, chunk):
+            self.tags.access_many(lines[start:start + chunk],
+                                  is_write=dirty, from_core=from_core)
 
     def warm_range(self, base: int, nbytes: int) -> None:
+        """Warm every line overlapping [base, base+nbytes).
+
+        Both bounds are line-aligned explicitly, so a non-line-aligned
+        end still warms the final partially-covered line.
+        """
+        if nbytes <= 0:
+            return
         line = self.config.line_bytes
-        self.warm(range(line_address(base), base + nbytes, line))
+        end = line_address(base + nbytes - 1) + line
+        self.warm(range(line_address(base), end, line))
 
     # -- internal pieces -------------------------------------------------------
 
@@ -113,30 +133,30 @@ class BankedL2:
 
         Returns the extra delay added to this slice.
         """
-        penalty = 0.0
-        for addr in lines:
-            resident = self.tags.lookup(addr)
-            if resident is not None and resident.pbit:
-                self.counters.add("pbit_hits")
-                if self.l1 is not None:
-                    self.l1.invalidate(addr)
-                resident.pbit = False
-                penalty = self.config.l1_invalidate_penalty
-        return penalty
+        hot = self.tags.pbit_lines(lines)
+        if not hot:
+            return 0.0
+        for addr in hot:
+            self.counters.add("pbit_hits")
+            if self.l1 is not None:
+                self.l1.invalidate(addr)
+        self.tags.clear_pbits(hot)
+        return self.config.l1_invalidate_penalty
 
     def _probe(self, lines: list[int], is_write: bool,
                from_core: bool, now: float) -> list[int]:
         """Tag-walk all lines, allocating on miss; returns missing lines."""
-        missing = []
-        for addr in lines:
-            hit, eviction = self.tags.access(addr, is_write=is_write,
-                                             from_core=from_core)
-            self._handle_eviction(eviction, now)
-            if hit:
-                self.counters.add("line_hits")
-            else:
-                self.counters.add("line_misses")
-                missing.append(addr)
+        hits, evictions = self.tags.access_many(lines, is_write=is_write,
+                                                from_core=from_core)
+        for eviction in evictions:
+            if eviction is not None:
+                self._handle_eviction(eviction, now)
+        missing = [addr for addr, hit in zip(lines, hits) if not hit]
+        n_hits = len(lines) - len(missing)
+        if n_hits:
+            self.counters.add("line_hits", n_hits)
+        if missing:
+            self.counters.add("line_misses", len(missing))
         return missing
 
     def _fetch_missing(self, missing: list[int], full_line_write: bool,
@@ -148,23 +168,38 @@ class BankedL2:
         miss-merge behavior) instead of hitting for free.
         """
         wake = earliest
-        for addr in missing:
-            if full_line_write:
+        fills = self._fill_ready
+        if full_line_write:
+            for addr in missing:
                 ready = self.zbox.dirty_transition(addr, earliest)
-            else:
+                fills[addr] = ready
+                if ready > wake:
+                    wake = ready
+        else:
+            for addr in missing:
                 ready = self.zbox.fill_line(addr, earliest)
-            self._fill_ready[addr] = ready
-            wake = max(wake, ready)
-        if len(self._fill_ready) > 1 << 15:
+                fills[addr] = ready
+                if ready > wake:
+                    wake = ready
+        if len(self._fill_ready) > self._fill_prune_threshold:
+            before = len(self._fill_ready)
             self._fill_ready = {a: t for a, t in self._fill_ready.items()
                                 if t > earliest}
+            pruned = before - len(self._fill_ready)
+            if pruned:
+                self.counters.add("fill_ready_pruned", pruned)
+            if len(self._fill_ready) > self._fill_prune_threshold >> 1:
+                self._fill_prune_threshold <<= 1
         return wake
 
     def _pending_fills(self, lines: list[int], now: float) -> float:
         """Latest in-flight fill among ``lines`` arriving after ``now``."""
+        fills = self._fill_ready
+        if not fills:
+            return now
         latest = now
         for addr in lines:
-            t = self._fill_ready.get(addr)
+            t = fills.get(addr)
             if t is not None and t > latest:
                 latest = t
         return latest
@@ -174,7 +209,8 @@ class BankedL2:
     def access_slice(self, line_addrs: Iterable[int], quadwords: int,
                      is_write: bool, earliest: float,
                      pump_bit: bool = False,
-                     full_line_write: bool = False) -> float:
+                     full_line_write: bool = False,
+                     canonical: bool = False) -> float:
         """One slice walks the L2 pipe; returns data-delivered time.
 
         ``line_addrs`` are the (<=16, bank-conflict-free) line addresses
@@ -182,8 +218,15 @@ class BankedL2:
         (used for PUMP streaming occupancy).  ``full_line_write`` marks
         pump stores that overwrite whole lines and may therefore take
         the directory-transition path instead of a read fill.
+        ``canonical=True`` promises ``line_addrs`` is already a sorted
+        list of distinct line-aligned addresses (what
+        :meth:`~repro.vbox.slices.Slice.line_addresses` returns) and
+        skips re-canonicalizing it.
         """
-        lines = sorted({line_address(a) for a in line_addrs})
+        if canonical:
+            lines = line_addrs
+        else:
+            lines = sorted({line_address(a) for a in line_addrs})
         if len(lines) > self.config.n_banks:
             raise SimulationError(
                 f"slice touches {len(lines)} lines > {self.config.n_banks} banks")
@@ -204,7 +247,8 @@ class BankedL2:
             wake = self._fetch_missing(missing, full_line_write and is_write,
                                        t_entry)
             # merge with fills already in flight for lines we "hit"
-            wake = max(wake, pending_until)
+            if pending_until > wake:
+                wake = pending_until
             if not missing:
                 self.counters.add("miss_merges")
             self.maf.sleep_until(entry, wake)
@@ -212,14 +256,16 @@ class BankedL2:
             # the tags a second time (section 3.4)
             replays = 0
             t_retry = self.slice_port.reserve(wake, 1.0)
-            while any(self.tags.lookup(a) is None for a in missing):
+            while True:
+                refetch = self.tags.missing_of(missing)
+                if not refetch:
+                    break
                 # a competing access evicted one of our lines before the
                 # retry: replay (and possibly panic)
                 replays += 1
                 if replays > MAX_REPLAYS:
                     raise SimulationError("slice replayed past hard bound")
                 self.maf.record_replay(entry)
-                refetch = [a for a in missing if self.tags.lookup(a) is None]
                 for addr in refetch:
                     _, ev = self.tags.access(addr, is_write=is_write)
                     self._handle_eviction(ev, t_retry)

@@ -61,10 +61,13 @@ class MainMemory:
     def _check_addresses(addrs: np.ndarray) -> None:
         if addrs.size == 0:
             return
-        if np.any(addrs & np.uint64(7)):
+        # one reduction answers both checks: low bits set <=> some address
+        # misaligned, bits >=48 set <=> some address beyond the limit
+        combined = int(np.bitwise_or.reduce(addrs))
+        if combined & 7:
             bad = int(addrs[np.nonzero(addrs & np.uint64(7))[0][0]])
             raise AlignmentTrap(f"unaligned quadword address {bad:#x}")
-        if np.any(addrs >= np.uint64(ADDRESS_LIMIT)):
+        if combined >> 48:
             bad = int(addrs[np.nonzero(addrs >= np.uint64(ADDRESS_LIMIT))[0][0]])
             raise InvalidAddressTrap(f"address {bad:#x} beyond 48-bit space")
 
@@ -84,11 +87,17 @@ class MainMemory:
         addrs = np.ascontiguousarray(addrs, dtype=np.uint64)
         self._check_addresses(addrs)
         self._check_poison(addrs)
-        out = np.zeros(addrs.shape, dtype=np.uint64)
         if addrs.size == 0:
-            return out
+            return np.zeros(addrs.shape, dtype=np.uint64)
         chunk_ids = addrs >> np.uint64(20)
         offsets = (addrs & np.uint64(CHUNK_BYTES - 1)) >> np.uint64(3)
+        cid0 = int(chunk_ids[0])
+        if cid0 == int(chunk_ids.max()) and cid0 == int(chunk_ids.min()):
+            chunk = self._chunks.get(cid0)
+            if chunk is None:
+                return np.zeros(addrs.shape, dtype=np.uint64)
+            return chunk[offsets]
+        out = np.zeros(addrs.shape, dtype=np.uint64)
         for cid in np.unique(chunk_ids):
             sel = chunk_ids == cid
             chunk = self._chunks.get(int(cid))
@@ -108,23 +117,46 @@ class MainMemory:
             return
         chunk_ids = addrs >> np.uint64(20)
         offsets = (addrs & np.uint64(CHUNK_BYTES - 1)) >> np.uint64(3)
-        for cid in np.unique(chunk_ids):
-            sel = chunk_ids == cid
+        cid0 = int(chunk_ids[0])
+        if cid0 == int(chunk_ids.max()) and cid0 == int(chunk_ids.min()):
             # numpy fancy-store applies in order, so duplicate addresses
             # resolve to the last (highest-index) value, our documented
             # deterministic stand-in for the paper's UNPREDICTABLE order.
+            self._chunk(cid0)[offsets] = values
+            return
+        for cid in np.unique(chunk_ids):
+            sel = chunk_ids == cid
             self._chunk(int(cid))[offsets[sel]] = values[sel]
 
     # -- scalar access ----------------------------------------------------
 
+    def _check_scalar(self, addr: int) -> int:
+        """Validate one byte address (uint64-wrapped); returns it."""
+        addr = int(addr) & ((1 << 64) - 1)
+        if addr & 7:
+            raise AlignmentTrap(f"unaligned quadword address {addr:#x}")
+        if addr >= ADDRESS_LIMIT:
+            raise InvalidAddressTrap(f"address {addr:#x} beyond 48-bit space")
+        if self._poisoned:
+            line = addr & ~(LINE_BYTES - 1)
+            if line in self._poisoned:
+                raise MachineCheckTrap(
+                    f"access touched poisoned line {line:#x}")
+        return addr
+
     def read_quad(self, addr: int) -> int:
         """Scalar quadword read."""
-        return int(self.read_quads(np.array([addr], dtype=np.uint64))[0])
+        addr = self._check_scalar(addr)
+        chunk = self._chunks.get(addr >> 20)
+        if chunk is None:
+            return 0
+        return int(chunk[(addr & (CHUNK_BYTES - 1)) >> 3])
 
     def write_quad(self, addr: int, value: int) -> None:
         """Scalar quadword write."""
-        self.write_quads(np.array([addr], dtype=np.uint64),
-                         np.array([value & ((1 << 64) - 1)], dtype=np.uint64))
+        addr = self._check_scalar(addr)
+        self._chunk(addr >> 20)[(addr & (CHUNK_BYTES - 1)) >> 3] = \
+            value & ((1 << 64) - 1)
 
     # -- block helpers (arrays, cache-line fills) --------------------------
 

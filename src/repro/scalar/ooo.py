@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.config import MachineConfig
-from repro.mem.banks import SetAssocCache
+from repro.mem.banks import make_tag_cache
 from repro.scalar.loopmodel import AccessPattern, ScalarLoopBody
 from repro.scalar.ops import OpKind, TraceOp
 from repro.utils.bitops import line_address
@@ -40,10 +40,10 @@ class OoOCore:
 
     def __init__(self, config: MachineConfig) -> None:
         self.config = config
-        self.l1 = SetAssocCache(config.l1_bytes, config.l1_ways,
-                                config.line_bytes, name="ooo-l1")
-        self.l2 = SetAssocCache(config.l2_bytes, config.l2_ways,
-                                config.line_bytes, name="ooo-l2")
+        self.l1 = make_tag_cache(config.l1_bytes, config.l1_ways,
+                                 config.line_bytes, name="ooo-l1")
+        self.l2 = make_tag_cache(config.l2_bytes, config.l2_ways,
+                                 config.line_bytes, name="ooo-l2")
         self.fp_ports = MultiPortTimeline(config.scalar_flops_per_cycle, "fp")
         self.load_ports = MultiPortTimeline(config.scalar_load_ports, "ld")
         self.store_ports = MultiPortTimeline(config.scalar_store_ports, "st")

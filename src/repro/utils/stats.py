@@ -19,6 +19,12 @@ class Counter:
 
     def add(self, name: str, amount: int = 1) -> None:
         """Increment ``name`` by ``amount`` (may be any non-negative int)."""
+        if amount == 1:
+            # Fast path: the overwhelmingly common unit increment skips
+            # the sign check (hot — called once or more per simulated
+            # instruction).
+            self._counts[name] += 1
+            return
         if amount < 0:
             raise ValueError(f"counter increments must be >= 0, got {amount}")
         self._counts[name] += amount

@@ -35,7 +35,9 @@ class ResourceTimeline:
         """
         if occupancy < 0:
             raise ValueError(f"occupancy must be >= 0, got {occupancy}")
-        start = max(earliest, self.next_free)
+        start = self.next_free
+        if earliest > start:
+            start = earliest
         self.next_free = start + occupancy
         self.busy_cycles += occupancy
         return start
@@ -97,6 +99,19 @@ class CalendarTimeline:
         if occupancy == 0:
             return earliest
         busy = self._busy
+        if not busy:
+            busy.append((earliest, earliest + occupancy))
+            return earliest
+        last = busy[-1]
+        if earliest >= last[1]:
+            # starts after every existing interval: append (coalescing
+            # with the last interval when exactly touching) — the common
+            # case for an advancing clock, no bisect/backfill needed
+            if earliest == last[1]:
+                busy[-1] = (last[0], earliest + occupancy)
+            else:
+                busy.append((earliest, earliest + occupancy))
+            return earliest
         idx = bisect.bisect_right(busy, (earliest, float("inf"))) - 1
         # candidate start: after the interval covering/preceding `earliest`
         start = earliest

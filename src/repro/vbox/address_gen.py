@@ -27,11 +27,19 @@ from repro.isa.semantics import indexed_addresses, strided_addresses
 from repro.utils.bitops import line_address
 from repro.utils.stats import Counter
 from repro.vbox.crbox import ConflictResolutionBox
-from repro.vbox.reorder import conflict_free_schedule, is_reorderable
+from repro.vbox.reorder import BANK_PERIOD, conflict_free_schedule, \
+    is_reorderable
 from repro.vbox.slices import SLICE_SIZE, Slice
 from repro.vbox.vtlb import VectorTLB
 
 LINE_BYTES = 64
+
+_M64 = (1 << 64) - 1
+#: plan-kind -> the counter the build path bumps (replayed on cache hits)
+_KIND_COUNTER = {"pump": "pump_plans", "reordered": "reordered_plans"}
+#: plan-cache entry bound; cleared wholesale when exceeded (hot keys
+#: repopulate within one loop iteration)
+_PLAN_CACHE_MAX = 512
 
 
 @dataclass
@@ -52,6 +60,32 @@ class AccessPlan:
     touched: tuple = ()
 
 
+@dataclass
+class _CachedPlan:
+    """A reusable strided plan, rebased on hit by ``base - entry.base``.
+
+    Only fast-path translations are cached (identity mapping, zero TLB
+    penalty), and only pump/reordered kinds (the CR box is stateful).
+    The slice/bank structure of a strided access depends on the base
+    only through ``base % BANK_PERIOD`` (which is part of the cache
+    key), so a hit at a different base shifts every address by a
+    multiple of the bank period — line splits, bank schedule and
+    full-line-write classification are all preserved.
+    """
+
+    kind: str
+    is_write: bool
+    is_prefetch: bool
+    base: int                       # virtual base the entry was built at
+    n_valid: int                    # active elements (vtlb hit replication)
+    addr_gen_cycles: float
+    quadwords: int
+    touched: np.ndarray             # uint64 copy of plan.touched
+    touched_tuple: tuple            # the original tuple (delta == 0 reuse)
+    slices: list                    # template Slice objects at `base`
+    slice_lines: list               # template line_addresses() per slice
+
+
 class AddressGenerators:
     """The 16 per-lane address generators plus the CR box front end."""
 
@@ -63,6 +97,9 @@ class AddressGenerators:
         self.pump_enabled = pump_enabled
         self.counters = Counter()
         self._next_slice_id = 0
+        #: keyed plan cache for strided accesses (see _CachedPlan);
+        #: invalidated explicitly on setvl/setvs/setvm
+        self._plan_cache: dict[tuple, _CachedPlan] = {}
 
     # -- helpers ---------------------------------------------------------
 
@@ -73,28 +110,40 @@ class AddressGenerators:
 
     @staticmethod
     def _valid_elements(instr: Instruction, state: ArchState) -> np.ndarray:
-        return np.nonzero(state.active_mask(instr.masked))[0]
+        return state.active_indices(instr.masked)
 
     # -- the three paths ----------------------------------------------------
 
     def _plan_pump(self, instr, valid, paddrs, is_write, tlb_penalty,
                    tag: str) -> AccessPlan:
         addrs = paddrs[valid]
-        lines = np.unique(addrs >> np.uint64(6)) << np.uint64(6)
-        coverage = {int(line): 0 for line in lines}
-        for addr in addrs:
-            coverage[int(line_address(int(addr)))] += 1
+        # addresses ascend (stride-1, valid indices ascending), so a
+        # single python walk yields the sorted distinct lines + counts
+        line_list: list[int] = []
+        counts: list[int] = []
+        prev = -1
+        for a in addrs.tolist():
+            ln = a >> 6
+            if ln != prev:
+                line_list.append(ln << 6)
+                counts.append(1)
+                prev = ln
+            else:
+                counts[-1] += 1
         per_line = LINE_BYTES // 8
         slices: list[Slice] = []
-        line_list = [int(line) for line in lines]
         # misaligned stride-1 spans 17 lines -> two pump slices (note 3)
         for start in range(0, len(line_list), SLICE_SIZE):
             group = line_list[start:start + SLICE_SIZE]
-            qw = sum(coverage[line] for line in group)
-            full = is_write and all(coverage[line] == per_line for line in group)
-            slices.append(self._new_slice(
+            group_counts = counts[start:start + SLICE_SIZE]
+            qw = sum(group_counts)
+            full = is_write and all(c == per_line for c in group_counts)
+            s = self._new_slice(
                 np.arange(len(group)), np.array(group, dtype=np.uint64),
-                pump=True, full_line_write=full, quadwords=qw, tag=tag))
+                pump=True, full_line_write=full, quadwords=qw, tag=tag)
+            # pump addresses *are* sorted distinct line starts
+            s._line_addrs = group
+            slices.append(s)
         self.counters.add("pump_plans")
         return AccessPlan("pump", is_write, False, slices,
                           addr_gen_cycles=float(len(slices)),
@@ -105,11 +154,11 @@ class AddressGenerators:
         base = int(paddrs[0])
         stride = state.ctrl.vs
         schedule = conflict_free_schedule(base, stride)
-        valid_set = set(int(v) for v in valid)
+        valid_mask = np.zeros(MVL, dtype=bool)
+        valid_mask[valid] = True
         slices = []
         for group in schedule:
-            keep = np.array([e for e in group if int(e) in valid_set],
-                            dtype=np.int64)
+            keep = group[valid_mask[group]]
             if len(keep) == 0:
                 continue
             slices.append(self._new_slice(keep, paddrs[keep],
@@ -132,14 +181,94 @@ class AddressGenerators:
                           addr_gen_cycles=max(cr_cycles, 1.0),
                           tlb_penalty=tlb_penalty, quadwords=len(valid))
 
+    # -- the plan cache ---------------------------------------------------------
+
+    def invalidate_plans(self) -> None:
+        """Drop every cached plan (setvl/setvs/setvm executed).
+
+        The cache key includes vl/vs/vm so stale hits are impossible
+        even without this, but explicit invalidation keeps the cache
+        from accumulating dead keys across control-register phases.
+        """
+        if self._plan_cache:
+            self._plan_cache.clear()
+            self.counters.add("plan_cache_invalidations")
+
+    def _plan_key(self, instr: Instruction, state: ArchState,
+                  base: int) -> tuple:
+        return (instr.op, instr.tag, instr.is_prefetch, instr.masked,
+                state.ctrl.vl, state.ctrl.vs, base % BANK_PERIOD,
+                state.ctrl.vm.tobytes() if instr.masked else None)
+
+    def _replay_plan(self, entry: _CachedPlan, base: int) -> AccessPlan | None:
+        """Rebase a cached plan to ``base``; None if no longer valid.
+
+        Validity is exactly the vtlb fast-path condition the entry was
+        built under: every page the rebased access touches must still be
+        identity-mapped and resident in every lane.  Anything else (TLB
+        shootdown, page-table holes) falls back to the build path.
+        """
+        hot = self.vtlb._hot_identity_vpns
+        if not hot:
+            return None
+        delta = base - entry.base
+        if delta == 0:
+            touched_arr = entry.touched
+        else:
+            touched_arr = entry.touched + np.uint64(delta & _M64)
+        shift = self.vtlb.page_table.page_shift
+        if not {a >> shift for a in touched_arr.tolist()} <= hot:
+            return None
+        # replicate the counters the build path would have produced
+        self.counters.add("plan_cache_hits")
+        self.counters.add(_KIND_COUNTER[entry.kind])
+        self.vtlb.counters.add("hits", entry.n_valid)
+        if delta == 0:
+            slices = entry.slices
+            touched = entry.touched_tuple
+        else:
+            du = np.uint64(delta & _M64)
+            slices = []
+            for tmpl, lines in zip(entry.slices, entry.slice_lines):
+                s = Slice(tmpl.slice_id, tmpl.elements, tmpl.addresses + du,
+                          pump=tmpl.pump, full_line_write=tmpl.full_line_write,
+                          quadwords=tmpl.quadwords, tag=tmpl.tag)
+                s._line_addrs = [line + delta for line in lines]
+                slices.append(s)
+            touched = tuple(touched_arr.tolist())
+        return AccessPlan(entry.kind, entry.is_write, entry.is_prefetch,
+                          slices, addr_gen_cycles=entry.addr_gen_cycles,
+                          tlb_penalty=0.0, quadwords=entry.quadwords,
+                          touched=touched)
+
+    def _store_plan(self, key: tuple, plan: AccessPlan, base: int,
+                    n_valid: int) -> None:
+        if len(self._plan_cache) >= _PLAN_CACHE_MAX:
+            self._plan_cache.clear()
+        self._plan_cache[key] = _CachedPlan(
+            plan.kind, plan.is_write, plan.is_prefetch, base, n_valid,
+            plan.addr_gen_cycles, plan.quadwords,
+            np.array(plan.touched, dtype=np.uint64), plan.touched,
+            list(plan.slices), [s.line_addresses() for s in plan.slices])
+
     # -- entry point ------------------------------------------------------------
 
     def plan(self, instr: Instruction, state: ArchState) -> AccessPlan:
-        """Build the slice plan for one SM/RM instruction."""
+        """Build (or replay) the slice plan for one SM/RM instruction."""
         d = instr.definition
         if not d.is_memory or d.group not in (Group.SM, Group.RM):
             raise ValueError(f"plan() needs a vector memory instruction, "
                              f"got {instr.op}")
+        key = None
+        if not d.is_indexed:
+            base = (state.sregs.read(instr.rb) + instr.disp) & _M64
+            key = self._plan_key(instr, state, base)
+            entry = self._plan_cache.get(key)
+            if entry is not None:
+                plan = self._replay_plan(entry, base)
+                if plan is not None:
+                    return plan
+            self.counters.add("plan_cache_misses")
         valid = self._valid_elements(instr, state)
         is_write = d.is_store
         if len(valid) == 0:
@@ -173,5 +302,8 @@ class AddressGenerators:
             plan = self._plan_cr(instr, valid, paddrs, is_write,
                                  tlb_penalty, tag)
         plan.is_prefetch = instr.is_prefetch
-        plan.touched = tuple(int(a) for a in paddrs[valid])
+        plan.touched = tuple(paddrs[valid].tolist())
+        if key is not None and plan.kind in _KIND_COUNTER \
+                and plan.tlb_penalty == 0.0 and self.vtlb.last_fast_path:
+            self._store_plan(key, plan, base, len(valid))
         return plan

@@ -37,25 +37,27 @@ class ConflictResolutionBox:
         self.counters = Counter()
         self._next_slice_id = 0
 
-    def _tournament(self, pending: list[tuple[int, int]]) -> list[int]:
-        """One selection round over ``pending`` [(element, address)...].
+    def _tournament(self, pending: list[int], lines: list[int],
+                    banks: list[int], lanes: list[int]) -> list[int]:
+        """One selection round over ``pending`` (stream positions).
 
         Greedy first-come selection in arrival order, honoring bank and
         lane conflict-freedom; returns indices into ``pending``.  Two
         addresses in the *same cache line* do not conflict — the bank
         reads the line once and the crossbar routes a quadword to each
-        lane — so the bank check is per distinct line.
+        lane — so the bank check is per distinct line.  Line/bank/lane
+        ids are precomputed once per stream by :meth:`pack`.
         """
         taken_lines: dict[int, int] = {}   # line -> bank already cycling
         taken_banks: set[int] = set()
         taken_lanes: set[int] = set()
         chosen: list[int] = []
-        for pos, (element, addr) in enumerate(pending):
-            line = addr >> 6
-            bank = line & 0xF
-            lane = element % SLICE_SIZE
+        for pos, p in enumerate(pending):
+            lane = lanes[p]
             if lane in taken_lanes:
                 continue
+            line = lines[p]
+            bank = banks[p]
             if bank in taken_banks and taken_lines.get(line) != bank:
                 continue
             taken_lines[line] = bank
@@ -75,32 +77,36 @@ class ConflictResolutionBox:
         generators), each round costs :attr:`cycles_per_round`, and
         rounds repeat until the pending pool drains.
         """
-        stream = list(zip((int(e) for e in elements),
-                          (int(a) for a in addresses)))
+        elems = [int(e) for e in elements]
+        addrs = [int(a) for a in addresses]
+        lines = [a >> 6 for a in addrs]
+        banks = [ln & 0xF for ln in lines]
+        lanes = [e % SLICE_SIZE for e in elems]
+        n = len(addrs)
         slices: list[Slice] = []
-        pending: list[tuple[int, int]] = []
+        pending: list[int] = []   # stream positions awaiting selection
         rounds = 0
         cursor = 0
-        while cursor < len(stream) or pending:
+        while cursor < n or pending:
             # up to 16 new addresses join the tournament each round
-            incoming = stream[cursor:cursor + SLICE_SIZE]
-            cursor += len(incoming)
-            pending.extend(incoming)
+            nxt = min(cursor + SLICE_SIZE, n)
+            pending.extend(range(cursor, nxt))
+            cursor = nxt
             rounds += 1
-            chosen = self._tournament(pending)
+            chosen = self._tournament(pending, lines, banks, lanes)
             if not chosen:  # pragma: no cover - nonempty pending always yields
                 raise RuntimeError("CR tournament selected nothing")
             group = [pending[i] for i in chosen]
-            for i in sorted(chosen, reverse=True):
+            for i in reversed(chosen):   # chosen ascends by construction
                 pending.pop(i)
             slices.append(Slice(
                 slice_id=self._next_slice_id,
-                elements=np.array([e for e, _ in group], dtype=np.int64),
-                addresses=np.array([a for _, a in group], dtype=np.uint64),
+                elements=np.array([elems[p] for p in group], dtype=np.int64),
+                addresses=np.array([addrs[p] for p in group], dtype=np.uint64),
                 tag=tag,
             ))
             self._next_slice_id += 1
         self.counters.add("tournaments", rounds)
         self.counters.add("cr_slices", len(slices))
-        self.counters.add("cr_addresses", len(stream))
+        self.counters.add("cr_addresses", n)
         return slices, rounds * self.cycles_per_round

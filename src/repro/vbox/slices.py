@@ -41,6 +41,9 @@ class Slice:
     #: quadwords of data this slice moves (for streaming occupancy)
     quadwords: int = 0
     tag: str = field(default="", compare=False)
+    #: memoized line_addresses() result — slices are immutable once built
+    _line_addrs: list | None = field(default=None, init=False, repr=False,
+                                     compare=False)
 
     def __post_init__(self) -> None:
         self.elements = np.asarray(self.elements, dtype=np.int64)
@@ -66,8 +69,15 @@ class Slice:
         return (self.addresses >> np.uint64(6)) & np.uint64(0xF)
 
     def line_addresses(self) -> list[int]:
-        """Distinct cache-line addresses this slice touches."""
-        return sorted({int(line_address(int(a))) for a in self.addresses})
+        """Distinct cache-line addresses this slice touches (memoized,
+        sorted ascending)."""
+        lines = self._line_addrs
+        if lines is None:
+            lines = sorted({a >> 6 for a in self.addresses.tolist()})
+            for i, line in enumerate(lines):
+                lines[i] = line << 6
+            self._line_addrs = lines
+        return lines
 
     def is_bank_conflict_free(self) -> bool:
         banks = self.banks()

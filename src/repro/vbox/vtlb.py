@@ -80,6 +80,9 @@ class VectorTLB:
         #: vpns known identity-mapped and resident in *every* lane — the
         #: vectorized fast path for the common huge-page case
         self._hot_identity_vpns: set[int] = set()
+        #: did the most recent translate_elements() take the fast path?
+        #: (the plan cache only caches fast-path translations)
+        self.last_fast_path = False
 
     def _vpn(self, addr: int) -> int:
         return addr >> self.page_table.page_shift
@@ -108,11 +111,13 @@ class VectorTLB:
         """
         # fast path: every page already resident in every lane and
         # identity-mapped -> translation is the identity, zero penalty
+        self.last_fast_path = False
         if self._hot_identity_vpns:
-            vpns = np.unique(addresses.astype(np.uint64) >>
-                             np.uint64(self.page_table.page_shift))
-            if all(int(v) in self._hot_identity_vpns for v in vpns):
+            shift = self.page_table.page_shift
+            vpns = {a >> shift for a in addresses.tolist()}
+            if vpns <= self._hot_identity_vpns:
                 self.counters.add("hits", len(addresses))
+                self.last_fast_path = True
                 return addresses.astype(np.uint64, copy=True), 0.0
 
         paddrs = addresses.astype(np.uint64).copy()

@@ -1,0 +1,92 @@
+"""The ``repro bench`` throughput harness and its CI regression gate."""
+
+import io
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.harness import bench
+from repro.workloads.registry import REGISTRY
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def test_run_benchmarks_document_shape():
+    doc = bench.run_benchmarks(quick=True, kernels=["streams.copy"])
+    assert doc["schema"] == bench.SCHEMA
+    assert doc["quick"] is True
+    assert doc["scale"] == bench.QUICK_SCALE
+    w = doc["workloads"]["streams.copy"]
+    assert w["instructions"] > 0
+    assert w["simulated_cycles"] > 0
+    assert w["cold_wall_s"] > 0 and w["warm_wall_s"] > 0
+    assert w["warm_instr_per_s"] > 0
+    assert doc["totals"]["instructions"] == w["instructions"]
+
+
+def _doc(warm_total, schema=bench.SCHEMA, scale=bench.QUICK_SCALE):
+    return {"schema": schema, "quick": True, "scale": scale,
+            "totals": {"warm_wall_s": warm_total}}
+
+
+def _baseline(tmp_path, doc):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps(doc))
+    return path
+
+
+def test_regression_gate_passes_within_tolerance(tmp_path):
+    base = _baseline(tmp_path, _doc(10.0))
+    assert bench.check_regression(_doc(11.0), base, stream=io.StringIO())
+
+
+def test_regression_gate_fails_past_tolerance(tmp_path):
+    base = _baseline(tmp_path, _doc(10.0))
+    stream = io.StringIO()
+    assert not bench.check_regression(_doc(12.5), base, stream=stream)
+    assert "REGRESSION" in stream.getvalue()
+
+
+def test_regression_gate_rejects_mismatched_baseline(tmp_path):
+    # a baseline recorded at a different scale (or schema) is a
+    # configuration error, never a silent pass
+    base = _baseline(tmp_path, _doc(10.0, scale=0.25))
+    assert not bench.check_regression(_doc(0.01), base, stream=io.StringIO())
+    base = _baseline(tmp_path, _doc(10.0, schema="other-v0"))
+    assert not bench.check_regression(_doc(0.01), base, stream=io.StringIO())
+
+
+def test_regression_gate_tolerance_parameter(tmp_path):
+    base = _baseline(tmp_path, _doc(10.0))
+    assert bench.check_regression(_doc(14.0), base, tolerance=1.5,
+                                  stream=io.StringIO())
+    assert not bench.check_regression(_doc(14.0), base, tolerance=1.2,
+                                      stream=io.StringIO())
+
+
+def test_committed_baseline_is_fresh():
+    """BENCH_sim_throughput.json stays in sync with the registry."""
+    path = REPO / bench.DEFAULT_OUTPUT
+    assert path.exists(), "run `python -m repro bench --quick` and commit"
+    doc = json.loads(path.read_text())
+    assert doc["schema"] == bench.SCHEMA
+    assert doc["scale"] == bench.QUICK_SCALE
+    assert set(doc["workloads"]) == set(REGISTRY)
+
+
+def test_main_writes_output_and_gates(tmp_path, monkeypatch, capsys):
+    out = tmp_path / "bench.json"
+    rc = bench.main(quick=True, output=str(out), kernels=["streams.copy"])
+    assert rc == 0
+    doc = json.loads(out.read_text())
+    # self-comparison always passes the gate
+    rc = bench.main(quick=True, output=None, check_against=str(out),
+                    kernels=["streams.copy"])
+    assert rc == 0
+    # an impossible baseline fails it
+    doc["totals"]["warm_wall_s"] = 1e-9
+    out.write_text(json.dumps(doc))
+    rc = bench.main(quick=True, output=None, check_against=str(out),
+                    kernels=["streams.copy"])
+    assert rc == 1

@@ -222,3 +222,36 @@ class TestRunnerKwargValidation:
     def test_vector_route_accepts_flags(self):
         out = run("streams.triad", "T", scale=SCALE, check=False)
         assert not out.verified
+
+
+class TestInstanceMemo:
+    """Per-process workload-instance reuse (engine._build_instance)."""
+
+    def test_instance_reuse_is_deterministic(self):
+        engine._INSTANCE_MEMO.clear()
+        spec = ExperimentSpec("streams.copy", "T", SCALE)
+        first = engine.execute(spec)
+        assert ("streams.copy", SCALE) in engine._INSTANCE_MEMO
+        memoized = engine._INSTANCE_MEMO[("streams.copy", SCALE)]
+        second = engine.execute(spec)
+        # the same instance object was reused, and reuse changed nothing
+        assert engine._INSTANCE_MEMO[("streams.copy", SCALE)] is memoized
+        assert second.cycles == first.cycles
+        assert second.detail.counts == first.detail.counts
+        assert second.detail.component_stats == first.detail.component_stats
+        # a fresh build gives the same answer as the memoized rerun
+        engine._INSTANCE_MEMO.clear()
+        third = engine.execute(spec)
+        assert third.cycles == first.cycles
+        assert third.detail.counts == first.detail.counts
+
+    def test_memo_is_bounded(self):
+        engine._INSTANCE_MEMO.clear()
+        try:
+            engine._INSTANCE_MEMO.update(
+                {("fake", float(i)): None for i in range(engine._INSTANCE_MEMO_MAX)})
+            spec = ExperimentSpec("streams.copy", "T", SCALE, check=False)
+            engine.execute(spec)
+            assert len(engine._INSTANCE_MEMO) <= engine._INSTANCE_MEMO_MAX
+        finally:
+            engine._INSTANCE_MEMO.clear()

@@ -1,0 +1,71 @@
+"""Component bucketing for ``--profile`` (repro.harness.profiling)."""
+
+import io
+
+from repro.harness import profiling
+
+
+def test_bucket_of_maps_simulator_layers():
+    assert profiling.bucket_of("/x/src/repro/mem/banks.py") == "mem"
+    assert profiling.bucket_of("/x/src/repro/vbox/address_gen.py") == "vbox"
+    assert profiling.bucket_of("/x/src/repro/isa/semantics.py") == "isa"
+    assert profiling.bucket_of("/lib/numpy/_core/numeric.py") == "numpy"
+    assert profiling.bucket_of("<built-in>") == "other"
+    assert profiling.bucket_of("~") == "other"
+    # windows-style separators normalize before matching
+    assert profiling.bucket_of("C:\\x\\repro\\core\\processor.py") == "core"
+
+
+def test_aggregate_uses_exclusive_time():
+    class FakeStats:
+        stats = {
+            ("/x/repro/mem/banks.py", 10, "access"): (5, 5, 1.5, 9.0, {}),
+            ("/x/repro/mem/l2cache.py", 20, "step"): (2, 2, 0.5, 3.0, {}),
+            ("/x/repro/core/processor.py", 5, "run"): (1, 1, 2.0, 9.0, {}),
+        }
+
+    buckets = profiling.aggregate(FakeStats())
+    # tottime sums per bucket; cumulative time is ignored so a
+    # core->mem call chain is not counted twice
+    assert buckets["mem"] == {"tottime": 2.0, "calls": 7}
+    assert buckets["core"] == {"tottime": 2.0, "calls": 1}
+    assert sum(b["tottime"] for b in buckets.values()) == 4.0
+
+
+def test_render_orders_by_time():
+    table = profiling.render(
+        {"mem": {"tottime": 3.0, "calls": 10},
+         "core": {"tottime": 1.0, "calls": 5}}, total=4.0)
+    assert table.index("mem") < table.index("core")
+    assert "75.0%" in table
+
+
+def test_profiled_writes_table_to_stream_not_stdout(capsys):
+    stream = io.StringIO()
+    with profiling.profiled(stream=stream):
+        sum(range(10000))
+    text = stream.getvalue()
+    assert text.startswith("profile:")
+    assert "component" in text
+    # stdout stays byte-identical with and without --profile
+    assert capsys.readouterr().out == ""
+
+
+def test_profiled_survives_exceptions():
+    stream = io.StringIO()
+    try:
+        with profiling.profiled(stream=stream):
+            raise ValueError("boom")
+    except ValueError:
+        pass
+    assert stream.getvalue().startswith("profile:")
+
+
+def test_cli_exposes_profile_flag():
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    assert parser.parse_args(["report", "--quick", "--profile"]).profile
+    assert parser.parse_args(["chaos", "--profile"]).profile
+    args = parser.parse_args(["bench", "--quick", "--kernel", "lu"])
+    assert args.quick and args.kernel == ["lu"]

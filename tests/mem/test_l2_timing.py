@@ -172,3 +172,27 @@ class TestMafUnit:
         maf.release(entry, 50.0)
         assert not maf.panic_mode
         assert maf.counters["panic_exits"] == 1
+
+
+class TestWarmRange:
+    def test_partial_final_line_is_warmed(self):
+        l2 = BankedL2()
+        line = l2.config.line_bytes
+        # 65 bytes from an aligned base crosses into a second line
+        l2.warm_range(8 * line, line + 1)
+        assert l2.tags.lookup(8 * line) is not None
+        assert l2.tags.lookup(9 * line) is not None
+        assert l2.tags.lookup(10 * line) is None
+
+    def test_unaligned_base_and_end(self):
+        l2 = BankedL2()
+        line = l2.config.line_bytes
+        l2.warm_range(4 * line + 16, line)   # spans two lines, both partial
+        assert l2.tags.lookup(4 * line) is not None
+        assert l2.tags.lookup(5 * line) is not None
+        assert l2.tags.lookup(6 * line) is None
+
+    def test_empty_range_warms_nothing(self):
+        l2 = BankedL2()
+        l2.warm_range(0x1000, 0)
+        assert l2.tags.lookup(0x1000) is None

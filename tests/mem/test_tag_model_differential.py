@@ -1,0 +1,111 @@
+"""Differential cycle-exactness: array-backed tags vs the dict reference.
+
+The numpy :class:`SetAssocCache` exists purely for simulator speed; its
+contract (docs/PERF.md) is *bit-identical behavior* to
+:class:`SetAssocCacheReference`.  These tests enforce that contract
+three ways:
+
+* every registered workload runs through the full timing simulator
+  under both models, asserting identical cycle counts, operation
+  counts, and every per-component counter;
+* the fault-recovery oracle (MAF replay, panic, poisoned lines, TLB
+  shootdown) runs under both models and must report identical outcomes;
+* a randomized access stream is driven through both models directly,
+  comparing hits, evictions, writebacks, and counters step by step.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mem.banks import (
+    SetAssocCache,
+    SetAssocCacheReference,
+    use_tag_model,
+)
+from repro.workloads.registry import REGISTRY, get
+
+
+def _run(kernel: str, model: str, instance):
+    from repro.harness.runner import run_tarantula
+
+    with use_tag_model(model):
+        return run_tarantula(get(kernel), "T", instance=instance)
+
+
+@pytest.mark.parametrize("kernel", sorted(REGISTRY))
+def test_every_workload_is_cycle_identical(kernel):
+    instance = get(kernel).build_small()
+    ref = _run(kernel, "reference", instance)
+    new = _run(kernel, "numpy", instance)
+    assert new.cycles == ref.cycles
+    assert new.detail.counts == ref.detail.counts
+    assert new.detail.component_stats == ref.detail.component_stats
+    assert new.detail.mem_raw_bytes == ref.detail.mem_raw_bytes
+    assert new.detail.mem_useful_bytes == ref.detail.mem_useful_bytes
+
+
+@pytest.mark.parametrize("kernel", ["lu", "rndcopy"])
+def test_chaos_recovery_is_model_independent(kernel):
+    """MAF replay/panic and poison recovery behave identically."""
+    from repro.faults import run_recovery_oracle
+
+    with use_tag_model("reference"):
+        ref = run_recovery_oracle(kernel, seed=1234)
+    with use_tag_model("numpy"):
+        new = run_recovery_oracle(kernel, seed=1234)
+    assert ref.ok and new.ok
+    assert new.summary() == ref.summary()
+
+
+def _fresh_pair(capacity=1 << 14, ways=2):
+    return (SetAssocCache(capacity, ways, 64, "numpy"),
+            SetAssocCacheReference(capacity, ways, 64, "ref"))
+
+
+def _assert_same_eviction(ea, eb):
+    assert (ea is None) == (eb is None)
+    if ea is not None:
+        assert (ea.addr, ea.dirty, ea.pbit) == (eb.addr, eb.dirty, eb.pbit)
+
+
+def test_models_agree_on_random_access_stream():
+    rng = np.random.default_rng(7)
+    a, b = _fresh_pair()
+    lines = (rng.integers(0, 600, size=3000) << 6).tolist()
+    writes = (rng.random(3000) < 0.3).tolist()
+    cores = (rng.random(3000) < 0.1).tolist()
+    for line, w, c in zip(lines, writes, cores):
+        hit_a, ev_a = a.access(line, is_write=w, from_core=c)
+        hit_b, ev_b = b.access(line, is_write=w, from_core=c)
+        assert hit_a == hit_b
+        _assert_same_eviction(ev_a, ev_b)
+    assert a.counters.as_dict() == b.counters.as_dict()
+    assert a.flush() == b.flush()
+
+
+def test_access_many_matches_sequential_access():
+    rng = np.random.default_rng(11)
+    batched, sequential = _fresh_pair()
+    for round_no in range(40):
+        batch = (rng.integers(0, 400, size=16) << 6).tolist()
+        is_write = bool(round_no % 3 == 0)
+        hits, evictions = batched.access_many(batch, is_write=is_write)
+        for line, hit, ev in zip(batch, hits, evictions):
+            hit_s, ev_s = sequential.access(line, is_write=is_write)
+            assert bool(hit) == hit_s
+            _assert_same_eviction(ev, ev_s)
+    assert batched.counters.as_dict() == sequential.counters.as_dict()
+    assert batched.flush() == sequential.flush()
+
+
+def test_pbit_bookkeeping_matches():
+    a, b = _fresh_pair()
+    stream = [0x1000, 0x2040, 0x1000, 0x8080, 0x2040]
+    for line in stream:
+        a.access(line, is_write=False, from_core=True)
+        b.access(line, is_write=False, from_core=True)
+    probe = stream + [0x4000]
+    assert a.pbit_lines(probe) == b.pbit_lines(probe)
+    a.clear_pbits([0x1000])
+    b.clear_pbits([0x1000])
+    assert a.pbit_lines(probe) == b.pbit_lines(probe)
