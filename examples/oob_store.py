@@ -1,0 +1,56 @@
+"""A deliberately-buggy kernel: an out-of-bounds strided store.
+
+The kernel copies a 128-element array, but the author padded the
+*source* rows and not the destination: the store runs at ``vs = 16``
+into a densely-allocated 1024-byte buffer, so its last 64 elements land
+past the end of ``dst`` (128 elements at stride 16 span 2040 bytes).
+The vmem analyzer proves the overrun statically — the store's footprint
+``[dst, dst + 2040)`` is not contained in any declared buffer — and
+reports ``MEM_OOB`` at the store's pc.
+
+This is the worked example in docs/ANALYSIS.md, and
+``tests/analysis/test_vmem.py`` asserts the exact code and pc so the
+example can never silently rot.  Run it directly to see the report::
+
+    PYTHONPATH=src python examples/oob_store.py
+"""
+
+import sys
+
+from repro.isa.builder import KernelBuilder
+from repro.workloads.base import Arena
+
+N = 128          # elements in each buffer
+
+#: instruction index of the out-of-bounds vstoreq (see build())
+OOB_PC = 6
+
+
+def build():
+    """Build the buggy program; returns ``(program, buffers)``."""
+    arena = Arena()
+    src = arena.alloc("src", N * 8)
+    dst = arena.alloc("dst", N * 8)
+
+    kb = KernelBuilder("examples.oob_store")
+    kb.lda(1, src)            # 0
+    kb.lda(2, dst)            # 1
+    kb.setvl(128)             # 2
+    kb.setvs(8)               # 3
+    kb.vloadq(10, rb=1)       # 4: dense load of src — fine
+    kb.setvs(16)              # 5: bug: dst is NOT row-padded
+    kb.vstoreq(10, rb=2)      # 6: 128 elems @ stride 16 overrun dst
+    return kb.build(), arena.declare_buffers()
+
+
+def main() -> int:
+    from repro.analysis import Severity, lint_program
+
+    program, buffers = build()
+    report = lint_program(program, buffers=buffers)
+    print(report.format(min_severity=Severity.INFO))
+    return 1 if report.has_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,7 +17,12 @@ a :class:`~repro.isa.program.Program` *without executing it* and reports
   builder shared with the Vbox renamer tests;
 * :mod:`repro.analysis.encoding_lint` — round-trips every instruction
   through :mod:`repro.isa.encodings` and every listing line through
-  :mod:`repro.isa.assembler`.
+  :mod:`repro.isa.assembler`;
+* :mod:`repro.analysis.vmem` — the symbolic vector-memory analyzer:
+  per-access :class:`Footprint` derivation over the affine scalar
+  domain (:mod:`repro.analysis.symbolic`), precise memory dependences
+  for :func:`build_dep_graph`, and the memory lint rules
+  (missing ``drainm``, out-of-bounds, self-overlap, bank conflicts).
 
 Entry points: :func:`lint_program` for one program, :func:`lint_registry`
 for the whole Table 2 suite, and ``python -m repro lint`` on the command
@@ -39,5 +44,14 @@ from repro.analysis.depgraph import (  # noqa: F401
     build_dep_graph,
 )
 from repro.analysis.effects import Effects, effects_of  # noqa: F401
+from repro.analysis.footprint import Footprint  # noqa: F401
 from repro.analysis.lattice import AbstractValue, ControlState  # noqa: F401
 from repro.analysis.linter import lint_program, lint_registry  # noqa: F401
+from repro.analysis.symbolic import SymExpr, SymState  # noqa: F401
+from repro.analysis.vmem import (  # noqa: F401
+    MemAccess,
+    VmemAnalysis,
+    analyze_memory,
+    check_memory,
+    memory_dependences,
+)

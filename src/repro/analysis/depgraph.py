@@ -40,12 +40,19 @@ class DepKind(enum.Enum):
 
 @dataclass(frozen=True)
 class DepEdge:
-    """One dependence: ``src`` must precede ``dst`` because of ``resource``."""
+    """One dependence: ``src`` must precede ``dst`` because of ``resource``.
+
+    ``may`` marks a memory edge whose footprints could not be proven to
+    actually overlap (the analyzer failed to prove them disjoint, so the
+    edge is kept conservatively).  Register and control edges are always
+    exact and carry ``may=False``.
+    """
 
     src: int
     dst: int
     kind: DepKind
     resource: str
+    may: bool = False
 
 
 @dataclass
@@ -98,8 +105,6 @@ def _resources(eff) -> tuple[list[str], list[str]]:
         reads.append("vs")
     if eff.reads_vm:
         reads.append("vm")
-    if eff.reads_mem:
-        reads.append("mem")
     writes = [f"v{r}" for r in eff.vreg_writes]
     writes += [f"r{r}" for r in eff.sreg_writes]
     if eff.writes_vl:
@@ -108,19 +113,19 @@ def _resources(eff) -> tuple[list[str], list[str]]:
         writes.append("vs")
     if eff.writes_vm:
         writes.append("vm")
-    if eff.writes_mem:
-        writes.append("mem")
     return reads, writes
 
 
 def build_dep_graph(program: Program, *, memory: bool = False) -> DepGraph:
     """Build the dependence graph of ``program``.
 
-    ``memory=True`` adds coarse load/store ordering edges through a
-    single ``mem`` token (every store conflicts with every later access);
-    the default leaves memory disambiguation to the timing model, which
-    follows the Alpha memory model and reorders freely (kernels that
-    need ordering use ``drainm``).
+    ``memory=True`` adds memory-carried edges (resource ``mem``) from
+    the symbolic footprint analyzer (:mod:`repro.analysis.vmem`): two
+    accesses are linked only when their footprints cannot be proven
+    disjoint, with ``DepEdge.may`` distinguishing may- from must-alias
+    pairs.  The default leaves memory disambiguation to the timing
+    model, which follows the Alpha memory model and reorders freely
+    (kernels that need ordering use ``drainm``).
     """
     graph = DepGraph(n_instructions=len(program))
     last_writer: dict[str, int] = {}
@@ -128,9 +133,6 @@ def build_dep_graph(program: Program, *, memory: bool = False) -> DepGraph:
 
     for i, instr in enumerate(program):
         reads, writes = _resources(effects_of(instr))
-        if not memory:
-            reads = [r for r in reads if r != "mem"]
-            writes = [w for w in writes if w != "mem"]
         for res in reads:
             if res in last_writer:
                 graph.edges.append(
@@ -146,4 +148,15 @@ def build_dep_graph(program: Program, *, memory: bool = False) -> DepGraph:
                         DepEdge(reader, i, DepKind.WAR, res))
             last_writer[res] = i
             readers_since[res] = []
+
+    if memory:
+        # precise memory-carried edges from the symbolic footprint
+        # analyzer (imported lazily: vmem builds on effects/lattice,
+        # which this module must not depend on cyclically)
+        from repro.analysis.vmem import analyze_memory, memory_dependences
+
+        for src, dst, kind, must in memory_dependences(
+                analyze_memory(program)):
+            graph.edges.append(
+                DepEdge(src, dst, DepKind[kind], "mem", may=not must))
     return graph

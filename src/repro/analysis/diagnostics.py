@@ -52,6 +52,15 @@ class Code(Enum):
     ENC_MISMATCH = "encode/decode round-trip changed the instruction"
     ENC_UNENCODABLE = "not representable in the 32-bit encoding"
     ASM_MISMATCH = "listing line does not re-assemble to the instruction"
+    # symbolic vector-memory analysis (repro.analysis.vmem)
+    MEM_DRAIN_MISSING = ("scalar store may be read by a later vector load "
+                         "with no drainm between")
+    MEM_OOB = "memory footprint outside every declared buffer"
+    MEM_STORE_SELF_OVERLAP = ("strided store overlaps its own elements "
+                              "(|vs| < element size)")
+    MEM_BANK_CONFLICT = "stride self-conflicts in the 16-bank L2"
+    MEM_MISALIGNED = "memory base address not 8-byte aligned"
+    MEM_SHORT_VL = "memory accesses running at sub-maximal vl"
 
     @property
     def default_severity(self) -> Severity:
@@ -74,6 +83,12 @@ _SEVERITIES = {
     Code.ENC_MISMATCH: Severity.ERROR,
     Code.ENC_UNENCODABLE: Severity.INFO,
     Code.ASM_MISMATCH: Severity.ERROR,
+    Code.MEM_DRAIN_MISSING: Severity.ERROR,
+    Code.MEM_OOB: Severity.ERROR,
+    Code.MEM_STORE_SELF_OVERLAP: Severity.WARNING,
+    Code.MEM_BANK_CONFLICT: Severity.INFO,
+    Code.MEM_MISALIGNED: Severity.INFO,
+    Code.MEM_SHORT_VL: Severity.INFO,
 }
 
 

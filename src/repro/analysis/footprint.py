@@ -1,0 +1,212 @@
+"""Symbolic memory footprints for vector and scalar accesses.
+
+A :class:`Footprint` is the static abstraction of "which bytes can this
+instruction touch": a symbolic base address (:class:`~repro.analysis.
+symbolic.SymExpr`), plus shape — a stride/length progression for strided
+accesses, a relative byte-offset interval for gathers/scatters, or a
+single quadword for scalar ``ldq``/``stq``.  Unknown components widen
+monotonically: an unknown stride or offset interval means the access may
+touch anything relative to its base, and an unknown base means it may
+touch anything at all.
+
+Three relations drive the analyzer:
+
+* :meth:`Footprint.may_overlap` — *cannot prove disjoint*.  Used to
+  create memory dependence edges and flag hazards; any widening makes
+  it answer ``True``, so edges are conservative.
+* :meth:`Footprint.must_overlap` — *provably shares a byte*.  Only
+  answers ``True`` on concrete evidence (equal-stride congruence, dense
+  interval intersection, scalar-in-progression), so "must" edges are
+  trustworthy for scheduling.
+* :meth:`Footprint.covers` — membership test for a single concrete
+  address, used by the trace-differential soundness suite to check
+  static ⊇ dynamic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analysis.symbolic import SymExpr
+
+#: quadword element size — every Tarantula memory op moves 8-byte data
+ELEM = 8
+
+
+@dataclass(frozen=True)
+class Footprint:
+    """The set of bytes one memory instruction may touch.
+
+    ``kind`` is ``"strided"`` (SM group: base + i*stride for i < length),
+    ``"indexed"`` (RM group: base + offset, offset in [off_lo, off_hi]),
+    or ``"scalar"`` (one quadword at base).  ``base`` is ``None`` when
+    the base register was widened to TOP; ``stride`` is ``None`` when
+    ``vs`` was not statically known; ``off_lo``/``off_hi`` are ``None``
+    when the index vector's bounds are unknown.
+    """
+
+    base: Optional[SymExpr]
+    kind: str
+    stride: Optional[int] = None
+    length: int = 1
+    off_lo: Optional[int] = None
+    off_hi: Optional[int] = None
+    elem: int = ELEM
+
+    # -- shape ------------------------------------------------------------
+    def span(self) -> Optional[tuple[int, int]]:
+        """Byte extent relative to ``base`` as a half-open ``[lo, hi)``
+        interval, or ``None`` when unbounded."""
+        if self.kind == "scalar":
+            return (0, self.elem)
+        if self.kind == "strided":
+            if self.stride is None:
+                return None
+            reach = self.stride * (self.length - 1)
+            return (min(0, reach), max(0, reach) + self.elem)
+        # indexed
+        if self.off_lo is None or self.off_hi is None:
+            return None
+        return (self.off_lo, self.off_hi + self.elem)
+
+    @property
+    def is_bounded(self) -> bool:
+        """True when both base and extent are statically known enough
+        to give concrete absolute byte bounds."""
+        return self.base is not None and self.span() is not None
+
+    def abs_interval(self) -> Optional[tuple[int, int]]:
+        """Absolute half-open byte interval when the base is a concrete
+        constant and the span is bounded, else ``None``."""
+        if self.base is None or not self.base.is_const:
+            return None
+        span = self.span()
+        if span is None:
+            return None
+        return (self.base.const + span[0], self.base.const + span[1])
+
+    # -- relations --------------------------------------------------------
+    def may_overlap(self, other: "Footprint") -> bool:
+        """False only when the two footprints are provably disjoint."""
+        if self.base is None or other.base is None:
+            return True
+        delta = other.base.delta(self.base)
+        if delta is None:
+            # different symbolic bases: distinct arena regions in
+            # practice, but nothing proves it — stay conservative
+            return True
+        a, b = self.span(), other.span()
+        if a is None or b is None:
+            return True
+        # other occupies [delta+b0, delta+b1) relative to self.base
+        lo, hi = delta + b[0], delta + b[1]
+        if hi <= a[0] or lo >= a[1]:
+            return False
+        # the enclosing intervals intersect; equal positive strides can
+        # still interleave disjointly if the phase gap clears an element
+        # on both sides of every congruence class
+        if (self.kind == "strided" and other.kind == "strided"
+                and self.stride == other.stride
+                and self.stride is not None
+                and self.stride >= self.elem):
+            gap = delta % self.stride
+            if gap >= self.elem and self.stride - gap >= other.elem:
+                return False
+        return True
+
+    def must_overlap(self, other: "Footprint") -> bool:
+        """True only when the footprints provably share a byte."""
+        if self.base is None or other.base is None:
+            return False
+        delta = other.base.delta(self.base)
+        if delta is None:
+            return False
+        a, b = self.span(), other.span()
+        if a is None or b is None:
+            return False
+        lo, hi = delta + b[0], delta + b[1]
+        if hi <= a[0] or lo >= a[1]:
+            return False
+        # dense-vs-dense: enclosing interval intersection is exact
+        if self._dense and other._dense:
+            return True
+        # scalar against a known progression: exact membership
+        if other.kind == "scalar" and self.kind == "strided" \
+                and self.stride:
+            return self._hits_slot(delta, other.elem)
+        if self.kind == "scalar" and other.kind == "strided" \
+                and other.stride:
+            return other._hits_slot(-delta, self.elem)
+        # equal positive strides: base congruence plus interval
+        # intersection guarantees a shared slot in the overlap range
+        if (self.kind == "strided" and other.kind == "strided"
+                and self.stride == other.stride
+                and self.stride is not None and self.stride > 0
+                and delta % self.stride == 0):
+            return True
+        return False
+
+    @property
+    def _dense(self) -> bool:
+        """Touches every byte of its span (scalar, or stride == elem)."""
+        if self.kind == "scalar":
+            return True
+        return self.kind == "strided" and \
+            self.stride is not None and abs(self.stride) == self.elem
+
+    def _hits_slot(self, offset: int, width: int) -> bool:
+        """Does the strided progression touch [offset, offset+width)
+        relative to its own base?  (Exact, for known stride.)"""
+        for i in range(self.length):
+            pos = i * self.stride
+            if pos < offset + width and offset < pos + self.elem:
+                return True
+        return False
+
+    def covers(self, addr: int) -> bool:
+        """Can this footprint touch the quadword at concrete ``addr``?
+
+        Only meaningful when ``base`` is a concrete constant (the
+        soundness suite analyzes fully-concrete registry kernels); a
+        symbolic base answers ``False`` so the differential test fails
+        loudly rather than vacuously passing.
+        """
+        if self.base is None:
+            return True        # widened to may-touch-anything
+        if not self.base.is_const:
+            return False
+        rel = addr - self.base.const
+        if self.kind == "scalar":
+            return rel == 0
+        if self.kind == "strided":
+            if self.stride is None:
+                return True
+            if self.stride == 0:
+                return rel == 0
+            if rel % self.stride != 0:
+                return False
+            i = rel // self.stride
+            return 0 <= i < self.length
+        # indexed
+        if self.off_lo is None or self.off_hi is None:
+            return True
+        return self.off_lo <= rel <= self.off_hi
+
+    def describe(self) -> str:
+        """Compact human-readable form for diagnostics."""
+        base = "?" if self.base is None else str(self.base)
+        if self.kind == "scalar":
+            return f"[{base} +8]"
+        if self.kind == "strided":
+            stride = "?" if self.stride is None else self.stride
+            return f"[{base} + i*{stride}, i<{self.length}]"
+        if self.off_lo is None:
+            return f"[{base} + ?]"
+        return f"[{base} + ({self.off_lo}..{self.off_hi})]"
+
+
+def interval_within(inner: tuple[int, int],
+                    outer: tuple[int, int]) -> bool:
+    """Half-open byte-interval containment."""
+    return outer[0] <= inner[0] and inner[1] <= outer[1]

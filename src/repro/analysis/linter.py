@@ -19,14 +19,19 @@ from repro.analysis.encoding_lint import (
     check_assembler_roundtrip,
     check_encodings,
 )
+from repro.analysis.vmem import check_memory
 
 
 def lint_program(program: Program, *, encoding: bool = True,
-                 roundtrip: bool = True) -> LintReport:
+                 roundtrip: bool = True, memory: bool = True,
+                 buffers: Optional[dict[str, tuple[int, int]]] = None,
+                 ) -> LintReport:
     """Statically verify ``program`` without executing it.
 
-    ``encoding``/``roundtrip`` switch off the (slower) representation
-    checks; the dataflow rules always run.
+    ``encoding``/``roundtrip``/``memory`` switch off the slower passes;
+    the dataflow rules always run.  ``buffers`` (region name ->
+    ``(base, nbytes)``) enables the vmem bounds check — workloads
+    declare theirs via ``WorkloadInstance.buffers``.
     """
     report = LintReport(program_name=program.name)
     check_dataflow(program, report)
@@ -34,6 +39,8 @@ def lint_program(program: Program, *, encoding: bool = True,
         check_encodings(program, report)
     if roundtrip:
         check_assembler_roundtrip(program, report)
+    if memory:
+        check_memory(program, report, buffers=buffers)
     return report
 
 
@@ -54,7 +61,8 @@ def lint_registry(scale: Optional[float] = None, *,
         instance = (workload.build_small() if scale is None
                     else workload.build(scale))
         report = lint_program(instance.program, encoding=encoding,
-                              roundtrip=roundtrip)
+                              roundtrip=roundtrip,
+                              buffers=instance.buffers)
         report.program_name = name
         reports[name] = report
     return reports

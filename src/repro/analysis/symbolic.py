@@ -1,0 +1,166 @@
+"""Symbolic affine domain for scalar registers and vector value bounds.
+
+The vector-memory analyzer (:mod:`repro.analysis.vmem`) needs to know,
+*without executing the program*, what address every memory instruction
+can touch.  Kernel address arithmetic is overwhelmingly affine — bases
+come from ``lda``, and are adjusted by ``addq``/``subq``/``mulq``/``sll``
+with constant operands — so scalar registers are tracked as
+:class:`SymExpr`: an integer constant plus an integer-weighted sum of
+opaque *parameters* (``base + sum(c_i * p_i)``).  A parameter is minted
+wherever a statically unknown value is defined (a scalar load, a
+``vextq``/``vsumq``/``vsumt`` round trip from the vector side, or a
+register the program reads before writing).  Two expressions over the
+same parameters differ by a known constant, which is exactly what
+footprint disjointness proofs need: symbolic bases cancel and the
+comparison becomes concrete interval arithmetic.
+
+Vector registers get a much coarser domain, :data:`VecInterval`: either
+``(lo, hi)`` concrete bounds on every element, or ``None`` (unknown).
+Its only job is bounding gather/scatter byte offsets — the idiomatic
+index pipelines (``viota``, masking with ``vsand``, shifts, adds with
+constants) all preserve bounds, while loaded index vectors are unknown
+and widen the footprint to a may-touch-anything interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+#: an affine expression is widened to TOP (represented as ``None`` at
+#: use sites) beyond this many distinct parameters — kernels that
+#: accumulate a fresh unknown per loop iteration stay linear to analyze
+MAX_TERMS = 8
+
+
+@dataclass(frozen=True)
+class SymExpr:
+    """``const + sum(coeff * param)`` with integer coefficients.
+
+    ``terms`` is a canonically-sorted tuple of ``(param, coeff)`` pairs
+    with every coefficient non-zero, so structural equality is semantic
+    equality and hashing works.
+    """
+
+    const: int
+    terms: tuple[tuple[str, int], ...] = ()
+
+    # -- constructors ----------------------------------------------------
+    @classmethod
+    def constant(cls, value: int) -> "SymExpr":
+        return cls(int(value))
+
+    @classmethod
+    def param(cls, name: str) -> "SymExpr":
+        """A fresh opaque unknown (coefficient 1)."""
+        return cls(0, ((name, 1),))
+
+    # -- queries ---------------------------------------------------------
+    @property
+    def is_const(self) -> bool:
+        return not self.terms
+
+    def delta(self, other: "SymExpr") -> Optional[int]:
+        """``self - other`` when it is a known constant, else ``None``.
+
+        This is the workhorse of footprint comparison: accesses relative
+        to the same (possibly unknown) base have equal term tuples, so
+        their distance is concrete even when their addresses are not.
+        """
+        if self.terms == other.terms:
+            return self.const - other.const
+        return None
+
+    # -- arithmetic (all total; return None to signal widening) ----------
+    def shift(self, offset: int) -> "SymExpr":
+        return SymExpr(self.const + int(offset), self.terms)
+
+    def plus(self, other: "SymExpr") -> Optional["SymExpr"]:
+        merged = dict(self.terms)
+        for name, coeff in other.terms:
+            merged[name] = merged.get(name, 0) + coeff
+        terms = tuple(sorted((n, c) for n, c in merged.items() if c))
+        if len(terms) > MAX_TERMS:
+            return None
+        return SymExpr(self.const + other.const, terms)
+
+    def minus(self, other: "SymExpr") -> Optional["SymExpr"]:
+        return self.plus(other.times(-1))
+
+    def times(self, factor: int) -> "SymExpr":
+        factor = int(factor)
+        if factor == 0:
+            return SymExpr(0)
+        return SymExpr(self.const * factor,
+                       tuple((n, c * factor) for n, c in self.terms))
+
+    def lshift(self, bits: int) -> "SymExpr":
+        return self.times(1 << int(bits))
+
+    def __str__(self) -> str:
+        parts = [str(self.const)] if self.const or not self.terms else []
+        for name, coeff in self.terms:
+            parts.append(name if coeff == 1 else f"{coeff}*{name}")
+        return " + ".join(parts)
+
+
+class SymState:
+    """Abstract scalar register file: ``r0``..``r30`` -> affine expr.
+
+    ``r31`` is architectural zero.  Registers read before any write get
+    a stable entry parameter (``r{n}.entry``); statically unknown
+    definitions mint a fresh parameter named after the defining
+    instruction index, so two different loads never alias symbolically.
+    """
+
+    def __init__(self) -> None:
+        self._regs: dict[int, Optional[SymExpr]] = {}
+
+    def read(self, reg: int) -> Optional[SymExpr]:
+        """The register's expression, or ``None`` when widened to TOP."""
+        if reg == 31:
+            return SymExpr.constant(0)
+        if reg not in self._regs:
+            self._regs[reg] = SymExpr.param(f"r{reg}.entry")
+        return self._regs[reg]
+
+    def write(self, reg: int, value: Optional[SymExpr]) -> None:
+        if reg != 31:
+            self._regs[reg] = value
+
+    def write_unknown(self, reg: int, index: int) -> None:
+        """Define ``reg`` with a fresh opaque parameter (e.g. a load)."""
+        self.write(reg, SymExpr.param(f"p{index}"))
+
+
+#: concrete per-element bounds ``(lo, hi)`` on a vector register, or
+#: ``None`` when nothing is known (loaded data, untracked ops)
+VecInterval = Optional[tuple[int, int]]
+
+
+def interval_add(a: VecInterval, b: VecInterval) -> VecInterval:
+    if a is None or b is None:
+        return None
+    return (a[0] + b[0], a[1] + b[1])
+
+
+def interval_scale(a: VecInterval, factor: int) -> VecInterval:
+    if a is None:
+        return None
+    lo, hi = a[0] * factor, a[1] * factor
+    return (lo, hi) if factor >= 0 else (hi, lo)
+
+
+def interval_and_mask(mask: int) -> VecInterval:
+    """``x & mask`` for a non-negative constant mask bounds the result
+    regardless of the input — the idiom that makes digit extraction
+    (``vsand v, v, #255``) analyzable even on loaded keys."""
+    if mask >= 0:
+        return (0, mask)
+    return None
+
+
+def interval_rshift(a: VecInterval, bits: int) -> VecInterval:
+    if a is None or a[0] < 0:
+        return None
+    return (a[0] >> bits, a[1] >> bits)

@@ -1,0 +1,497 @@
+"""Symbolic vector-memory analyzer (the ``vmem`` pass).
+
+A single forward walk abstract-interprets a straight-line kernel with
+three cooperating domains:
+
+* the existing :class:`~repro.analysis.lattice.ControlState` for
+  ``vl``/``vs``/``vm``;
+* :class:`~repro.analysis.symbolic.SymState` — scalar registers as
+  affine expressions, so address arithmetic stays exact through
+  ``lda``/``addq``/``mulq``/``sll`` chains;
+* a per-vector-register value interval
+  (:data:`~repro.analysis.symbolic.VecInterval`) that bounds
+  gather/scatter byte offsets through the idiomatic ``viota`` →
+  shift/mask/add index pipelines.
+
+Every memory instruction yields a :class:`MemAccess` carrying its
+:class:`~repro.analysis.footprint.Footprint`.  On top of the access
+list sit:
+
+* :func:`memory_dependences` — must/may RAW/WAR/WAW edges through
+  memory, consumed by :func:`repro.analysis.depgraph.build_dep_graph`
+  (``memory=True``) in place of the old all-pairs ``mem`` token;
+* :func:`check_memory` — the lint pass: missing-``drainm`` hazards
+  (scalar store later read by a vector load without the section-3.4
+  barrier; the one coherency direction Tarantula does *not* keep
+  transparent), self-overlapping strided stores, bounds checks against
+  declared workload buffers, and bank/alignment/short-``vl``
+  performance notes reusing :mod:`repro.vbox.reorder` classification.
+
+Soundness contract: a footprint *over*-approximates the dynamic
+address set (checked by the trace-differential suite in
+``tests/analysis/test_vmem_soundness.py``).  Widening is always toward
+"may touch more": unknown stride/offsets/base answer ``True`` to
+overlap queries.  Prefetches (loads to ``v31``) are ignored — they
+have no architectural effect and fault-suppress in hardware.  The
+analyzer reasons in exact integers and ignores 64-bit address wrap,
+which no kernel in the suite relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.isa.instructions import Group, Instruction
+from repro.isa.program import Program
+from repro.isa.registers import MVL
+from repro.isa.semantics import float_to_bits
+
+from repro.analysis.diagnostics import Code, LintReport
+from repro.analysis.lattice import ControlState
+from repro.analysis.symbolic import (
+    SymExpr,
+    SymState,
+    VecInterval,
+    interval_add,
+    interval_and_mask,
+    interval_rshift,
+    interval_scale,
+)
+from repro.analysis.footprint import ELEM, Footprint, interval_within
+
+
+@dataclass(frozen=True)
+class MemAccess:
+    """One memory instruction and the footprint it may touch."""
+
+    index: int
+    op: str
+    is_load: bool
+    is_store: bool
+    is_scalar: bool            # SC-group ldq/stq (L1/write-buffer path)
+    is_prefetch: bool
+    masked: bool
+    vl_known: bool
+    footprint: Footprint
+    text: str = ""
+
+
+@dataclass
+class VmemAnalysis:
+    """Result of one analyzer walk: accesses in program order, plus the
+    indices of ``drainm`` barriers."""
+
+    program_name: str
+    n_instructions: int
+    accesses: list[MemAccess] = field(default_factory=list)
+    drains: list[int] = field(default_factory=list)
+
+    def footprint_at(self, index: int) -> Optional[Footprint]:
+        for acc in self.accesses:
+            if acc.index == index:
+                return acc.footprint
+        return None
+
+
+def _scalar_operand(instr: Instruction, syms: SymState) -> Optional[int]:
+    """Concrete value of a VS/VC scalar operand (imm or const register)."""
+    if instr.ra is not None:
+        expr = syms.read(instr.ra)
+        if expr is not None and expr.is_const:
+            return expr.const
+        return None
+    if isinstance(instr.imm, int):
+        return instr.imm
+    return None
+
+
+def _step_scalar(instr: Instruction, index: int, syms: SymState) -> None:
+    """Transfer function for SC-group register writes."""
+    op = instr.op
+    if op == "lda":
+        base = syms.read(instr.rb) if instr.rb is not None \
+            else SymExpr.constant(0)
+        if isinstance(instr.imm, float):
+            syms.write(instr.rd, SymExpr.constant(float_to_bits(instr.imm)))
+        elif base is None:
+            syms.write(instr.rd, None)
+        else:
+            syms.write(instr.rd, base.shift(int(instr.imm)))
+        return
+    if op in ("addq", "subq", "mulq", "sll"):
+        a = syms.read(instr.ra)
+        if a is None:
+            syms.write(instr.rd, None)
+            return
+        if instr.imm is not None:
+            b_const: Optional[int] = int(instr.imm)
+            b_expr: Optional[SymExpr] = SymExpr.constant(b_const)
+        else:
+            b_expr = syms.read(instr.rb)
+            b_const = b_expr.const if b_expr is not None and b_expr.is_const \
+                else None
+        if op == "addq":
+            syms.write(instr.rd, a.plus(b_expr) if b_expr is not None else None)
+        elif op == "subq":
+            syms.write(instr.rd, a.minus(b_expr) if b_expr is not None else None)
+        elif op == "mulq":
+            if b_const is not None:
+                syms.write(instr.rd, a.times(b_const))
+            elif a.is_const and b_expr is not None:
+                syms.write(instr.rd, b_expr.times(a.const))
+            else:
+                syms.write(instr.rd, None)
+        else:  # sll
+            syms.write(instr.rd, a.lshift(b_const & 63)
+                       if b_const is not None else None)
+        return
+    if op == "ldq":
+        syms.write_unknown(instr.rd, index)
+
+
+#: VS-group integer ops with an interval transfer (suffix -> handler)
+def _vs_interval(suffix: str, src: VecInterval,
+                 scalar: Optional[int]) -> VecInterval:
+    if suffix == "and":
+        if scalar is not None:
+            return interval_and_mask(scalar)
+        return None
+    if scalar is None:
+        return None
+    if suffix == "addq":
+        return interval_add(src, (scalar, scalar))
+    if suffix == "subq":
+        return interval_add(src, (-scalar, -scalar))
+    if suffix == "mulq":
+        return interval_scale(src, scalar)
+    if suffix == "sll":
+        return interval_scale(src, 1 << (scalar & 63))
+    if suffix == "srl":
+        return interval_rshift(src, scalar & 63)
+    return None
+
+
+def _step_vector(instr: Instruction, syms: SymState,
+                 vints: dict[int, VecInterval]) -> None:
+    """Transfer function for vector-register value intervals."""
+    d = instr.definition
+    op = instr.op
+    vd = instr.vd
+
+    def read(v: Optional[int]) -> VecInterval:
+        if v == 31:
+            return (0, 0)
+        return vints.get(v) if v is not None else None
+
+    result: VecInterval = None
+    if op == "viota":
+        result = (0, MVL - 1)
+    elif op in ("vvxor", "vvsubq") and instr.va == instr.vb:
+        result = (0, 0)
+    elif op == "vvbis" and instr.va == instr.vb:
+        result = read(instr.va)       # register move idiom
+    elif op == "vvaddq":
+        result = interval_add(read(instr.va), read(instr.vb))
+    elif op == "vvsubq":
+        b = read(instr.vb)
+        result = interval_add(read(instr.va),
+                              (-b[1], -b[0]) if b is not None else None)
+    elif d.group is Group.VS and op.startswith("vs"):
+        result = _vs_interval(op[2:], read(instr.va),
+                              _scalar_operand(instr, syms))
+    elif op == "vinsq":
+        old = read(vd)
+        inserted: Optional[int]
+        if instr.ra is not None:
+            expr = syms.read(instr.ra)
+            inserted = expr.const if expr is not None and expr.is_const \
+                else None
+        else:
+            inserted = 0
+        if old is not None and inserted is not None:
+            result = (min(old[0], inserted), max(old[1], inserted))
+
+    if vd is None or vd == 31 or "vd" not in d.fields:
+        return
+    if d.is_load:
+        vints[vd] = None              # loaded data: unknown
+        return
+    if instr.masked or d.reads_dest:
+        old = vints.get(vd)
+        if result is None or old is None:
+            result = None
+        else:
+            result = (min(result[0], old[0]), max(result[1], old[1]))
+    vints[vd] = result
+
+
+def analyze_memory(program: Program) -> VmemAnalysis:
+    """Run the abstract interpreter; return every access's footprint."""
+    analysis = VmemAnalysis(program_name=program.name,
+                            n_instructions=len(program))
+    ctrl = ControlState.initial()
+    syms = SymState()
+    vints: dict[int, VecInterval] = {}
+
+    for i, instr in enumerate(program):
+        d = instr.definition
+        if instr.op == "drainm":
+            analysis.drains.append(i)
+        # record the access against the *pre*-state (addressing reads
+        # registers before any write-back), mirroring the simulators
+        if d.is_memory and not instr.is_prefetch:
+            analysis.accesses.append(
+                _make_access(instr, i, ctrl, syms, vints))
+        # transfer functions
+        ctrl = ctrl.step(instr, i)
+        if d.group is Group.SC:
+            _step_scalar(instr, i, syms)
+        elif d.group is Group.VC and instr.op in ("vextq", "vsumq", "vsumt"):
+            syms.write_unknown(instr.rd, i)
+        if d.group in (Group.VV, Group.VS, Group.SM, Group.RM) \
+                or d.group is Group.VC:
+            _step_vector(instr, syms, vints)
+    return analysis
+
+
+def _make_access(instr: Instruction, index: int, ctrl: ControlState,
+                 syms: SymState, vints: dict[int, VecInterval]) -> MemAccess:
+    d = instr.definition
+    base = syms.read(instr.rb)
+    if base is not None:
+        base = base.shift(instr.disp)
+    vl_known = ctrl.vl.is_known
+    length = ctrl.vl.value if vl_known else MVL
+
+    if d.group is Group.SC:
+        fp = Footprint(base=base, kind="scalar")
+    elif d.is_indexed:
+        offsets = vints.get(instr.vb) if instr.vb != 31 else (0, 0)
+        fp = Footprint(base=base, kind="indexed", length=length,
+                       off_lo=offsets[0] if offsets else None,
+                       off_hi=offsets[1] if offsets else None)
+    else:
+        stride = ctrl.vs.value if ctrl.vs.is_known else None
+        fp = Footprint(base=base, kind="strided", stride=stride,
+                       length=max(length, 1))
+    return MemAccess(index=index, op=instr.op, is_load=d.is_load,
+                     is_store=d.is_store, is_scalar=d.group is Group.SC,
+                     is_prefetch=instr.is_prefetch, masked=instr.masked,
+                     vl_known=vl_known, footprint=fp, text=str(instr))
+
+
+# -- memory-carried dependences ---------------------------------------------
+
+
+def _contains(outer: Footprint, inner: Footprint) -> bool:
+    """Provably: every byte ``inner`` can touch, ``outer`` writes.
+
+    Used to stop the backward dependence scan — a containing store
+    kills visibility of anything older (same role as ``last_writer``
+    in the register walk).
+    """
+    if outer.base is None or inner.base is None:
+        return False
+    delta = inner.base.delta(outer.base)
+    if delta is None:
+        return False
+    a, b = outer.span(), inner.span()
+    if a is None or b is None:
+        return False
+    if outer._dense:
+        return interval_within((delta + b[0], delta + b[1]), a)
+    if outer.kind == "strided" and outer.stride and outer.stride > 0:
+        if inner.kind == "scalar":
+            return delta % outer.stride == 0 and \
+                0 <= delta // outer.stride < outer.length
+        if inner.kind == "strided" and inner.stride == outer.stride \
+                and delta % outer.stride == 0:
+            k = delta // outer.stride
+            return 0 <= k and k + inner.length <= outer.length
+    return False
+
+
+def memory_dependences(
+        analysis: VmemAnalysis) -> list[tuple[int, int, str, bool]]:
+    """Memory-carried dependences as ``(src, dst, kind, must)`` tuples.
+
+    ``kind`` is ``"RAW"``/``"WAR"``/``"WAW"``; ``must`` means the two
+    footprints provably share a byte (a may-edge has ``must=False``).
+    The backward scan stops at a store that provably covers the current
+    access, exactly like the register walk stops at the last writer.
+    """
+    deps: list[tuple[int, int, str, bool]] = []
+    stores: list[MemAccess] = []
+    loads: list[MemAccess] = []
+    for acc in [a for a in (analysis.accesses or []) if not a.is_prefetch]:
+        fp = acc.footprint
+        if acc.is_load:
+            for prev in reversed(stores):
+                if prev.footprint.may_overlap(fp):
+                    deps.append((prev.index, acc.index, "RAW",
+                                 prev.footprint.must_overlap(fp)))
+                    if _contains(prev.footprint, fp):
+                        break
+            loads.append(acc)
+        if acc.is_store:
+            for prev in reversed(stores):
+                if prev.footprint.may_overlap(fp):
+                    deps.append((prev.index, acc.index, "WAW",
+                                 prev.footprint.must_overlap(fp)))
+                    if _contains(prev.footprint, fp):
+                        break
+            for prev in loads:
+                if prev.index != acc.index and \
+                        prev.footprint.may_overlap(fp):
+                    deps.append((prev.index, acc.index, "WAR",
+                                 prev.footprint.must_overlap(fp)))
+            stores.append(acc)
+    deps.sort(key=lambda e: (e[1], e[0]))
+    return deps
+
+
+# -- the lint pass -----------------------------------------------------------
+
+
+def check_memory(program: Program, report: LintReport, *,
+                 buffers: Optional[dict[str, tuple[int, int]]] = None,
+                 analysis: Optional[VmemAnalysis] = None) -> VmemAnalysis:
+    """Run every vmem lint rule, appending findings to ``report``.
+
+    ``buffers`` maps region names to ``(base, nbytes)`` extents (see
+    ``WorkloadInstance.buffers``); bounds checking only runs when it is
+    provided, and only on footprints with concrete absolute bounds.
+    """
+    if analysis is None:
+        analysis = analyze_memory(program)
+    _check_drain_hazards(analysis, report)
+    _check_self_overlap(analysis, report)
+    if buffers:
+        _check_bounds(analysis, report, buffers)
+    _check_performance(analysis, report)
+    return analysis
+
+
+def _check_drain_hazards(analysis: VmemAnalysis, report: LintReport) -> None:
+    """Scalar store → vector load without an intervening ``drainm``.
+
+    Scalar stores retire through EV8's L1/write buffer; vector accesses
+    go straight to L2.  Section 3.4's coherency protocol makes every
+    direction transparent *except* this one — a vector load can read L2
+    before the scalar store has drained to it.  The architectural fix
+    is ``drainm``, so a may-overlapping pair with no barrier in between
+    is flagged as an error.
+    """
+    pending: list[MemAccess] = []
+    drains = list(analysis.drains)
+    for acc in analysis.accesses:
+        while drains and drains[0] < acc.index:
+            pending.clear()
+            drains.pop(0)
+        if acc.is_scalar:
+            if acc.is_store:
+                pending.append(acc)
+            continue
+        if not acc.is_load:
+            continue
+        for store in pending:
+            if store.footprint.may_overlap(acc.footprint):
+                report.add(
+                    Code.MEM_DRAIN_MISSING, acc.index,
+                    f"vector load may read {acc.footprint.describe()} "
+                    f"written by scalar store @{store.index} "
+                    f"{store.footprint.describe()} with no drainm between "
+                    "(scalar stores drain through the write buffer; "
+                    "section 3.4)",
+                    instruction=acc.text)
+                break   # one finding per load is enough
+
+
+def _check_self_overlap(analysis: VmemAnalysis, report: LintReport) -> None:
+    """A strided store whose own elements collide (|vs| < 8, vl > 1)
+    silently drops data under the paper's UNPREDICTABLE ordering."""
+    for acc in analysis.accesses:
+        fp = acc.footprint
+        if acc.is_store and fp.kind == "strided" \
+                and fp.stride is not None and abs(fp.stride) < ELEM \
+                and fp.length > 1:
+            report.add(
+                Code.MEM_STORE_SELF_OVERLAP, acc.index,
+                f"strided store with vs={fp.stride} overlaps its own "
+                f"elements (quadwords need |vs| >= 8); element order is "
+                "UNPREDICTABLE",
+                instruction=acc.text)
+
+
+def _check_bounds(analysis: VmemAnalysis, report: LintReport,
+                  buffers: dict[str, tuple[int, int]]) -> None:
+    extents = {name: (base, base + nbytes)
+               for name, (base, nbytes) in buffers.items()}
+    for acc in analysis.accesses:
+        interval = acc.footprint.abs_interval()
+        if interval is None:
+            continue   # symbolic or unbounded: cannot check statically
+        if any(interval_within(interval, ext) for ext in extents.values()):
+            continue
+        nearest = _nearest_buffer(interval, extents)
+        report.add(
+            Code.MEM_OOB, acc.index,
+            f"access {acc.footprint.describe()} = "
+            f"[{interval[0]:#x}, {interval[1]:#x}) is outside every "
+            f"declared buffer{nearest}",
+            instruction=acc.text)
+
+
+def _nearest_buffer(interval: tuple[int, int],
+                    extents: dict[str, tuple[int, int]]) -> str:
+    for name, (lo, hi) in extents.items():
+        if interval[0] < hi and interval[1] > lo:
+            over = max(interval[1] - hi, lo - interval[0])
+            return (f" (overlaps {name!r} [{lo:#x}, {hi:#x}) "
+                    f"but overruns it by {over} bytes)")
+    return ""
+
+
+def _check_performance(analysis: VmemAnalysis, report: LintReport) -> None:
+    """INFO-level notes: self-conflicting bank strides, misaligned
+    bases, and sub-maximal ``vl`` regimes."""
+    from repro.vbox.reorder import is_reorderable
+
+    seen_strides: set[int] = set()
+    misaligned: set[int] = set()
+    short_vl: list[MemAccess] = []
+    for acc in analysis.accesses:
+        fp = acc.footprint
+        if acc.is_scalar:
+            continue
+        if fp.kind == "strided" and fp.stride is not None \
+                and fp.stride > ELEM and fp.length > 1:
+            base = fp.base.const if fp.base is not None and fp.base.is_const \
+                else 0
+            if fp.stride not in seen_strides \
+                    and not is_reorderable(base, fp.stride, n=fp.length):
+                seen_strides.add(fp.stride)
+                report.add(
+                    Code.MEM_BANK_CONFLICT, acc.index,
+                    f"stride {fp.stride} self-conflicts in the 16-bank L2 "
+                    "(degenerate bank histogram): accesses serialize "
+                    "through the conflict-resolution box",
+                    instruction=acc.text)
+        if fp.base is not None and fp.base.is_const \
+                and fp.base.const % ELEM != 0 and acc.index not in misaligned:
+            misaligned.add(acc.index)
+            report.add(
+                Code.MEM_MISALIGNED, acc.index,
+                f"base address {fp.base.const:#x} is not 8-byte aligned",
+                instruction=acc.text)
+        if acc.vl_known and 0 < fp.length < MVL:
+            short_vl.append(acc)
+    if short_vl:
+        first = short_vl[0]
+        report.add(
+            Code.MEM_SHORT_VL, first.index,
+            f"{len(short_vl)} memory access(es) run at vl < {MVL} "
+            f"(first: vl={first.footprint.length} @{first.index}); "
+            "short vectors under-use the address generators",
+            instruction=first.text)

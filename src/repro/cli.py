@@ -16,7 +16,10 @@ Commands mirror the paper's evaluation artifacts:
 * ``list`` — the benchmark suite and the machine configurations;
 * ``asm <file>`` — assemble a text kernel and print its listing;
 * ``lint <kernel|file.s>`` — statically verify a hand-vectorized kernel
-  (``--all`` gates the whole registry; see docs/ANALYSIS.md).
+  (``--all`` gates the whole registry, ``--format json`` emits the
+  machine-readable report CI archives, ``--list-codes`` enumerates
+  every diagnostic; see docs/ANALYSIS.md).  Exit status: 0 clean,
+  1 findings, 2 usage error.
 
 Simulation grids (table2/table4, the figures, report) accept
 ``--jobs N`` for process-parallel fan-out and ``--no-cache`` to bypass
@@ -213,8 +216,20 @@ def _cmd_asm(args) -> int:
     return 0
 
 
+def _usage_error(message: str) -> SystemExit:
+    """A usage problem (exit 2), as distinct from findings (exit 1)."""
+    print(message, file=sys.stderr)
+    return SystemExit(2)
+
+
 def _lint_target_program(target: str, scale):
-    """Resolve a lint target: registry kernel name, or an assembly file."""
+    """Resolve a lint target: registry kernel name, or an assembly file.
+
+    Returns ``(program, buffers)`` — declared buffer extents for
+    registry kernels (enables the vmem bounds check), ``None`` for
+    assembly files.  Misses exit 2 with the kernel list and, when the
+    name is close to a known one, a spelling suggestion.
+    """
     import os
 
     from repro.errors import AssemblerError
@@ -224,39 +239,82 @@ def _lint_target_program(target: str, scale):
         workload = REGISTRY[target]
         instance = (workload.build_small() if scale is None
                     else workload.build(scale))
-        return instance.program
+        return instance.program, instance.buffers
     if os.path.exists(target):
         with open(target) as handle:
             source = handle.read()
         try:
-            return assemble(source, name=target)
+            return assemble(source, name=target), None
         except AssemblerError as exc:
-            raise SystemExit(f"lint: {target} does not assemble: {exc}")
-    known = ", ".join(sorted(REGISTRY))
-    raise SystemExit(f"lint: {target!r} is neither a registry kernel nor "
-                     f"a file; kernels: {known}")
+            raise _usage_error(f"lint: {target} does not assemble: {exc}")
+    import difflib
+
+    lines = [f"lint: {target!r} is neither a registry kernel nor a file"]
+    close = difflib.get_close_matches(target, sorted(REGISTRY), n=3)
+    if close:
+        lines.append(f"did you mean: {', '.join(close)}?")
+    lines.append("known kernels: " + ", ".join(sorted(REGISTRY)))
+    raise _usage_error("\n".join(lines))
+
+
+def _cmd_lint_codes() -> int:
+    """Print every diagnostic code with its default severity."""
+    from repro.analysis import Code
+
+    width = max(len(code.name) for code in Code)
+    for code in Code:
+        print(f"{code.name:<{width}s}  {str(code.default_severity):<7s}  "
+              f"{code.value}")
+    return 0
+
+
+def _lint_json(reports) -> str:
+    """Machine-readable lint report (stable fields; consumed by CI)."""
+    import json
+
+    return json.dumps({"programs": [
+        {
+            "program": name,
+            "errors": len(report.errors),
+            "warnings": len(report.warnings),
+            "notes": len(report.infos),
+            "diagnostics": [
+                {"code": d.code.name,
+                 "severity": str(d.severity),
+                 "pc": d.index,
+                 "message": d.message,
+                 "instruction": d.instruction}
+                for d in report
+            ],
+        }
+        for name, report in reports.items()
+    ]}, indent=2)
 
 
 def _cmd_lint(args) -> int:
     from repro.analysis import Severity, lint_registry, lint_program
 
+    if args.list_codes:
+        return _cmd_lint_codes()
     min_sev = Severity.INFO if args.verbose else Severity.WARNING
     if args.all:
         reports = lint_registry(scale=args.scale)
     elif args.target is None:
-        raise SystemExit("lint: give a kernel name / .s file, or --all")
+        raise _usage_error("lint: give a kernel name / .s file, --all, "
+                           "or --list-codes")
     else:
-        program = _lint_target_program(args.target, args.scale)
-        report = lint_program(program)
+        program, buffers = _lint_target_program(args.target, args.scale)
+        report = lint_program(program, buffers=buffers)
         reports = {report.program_name: report}
-    failed = 0
+    failed = sum(1 for report in reports.values() if report.has_errors)
+    if args.format == "json":
+        print(_lint_json(reports))
+        return 1 if failed else 0
     for report in reports.values():
         if report.has_errors or report.warnings or args.verbose:
             print(report.format(min_severity=min_sev))
         else:
             print(report.summary())
-        if report.has_errors:
-            failed += 1
     if failed:
         print(f"\nlint: {failed} of {len(reports)} program(s) have errors")
     return 1 if failed else 0
@@ -362,6 +420,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="problem scale (default: test-sized instance)")
     p_lint.add_argument("--verbose", action="store_true",
                         help="also show info-level notes")
+    p_lint.add_argument("--format", choices=("text", "json"),
+                        default="text",
+                        help="output format (json: stable fields "
+                        "code/severity/pc/message per diagnostic)")
+    p_lint.add_argument("--list-codes", action="store_true",
+                        help="list every diagnostic code with its "
+                        "default severity and exit")
     p_lint.set_defaults(fn=_cmd_lint)
     return parser
 

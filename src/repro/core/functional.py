@@ -83,12 +83,17 @@ class FunctionalSimulator:
     """Executes programs and accumulates operation counts."""
 
     def __init__(self, memory: MainMemory | None = None,
-                 poison_tail: bool = False) -> None:
+                 poison_tail: bool = False,
+                 trace_addresses: bool = False) -> None:
         self.memory = memory if memory is not None else MainMemory()
         self.state = ArchState()
         self.poison_tail = poison_tail
         self.counts = OperationCounts()
         self.instructions_executed = 0
+        #: pc -> byte addresses dynamically touched (active lanes only);
+        #: the vmem soundness suite diffs this against static footprints
+        self.address_trace: dict[int, np.ndarray] | None = \
+            {} if trace_addresses else None
 
     def active_elements(self, instr: Instruction) -> int:
         """Elements this instruction operates on under current vl/vm."""
@@ -149,6 +154,10 @@ class FunctionalSimulator:
         when recovery re-executes it), and every escaping trap carries
         the faulting instruction index — the paper's precise-PC report.
         """
+        if self.address_trace is not None:
+            addrs = self._touched_addresses(instr)
+            if addrs is not None:
+                self.address_trace[self.instructions_executed] = addrs
         try:
             execute(instr, self.state, self.memory,
                     poison_tail=self.poison_tail)
@@ -156,6 +165,33 @@ class FunctionalSimulator:
             raise trap.attribute(self.instructions_executed) from None
         self._account(instr)
         self.instructions_executed += 1
+
+    def _touched_addresses(self, instr: Instruction) -> np.ndarray | None:
+        """Byte addresses ``instr`` is about to touch, or None.
+
+        Computed against the *pre*-execution state (address operands are
+        read before any write-back), mirroring the semantics handlers.
+        Prefetches return None — they never materialize addresses
+        architecturally (faults are suppressed), so the static analyzer
+        skips them too.
+        """
+        from repro.isa.semantics import indexed_addresses, strided_addresses
+
+        d = instr.definition
+        if instr.is_prefetch:
+            return None
+        if d.group in (Group.SM, Group.RM):
+            addrs = indexed_addresses(instr, self.state) if d.is_indexed \
+                else strided_addresses(instr, self.state)
+            idx = self.state.active_indices(instr.masked)
+            # the strided array is a shared read-only cache: fancy
+            # indexing copies, which is exactly what we want
+            return np.asarray(addrs[idx], dtype=np.uint64)
+        if d.group is Group.SC and instr.op in ("ldq", "stq"):
+            addr = (self.state.sregs.read(instr.rb) + instr.disp) \
+                & ((1 << 64) - 1)
+            return np.array([addr], dtype=np.uint64)
+        return None
 
     def run(self, program: Program) -> OperationCounts:
         """Execute a whole program; returns the cumulative counts."""

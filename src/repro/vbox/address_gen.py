@@ -100,6 +100,10 @@ class AddressGenerators:
         #: keyed plan cache for strided accesses (see _CachedPlan);
         #: invalidated explicitly on setvl/setvs/setvm
         self._plan_cache: dict[tuple, _CachedPlan] = {}
+        #: when set to a list, plan() appends ``(instr, plan.touched)``
+        #: for every planned access (build and cache-replay paths alike);
+        #: the vmem soundness suite uses this as the timing-side trace
+        self.trace: list[tuple[Instruction, tuple]] | None = None
 
     # -- helpers ---------------------------------------------------------
 
@@ -267,11 +271,15 @@ class AddressGenerators:
             if entry is not None:
                 plan = self._replay_plan(entry, base)
                 if plan is not None:
+                    if self.trace is not None:
+                        self.trace.append((instr, plan.touched))
                     return plan
             self.counters.add("plan_cache_misses")
         valid = self._valid_elements(instr, state)
         is_write = d.is_store
         if len(valid) == 0:
+            if self.trace is not None:
+                self.trace.append((instr, ()))
             return AccessPlan("empty", is_write, instr.is_prefetch)
 
         if d.is_indexed:
@@ -306,4 +314,6 @@ class AddressGenerators:
         if key is not None and plan.kind in _KIND_COUNTER \
                 and plan.tlb_penalty == 0.0 and self.vtlb.last_fast_path:
             self._store_plan(key, plan, base, len(valid))
+        if self.trace is not None:
+            self.trace.append((instr, plan.touched))
         return plan

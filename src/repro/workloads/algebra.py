@@ -139,4 +139,5 @@ def _build_matmul(name: str, mk: int, n: int,
         setup=setup, check=check,
         workload_bytes=(mk * mk + 2 * mk * n) * 8,
         warm_ranges=[(b_addr, mk * n * 8)],
-        flops_expected=flops)
+        flops_expected=flops,
+        buffers=arena.declare_buffers())

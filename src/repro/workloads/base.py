@@ -60,6 +60,17 @@ class Arena:
     def region(self, name: str) -> tuple[int, int]:
         return self.regions[name]
 
+    def declare_buffers(self) -> dict[str, tuple[int, int]]:
+        """Snapshot of every allocated region, ``name -> (base, nbytes)``.
+
+        Workloads pass this as ``WorkloadInstance.buffers`` so the vmem
+        analyzer (:mod:`repro.analysis.vmem`) can bounds-check every
+        statically-resolvable footprint against the arrays the kernel
+        is actually entitled to touch.  Call it after the last
+        ``alloc`` — it is a copy, not a live view.
+        """
+        return dict(self.regions)
+
 
 @dataclass
 class WorkloadInstance:
@@ -80,6 +91,10 @@ class WorkloadInstance:
     l2_bytes_hint: Optional[int] = None
     flops_expected: int = 0
     notes: str = ""
+    #: declared array extents (``name -> (base, nbytes)``) for the vmem
+    #: bounds check; usually ``arena.declare_buffers()``.  Empty means
+    #: "no declaration": the analyzer skips bounds checking.
+    buffers: dict[str, tuple[int, int]] = field(default_factory=dict)
 
 
 class Workload(abc.ABC):

@@ -51,7 +51,7 @@ class CCRadix(Workload):
     inputs = "2000000 elements (scaled)"
     comments = "From Jimenez-Gonzalez et al."
     uses_prefetch = True
-    uses_drainm = False
+    uses_drainm = True
     paper_vectorization_pct = 98.0
 
     def build(self, scale: float = 1.0) -> WorkloadInstance:
@@ -126,7 +126,8 @@ class CCRadix(Workload):
             workload_bytes=4 * n * 8 * passes,
             warm_ranges=[(buf[0], SLOTS * row * 8), (buf[1], SLOTS * row * 8),
                          (count_addr, SLOTS * DIGITS * 8),
-                         (start_addr, SLOTS * DIGITS * 8)])
+                         (start_addr, SLOTS * DIGITS * 8)],
+            buffers=arena.declare_buffers())
 
     @staticmethod
     def _emit_pass(kb: KernelBuilder, cols: int, row: int, lc: int,
@@ -173,6 +174,11 @@ class CCRadix(Workload):
             kb.ldq(11, rb=5, disp=d * 8)
             kb.stq(10, rb=5, disp=d * 8)
             kb.addq(10, 10, rb=11)
+        # the prefix is re-read by vector loads below, but the scalar
+        # stores sit in EV8's write buffer / L1 — the one coherency
+        # direction section 3.4 does NOT make transparent.  drainm
+        # purges the write buffer and updates the P-bits first.
+        kb.drainm()
 
         # per-slot starts: start[0][d] = prefix[d];
         # start[s][d] = start[s-1][d] + count[s-1][d]   (slot-major order

@@ -139,7 +139,8 @@ class BatchFFT(Workload):
             workload_bytes=4 * n * batch * 8,
             warm_ranges=[(in_re, n * batch * 8), (in_im, n * batch * 8),
                          (w_re, n * batch * 8), (w_im, n * batch * 8)],
-            flops_expected=flops)
+            flops_expected=flops,
+            buffers=arena.declare_buffers())
 
     @staticmethod
     def _emit_butterfly(kb: KernelBuilder, blk: int, positions, twiddles,

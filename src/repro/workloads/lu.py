@@ -120,7 +120,8 @@ def _build_lu(name: str, n: int, column_tile: int) -> WorkloadInstance:
         setup=setup, check=check,
         workload_bytes=3 * n * n * 8,
         warm_ranges=[(a_addr, n * n * 8)],
-        flops_expected=flops)
+        flops_expected=flops,
+        buffers=arena.declare_buffers())
 
 
 class LU(Workload):

@@ -171,4 +171,5 @@ class Moldyn(Workload):
             workload_bytes=(2 * npairs + 12 * npairs) * 8,
             warm_ranges=[(addr[a], n * 8) for a in
                          ("x", "y", "z", "fx", "fy", "fz")],
-            flops_expected=flops)
+            flops_expected=flops,
+            buffers=arena.declare_buffers())

@@ -87,7 +87,8 @@ class RndCopy(Workload):
             name=self.name, program=kb.build(), scalar_loop=loop,
             setup=setup, check=check,
             workload_bytes=16 * n,  # 8 read + 8 written per element
-            warm_ranges=[(a, n * 8), (b, n * 8), (idx_addr, n * 8)])
+            warm_ranges=[(a, n * 8), (b, n * 8), (idx_addr, n * 8)],
+            buffers=arena.declare_buffers())
 
 
 class RndMemScale(Workload):
@@ -140,4 +141,5 @@ class RndMemScale(Workload):
         return WorkloadInstance(
             name=self.name, program=kb.build(), scalar_loop=loop,
             setup=setup, check=check,
-            workload_bytes=16 * n)
+            workload_bytes=16 * n,
+            buffers=arena.declare_buffers())

@@ -121,4 +121,5 @@ class SparseMxV(Workload):
                          (val_addr, width * rows * 8),
                          (colb_addr, width * rows * 8)],
             l2_bytes_hint=l2_hint,
-            flops_expected=2 * width * rows)
+            flops_expected=2 * width * rows,
+            buffers=arena.declare_buffers())

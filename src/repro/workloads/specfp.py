@@ -170,7 +170,8 @@ class SwimSurrogate(Workload):
             name=self.name, program=kb.build(), scalar_loop=loop,
             setup=setup, check=check,
             workload_bytes=6 * grid_bytes,
-            flops_expected=flops)
+            flops_expected=flops,
+            buffers=arena.declare_buffers())
 
 
 class ArtSurrogate(Workload):
@@ -265,7 +266,8 @@ class ArtSurrogate(Workload):
             workload_bytes=(f2 * f1 + f1 + f2) * 8,
             # the network is small and re-walked every training pass
             warm_ranges=[(x_addr, f1 * 8), (w_addr, f2 * f1 * 8)],
-            flops_expected=flops)
+            flops_expected=flops,
+            buffers=arena.declare_buffers())
 
 
 class SixtrackSurrogate(Workload):
@@ -374,4 +376,5 @@ class SixtrackSurrogate(Workload):
             setup=setup, check=check,
             workload_bytes=8 * n * 8 * turns,
             warm_ranges=[(addr[k], n * 8) for k in regs],
-            flops_expected=flops)
+            flops_expected=flops,
+            buffers=arena.declare_buffers())

@@ -109,7 +109,8 @@ class _StreamsKernel(Workload):
             name=self.name, program=kb.build(), scalar_loop=loop,
             setup=setup, check=check,
             workload_bytes=(len(self.reads) + len(self.writes)) * 8 * n,
-            flops_expected=self.flops_per_element * n)
+            flops_expected=self.flops_per_element * n,
+            buffers=arena.declare_buffers())
 
 
 class StreamsCopy(_StreamsKernel):

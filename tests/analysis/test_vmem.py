@@ -1,0 +1,363 @@
+"""Symbolic vector-memory analyzer: domain, footprints, dependences,
+and the lint rules (docs/ANALYSIS.md, "The vmem pass")."""
+
+import importlib.util
+import pathlib
+
+from repro.analysis import Code, DepKind, build_dep_graph
+from repro.analysis.diagnostics import LintReport
+from repro.analysis.footprint import Footprint, interval_within
+from repro.analysis.symbolic import SymExpr
+from repro.analysis.vmem import (
+    analyze_memory,
+    check_memory,
+    memory_dependences,
+)
+from repro.isa.builder import KernelBuilder
+
+
+def _report(program, buffers=None):
+    report = LintReport(program_name=program.name)
+    check_memory(program, report, buffers=buffers)
+    return report
+
+
+def _prologue(name="k", vl=128, vs=8):
+    kb = KernelBuilder(name)
+    kb.setvl(vl)
+    kb.setvs(vs)
+    return kb
+
+
+class TestSymExpr:
+    def test_constant_arithmetic(self):
+        e = SymExpr.constant(8).shift(8).times(2)
+        assert e.is_const and e.const == 32
+
+    def test_same_param_bases_have_concrete_delta(self):
+        base = SymExpr.param("b")
+        assert base.shift(64).delta(base.shift(8)) == 56
+
+    def test_different_params_have_no_delta(self):
+        assert SymExpr.param("a").delta(SymExpr.param("b")) is None
+
+    def test_times_distributes_over_terms(self):
+        e = SymExpr.param("b").shift(4).times(3)
+        assert e.const == 12
+        assert e.terms == (("b", 3),)
+
+    def test_cancellation_produces_a_constant(self):
+        e = SymExpr.param("b").shift(5)
+        diff = e.minus(SymExpr.param("b"))
+        assert diff.is_const and diff.const == 5
+
+    def test_widening_beyond_max_terms(self):
+        acc = SymExpr.constant(0)
+        for i in range(9):
+            acc = acc.plus(SymExpr.param(f"p{i}"))
+            if acc is None:
+                break
+        assert acc is None
+
+
+def _strided(base, stride, length):
+    return Footprint(base=SymExpr.constant(base), kind="strided",
+                     stride=stride, length=length)
+
+
+class TestFootprintRelations:
+    def test_dense_disjoint(self):
+        a = _strided(0x1000, 8, 128)
+        b = _strided(0x1400, 8, 128)
+        assert not a.may_overlap(b)
+        assert not a.must_overlap(b)
+
+    def test_dense_overlap_is_must(self):
+        a = _strided(0x1000, 8, 128)
+        b = _strided(0x1008, 8, 128)
+        assert a.may_overlap(b)
+        assert a.must_overlap(b)
+
+    def test_equal_stride_phase_gap_is_disjoint(self):
+        # interleaved rows: same stride 32, bases 16 bytes apart — no
+        # element of one ever touches an element of the other
+        a = _strided(0x1000, 32, 16)
+        b = _strided(0x1010, 32, 16)
+        assert not a.may_overlap(b)
+
+    def test_equal_stride_congruent_is_must(self):
+        a = _strided(0x1000, 32, 16)
+        b = _strided(0x1000 + 64, 32, 8)
+        assert a.may_overlap(b)
+        assert a.must_overlap(b)
+
+    def test_scalar_in_progression(self):
+        a = _strided(0x1000, 16, 4)          # slots at 0,16,32,48
+        hit = Footprint(base=SymExpr.constant(0x1020), kind="scalar")
+        miss = Footprint(base=SymExpr.constant(0x1008), kind="scalar")
+        assert a.must_overlap(hit)
+        assert not a.must_overlap(miss)
+
+    def test_unknown_stride_widens_to_may(self):
+        a = Footprint(base=SymExpr.constant(0x1000), kind="strided",
+                      stride=None, length=128)
+        b = _strided(0x9000, 8, 1)
+        assert a.may_overlap(b)
+        assert not a.must_overlap(b)
+
+    def test_symbolic_bases_same_param_still_compare(self):
+        base = SymExpr.param("r1.entry")
+        a = Footprint(base=base, kind="strided", stride=8, length=4)
+        b = Footprint(base=base.shift(0x100), kind="strided",
+                      stride=8, length=4)
+        assert not a.may_overlap(b)
+
+    def test_covers_strided_membership(self):
+        a = _strided(0x1000, 16, 4)
+        assert a.covers(0x1000) and a.covers(0x1030)
+        assert not a.covers(0x1008)
+        assert not a.covers(0x1040)
+
+    def test_covers_indexed_interval(self):
+        a = Footprint(base=SymExpr.constant(0x1000), kind="indexed",
+                      length=128, off_lo=0, off_hi=1016)
+        assert a.covers(0x1000) and a.covers(0x1000 + 1016)
+        assert not a.covers(0xff8)
+
+    def test_abs_interval(self):
+        assert _strided(0x1000, 8, 4).abs_interval() == (0x1000, 0x1020)
+        assert interval_within((0x1000, 0x1020), (0x1000, 0x1400))
+
+
+class TestAnalyzeMemory:
+    def test_strided_footprint_shape(self):
+        kb = _prologue(vl=64, vs=16)
+        kb.lda(1, 0x1000)
+        kb.vloadq(2, rb=1, disp=0x20)
+        analysis = analyze_memory(kb.build())
+        (acc,) = analysis.accesses
+        fp = acc.footprint
+        assert fp.kind == "strided"
+        assert fp.base.const == 0x1020
+        assert fp.stride == 16 and fp.length == 64
+        assert acc.vl_known
+
+    def test_gather_offset_interval_through_viota_pipeline(self):
+        kb = _prologue()
+        kb.lda(1, 0x1000)
+        kb.viota(2)
+        kb.vssll(3, 2, imm=3)
+        kb.vgathq(4, 3, rb=1)
+        analysis = analyze_memory(kb.build())
+        fp = analysis.accesses[-1].footprint
+        assert fp.kind == "indexed"
+        assert (fp.off_lo, fp.off_hi) == (0, 127 * 8)
+
+    def test_masked_digit_extraction_stays_bounded(self):
+        # the ccradix idiom: loaded keys are unknown, but & 255 << 3
+        # bounds the gather offsets regardless
+        kb = _prologue()
+        kb.lda(1, 0x1000)
+        kb.vloadq(2, rb=1)
+        kb.vsand(3, 2, imm=255)
+        kb.vssll(3, 3, imm=3)
+        kb.vgathq(4, 3, rb=1)
+        fp = analyze_memory(kb.build()).accesses[-1].footprint
+        assert (fp.off_lo, fp.off_hi) == (0, 255 * 8)
+
+    def test_prefetches_are_skipped(self):
+        kb = _prologue()
+        kb.lda(1, 0x1000)
+        kb.vloadq(31, rb=1)          # vd=31: prefetch
+        kb.vloadq(2, rb=1)
+        analysis = analyze_memory(kb.build())
+        assert len(analysis.accesses) == 1
+        assert analysis.footprint_at(3) is None
+
+    def test_scalar_load_widens_the_register(self):
+        kb = _prologue()
+        kb.lda(1, 0x1000)
+        kb.ldq(2, rb=1, disp=0)      # r2 := unknown
+        kb.vloadq(3, rb=2)
+        fp = analyze_memory(kb.build()).accesses[-1].footprint
+        assert fp.base is not None and not fp.base.is_const
+
+    def test_drainm_indices_recorded(self):
+        kb = _prologue()
+        kb.lda(1, 0x1000)
+        kb.drainm()
+        kb.vloadq(2, rb=1)
+        assert analyze_memory(kb.build()).drains == [3]
+
+
+class TestMemoryDependences:
+    def test_store_load_same_region_is_must_raw(self):
+        kb = _prologue()
+        kb.lda(1, 0x1000)
+        kb.vvxor(2, 2, 2)
+        kb.vstoreq(2, rb=1)          # 4
+        kb.vloadq(3, rb=1)           # 5
+        deps = memory_dependences(analyze_memory(kb.build()))
+        assert (4, 5, "RAW", True) in deps
+
+    def test_disjoint_regions_have_no_edge(self):
+        kb = _prologue()
+        kb.lda(1, 0x1000)
+        kb.lda(2, 0x9000)
+        kb.vvxor(3, 3, 3)
+        kb.vstoreq(3, rb=1)          # 5
+        kb.vloadq(4, rb=2)           # 6
+        deps = memory_dependences(analyze_memory(kb.build()))
+        assert not any(kind == "RAW" for _, _, kind, _ in deps)
+
+    def test_unprovable_aliasing_is_a_may_edge(self):
+        kb = _prologue()
+        kb.ldq(1, rb=31, disp=0)     # r1, r2: two distinct unknowns
+        kb.ldq(2, rb=31, disp=8)
+        kb.vvxor(3, 3, 3)
+        kb.vstoreq(3, rb=1)          # 5
+        kb.vloadq(4, rb=2)           # 6
+        deps = memory_dependences(analyze_memory(kb.build()))
+        assert (5, 6, "RAW", False) in deps
+
+    def test_war_and_waw(self):
+        kb = _prologue()
+        kb.lda(1, 0x1000)
+        kb.vloadq(2, rb=1)           # 3
+        kb.vvxor(3, 3, 3)
+        kb.vstoreq(3, rb=1)          # 5
+        kb.vstoreq(3, rb=1)          # 6
+        deps = memory_dependences(analyze_memory(kb.build()))
+        assert (3, 5, "WAR", True) in deps
+        assert (5, 6, "WAW", True) in deps
+
+    def test_covering_store_stops_the_backward_scan(self):
+        kb = _prologue()
+        kb.lda(1, 0x1000)
+        kb.vvxor(2, 2, 2)
+        kb.vstoreq(2, rb=1)          # 4: killed by 5
+        kb.vstoreq(2, rb=1)          # 5: covers 4 completely
+        kb.vloadq(3, rb=1)           # 6
+        deps = memory_dependences(analyze_memory(kb.build()))
+        assert (5, 6, "RAW", True) in deps
+        assert (4, 6, "RAW", True) not in deps
+
+
+class TestDepgraphIntegration:
+    def test_precise_mem_edges_replace_all_pairs(self):
+        kb = _prologue()
+        kb.lda(1, 0x1000)
+        kb.lda(2, 0x9000)
+        kb.vvxor(3, 3, 3)
+        kb.vstoreq(3, rb=1)          # 5
+        kb.vloadq(4, rb=2)           # 6: provably disjoint from 5
+        kb.vloadq(5, rb=1)           # 7: reads what 5 wrote
+        g = build_dep_graph(kb.build(), memory=True)
+        mem = {(e.src, e.dst, e.may) for e in g.on_resource("mem")
+               if e.kind is DepKind.RAW}
+        assert (5, 7, False) in mem
+        assert not any(dst == 6 for _, dst, _ in mem)
+
+    def test_may_flag_survives_into_the_graph(self):
+        kb = _prologue()
+        kb.ldq(1, rb=31, disp=0)
+        kb.vvxor(3, 3, 3)
+        kb.vstoreq(3, rb=1)
+        kb.vloadq(4, rb=1)
+        g = build_dep_graph(kb.build(), memory=True)
+        mem = g.on_resource("mem")
+        assert mem and all(e.src < e.dst for e in mem)
+        # same unknown base on both sides: delta is 0, provably aliases
+        assert any(not e.may for e in mem)
+
+
+class TestDrainHazard:
+    def _kernel(self, *, drain, overlap=True):
+        kb = _prologue()
+        kb.lda(1, 0x1000)
+        kb.lda(2, 0x9000)
+        kb.lda(3, 123)
+        kb.stq(3, rb=1, disp=0)                  # 5: scalar store
+        if drain:
+            kb.drainm()
+        kb.vloadq(4, rb=1 if overlap else 2)     # vector load
+        return kb.build()
+
+    def test_missing_drain_is_an_error(self):
+        report = _report(self._kernel(drain=False))
+        (diag,) = report.by_code(Code.MEM_DRAIN_MISSING)
+        assert diag.index == 6
+        assert "@5" in diag.message
+
+    def test_drainm_clears_the_hazard(self):
+        assert not _report(self._kernel(drain=True)).diagnostics
+
+    def test_disjoint_store_is_no_hazard(self):
+        report = _report(self._kernel(drain=False, overlap=False))
+        assert not report.by_code(Code.MEM_DRAIN_MISSING)
+
+
+class TestMemoryLints:
+    def test_self_overlapping_strided_store(self):
+        kb = _prologue(vs=4)
+        kb.lda(1, 0x1000)
+        kb.vvxor(2, 2, 2)
+        kb.vstoreq(2, rb=1)
+        report = _report(kb.build())
+        (diag,) = report.by_code(Code.MEM_STORE_SELF_OVERLAP)
+        assert diag.index == 4
+
+    def test_self_conflicting_stride_noted(self):
+        kb = _prologue(vs=1024)          # one L2 bank, every element
+        kb.lda(1, 0x100000)
+        kb.vloadq(2, rb=1)
+        assert _report(kb.build()).by_code(Code.MEM_BANK_CONFLICT)
+
+    def test_misaligned_base_noted(self):
+        kb = _prologue()
+        kb.lda(1, 0x1004)
+        kb.vloadq(2, rb=1)
+        assert _report(kb.build()).by_code(Code.MEM_MISALIGNED)
+
+    def test_short_vl_is_one_aggregated_note(self):
+        kb = _prologue(vl=64)
+        kb.lda(1, 0x1000)
+        kb.vloadq(2, rb=1)
+        kb.vloadq(3, rb=1, disp=0x2000)
+        report = _report(kb.build())
+        (diag,) = report.by_code(Code.MEM_SHORT_VL)
+        assert "2 memory access(es)" in diag.message
+
+    def test_in_bounds_access_is_clean(self):
+        kb = _prologue()
+        kb.lda(1, 0x1000)
+        kb.vloadq(2, rb=1)
+        report = _report(kb.build(), buffers={"buf": (0x1000, 1024)})
+        assert not report.by_code(Code.MEM_OOB)
+
+    def test_out_of_bounds_access_is_an_error(self):
+        kb = _prologue()
+        kb.lda(1, 0x1000)
+        kb.vloadq(2, rb=1)
+        report = _report(kb.build(), buffers={"buf": (0x1000, 1016)})
+        (diag,) = report.by_code(Code.MEM_OOB)
+        assert diag.index == 3
+        assert "overruns" in diag.message
+
+
+def _load_example(name):
+    path = pathlib.Path(__file__).parents[2] / "examples" / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"examples.{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestBuggyExample:
+    def test_oob_store_example_is_flagged_at_the_right_pc(self):
+        example = _load_example("oob_store")
+        program, buffers = example.build()
+        report = _report(program, buffers=buffers)
+        (diag,) = report.by_code(Code.MEM_OOB)
+        assert diag.index == example.OOB_PC
+        assert "dst" in diag.message

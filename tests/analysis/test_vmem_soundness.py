@@ -1,0 +1,97 @@
+"""Trace-differential soundness gate for the vmem analyzer.
+
+The analyzer's one hard promise is *over*-approximation: every byte a
+kernel dynamically touches must lie inside the static footprint of the
+touching instruction.  This suite proves it empirically for the whole
+registry at two problem scales — the functional simulator records each
+memory instruction's dynamically touched addresses
+(``FunctionalSimulator(trace_addresses=True)``), and every traced
+address must satisfy ``Footprint.covers``.
+
+A second cross-check drives the timing model's address generators over
+the same instruction stream (``AddressGenerators.trace``): the planned
+physical quadword addresses must fall inside the same footprints, so
+the abstraction is validated against both simulators' address paths.
+
+A failure here means the abstract transfer functions are wrong (or a
+new instruction was added without one), never that a kernel is wrong —
+widening always errs toward bigger footprints.
+"""
+
+import pytest
+
+from repro.analysis.vmem import analyze_memory
+from repro.core.functional import FunctionalSimulator
+from repro.isa.instructions import Group
+from repro.workloads.registry import REGISTRY
+
+#: ``None`` is each workload's CI-sized instance (``build_small``); the
+#: second scale shifts every kernel's loop counts and array extents so
+#: footprint lengths/strides are exercised at two different shapes
+SCALES = (None, 0.12)
+SCALE_IDS = ("small", "scale-0.12")
+
+
+def _build(name, scale):
+    workload = REGISTRY[name]
+    return workload.build_small() if scale is None else workload.build(scale)
+
+
+def _footprints(program):
+    return {acc.index: acc.footprint
+            for acc in analyze_memory(program).accesses}
+
+
+@pytest.mark.parametrize("scale", SCALES, ids=SCALE_IDS)
+@pytest.mark.parametrize("name", sorted(REGISTRY))
+def test_static_footprint_covers_dynamic_trace(name, scale):
+    instance = _build(name, scale)
+    footprints = _footprints(instance.program)
+    sim = FunctionalSimulator(trace_addresses=True)
+    instance.setup(sim.memory)
+    sim.run(instance.program)
+
+    assert sim.address_trace, f"{name}: kernel touched no memory"
+    checked = 0
+    for pc, addrs in sim.address_trace.items():
+        fp = footprints.get(pc)
+        assert fp is not None, \
+            f"{name}: no static footprint for memory access at pc {pc}"
+        bad = [int(a) for a in addrs if not fp.covers(int(a))]
+        assert not bad, (
+            f"{name} pc {pc} ({instance.program[pc]}): footprint "
+            f"{fp.describe()} misses {len(bad)} traced address(es), "
+            f"first {bad[0]:#x}")
+        checked += len(addrs)
+    assert checked > 0
+
+
+@pytest.mark.parametrize("name", ["ccradix", "sparsemxv", "streams.triad"])
+def test_address_generator_plans_stay_inside_footprints(name):
+    """Timing-side cross-check: the Vbox address generators' planned
+    quadword addresses for every vector access fall inside the static
+    footprint too (gather/scatter, strided, and pump paths)."""
+    from repro.vbox.address_gen import AddressGenerators
+
+    instance = _build(name, None)
+    footprints = _footprints(instance.program)
+    sim = FunctionalSimulator()
+    instance.setup(sim.memory)
+    gens = AddressGenerators()
+    gens.trace = []
+
+    for i, instr in enumerate(instance.program):
+        d = instr.definition
+        if d.is_memory and d.group in (Group.SM, Group.RM) \
+                and not instr.is_prefetch:
+            plan = gens.plan(instr, sim.state)
+            fp = footprints[i]
+            bad = [a for a in plan.touched if not fp.covers(int(a))]
+            assert not bad, (
+                f"{name} pc {i} ({instr}): plan kind {plan.kind!r} "
+                f"touched {bad[0]:#x} outside {fp.describe()}")
+        sim.step(instr)
+
+    # the trace hook saw every planned access, in program order
+    assert gens.trace
+    assert all(isinstance(t, tuple) for _, t in gens.trace)

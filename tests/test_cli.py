@@ -1,5 +1,7 @@
 """CLI surface tests (python -m repro ...)."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -72,3 +74,67 @@ class TestCommands:
         assert main(["asm", str(src)]) == 0
         out = capsys.readouterr().out
         assert "vvaddt" in out and "2 instructions" in out
+
+
+class TestLint:
+    """Exit-code contract: 0 clean, 1 findings, 2 usage error."""
+
+    def test_clean_kernel_exits_zero(self, capsys):
+        assert main(["lint", "streams.copy"]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        src = tmp_path / "bad.s"
+        src.write_text("vvaddt v1, v2, v3\n")     # vector op, no setvl
+        assert main(["lint", str(src)]) == 1
+        assert "VL_UNSET" in capsys.readouterr().out
+
+    def test_unknown_target_exits_two_with_suggestion(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["lint", "ccradx"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "did you mean: ccradix?" in err
+        assert "streams.triad" in err       # the full kernel list prints
+
+    def test_missing_target_exits_two(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["lint"])
+        assert exc.value.code == 2
+
+    def test_unassemblable_file_exits_two(self, tmp_path, capsys):
+        src = tmp_path / "nonsense.s"
+        src.write_text("frobnicate v1\n")
+        with pytest.raises(SystemExit) as exc:
+            main(["lint", str(src)])
+        assert exc.value.code == 2
+        assert "does not assemble" in capsys.readouterr().err
+
+    def test_json_format_has_stable_fields(self, capsys):
+        assert main(["lint", "streams.copy", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        (prog,) = payload["programs"]
+        assert prog["program"] == "streams.copy"
+        assert prog["errors"] == 0 and prog["warnings"] == 0
+        for diag in prog["diagnostics"]:
+            assert set(diag) == {"code", "severity", "pc", "message",
+                                 "instruction"}
+
+    def test_json_format_reports_findings(self, tmp_path, capsys):
+        src = tmp_path / "bad.s"
+        src.write_text("vvaddt v1, v2, v3\n")
+        assert main(["lint", str(src), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        (prog,) = payload["programs"]
+        assert prog["errors"] >= 1
+        codes = {d["code"] for d in prog["diagnostics"]}
+        assert "VL_UNSET" in codes
+
+    def test_list_codes_enumerates_every_code(self, capsys):
+        from repro.analysis import Code
+
+        assert main(["lint", "--list-codes"]) == 0
+        out = capsys.readouterr().out
+        for code in Code:
+            assert code.name in out
+        assert "MEM_OOB" in out and "error" in out

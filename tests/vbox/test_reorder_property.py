@@ -1,0 +1,73 @@
+"""Property test: stride classification is base-periodic.
+
+The reorder ROM's schedule — and therefore the address generators' path
+selection (pump / reordered / CR box) — depends only on
+``(stride mod BANK_PERIOD, base mod BANK_PERIOD)``.  That periodicity
+is what makes a 2.1 KB ROM sufficient in hardware, what makes the plan
+cache's rebase trick sound (tests/vbox/test_plan_cache.py), and what
+the vmem linter relies on when it classifies a stride once per kernel
+(``MEM_BANK_CONFLICT`` fires per stride, not per base).  Here the
+invariance is checked over *random* bases and strides — including
+negative and self-conflicting ones, which the schedule-level property
+suite (tests/property/test_reorder_properties.py) deliberately avoids.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.instructions import Instruction
+from repro.isa.registers import ArchState
+from repro.vbox.address_gen import AddressGenerators
+from repro.vbox.reorder import BANK_PERIOD, bank_pattern, is_reorderable
+
+# any quadword-aligned byte stride, both directions, conflict-free and
+# self-conflicting classes alike
+strides = st.builds(lambda q, sign: sign * q * 8,
+                    st.integers(1, 1 << 12), st.sampled_from([1, -1]))
+bases = st.integers(0, 1 << 27).map(lambda n: n * 8)
+periods = st.integers(1, 1 << 10)
+
+
+@settings(max_examples=200, deadline=None)
+@given(stride=strides, base=bases, k=periods)
+def test_classification_invariant_under_bank_period_translation(
+        stride, base, k):
+    assert is_reorderable(base, stride) == \
+        is_reorderable(base + k * BANK_PERIOD, stride)
+
+
+@settings(max_examples=200, deadline=None)
+@given(stride=strides, base=bases, k=periods)
+def test_bank_pattern_invariant_under_bank_period_translation(
+        stride, base, k):
+    assert np.array_equal(bank_pattern(base, stride),
+                          bank_pattern(base + k * BANK_PERIOD, stride))
+
+
+@settings(max_examples=200, deadline=None)
+@given(stride=strides, base=bases, delta=st.integers(8, BANK_PERIOD - 8)
+       .map(lambda n: n & ~7))
+def test_classification_not_generally_base_free(stride, base, delta):
+    # sub-period translations may change the classification only
+    # through the base's residue — the histogram, hence the verdict,
+    # matches whenever the residues match
+    if (base % BANK_PERIOD) == ((base + delta) % BANK_PERIOD):
+        assert is_reorderable(base, stride) == \
+            is_reorderable(base + delta, stride)
+
+
+@settings(max_examples=60, deadline=None)
+@given(stride=st.integers(1, 1 << 9).map(lambda q: q * 8),
+       base=bases, k=st.integers(1, 1 << 6))
+def test_plan_path_selection_invariant_under_translation(stride, base, k):
+    """The generators pick the same access path (pump / reordered / CR)
+    for the same stride at bank-period-translated bases."""
+    def plan_kind(addr):
+        state = ArchState()
+        state.ctrl.set_vl(128)
+        state.ctrl.set_vs(stride)
+        state.sregs.write(1, addr)
+        return AddressGenerators().plan(
+            Instruction("vloadq", vd=1, rb=1), state).kind
+
+    assert plan_kind(base) == plan_kind(base + k * BANK_PERIOD)
