@@ -47,17 +47,25 @@ def lint_program(program: Program, *, encoding: bool = True,
 def lint_registry(scale: Optional[float] = None, *,
                   encoding: bool = True,
                   roundtrip: bool = True) -> dict[str, LintReport]:
-    """Lint the hand-vectorized kernel of every registry workload.
+    """Lint the hand-vectorized kernel of every suite member.
 
-    ``scale=None`` uses each workload's test-sized instance
-    (``build_small``); pass an explicit scale to lint the kernels the
-    benchmark harness actually runs.  Returns ``{name: report}`` in
-    registry order.
+    Iterates every registered suite (:data:`repro.workloads.SUITES`) —
+    the union covers the whole registry, and a workload that belongs to
+    several suites lints once.  ``scale=None`` uses each workload's
+    test-sized instance (``build_small``); pass an explicit scale to
+    lint the kernels the benchmark harness actually runs.  Returns
+    ``{name: report}`` sorted by name.
     """
-    from repro.workloads.registry import REGISTRY
+    from repro.workloads.registry import REGISTRY, get
+    from repro.workloads.suite import SUITES
 
+    names = {name for suite in SUITES.values() for name in suite}
+    # suites are compositions of registered workloads; anything
+    # registered but not in a suite still deserves the gate
+    names.update(REGISTRY)
     reports: dict[str, LintReport] = {}
-    for name, workload in sorted(REGISTRY.items()):
+    for name in sorted(names):
+        workload = get(name)
         instance = (workload.build_small() if scale is None
                     else workload.build(scale))
         report = lint_program(instance.program, encoding=encoding,

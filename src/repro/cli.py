@@ -4,7 +4,11 @@ Commands mirror the paper's evaluation artifacts:
 
 * ``run <kernel>`` — one benchmark on one machine, with metrics;
 * ``report`` — regenerate every table and figure in one command,
-  process-parallel and incrementally cached (docs/HARNESS.md);
+  process-parallel and incrementally cached (docs/HARNESS.md); with
+  ``--suite NAME [--instances FAMILY]`` it instead reports one
+  registered suite x instance-family matrix (docs/WORKLOADS.md);
+* ``list-suites`` — the registered suites and instance families that
+  ``--suite``/``--instances`` accept;
 * ``table1|table2|table3|table4`` — regenerate a table;
 * ``fig6|fig7|fig8|fig9`` — regenerate a figure's data series;
 * ``chaos`` — run the fault-injection recovery suite: seeded faults at
@@ -60,6 +64,23 @@ def _cmd_list(args) -> int:
         print(f"  {name:<9s} {cfg.core_ghz:5.2f} GHz  "
               f"{cfg.l2_bytes >> 20:2d} MB L2  "
               f"{cfg.rambus_gbs:5.1f} GB/s  ({kind})")
+    return 0
+
+
+def _cmd_list_suites(args) -> int:
+    """Enumerate registered suites and instance families."""
+    from repro.workloads.suite import list_families, list_suites
+
+    print("suites (report --suite NAME):")
+    for suite in list_suites():
+        print(f"  {suite.name:<10s} {len(suite):>2d} workload(s)  "
+              f"{suite.title}")
+        if suite.source:
+            print(f"  {'':<10s}    source: {suite.source}")
+    print("\ninstance families (report --instances NAME):")
+    for family in list_families():
+        insts = ", ".join(family.instance_names)
+        print(f"  {family.name:<10s} [{insts}]  {family.description}")
     return 0
 
 
@@ -119,6 +140,8 @@ def _cmd_report(args) -> int:
 def _report_body(args) -> int:
     quick = args.quick
     jobs, cache = _engine_args(args)
+    if getattr(args, "suite", None):
+        return _suite_report(args.suite, args.instances, quick, jobs, cache)
     sections = [
         report.render_table1(tables.table1()),
         report.render_table2(tables.table2(quick=quick, jobs=jobs,
@@ -136,6 +159,11 @@ def _report_body(args) -> int:
                                               cache=cache)),
     ]
     print("\n\n".join(sections))
+    _cache_stats(cache)
+    return 0
+
+
+def _cache_stats(cache) -> None:
     # stderr, so cached and cold runs stay byte-identical on stdout
     if cache is not None:
         print(f"report: {cache.misses} cell(s) simulated, "
@@ -143,7 +171,32 @@ def _report_body(args) -> int:
               file=sys.stderr)
     else:
         print("report: cache disabled (--no-cache)", file=sys.stderr)
-    return 0
+
+
+def _suite_report(suite_name: str, family_name: str, quick: bool,
+                  jobs: int, cache) -> int:
+    """``repro report --suite X --instances Y``: one matrix, rendered.
+
+    Runs the full timing simulation with output verification for every
+    cell — the generic path a new suite gets before anyone writes it a
+    bespoke table/figure generator.
+    """
+    from repro.workloads.suite import Matrix, get_family, get_suite
+
+    try:
+        suite = get_suite(suite_name)
+        family = get_family(family_name)
+    except KeyError as exc:
+        raise _usage_error(f"report: {exc.args[0]}")
+    grid = Matrix(suite, family, quick=quick, check=True).run(
+        jobs=jobs, cache=cache)
+    print(report.render_matrix(suite, family, grid))
+    _cache_stats(cache)
+    failed = sum(1 for name in suite for inst in family
+                 if getattr(grid[name][inst.name], "failed", False))
+    if failed:
+        print(f"report: {failed} cell(s) failed", file=sys.stderr)
+    return 1 if failed else 0
 
 
 def _cmd_chaos(args) -> int:
@@ -197,7 +250,7 @@ def _cmd_bench(args) -> int:
         out = None
     return bench_main(quick=args.quick, output=out,
                       check_against=args.check_against,
-                      kernels=args.kernel)
+                      kernels=args.kernel, suite=args.suite)
 
 
 def _cmd_asm(args) -> int:
@@ -329,6 +382,10 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="benchmarks and machines").set_defaults(
         fn=_cmd_list)
 
+    sub.add_parser(
+        "list-suites", help="registered suites and instance families "
+        "(docs/WORKLOADS.md)").set_defaults(fn=_cmd_list_suites)
+
     p_run = sub.add_parser("run", help="run one benchmark")
     p_run.add_argument("kernel", choices=sorted(REGISTRY))
     p_run.add_argument("--config", default="T",
@@ -370,6 +427,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--profile", action="store_true",
                           help="print per-component time to stderr "
                           "(docs/PERF.md)")
+    p_report.add_argument("--suite", default=None, metavar="NAME",
+                          help="report one registered suite instead of "
+                          "the full evaluation (see list-suites)")
+    p_report.add_argument("--instances", default="default", metavar="FAMILY",
+                          help="instance family for --suite "
+                          "(default: 'default')")
     p_report.set_defaults(fn=_cmd_report, jobs=0)
 
     p_chaos = sub.add_parser(
@@ -404,6 +467,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--kernel", action="append", default=None,
                          metavar="NAME", choices=sorted(REGISTRY),
                          help="restrict to one kernel (repeatable)")
+    p_bench.add_argument("--suite", default=None, metavar="NAME",
+                         help="benchmark one registered suite "
+                         "(default: tarantula; see list-suites)")
     p_bench.set_defaults(fn=_cmd_bench)
 
     p_asm = sub.add_parser("asm", help="assemble a text kernel")

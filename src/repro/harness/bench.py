@@ -1,8 +1,10 @@
 """Simulator-throughput benchmark harness (``python -m repro bench``).
 
 Measures how fast the *simulator itself* runs — wall-clock and simulated
-instructions per host second for every registered workload — and writes
-the results to ``BENCH_sim_throughput.json``.  The committed copy of
+instructions per host second for every workload of one suite (default:
+``tarantula``, the paper's 19 benchmarks; ``--suite`` picks another) —
+and writes the results to ``BENCH_sim_throughput.json``.  The committed
+copy of
 that file is the performance baseline: CI reruns the quick benchmark
 and fails when the total slows down by more than
 :data:`REGRESSION_TOLERANCE` (see docs/PERF.md).
@@ -68,14 +70,35 @@ def _instructions(outcome) -> int:
     return counts.scalar_instructions + counts.vector_instructions
 
 
+def _suite_of(name: str) -> str:
+    """First registered suite containing ``name`` (for result tagging)."""
+    from repro.workloads.suite import SUITES
+
+    for suite in SUITES.values():
+        if name in suite:
+            return suite.name
+    return ""
+
+
 def run_benchmarks(quick: bool = False,
                    kernels: list[str] | None = None,
-                   progress=None) -> dict:
-    """Benchmark every registered workload; returns the result document."""
-    from repro.workloads.registry import REGISTRY
+                   progress=None, suite: str | None = None) -> dict:
+    """Benchmark one suite of workloads; returns the result document.
+
+    The default is the ``tarantula`` suite — the paper's own 19
+    benchmarks, sorted, exactly what the committed baseline recorded —
+    NOT the whole registry, so the ``--check-against`` gate keeps
+    comparing like against like as new suites register.  An explicit
+    ``kernels`` list wins over ``suite``.
+    """
+    import repro.workloads.registry  # noqa: F401 — populate the suites
+    from repro.workloads.suite import get_suite
 
     scale = QUICK_SCALE if quick else FULL_SCALE
-    names = kernels if kernels else sorted(REGISTRY)
+    if kernels:
+        names = list(kernels)
+    else:
+        names = list(get_suite(suite if suite else "tarantula"))
     workloads: dict[str, dict] = {}
     for name in names:
         _clear_memos()
@@ -87,6 +110,7 @@ def run_benchmarks(quick: bool = False,
                 f"({warm_outcome.cycles} != {outcome.cycles} cycles)")
         instructions = _instructions(outcome)
         workloads[name] = {
+            "suite": _suite_of(name),
             "instructions": instructions,
             "simulated_cycles": outcome.cycles,
             "cold_wall_s": round(cold_s, 4),
@@ -145,9 +169,11 @@ def check_regression(current: dict, baseline_path: Path,
 
 def main(quick: bool = False, output: str | None = DEFAULT_OUTPUT,
          check_against: str | None = None,
-         kernels: list[str] | None = None) -> int:
+         kernels: list[str] | None = None,
+         suite: str | None = None) -> int:
     """Entry point shared by the CLI and benchmarks/ wrapper script."""
-    doc = run_benchmarks(quick=quick, kernels=kernels, progress=sys.stderr)
+    doc = run_benchmarks(quick=quick, kernels=kernels, progress=sys.stderr,
+                         suite=suite)
     if output:
         Path(output).write_text(json.dumps(doc, indent=2, sort_keys=True)
                                 + "\n")

@@ -429,20 +429,22 @@ def code_version() -> str:
     return _code_version_cache
 
 
-def cache_key(spec: ExperimentSpec,
-              instance: Optional[WorkloadInstance] = None) -> str:
-    """Content address of a spec's result.
+def spec_digest(spec: ExperimentSpec,
+                instance: Optional[WorkloadInstance] = None) -> str:
+    """Content digest of everything a spec's *result* depends on.
 
     Digests the program bytes, the scalar-loop descriptor, every
-    resolved :class:`MachineConfig` field, the run flags, and the
-    package source (:func:`code_version`) — a change to any of them
-    yields a different key.
+    resolved :class:`MachineConfig` field and the run flags — but NOT
+    the package source, so it is stable across refactors that do not
+    change what actually runs.  ``tests/data/spec_digests_v1.json``
+    pins these values for the original Table 2 suite: a change there
+    means cached results were silently invalidated (or worse, that the
+    workloads themselves changed).
     """
     if instance is None:
         instance = _build_instance(spec)
     cfg = spec.resolve_config(instance)
     blob = json.dumps({
-        "salt": code_version(),
         "kernel": spec.kernel,
         "scale": spec.scale,
         "check": spec.check,
@@ -456,6 +458,19 @@ def cache_key(spec: ExperimentSpec,
         "workload_bytes": instance.workload_bytes,
         "warm_ranges": instance.warm_ranges,
     }, sort_keys=True, default=repr)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def cache_key(spec: ExperimentSpec,
+              instance: Optional[WorkloadInstance] = None) -> str:
+    """Content address of a spec's result: :func:`spec_digest` salted
+    with :func:`code_version` — a change to the spec, the workload, the
+    machine config, or any package source yields a different key.
+    """
+    blob = json.dumps({
+        "salt": code_version(),
+        "spec": spec_digest(spec, instance),
+    }, sort_keys=True)
     return hashlib.sha256(blob.encode()).hexdigest()
 
 

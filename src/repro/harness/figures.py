@@ -19,6 +19,7 @@ from typing import Optional
 
 from repro.harness.engine import ExperimentSpec, ResultCache, execute_many
 from repro.workloads.registry import FIGURE_SUITE
+from repro.workloads.suite import InstanceFamily, Matrix, Suite
 
 #: per-kernel problem scales used for the figure sweeps
 DEFAULT_SCALES: dict[str, float] = {
@@ -45,13 +46,20 @@ def scale_for(kernel: str, quick: bool = False) -> float:
 
 def _grid(kernels, configs, quick: bool, jobs: int,
           cache: Optional[ResultCache]) -> dict:
-    """Run a (kernel x config) grid; returns outcome[kernel][config]."""
-    specs = [ExperimentSpec(name, config, scale_for(name, quick), check=False)
-             for name in kernels for config in configs]
-    outcomes = execute_many(specs, jobs=jobs, cache=cache)
-    it = iter(outcomes)
-    return {name: {config: next(it) for config in configs}
-            for name in kernels}
+    """Run a (kernel x config) grid; returns outcome[kernel][config].
+
+    A thin wrapper over :class:`~repro.workloads.suite.Matrix`: the
+    kernel axis becomes a :class:`Suite` (unless one was passed in) and
+    the config axis an :class:`InstanceFamily` with one default
+    instance per configuration.  Matrix expansion is workload-major,
+    the order this function has always used.
+    """
+    suite = kernels if isinstance(kernels, Suite) \
+        else Suite("figure-grid", kernels)
+    family = InstanceFamily.of_configs("figure-configs", configs)
+    matrix = Matrix(suite, family, scales=DEFAULT_SCALES, quick=quick,
+                    check=False)
+    return matrix.run(jobs=jobs, cache=cache)
 
 
 @dataclass

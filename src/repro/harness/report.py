@@ -144,3 +144,33 @@ def render_figure9(rows: dict[str, Figure9Row]) -> str:
         lines.append(f"{name:<14s} {_num(row.relative_performance, '5.2f')}  "
                      f"|{_bar(row.relative_performance, 30)}{hit}")
     return "\n".join(lines)
+
+
+def render_matrix(suite, family, grid) -> str:
+    """Generic suite x instance report (``repro report --suite NAME``).
+
+    One line per (workload, instance) cell of a
+    :class:`~repro.workloads.suite.Matrix` run: cycles, the operations/
+    flops/memory-ops per cycle split, and whether the architectural
+    output matched the numpy reference.  A failed cell prints its
+    error type instead of metrics, like the paper tables do.
+    """
+    lines = [f"Suite {suite.name} — {suite.title} "
+             f"({len(suite)} workloads x {len(family)} instance(s))"]
+    if suite.source:
+        lines.append(f"source: {suite.source}")
+    lines.append(f"{'workload':<24s} {'instance':<10s} {'cycles':>12s} "
+                 f"{'OPC':>6s} {'FPC':>6s} {'MPC':>6s}  check")
+    for name in suite:
+        for inst in family:
+            out = grid[name][inst.name]
+            if getattr(out, "failed", False):
+                lines.append(f"{name:<24s} {inst.name:<10s} "
+                             f"{'FAIL':>12s}  {out.error_type}")
+                continue
+            check = "ok" if out.verified else "-"
+            lines.append(
+                f"{name:<24s} {inst.name:<10s} {out.cycles:>12.0f} "
+                f"{_num(out.opc, '6.2f')} {_num(out.fpc, '6.2f')} "
+                f"{_num(out.mpc, '6.2f')}  {check}")
+    return "\n".join(lines)

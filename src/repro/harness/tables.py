@@ -19,11 +19,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+import dataclasses as _dc
+
 from repro.core.config import CONFIGURATIONS
 from repro.core.power import cmp_ev8_model, table1_rows, tarantula_model
 from repro.harness.engine import ExperimentSpec, ResultCache, execute_many
 from repro.workloads.random_access import RNDMEMSCALE_BASE
-from repro.workloads.registry import REGISTRY, TABLE4_SUITE
+from repro.workloads.registry import REGISTRY, TABLE4_SUITE, TARANTULA_SUITE
+from repro.workloads.suite import Matrix, Suite, get_family
 
 
 def table1() -> dict:
@@ -45,21 +48,26 @@ class Table2Row:
 
 
 def table2(scale: float = 0.1, quick: bool = False, jobs: int = 1,
-           cache: Optional[ResultCache] = None) -> dict[str, Table2Row]:
+           cache: Optional[ResultCache] = None,
+           suite: Optional[Suite] = None) -> dict[str, Table2Row]:
     """Benchmark inventory with measured vectorization percentages.
 
     ``quick`` quarters the census scale, like the figure generators;
     the dynamic vectorization fraction is scale-insensitive well past
     that point (loop control lives in the Python-side "compiler").
+    The census covers the ``tarantula`` suite — the paper's own 19
+    benchmarks, NOT the whole registry, so Table 2 output stays
+    byte-stable as new suites register — unless ``suite`` says
+    otherwise.
     """
-    if quick:
-        scale *= 0.25
-    names = sorted(REGISTRY)
-    specs = [ExperimentSpec(name, "T", scale, mode="functional")
-             for name in names]
-    outcomes = execute_many(specs, jobs=jobs, cache=cache)
+    if suite is None:
+        suite = TARANTULA_SUITE
+    matrix = Matrix(suite, get_family("default"), scales=scale, quick=quick,
+                    check=True, mode="functional")
+    grid = matrix.run(jobs=jobs, cache=cache)
     rows: dict[str, Table2Row] = {}
-    for name, outcome in zip(names, outcomes):
+    for name in suite:
+        outcome = grid[name]["T"]
         workload = REGISTRY[name]
         # a failed cell has no detail; NaN renders as a FAIL marker
         measured = float("nan") if getattr(outcome, "failed", False) \
@@ -115,31 +123,33 @@ TABLE4_SCALES = {
 }
 
 
-def _table4_spec(name: str, quick: bool) -> ExperimentSpec:
-    scale = TABLE4_SCALES[name] * (0.25 if quick else 1.0)
-    overrides = ()
+def _table4_adjust(spec: ExperimentSpec, name: str, instance) -> ExperimentSpec:
+    """Per-cell drain/override policy for the bandwidth table."""
+    overrides = spec.overrides
     if name == "rndmemscale":
         # "All data from memory": the paper's B does not stay L2
         # resident; we preserve the footprint/L2 ratio (~2x) by
         # shrinking the modeled L2 (see EXPERIMENTS.md)
         # an L2 of exactly the footprint keeps the run dominated by
         # first-touch misses — the paper's single-pass regime
-        footprint = int(RNDMEMSCALE_BASE * scale) * 8
+        footprint = int(RNDMEMSCALE_BASE * spec.scale) * 8
         overrides = (("l2_bytes", 1 << max(footprint.bit_length() - 1, 17)),)
     # rndcopy works entirely from the L2 ("prefetched into L2"; the
     # paper reports no raw column for it) — no drain for it
-    return ExperimentSpec(name, "T", scale, overrides=overrides,
-                          check=False, drain_dirty=(name != "rndcopy"))
+    return _dc.replace(spec, overrides=overrides,
+                       drain_dirty=(name != "rndcopy"))
 
 
 def table4(quick: bool = False, jobs: int = 1,
            cache: Optional[ResultCache] = None) -> dict[str, Table4Row]:
     """Sustained memory bandwidth microkernels (Table 4)."""
-    specs = [_table4_spec(name, quick) for name in TABLE4_SUITE]
-    outcomes = execute_many(specs, jobs=jobs, cache=cache)
-    return {name: Table4Row(name, out.streams_mbytes_per_s,
-                            out.raw_mbytes_per_s)
-            for name, out in zip(TABLE4_SUITE, outcomes)}
+    matrix = Matrix(TABLE4_SUITE, get_family("default"),
+                    scales=TABLE4_SCALES, quick=quick, check=False,
+                    adjust=_table4_adjust)
+    grid = matrix.run(jobs=jobs, cache=cache)
+    return {name: Table4Row(name, grid[name]["T"].streams_mbytes_per_s,
+                            grid[name]["T"].raw_mbytes_per_s)
+            for name in TABLE4_SUITE}
 
 
 def power_summary() -> dict[str, float]:

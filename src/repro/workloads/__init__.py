@@ -1,4 +1,10 @@
-"""The Table 2 benchmark suite: hand-vectorized kernels + scalar models."""
+"""The benchmark suites: hand-vectorized kernels + scalar models.
+
+Workloads register by name in :data:`REGISTRY`; named collections of
+them (:class:`Suite`) and machine families (:class:`InstanceFamily`)
+live in :mod:`repro.workloads.suite` and expand into engine spec grids
+via :class:`Matrix` — see docs/WORKLOADS.md.
+"""
 
 from repro.workloads.base import (
     Arena,
@@ -7,16 +13,51 @@ from repro.workloads.base import (
     WorkloadInstance,
     run_functional,
 )
-from repro.workloads.registry import FIGURE_SUITE, REGISTRY, TABLE4_SUITE, get
+from repro.workloads.registry import (
+    FIGURE_SUITE,
+    REGISTRY,
+    RIVEC_SUITE,
+    TABLE4_SUITE,
+    TARANTULA_SUITE,
+    get,
+)
+from repro.workloads.suite import (
+    FAMILIES,
+    SUITES,
+    Instance,
+    InstanceFamily,
+    Matrix,
+    Suite,
+    get_family,
+    get_suite,
+    list_families,
+    list_suites,
+    register_family,
+    register_suite,
+)
 
 __all__ = [
     "Arena",
+    "FAMILIES",
     "FIGURE_SUITE",
+    "Instance",
+    "InstanceFamily",
+    "Matrix",
     "REGISTRY",
+    "RIVEC_SUITE",
     "STREAMS_PADDING",
+    "SUITES",
+    "Suite",
     "TABLE4_SUITE",
+    "TARANTULA_SUITE",
     "Workload",
     "WorkloadInstance",
     "get",
+    "get_family",
+    "get_suite",
+    "list_families",
+    "list_suites",
+    "register_family",
+    "register_suite",
     "run_functional",
 ]

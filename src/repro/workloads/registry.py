@@ -1,11 +1,27 @@
-"""Workload registry: the Table 2 benchmark suite, by name.
+"""Workload registry: every benchmark and every named suite.
 
-The registry is what the harness iterates to regenerate Figures 6-9.
-``FIGURE_SUITE`` lists the benchmarks the paper's bar charts show;
-``swim.untiled`` participates only in the section-6 tiling ablation.
+The registry maps Table 2 names to :class:`Workload` factories; the
+suite registry (:mod:`repro.workloads.suite`) groups those names into
+the collections the harness iterates:
+
+* ``tarantula`` — the paper's 19 benchmarks, sorted by name.  Table 2
+  and ``repro bench`` pin themselves to this suite (NOT the whole
+  registry) so their output stays byte-stable as new families land.
+* ``figures`` — the 12 application benchmarks of Figures 6-8, in the
+  paper's bar-chart order (also exported as ``FIGURE_SUITE``).
+* ``table4`` — the memory-system microkernels of Table 4 (also
+  exported as ``TABLE4_SUITE``).
+* ``rivec`` — the RiVEC vectorized-suite port
+  (:mod:`repro.workloads.rivec`, :mod:`repro.workloads.rivec_sparse`).
+
+``FIGURE_SUITE``/``TABLE4_SUITE`` stay importable as before — a
+:class:`Suite` *is* a tuple of names, so legacy consumers notice no
+difference.
 """
 
 from __future__ import annotations
+
+import difflib
 
 from repro.workloads.algebra import DGEMM, DTRMM
 from repro.workloads.base import Workload
@@ -14,49 +30,90 @@ from repro.workloads.fft import BatchFFT
 from repro.workloads.lu import LU, Linpack100, LinpackTPP
 from repro.workloads.moldyn import Moldyn
 from repro.workloads.random_access import RndCopy, RndMemScale
+from repro.workloads.rivec import RIVEC_SOURCE, RivecAxpy, RivecBlackscholes, \
+    RivecJacobi2D, RivecPathfinder
+from repro.workloads.rivec_sparse import RivecSpmvCSR, RivecSpmvELL, \
+    RivecStreamcluster
 from repro.workloads.sparse import SparseMxV
 from repro.workloads.specfp import ArtSurrogate, SixtrackSurrogate, \
     SwimSurrogate
 from repro.workloads.streams import StreamsAdd, StreamsCopy, StreamsScale, \
     StreamsTriad
+from repro.workloads.suite import Suite, register_suite
+
+#: the paper's own benchmarks (Table 2), in registration order
+_TARANTULA_WORKLOADS: tuple[Workload, ...] = (
+    StreamsCopy(), StreamsScale(), StreamsAdd(), StreamsTriad(),
+    RndCopy(), RndMemScale(),
+    SwimSurrogate(tiled=True), SwimSurrogate(tiled=False),
+    ArtSurrogate(), SixtrackSurrogate(),
+    DGEMM(), DTRMM(), SparseMxV(), BatchFFT(),
+    LU(), Linpack100(), LinpackTPP(),
+    Moldyn(),
+    CCRadix(),
+)
+
+#: the RiVEC port (suite order: dense kernels first, then irregular)
+_RIVEC_WORKLOADS: tuple[Workload, ...] = (
+    RivecAxpy(), RivecBlackscholes(), RivecJacobi2D(), RivecPathfinder(),
+    RivecSpmvCSR(), RivecSpmvELL(), RivecStreamcluster(),
+)
 
 
 def _build_registry() -> dict[str, Workload]:
-    workloads = [
-        StreamsCopy(), StreamsScale(), StreamsAdd(), StreamsTriad(),
-        RndCopy(), RndMemScale(),
-        SwimSurrogate(tiled=True), SwimSurrogate(tiled=False),
-        ArtSurrogate(), SixtrackSurrogate(),
-        DGEMM(), DTRMM(), SparseMxV(), BatchFFT(),
-        LU(), Linpack100(), LinpackTPP(),
-        Moldyn(),
-        CCRadix(),
-    ]
-    return {w.name: w for w in workloads}
+    return {w.name: w for w in _TARANTULA_WORKLOADS + _RIVEC_WORKLOADS}
 
 
 #: every benchmark, keyed by name
 REGISTRY: dict[str, Workload] = _build_registry()
 
+#: the paper's 19 benchmarks, sorted — the byte-stable Table 2 order
+TARANTULA_SUITE = register_suite(Suite(
+    "tarantula", sorted(w.name for w in _TARANTULA_WORKLOADS),
+    title="Tarantula paper suite (Table 2)",
+    source="Tarantula: A Vector Extension to the Alpha Architecture, "
+           "ISCA 2002, Table 2"))
+
 #: the application benchmarks plotted in Figures 6-8 (paper order)
-FIGURE_SUITE: tuple[str, ...] = (
-    "swim", "art", "sixtrack",
-    "dgemm", "dtrmm", "sparsemxv", "fft", "lu",
-    "linpack100", "linpacktpp",
-    "moldyn", "ccradix",
-)
+FIGURE_SUITE = register_suite(Suite(
+    "figures",
+    ("swim", "art", "sixtrack",
+     "dgemm", "dtrmm", "sparsemxv", "fft", "lu",
+     "linpack100", "linpacktpp",
+     "moldyn", "ccradix"),
+    title="Figure 6-8 application benchmarks",
+    source="Tarantula ISCA 2002, Figures 6-8 (paper bar-chart order)"))
 
 #: the memory-system microkernels of Table 4
-TABLE4_SUITE: tuple[str, ...] = (
-    "streams.copy", "streams.scale", "streams.add", "streams.triad",
-    "rndcopy", "rndmemscale",
-)
+TABLE4_SUITE = register_suite(Suite(
+    "table4",
+    ("streams.copy", "streams.scale", "streams.add", "streams.triad",
+     "rndcopy", "rndmemscale"),
+    title="Table 4 memory-system microkernels",
+    source="Tarantula ISCA 2002, Table 4"))
+
+#: the ported RiVEC vectorized suite
+RIVEC_SUITE = register_suite(Suite(
+    "rivec", tuple(w.name for w in _RIVEC_WORKLOADS),
+    title="RiVEC vectorized-suite port",
+    source=RIVEC_SOURCE))
+
+for _suite in (TARANTULA_SUITE, FIGURE_SUITE, TABLE4_SUITE, RIVEC_SUITE):
+    _suite.validate(REGISTRY)
 
 
 def get(name: str) -> Workload:
-    """Look up one workload by its Table 2 name."""
+    """Look up one workload by its Table 2 name.
+
+    Misses raise ``KeyError`` with difflib close-match suggestions —
+    the same courtesy the lint CLI extends to mistyped targets.
+    """
     try:
         return REGISTRY[name]
     except KeyError:
-        known = ", ".join(sorted(REGISTRY))
-        raise KeyError(f"unknown workload {name!r}; known: {known}") from None
+        lines = [f"unknown workload {name!r}"]
+        close = difflib.get_close_matches(name, sorted(REGISTRY), n=3)
+        if close:
+            lines.append(f"did you mean: {', '.join(close)}?")
+        lines.append("known: " + ", ".join(sorted(REGISTRY)))
+        raise KeyError("; ".join(lines)) from None

@@ -1,0 +1,398 @@
+"""RiVEC benchmark family, part 1: axpy, pathfinder, blackscholes, jacobi-2d.
+
+A second benchmark family ported from the RiVEC vectorized suite of
+"A RISC-V Simulator and Benchmark Suite for Designing and Evaluating
+Vector Architectures" (PAPERS.md), hand-vectorized against the
+Tarantula ISA through :class:`~repro.isa.builder.KernelBuilder` exactly
+like the Table 2 kernels.  The port proves the Suite/Instance matrix
+abstraction (docs/WORKLOADS.md): none of the harness knows these
+kernels exist beyond their ``rivec`` suite registration.
+
+The four kernels here are the dense half of the family:
+
+* ``rivec.axpy`` — BLAS-1 ``y = a*x + y``, software-prefetched;
+* ``rivec.pathfinder`` — dynamic-programming grid walk,
+  ``dst[j] = wall[i][j] + min3(src[j-1..j+1])``, double-buffered rows
+  with +inf column halos;
+* ``rivec.blackscholes`` — Black-Scholes-style per-element map: a
+  polynomial-CDF option-pricing surrogate (the ISA has no exp/log, so
+  the CDF is the classic odd-polynomial approximation; the numpy
+  reference computes the identical formula);
+* ``rivec.jacobi2d`` — PolyBench-style 5-point Jacobi stencil, two
+  alternating A->B / B->A sweeps over a halo-padded grid.
+
+Sparse and clustering kernels live in
+:mod:`repro.workloads.rivec_sparse`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa.builder import KernelBuilder
+from repro.scalar.loopmodel import MemStream, ScalarLoopBody
+from repro.workloads.base import Arena, Workload, WorkloadInstance
+
+#: provenance string shared by every kernel of the family
+RIVEC_SOURCE = ("RiVEC vectorized suite — A RISC-V Simulator and Benchmark "
+                "Suite for Designing and Evaluating Vector Architectures")
+
+#: column halo value pathfinder uses so edge lanes never win the min
+HALO = 1.0e30
+
+AXPY_BASE = 1 << 15          # elements at scale=1.0
+AXPY_A = 2.5
+PATHFINDER_BASE_ROWS = 64
+PATHFINDER_BASE_COLS = 256   # interior columns (multiple of 128)
+BLACKSCHOLES_BASE = 4096
+JACOBI_BASE_ROWS = 34
+JACOBI_BASE_COLS = 256       # interior columns (multiple of 128)
+JACOBI_SWEEPS = 2
+SEED = 0x51BEC
+
+
+class _RivecKernel(Workload):
+    """Shared Table 2-style metadata for the RiVEC family."""
+
+    category = "RiVEC"
+    comments = "RiVEC port"
+    surrogate = False
+    paper_vectorization_pct = None
+
+
+class RivecAxpy(_RivecKernel):
+    name = "rivec.axpy"
+    description = "BLAS-1 axpy: y(i) = a*x(i) + y(i)"
+    inputs = "32768 elements (scaled)"
+    uses_prefetch = True
+
+    def build(self, scale: float = 1.0) -> WorkloadInstance:
+        n = max(int(AXPY_BASE * scale) // 128 * 128, 128)
+        arena = Arena()
+        x_addr = arena.alloc_f64("x", n)
+        y_addr = arena.alloc_f64("y", n)
+        rng = np.random.default_rng(SEED)
+        x0 = rng.standard_normal(n)
+        y0 = rng.standard_normal(n)
+
+        kb = KernelBuilder(self.name)
+        kb.lda(1, x_addr)
+        kb.lda(2, y_addr)
+        kb.setvl(128)
+        kb.setvs(8)
+        blocks = n // 128
+        for blk in range(blocks):
+            off = blk * 128 * 8
+            if blk + 2 < blocks:
+                pf = (blk + 2) * 128 * 8
+                kb.vprefetch(1, disp=pf)
+                kb.vprefetch(2, disp=pf)
+            kb.vloadq(4, rb=1, disp=off)
+            kb.vloadq(5, rb=2, disp=off)
+            kb.vsmult(6, 4, imm=AXPY_A)
+            kb.vvaddt(7, 5, 6)
+            kb.vstoreq(7, rb=2, disp=off)
+
+        def setup(mem):
+            mem.write_f64(x_addr, x0)
+            mem.write_f64(y_addr, y0)
+
+        def check(mem):
+            np.testing.assert_allclose(mem.read_f64(y_addr, n),
+                                       y0 + AXPY_A * x0, rtol=1e-12)
+
+        paper_footprint = 2_000_000 * 8   # RiVEC runs axpy memory-resident
+        loop = ScalarLoopBody(
+            name=self.name, flops=2.0, int_ops=2.0, loads=2.0, stores=1.0,
+            prefetches=0.25,
+            streams=[
+                MemStream("x", read_bytes_per_iter=8.0,
+                          footprint_bytes=paper_footprint),
+                MemStream("y", read_bytes_per_iter=8.0,
+                          write_bytes_per_iter=8.0,
+                          footprint_bytes=paper_footprint),
+            ],
+            iterations=n)
+
+        return WorkloadInstance(
+            name=self.name, program=kb.build(), scalar_loop=loop,
+            setup=setup, check=check,
+            workload_bytes=3 * 8 * n,
+            flops_expected=2 * n,
+            buffers=arena.declare_buffers())
+
+
+class RivecPathfinder(_RivecKernel):
+    name = "rivec.pathfinder"
+    description = "Pathfinder DP: dst(j) = wall(i,j) + min3(src(j-1..j+1))"
+    inputs = "64x256 grid (scaled)"
+    uses_prefetch = False
+
+    def _shape(self, scale: float) -> tuple[int, int]:
+        rows = max(int(PATHFINDER_BASE_ROWS * scale), 8)
+        cols = max(int(PATHFINDER_BASE_COLS * scale) // 128 * 128, 128)
+        return rows, cols
+
+    def build(self, scale: float = 1.0) -> WorkloadInstance:
+        rows, cols = self._shape(scale)
+        rng = np.random.default_rng(SEED + 1)
+        wall = rng.uniform(1.0, 10.0, (rows, cols))
+
+        # numpy reference: row-by-row DP with +inf sentinels at the edges
+        src = wall[0].copy()
+        for i in range(1, rows):
+            padded = np.concatenate(([HALO], src, [HALO]))
+            src = wall[i] + np.minimum(
+                np.minimum(padded[:-2], padded[1:-1]), padded[2:])
+        expected = src
+
+        arena = Arena()
+        wall_addr = arena.alloc_f64("wall", rows * cols)
+        # double buffers carry one halo element on each side
+        buf_a = arena.alloc_f64("bufA", cols + 2)
+        buf_b = arena.alloc_f64("bufB", cols + 2)
+
+        kb = KernelBuilder(self.name)
+        kb.lda(1, wall_addr)
+        kb.lda(2, buf_a)
+        kb.lda(3, buf_b)
+        kb.setvl(128)
+        kb.setvs(8)
+        for i in range(1, rows):
+            src_reg = 2 if i % 2 == 1 else 3
+            dst_reg = 3 if i % 2 == 1 else 2
+            for blk in range(cols // 128):
+                # interior element j0 = 128*blk lives at slot j0+1
+                off = (blk * 128 + 1) * 8
+                kb.vloadq(4, rb=src_reg, disp=off - 8)    # src[j-1]
+                kb.vloadq(5, rb=src_reg, disp=off)        # src[j]
+                kb.vloadq(6, rb=src_reg, disp=off + 8)    # src[j+1]
+                kb.vvmint(7, 4, 5)
+                kb.vvmint(7, 7, 6)
+                kb.vloadq(8, rb=1, disp=(i * cols + blk * 128) * 8)
+                kb.vvaddt(9, 8, 7)
+                kb.vstoreq(9, rb=dst_reg, disp=off)
+
+        final = buf_a if (rows - 1) % 2 == 0 else buf_b
+
+        def setup(mem):
+            mem.write_f64(wall_addr, wall.ravel())
+            halo_row = np.full(cols + 2, HALO)
+            row0 = halo_row.copy()
+            row0[1:-1] = wall[0]
+            mem.write_f64(buf_a, row0)
+            mem.write_f64(buf_b, halo_row)
+
+        def check(mem):
+            got = mem.read_f64(final + 8, cols)
+            np.testing.assert_allclose(got, expected, rtol=1e-12)
+
+        loop = ScalarLoopBody(
+            name=self.name, flops=3.0, int_ops=3.0, loads=4.0, stores=1.0,
+            streams=[
+                MemStream("wall", read_bytes_per_iter=8.0,
+                          footprint_bytes=rows * cols * 8),
+                MemStream("rows", read_bytes_per_iter=24.0,
+                          write_bytes_per_iter=8.0,
+                          footprint_bytes=2 * (cols + 2) * 8),
+            ],
+            iterations=(rows - 1) * cols)
+
+        return WorkloadInstance(
+            name=self.name, program=kb.build(), scalar_loop=loop,
+            setup=setup, check=check,
+            workload_bytes=(rows - 1) * cols * 8 * 5,
+            warm_ranges=[(buf_a, (cols + 2) * 8), (buf_b, (cols + 2) * 8)],
+            flops_expected=3 * (rows - 1) * cols,
+            buffers=arena.declare_buffers())
+
+
+#: odd-polynomial CDF approximation coefficients (the kernel and the
+#: numpy reference evaluate the identical Horner form)
+BS_C1 = 0.39894228
+BS_C3 = -0.06649038
+BS_C5 = 0.00997356
+
+
+class RivecBlackscholes(_RivecKernel):
+    name = "rivec.blackscholes"
+    description = "Black-Scholes-style map: polynomial-CDF option pricing"
+    inputs = "4096 options (scaled)"
+    uses_prefetch = True
+
+    def build(self, scale: float = 1.0) -> WorkloadInstance:
+        n = max(int(BLACKSCHOLES_BASE * scale) // 128 * 128, 128)
+        rng = np.random.default_rng(SEED + 2)
+        spot = rng.uniform(50.0, 150.0, n)
+        strike = rng.uniform(60.0, 140.0, n)
+        time = rng.uniform(0.25, 2.0, n)
+
+        def cdf(x):
+            x2 = x * x
+            poly = ((BS_C5 * x2 + BS_C3) * x2 + BS_C1) * x
+            return poly + 0.5
+
+        def reference():
+            sqrt_t = np.sqrt(time)
+            m = spot / strike
+            d1 = (m - 1.0) / sqrt_t
+            d2 = d1 - sqrt_t
+            return spot * cdf(d1) - strike * cdf(d2)
+
+        expected = reference()
+
+        arena = Arena()
+        s_addr = arena.alloc_f64("spot", n)
+        k_addr = arena.alloc_f64("strike", n)
+        t_addr = arena.alloc_f64("time", n)
+        p_addr = arena.alloc_f64("price", n)
+
+        kb = KernelBuilder(self.name)
+        kb.lda(1, s_addr)
+        kb.lda(2, k_addr)
+        kb.lda(3, t_addr)
+        kb.lda(4, p_addr)
+        kb.setvl(128)
+        kb.setvs(8)
+        blocks = n // 128
+        for blk in range(blocks):
+            off = blk * 128 * 8
+            if blk + 2 < blocks:
+                pf = (blk + 2) * 128 * 8
+                for reg in (1, 2, 3):
+                    kb.vprefetch(reg, disp=pf)
+            kb.vloadq(4, rb=1, disp=off)            # S
+            kb.vloadq(5, rb=2, disp=off)            # K
+            kb.vloadq(6, rb=3, disp=off)            # T
+            kb.vsqrtt(7, 6)                         # sqrt(T)
+            kb.vvdivt(8, 4, 5)                      # m = S/K
+            kb.vsaddt(8, 8, imm=-1.0)               # m - 1
+            kb.vvdivt(9, 8, 7)                      # d1
+            kb.vvsubt(10, 9, 7)                     # d2 = d1 - sqrt(T)
+            for dreg, creg in ((9, 12), (10, 13)):  # cdf(d1), cdf(d2)
+                kb.vvmult(11, dreg, dreg)           # x2
+                kb.vsmult(creg, 11, imm=BS_C5)
+                kb.vsaddt(creg, creg, imm=BS_C3)
+                kb.vvmult(creg, creg, 11)
+                kb.vsaddt(creg, creg, imm=BS_C1)
+                kb.vvmult(creg, creg, dreg)
+                kb.vsaddt(creg, creg, imm=0.5)
+            kb.vvmult(14, 4, 12)                    # S*cdf(d1)
+            kb.vvmult(15, 5, 13)                    # K*cdf(d2)
+            kb.vvsubt(16, 14, 15)
+            kb.vstoreq(16, rb=4, disp=off)
+
+        def setup(mem):
+            mem.write_f64(s_addr, spot)
+            mem.write_f64(k_addr, strike)
+            mem.write_f64(t_addr, time)
+
+        def check(mem):
+            np.testing.assert_allclose(mem.read_f64(p_addr, n), expected,
+                                       rtol=1e-12)
+
+        loop = ScalarLoopBody(
+            name=self.name, flops=20.0, int_ops=3.0, loads=3.0, stores=1.0,
+            prefetches=0.375,
+            streams=[
+                MemStream(name, read_bytes_per_iter=8.0,
+                          footprint_bytes=n * 8)
+                for name in ("spot", "strike", "time")
+            ] + [MemStream("price", write_bytes_per_iter=8.0,
+                           footprint_bytes=n * 8, full_line_writes=True)],
+            iterations=n)
+
+        return WorkloadInstance(
+            name=self.name, program=kb.build(), scalar_loop=loop,
+            setup=setup, check=check,
+            workload_bytes=4 * 8 * n,
+            warm_ranges=[(s_addr, n * 8), (k_addr, n * 8), (t_addr, n * 8)],
+            flops_expected=20 * n,
+            buffers=arena.declare_buffers())
+
+
+class RivecJacobi2D(_RivecKernel):
+    name = "rivec.jacobi2d"
+    description = "Jacobi 2D 5-point stencil, alternating A/B sweeps"
+    inputs = "34x256 grid, 2 sweeps (scaled)"
+    uses_prefetch = False
+
+    def _shape(self, scale: float) -> tuple[int, int]:
+        rows = max(int(JACOBI_BASE_ROWS * scale), 6)
+        cols = max(int(JACOBI_BASE_COLS * scale) // 128 * 128, 128)
+        return rows, cols
+
+    def build(self, scale: float = 1.0) -> WorkloadInstance:
+        rows, cols = self._shape(scale)
+        width = cols + 2                      # column halo on each side
+        rng = np.random.default_rng(SEED + 3)
+        grid0 = rng.uniform(0.0, 1.0, (rows, width))
+
+        # reference: interior-only updates, alternating grids
+        a = grid0.copy()
+        b = grid0.copy()
+        for _ in range(JACOBI_SWEEPS):
+            b[1:-1, 1:-1] = 0.2 * (a[1:-1, 1:-1] + a[1:-1, :-2] +
+                                   a[1:-1, 2:] + a[:-2, 1:-1] + a[2:, 1:-1])
+            a, b = b, a
+        expected = a
+
+        arena = Arena()
+        a_addr = arena.alloc_f64("A", rows * width)
+        b_addr = arena.alloc_f64("B", rows * width)
+        row_bytes = width * 8
+
+        kb = KernelBuilder(self.name)
+        kb.lda(1, a_addr)
+        kb.lda(2, b_addr)
+        kb.setvl(128)
+        kb.setvs(8)
+        for sweep in range(JACOBI_SWEEPS):
+            src_reg = 1 if sweep % 2 == 0 else 2
+            dst_reg = 2 if sweep % 2 == 0 else 1
+            for i in range(1, rows - 1):
+                for blk in range(cols // 128):
+                    off = i * row_bytes + (blk * 128 + 1) * 8
+                    kb.vloadq(4, rb=src_reg, disp=off)              # center
+                    kb.vloadq(5, rb=src_reg, disp=off - 8)          # west
+                    kb.vvaddt(4, 4, 5)
+                    kb.vloadq(5, rb=src_reg, disp=off + 8)          # east
+                    kb.vvaddt(4, 4, 5)
+                    kb.vloadq(5, rb=src_reg, disp=off - row_bytes)  # north
+                    kb.vvaddt(4, 4, 5)
+                    kb.vloadq(5, rb=src_reg, disp=off + row_bytes)  # south
+                    kb.vvaddt(4, 4, 5)
+                    kb.vsmult(4, 4, imm=0.2)
+                    kb.vstoreq(4, rb=dst_reg, disp=off)
+
+        result_addr = a_addr if JACOBI_SWEEPS % 2 == 0 else b_addr
+
+        def setup(mem):
+            mem.write_f64(a_addr, grid0.ravel())
+            mem.write_f64(b_addr, grid0.ravel())
+
+        def check(mem):
+            got = mem.read_f64(result_addr, rows * width).reshape(rows, width)
+            np.testing.assert_allclose(got, expected, rtol=1e-12)
+
+        interior = (rows - 2) * cols
+        loop = ScalarLoopBody(
+            name=self.name, flops=5.0, int_ops=4.0, loads=5.0, stores=1.0,
+            streams=[
+                MemStream("A", read_bytes_per_iter=24.0,
+                          write_bytes_per_iter=4.0,
+                          footprint_bytes=rows * width * 8),
+                MemStream("B", read_bytes_per_iter=16.0,
+                          write_bytes_per_iter=4.0,
+                          footprint_bytes=rows * width * 8),
+            ],
+            iterations=JACOBI_SWEEPS * interior)
+
+        return WorkloadInstance(
+            name=self.name, program=kb.build(), scalar_loop=loop,
+            setup=setup, check=check,
+            workload_bytes=JACOBI_SWEEPS * interior * 8 * 6,
+            warm_ranges=[(a_addr, rows * row_bytes),
+                         (b_addr, rows * row_bytes)],
+            flops_expected=5 * JACOBI_SWEEPS * interior,
+            buffers=arena.declare_buffers())

@@ -1,0 +1,323 @@
+"""RiVEC benchmark family, part 2: SpMV CSR/ELL and streamcluster.
+
+The irregular half of the RiVEC port (see :mod:`repro.workloads.rivec`
+for the dense half and the family's provenance):
+
+* ``rivec.spmv.csr`` — classic CSR sparse matrix-vector product: one
+  ``setvl(nnz[row])`` per row, unit-stride value/index loads, an ``x``
+  gather, and a ``vsumt`` dot-product reduction collected back into a
+  vector register with ``vinsq`` (one store per 128-row group).
+  The per-row vector-length changes deliberately stress the timing
+  model's address-plan cache (every row invalidates the plan), which
+  is exactly the regime the ELLPACK layout exists to avoid;
+* ``rivec.spmv.ell`` — ELLPACK with *mask-based* ragged-row handling:
+  where ``sparsemxv`` pads short rows with zero values, this variant
+  computes a ``rowlen > k`` mask per diagonal and runs the whole
+  value/gather/accumulate chain under ``vm`` — the other classic
+  vector-SpMV idiom, and the registry's heaviest masked-memory user;
+* ``rivec.streamcluster`` — the assign phase of streamcluster: for
+  every point, squared Euclidean distance to K centers (coordinates
+  baked as scalar immediates, SoA dimension arrays), tracking the
+  running minimum and the argmin under a ``dist < best`` mask.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa.builder import KernelBuilder
+from repro.scalar.loopmodel import AccessPattern, MemStream, ScalarLoopBody
+from repro.workloads.base import Arena, Workload, WorkloadInstance
+from repro.workloads.rivec import _RivecKernel
+
+SEED = 0x51BEC
+
+CSR_BASE_ROWS = 512
+CSR_NNZ_LO, CSR_NNZ_HI = 8, 33     # rng.integers bounds: nnz in [8, 32]
+ELL_BASE_ROWS = 512
+ELL_WIDTH = 16
+SC_BASE_POINTS = 2048
+SC_DIMS = 4
+SC_CENTERS = 8
+
+
+class RivecSpmvCSR(_RivecKernel):
+    name = "rivec.spmv.csr"
+    description = "SpMV y = A @ x, CSR layout: setvl(nnz) per row + vsumt"
+    inputs = "512 rows, 8-32 nnz/row (scaled)"
+    uses_prefetch = False
+
+    def build(self, scale: float = 1.0) -> WorkloadInstance:
+        rows = max(int(CSR_BASE_ROWS * scale), 16)
+        # rectangular at tiny scales: keep enough columns that a row's
+        # nonzeroes (up to 32 distinct columns) always fit
+        ncols = max(rows, 2 * CSR_NNZ_HI)
+        rng = np.random.default_rng(SEED + 4)
+        nnz = rng.integers(CSR_NNZ_LO, CSR_NNZ_HI, rows)
+        ptr = np.concatenate(([0], np.cumsum(nnz)))
+        total = int(ptr[-1])
+        cols = np.empty(total, dtype=np.int64)
+        vals = rng.standard_normal(total)
+        for r in range(rows):
+            cols[ptr[r]:ptr[r + 1]] = rng.choice(ncols, size=int(nnz[r]),
+                                                 replace=False)
+        x0 = rng.standard_normal(ncols)
+
+        # reference in the kernel's exact order: vsumt is np.sum over
+        # the row's products, one row at a time
+        expected = np.array([
+            float(np.sum(vals[ptr[r]:ptr[r + 1]] * x0[cols[ptr[r]:ptr[r + 1]]]))
+            for r in range(rows)])
+
+        arena = Arena()
+        val_addr = arena.alloc_f64("vals", total)
+        colb_addr = arena.alloc("colbytes", total * 8)
+        x_addr = arena.alloc_f64("x", ncols)
+        y_addr = arena.alloc_f64("y", rows)
+
+        kb = KernelBuilder(self.name)
+        kb.lda(1, val_addr)
+        kb.lda(2, colb_addr)
+        kb.lda(3, x_addr)
+        kb.lda(4, y_addr)
+        kb.setvs(8)
+        # row sums collect into v9 via vinsq (one vector store per group
+        # of 128 rows): a scalar stq per row would need a drainm before
+        # every subsequent gather (section 3.4) because the gather's
+        # footprint is statically unbounded
+        for base in range(0, rows, 128):
+            group = min(128, rows - base)
+            kb.setvl(128)
+            kb.vvxor(9, 9, 9)                   # y block = 0
+            for i in range(group):
+                r = base + i
+                off = int(ptr[r]) * 8
+                kb.setvl(int(nnz[r]))           # invalidates the plan cache
+                kb.vloadq(5, rb=1, disp=off)    # row values
+                kb.vloadq(6, rb=2, disp=off)    # column byte offsets
+                kb.vgathq(7, 6, rb=3)           # x[col]
+                kb.vvmult(8, 5, 7)
+                kb.vsumt(5, 8)                  # r5 <- IEEE bits of the dot
+                kb.vinsq(9, 5, i)               # y block[i] <- dot
+            kb.setvl(group)
+            kb.vstoreq(9, rb=4, disp=base * 8)
+
+        def setup(mem):
+            mem.write_f64(val_addr, vals)
+            mem.write_array(colb_addr, (cols * 8).astype(np.uint64))
+            mem.write_f64(x_addr, x0)
+
+        def check(mem):
+            np.testing.assert_allclose(mem.read_f64(y_addr, rows), expected,
+                                       rtol=1e-9)
+
+        mean_nnz = total / rows
+        loop = ScalarLoopBody(
+            name=self.name, flops=2.0, int_ops=3.0, loads=3.0,
+            stores=1.0 / mean_nnz,
+            streams=[
+                MemStream("vals", read_bytes_per_iter=8.0,
+                          footprint_bytes=total * 8),
+                MemStream("cols", read_bytes_per_iter=8.0,
+                          footprint_bytes=total * 8),
+                MemStream("x", read_bytes_per_iter=8.0,
+                          footprint_bytes=ncols * 8,
+                          pattern=AccessPattern.RANDOM),
+            ],
+            iterations=total)
+
+        return WorkloadInstance(
+            name=self.name, program=kb.build(), scalar_loop=loop,
+            setup=setup, check=check,
+            workload_bytes=(2 * total + rows * 8 + ncols) * 8,
+            warm_ranges=[(x_addr, ncols * 8)],
+            flops_expected=2 * total,
+            buffers=arena.declare_buffers())
+
+
+class RivecSpmvELL(_RivecKernel):
+    name = "rivec.spmv.ell"
+    description = "SpMV y = A @ x, ELLPACK with rowlen>k masks (no padding)"
+    inputs = "512x512, <=16 nnz/row (scaled)"
+    uses_prefetch = False
+
+    def build(self, scale: float = 1.0) -> WorkloadInstance:
+        rows = max(int(ELL_BASE_ROWS * scale) // 128 * 128, 128)
+        width = ELL_WIDTH
+        rng = np.random.default_rng(SEED + 5)
+        rowlen = rng.integers(4, width + 1, rows)
+        cols = np.zeros((width, rows), dtype=np.int64)
+        vals = np.zeros((width, rows), dtype=np.float64)
+        for r in range(rows):
+            k = int(rowlen[r])
+            cols[:k, r] = rng.choice(rows, size=k, replace=False)
+            vals[:k, r] = rng.standard_normal(k)
+        x0 = rng.standard_normal(rows)
+
+        # reference mirrors the masked accumulate, diagonal by diagonal
+        expected = np.zeros(rows)
+        for k in range(width):
+            active = rowlen > k
+            expected = np.where(active,
+                                expected + vals[k] * x0[cols[k]], expected)
+
+        arena = Arena()
+        val_addr = arena.alloc_f64("vals", width * rows)
+        colb_addr = arena.alloc("colbytes", width * rows * 8)
+        len_addr = arena.alloc_f64("rowlen", rows)
+        x_addr = arena.alloc_f64("x", rows)
+        y_addr = arena.alloc_f64("y", rows)
+
+        kb = KernelBuilder(self.name)
+        kb.lda(1, val_addr)
+        kb.lda(2, colb_addr)
+        kb.lda(3, x_addr)
+        kb.lda(4, y_addr)
+        kb.lda(5, len_addr)
+        kb.setvl(128)
+        kb.setvs(8)
+        row_bytes = rows * 8
+        for blk in range(rows // 128):
+            roff = blk * 128 * 8
+            kb.vloadq(2, rb=5, disp=roff)           # rowlen (as doubles)
+            kb.vvxor(10, 10, 10)                    # acc = 0
+            for k in range(width):
+                koff = k * row_bytes + roff
+                kb.vscmptle(3, 2, imm=float(k))     # rowlen <= k ...
+                kb.vnot(3, 3)                       # ... negated: rowlen > k
+                kb.setvm(3)
+                kb.vloadq(5, rb=1, disp=koff, masked=True)
+                kb.vloadq(6, rb=2, disp=koff, masked=True)
+                kb.vgathq(7, 6, rb=3, masked=True)  # x[col]
+                kb.vvmult(8, 5, 7, masked=True)
+                kb.vvaddt(10, 10, 8, masked=True)
+            kb.vstoreq(10, rb=4, disp=roff)
+
+        def setup(mem):
+            mem.write_f64(val_addr, vals.ravel())
+            mem.write_array(colb_addr, (cols.ravel() * 8).astype(np.uint64))
+            mem.write_f64(len_addr, rowlen.astype(np.float64))
+            mem.write_f64(x_addr, x0)
+
+        def check(mem):
+            np.testing.assert_allclose(mem.read_f64(y_addr, rows), expected,
+                                       rtol=1e-9)
+
+        nnz_total = int(rowlen.sum())
+        loop = ScalarLoopBody(
+            name=self.name, flops=2.0, int_ops=4.0, loads=3.0,
+            stores=1.0 / width,
+            mispredicts_per_iter=0.05,          # the rowlen>k cutoff
+            streams=[
+                MemStream("vals", read_bytes_per_iter=8.0,
+                          footprint_bytes=width * rows * 8),
+                MemStream("cols", read_bytes_per_iter=8.0,
+                          footprint_bytes=width * rows * 8),
+                MemStream("x", read_bytes_per_iter=8.0,
+                          footprint_bytes=rows * 8,
+                          pattern=AccessPattern.RANDOM),
+            ],
+            iterations=nnz_total)
+
+        return WorkloadInstance(
+            name=self.name, program=kb.build(), scalar_loop=loop,
+            setup=setup, check=check,
+            workload_bytes=(2 * nnz_total + 3 * rows) * 8,
+            warm_ranges=[(x_addr, rows * 8), (len_addr, rows * 8)],
+            flops_expected=2 * nnz_total,
+            buffers=arena.declare_buffers())
+
+
+class RivecStreamcluster(_RivecKernel):
+    name = "rivec.streamcluster"
+    description = "Streamcluster assign: nearest of K centers per point"
+    inputs = "2048 points x 4 dims, 8 centers (scaled)"
+    uses_prefetch = False
+
+    def build(self, scale: float = 1.0) -> WorkloadInstance:
+        n = max(int(SC_BASE_POINTS * scale) // 128 * 128, 128)
+        rng = np.random.default_rng(SEED + 6)
+        points = rng.uniform(-1.0, 1.0, (SC_DIMS, n))       # SoA
+        centers = rng.uniform(-1.0, 1.0, (SC_CENTERS, SC_DIMS))
+
+        def dist_to(k):
+            acc = (points[0] - centers[k, 0]) * (points[0] - centers[k, 0])
+            for d in range(1, SC_DIMS):
+                diff = points[d] - centers[k, d]
+                acc = acc + diff * diff
+            return acc
+
+        # reference tracks the kernel's strict-less-than argmin update
+        best = dist_to(0)
+        idx = np.zeros(n)
+        for k in range(1, SC_CENTERS):
+            dist = dist_to(k)
+            closer = dist < best
+            idx = np.where(closer, float(k), idx)
+            best = np.minimum(best, dist)
+
+        arena = Arena()
+        dim_addrs = [arena.alloc_f64(f"dim{d}", n) for d in range(SC_DIMS)]
+        mind_addr = arena.alloc_f64("mindist", n)
+        assign_addr = arena.alloc_f64("assign", n)
+
+        kb = KernelBuilder(self.name)
+        for d, addr in enumerate(dim_addrs):
+            kb.lda(d + 1, addr)                 # r1..r4
+        kb.lda(5, mind_addr)
+        kb.lda(6, assign_addr)
+        kb.setvl(128)
+        kb.setvs(8)
+        for blk in range(n // 128):
+            off = blk * 128 * 8
+            for d in range(SC_DIMS):
+                kb.vloadq(1 + d, rb=1 + d, disp=off)        # v1..v4
+            kb.vvxor(11, 11, 11)                            # idx = 0.0
+            for k in range(SC_CENTERS):
+                dest = 10 if k == 0 else 9                  # best | candidate
+                kb.vssubt(8, 1, imm=float(centers[k, 0]))
+                kb.vvmult(dest, 8, 8)
+                for d in range(1, SC_DIMS):
+                    kb.vssubt(8, 1 + d, imm=float(centers[k, d]))
+                    kb.vvmult(8, 8, 8)
+                    kb.vvaddt(dest, dest, 8)
+                if k > 0:
+                    kb.vvcmptlt(12, 9, 10)      # dist < best, before update
+                    kb.setvm(12)
+                    kb.vsmult(11, 11, imm=0.0, masked=True)
+                    kb.vsaddt(11, 11, imm=float(k), masked=True)
+                    kb.vvmint(10, 10, 9)
+            kb.vstoreq(10, rb=5, disp=off)
+            kb.vstoreq(11, rb=6, disp=off)
+
+        def setup(mem):
+            for addr, dim in zip(dim_addrs, points):
+                mem.write_f64(addr, dim)
+
+        def check(mem):
+            np.testing.assert_allclose(mem.read_f64(mind_addr, n), best,
+                                       rtol=1e-12)
+            np.testing.assert_allclose(mem.read_f64(assign_addr, n), idx)
+
+        flops_per_point = SC_CENTERS * (3 * SC_DIMS) + (SC_CENTERS - 1) * 2
+        loop = ScalarLoopBody(
+            name=self.name, flops=float(flops_per_point),
+            int_ops=6.0, loads=float(SC_DIMS), stores=2.0,
+            mispredicts_per_iter=0.3,           # the argmin update branch
+            streams=[
+                MemStream(f"dim{d}", read_bytes_per_iter=8.0,
+                          footprint_bytes=n * 8)
+                for d in range(SC_DIMS)
+            ] + [
+                MemStream("out", write_bytes_per_iter=16.0,
+                          footprint_bytes=2 * n * 8, full_line_writes=True),
+            ],
+            iterations=n)
+
+        return WorkloadInstance(
+            name=self.name, program=kb.build(), scalar_loop=loop,
+            setup=setup, check=check,
+            workload_bytes=(SC_DIMS + 2) * 8 * n,
+            warm_ranges=[(addr, n * 8) for addr in dim_addrs],
+            flops_expected=flops_per_point * n,
+            buffers=arena.declare_buffers())

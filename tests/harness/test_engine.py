@@ -255,3 +255,51 @@ class TestInstanceMemo:
             assert len(engine._INSTANCE_MEMO) <= engine._INSTANCE_MEMO_MAX
         finally:
             engine._INSTANCE_MEMO.clear()
+
+
+class TestSpecDigestGolden:
+    """The content digest behind the result cache must not drift.
+
+    ``tests/data/spec_digests_v1.json`` pins :func:`engine.spec_digest`
+    for the original Table 2 suite at the committed config/scale.  The
+    digest covers only what a result depends on (program bytes, scalar
+    descriptor, resolved machine config, run flags) — NOT module paths
+    or package source — so harness refactors like the suite/matrix
+    split must leave every value untouched.  A mismatch here means the
+    whole on-disk cache was silently invalidated, or worse, that a
+    workload's generated program changed.
+    """
+
+    def test_digests_match_committed_golden(self):
+        import json
+        from pathlib import Path
+
+        data = json.loads(
+            (Path(__file__).resolve().parents[1] / "data" /
+             "spec_digests_v1.json").read_text())
+        assert data["schema"] == "spec-digest-v1"
+        drifted = []
+        for name, want in data["digests"].items():
+            spec = ExperimentSpec(name, data["config"], data["scale"])
+            if engine.spec_digest(spec) != want:
+                drifted.append(name)
+        assert not drifted, (
+            f"spec digest drift for {drifted}: cached results for these "
+            "workloads were invalidated (see spec_digest docstring)")
+
+    def test_golden_file_covers_the_paper_suite(self):
+        import json
+        from pathlib import Path
+
+        from repro.workloads.registry import TARANTULA_SUITE
+
+        data = json.loads(
+            (Path(__file__).resolve().parents[1] / "data" /
+             "spec_digests_v1.json").read_text())
+        assert set(data["digests"]) == set(TARANTULA_SUITE)
+
+    def test_cache_key_is_digest_plus_source_salt(self):
+        spec = ExperimentSpec("streams.copy", "T", SCALE)
+        assert engine.spec_digest(spec) == engine.spec_digest(spec)
+        # same digest, but the key changes whenever package source does
+        assert cache_key(spec) != engine.spec_digest(spec)

@@ -43,6 +43,24 @@ class TestParser:
         args = build_parser().parse_args(["report"])
         assert args.jobs == 0 and not args.no_cache
 
+    def test_report_defaults_to_full_evaluation(self):
+        args = build_parser().parse_args(["report"])
+        assert args.suite is None and args.instances == "default"
+
+    def test_report_takes_suite_and_instances(self):
+        args = build_parser().parse_args(
+            ["report", "--suite", "rivec", "--instances", "baselines"])
+        assert args.suite == "rivec" and args.instances == "baselines"
+
+    def test_list_suites_registered(self):
+        args = build_parser().parse_args(["list-suites"])
+        assert args.command == "list-suites"
+
+    def test_bench_takes_suite(self):
+        args = build_parser().parse_args(["bench", "--suite", "rivec"])
+        assert args.suite == "rivec"
+        assert build_parser().parse_args(["bench"]).suite is None
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -67,6 +85,27 @@ class TestCommands:
     def test_table1(self, capsys):
         assert main(["table1"]) == 0
         assert "Vbox" in capsys.readouterr().out
+
+    def test_list_suites(self, capsys):
+        assert main(["list-suites"]) == 0
+        out = capsys.readouterr().out
+        for suite in ("tarantula", "figures", "table4", "rivec"):
+            assert suite in out
+        for family in ("default", "baselines", "scaling", "pump"):
+            assert family in out
+
+    def test_report_unknown_suite_exits_two_with_suggestion(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["report", "--suite", "rivecc", "--no-cache"])
+        assert exc.value.code == 2
+        assert "did you mean: rivec" in capsys.readouterr().err
+
+    def test_report_unknown_family_exits_two(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["report", "--suite", "rivec", "--instances", "bogus",
+                  "--no-cache"])
+        assert exc.value.code == 2
+        assert "unknown instance family" in capsys.readouterr().err
 
     def test_asm(self, tmp_path, capsys):
         src = tmp_path / "kernel.s"

@@ -1,0 +1,159 @@
+"""The Suite x Instance matrix model (repro.workloads.suite).
+
+Covers the declarative layer the harness now builds its grids from:
+construction invariants (duplicate/empty rejection), registry lookups
+with spelling suggestions, deterministic workload-major expansion, and
+— end to end over the rivec suite — byte-identical parallel vs serial
+grid execution through ``engine.execute_many``.
+"""
+
+import pickle
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads.registry import REGISTRY, RIVEC_SUITE, TARANTULA_SUITE
+from repro.workloads.suite import (
+    FAMILIES,
+    SUITES,
+    Instance,
+    InstanceFamily,
+    Matrix,
+    Suite,
+    get_family,
+    get_suite,
+    list_families,
+    list_suites,
+)
+
+
+class TestSuite:
+    def test_is_a_tuple_of_names(self):
+        s = Suite("s", ("dgemm", "fft"))
+        assert s == ("dgemm", "fft")
+        assert list(s) == ["dgemm", "fft"]
+        assert "fft" in s and len(s) == 2
+        assert s.workloads == ("dgemm", "fft")
+
+    def test_rejects_duplicate_workloads(self):
+        with pytest.raises(ConfigError, match="duplicate workload 'dgemm'"):
+            Suite("s", ("dgemm", "fft", "dgemm"))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigError, match="no workloads"):
+            Suite("s", ())
+
+    def test_validate_catches_unregistered_names(self):
+        with pytest.raises(ConfigError, match="unknown workload 'bogus'"):
+            Suite("s", ("dgemm", "bogus")).validate(REGISTRY)
+        assert Suite("s", ("dgemm",)).validate(REGISTRY) is not None
+
+    def test_pickle_round_trip_keeps_metadata(self):
+        s = Suite("s", ("dgemm",), title="t", source="src")
+        clone = pickle.loads(pickle.dumps(s))
+        assert clone == s
+        assert (clone.name, clone.title, clone.source) == ("s", "t", "src")
+
+
+class TestInstanceFamily:
+    def test_rejects_duplicate_instance_names(self):
+        with pytest.raises(ConfigError, match="duplicate instance"):
+            InstanceFamily("f", (Instance("a"), Instance("a", config="EV8")))
+
+    def test_rejects_empty_and_non_instances(self):
+        with pytest.raises(ConfigError, match="no instances"):
+            InstanceFamily("f", ())
+        with pytest.raises(ConfigError, match="is not an Instance"):
+            InstanceFamily("f", ("T",))
+
+    def test_instance_rejects_unknown_config(self):
+        with pytest.raises(ConfigError, match="unknown configuration"):
+            Instance("x", config="EV9")
+
+    def test_instance_rejects_nonpositive_scale(self):
+        with pytest.raises(ConfigError, match="must be positive"):
+            Instance("x", scale_factor=0.0)
+
+    def test_of_configs_builds_one_instance_per_config(self):
+        fam = InstanceFamily.of_configs("f", ("T", "EV8"))
+        assert fam.instance_names == ("T", "EV8")
+        assert all(i.config == i.name for i in fam)
+
+
+class TestRegistries:
+    def test_shipped_suites_and_families_registered(self):
+        # the paper suite, the figure/table subsets, and the rivec port
+        assert len(SUITES) >= 3
+        assert {"tarantula", "rivec"} <= set(SUITES)
+        assert {"default", "baselines", "scaling", "pump"} <= set(FAMILIES)
+        assert [s.name for s in list_suites()] == list(SUITES)
+        assert [f.name for f in list_families()] == list(FAMILIES)
+
+    def test_registry_covers_both_benchmark_families(self):
+        assert len(REGISTRY) >= 25
+        assert set(TARANTULA_SUITE) <= set(REGISTRY)
+        assert set(RIVEC_SUITE) <= set(REGISTRY)
+        assert not set(TARANTULA_SUITE) & set(RIVEC_SUITE)
+
+    def test_unknown_suite_suggests_close_match(self):
+        with pytest.raises(KeyError, match="did you mean: rivec"):
+            get_suite("rivecc")
+
+    def test_unknown_family_suggests_close_match(self):
+        with pytest.raises(KeyError, match="did you mean: baselines"):
+            get_family("baseline")
+
+
+class TestMatrixExpansion:
+    def test_cells_are_workload_major_and_deterministic(self):
+        suite = Suite("s", ("fft", "dgemm"))
+        family = InstanceFamily.of_configs("f", ("T", "EV8"))
+        matrix = Matrix(suite, family, scales=0.1)
+        pairs = [(w, i.name) for w, i, _ in matrix.cells()]
+        assert pairs == [("fft", "T"), ("fft", "EV8"),
+                         ("dgemm", "T"), ("dgemm", "EV8")]
+        # expansion is pure: a second call yields identical specs
+        assert matrix.specs() == matrix.specs()
+
+    def test_scale_resolution(self):
+        suite = Suite("s", ("fft", "dgemm"))
+        inst = Instance("T2x", scale_factor=2.0)
+        family = InstanceFamily("f", (inst,))
+        # mapping: named kernels take their scale, misses fall back to
+        # the workload default (dgemm's default_scale is 1.0)
+        m = Matrix(suite, family, scales={"fft": 0.5})
+        assert m.scale_for("fft", inst) == pytest.approx(1.0)
+        assert m.scale_for("dgemm", inst) == pytest.approx(
+            2.0 * REGISTRY["dgemm"].default_scale)
+        # uniform float, with the quick quarter-factor on top
+        mq = Matrix(suite, family, scales=0.4, quick=True)
+        assert mq.scale_for("fft", inst) == pytest.approx(0.4 * 2.0 * 0.25)
+
+    def test_adjust_hook_rewrites_cells(self):
+        import dataclasses
+
+        suite = Suite("s", ("fft",))
+        family = InstanceFamily("f", (Instance("T"),))
+        m = Matrix(suite, family, scales=0.1,
+                   adjust=lambda spec, w, i: dataclasses.replace(
+                       spec, drain_dirty=True))
+        (cell,) = m.cells()
+        assert cell[2].drain_dirty
+
+
+class TestMatrixRun:
+    def test_parallel_matches_serial_over_rivec(self):
+        """Grid fan-out must not change results: the same rivec matrix
+        run serially and with worker processes yields byte-identical
+        outcomes (satellite of the suite refactor)."""
+        matrix = Matrix(RIVEC_SUITE, get_family("default"), scales=0.05,
+                        check=True)
+        serial = matrix.run(jobs=1)
+        parallel = matrix.run(jobs=2)
+        assert set(serial) == set(RIVEC_SUITE)
+        for name in RIVEC_SUITE:
+            a, b = serial[name]["T"], parallel[name]["T"]
+            assert not getattr(a, "failed", False), name
+            assert a.verified and b.verified
+            assert (a.cycles, a.opc, a.fpc, a.mpc) == \
+                (b.cycles, b.opc, b.fpc, b.mpc), name

@@ -1,0 +1,57 @@
+"""The rivec suite: RiVEC-style kernels ported to the Tarantula ISA.
+
+The generic registry gates (lint, trace-differential soundness,
+functional reference check) already parametrize over every registered
+workload and so cover these kernels automatically; this file pins what
+is specific to the port — provenance metadata, membership, a stricter
+zero-warning lint bar, and reference correctness at a second problem
+shape (the generic census runs one scale per kernel).
+"""
+
+import pytest
+
+from repro.analysis import Severity, lint_program
+from repro.workloads.base import run_functional
+from repro.workloads.registry import RIVEC_SUITE, get
+from repro.workloads.rivec import RIVEC_SOURCE
+
+
+def test_suite_membership_and_order():
+    # dense kernels first, then the sparse/irregular ones, names sorted
+    # within each group — the order list-suites and reports print
+    assert RIVEC_SUITE == (
+        "rivec.axpy", "rivec.blackscholes", "rivec.jacobi2d",
+        "rivec.pathfinder", "rivec.spmv.csr", "rivec.spmv.ell",
+        "rivec.streamcluster")
+    assert RIVEC_SUITE.name == "rivec"
+    assert RIVEC_SUITE.source
+
+
+@pytest.mark.parametrize("name", RIVEC_SUITE)
+def test_port_metadata(name):
+    w = get(name)
+    assert w.category == "RiVEC"
+    assert not w.surrogate
+    # the paper reports no vectorization column for a different suite
+    assert w.paper_vectorization_pct is None
+    assert RIVEC_SOURCE.startswith("RiVEC")
+
+
+@pytest.mark.parametrize("name", RIVEC_SUITE)
+def test_lints_with_zero_warnings(name):
+    """Stricter than the registry error gate: a fresh port must also be
+    warning-free (stale masks, dead writes, self-overlapping stores)."""
+    instance = get(name).build_small()
+    report = lint_program(instance.program, buffers=instance.buffers)
+    assert not report.errors, report.format(min_severity=Severity.ERROR)
+    assert not report.warnings, report.format(min_severity=Severity.WARNING)
+
+
+@pytest.mark.parametrize("name", RIVEC_SUITE)
+def test_reference_match_at_second_shape(name):
+    """Correctness at a scale the other gates don't use: 0.3 changes
+    block counts, remainder vector lengths, and sparse row populations
+    relative to build_small and the census scale."""
+    counts = run_functional(get(name).build(0.3))
+    assert counts.total > 0
+    assert counts.vectorization_percent > 90.0

@@ -23,6 +23,11 @@ TEST_SCALES = {
     "lu": 0.2, "linpack100": None,   # linpack100 is fixed-size
     "linpacktpp": 0.05,
     "moldyn": 0.25, "ccradix": 0.1,
+    # the rivec port (docs/WORKLOADS.md)
+    "rivec.axpy": 0.1, "rivec.pathfinder": 0.1,
+    "rivec.blackscholes": 0.1, "rivec.jacobi2d": 0.1,
+    "rivec.spmv.csr": 0.1, "rivec.spmv.ell": 0.1,
+    "rivec.streamcluster": 0.1,
 }
 
 
@@ -62,6 +67,11 @@ def test_registry_covers_figures_and_table4():
     assert set(FIGURE_SUITE) <= set(REGISTRY)
     assert set(TABLE4_SUITE) <= set(REGISTRY)
     assert len(FIGURE_SUITE) == 12   # the paper's application bars
+
+
+def test_every_registered_workload_has_a_test_scale():
+    """New workloads must opt into the CI-fast census above."""
+    assert set(REGISTRY) - {"linpack100"} <= set(TEST_SCALES)
 
 
 def test_unknown_workload_rejected():
