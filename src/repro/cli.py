@@ -13,7 +13,9 @@ Commands mirror the paper's evaluation artifacts:
 * ``fig6|fig7|fig8|fig9`` — regenerate a figure's data series;
 * ``chaos`` — run the fault-injection recovery suite: seeded faults at
   every site type, precise-trap recovery, differential state oracle
-  (docs/FAULTS.md);
+  (docs/FAULTS.md); ``--layer pool`` instead drills the orchestration
+  layer (seeded worker kills, hangs, torn cache writes) and proves the
+  rendered report is byte-identical to a fault-free run;
 * ``bench`` — measure simulator throughput (wall-clock and simulated
   instructions per host second) per workload and write
   ``BENCH_sim_throughput.json`` (docs/PERF.md);
@@ -27,7 +29,12 @@ Commands mirror the paper's evaluation artifacts:
 
 Simulation grids (table2/table4, the figures, report) accept
 ``--jobs N`` for process-parallel fan-out and ``--no-cache`` to bypass
-the content-addressed result cache under ``.repro-cache/``.
+the content-addressed result cache under ``.repro-cache/``.  ``report``
+and ``bench`` additionally take ``--timeout S`` (per-cell wall-clock
+budget), ``--deadline S`` (whole-grid budget; overrunning cells degrade
+into Timeout failures instead of hanging) and ``--pool
+{auto,serial,process}`` to force an execution backend — the fault
+budget of docs/HARNESS.md's pool layer.
 
 Everything prints the paper's published values alongside where they
 exist, so the CLI doubles as a reproduction report generator.
@@ -41,14 +48,28 @@ import sys
 from repro.core.config import CONFIGURATIONS
 from repro.harness import figures, report, tables
 from repro.harness.engine import ResultCache, default_jobs
+from repro.harness.pool import PoolPolicy
 from repro.harness.runner import run
 from repro.workloads.registry import REGISTRY
 
 
 def _engine_args(args):
-    """(jobs, cache) from the shared --jobs/--no-cache flags."""
+    """(jobs, cache) from the shared --jobs/--no-cache flags.
+
+    Where the command grew pool flags (report), ``--timeout``,
+    ``--deadline`` and ``--pool`` become the process-wide default
+    :class:`PoolPolicy`, so every grid the command runs — tables,
+    figures, suite matrices — executes under the same fault budget
+    without threading a policy through each generator signature.
+    """
+    from repro.harness import engine
+
     jobs = args.jobs if args.jobs > 0 else default_jobs()
     cache = None if args.no_cache else ResultCache()
+    engine.DEFAULT_POLICY = PoolPolicy(
+        backend=getattr(args, "pool", None) or "auto",
+        timeout=getattr(args, "timeout", None),
+        deadline=getattr(args, "deadline", None))
     return jobs, cache
 
 
@@ -212,6 +233,8 @@ def _chaos_body(args) -> int:
     from repro.errors import ReproError
     from repro.faults import SITE_TYPES, run_recovery_oracle
 
+    if args.layer == "pool":
+        return _chaos_pool_body(args)
     sites = tuple(args.sites) if args.sites else SITE_TYPES
     for site in sites:
         if site not in SITE_TYPES:
@@ -241,6 +264,29 @@ def _chaos_body(args) -> int:
     return 0
 
 
+def _chaos_pool_body(args) -> int:
+    """``repro chaos --layer pool``: the orchestration-chaos gate.
+
+    Seeded worker kills, hangs and torn cache writes against one suite
+    grid; passes (exit 0) only when the rendered report is
+    byte-identical to a fault-free serial run, nothing was quarantined
+    and retries stayed within budget (docs/FAULTS.md).
+    """
+    from repro.faults.chaos_pool import run_pool_chaos_oracle
+
+    scale = args.scale if args.scale is not None else (
+        0.02 if args.quick else 0.05)
+    result = run_pool_chaos_oracle(
+        seed=args.seed, suite=args.suite, jobs=args.jobs,
+        scale=scale, timeout=args.timeout)
+    text = result.summary()
+    print(text)
+    if args.log:
+        with open(args.log, "w") as handle:
+            handle.write(text + "\n")
+    return 0 if result.ok else 1
+
+
 def _cmd_bench(args) -> int:
     """Benchmark simulator throughput (docs/PERF.md)."""
     from repro.harness.bench import DEFAULT_OUTPUT, main as bench_main
@@ -250,7 +296,9 @@ def _cmd_bench(args) -> int:
         out = None
     return bench_main(quick=args.quick, output=out,
                       check_against=args.check_against,
-                      kernels=args.kernel, suite=args.suite)
+                      kernels=args.kernel, suite=args.suite,
+                      timeout=args.timeout, deadline=args.deadline,
+                      backend=args.pool)
 
 
 def _cmd_asm(args) -> int:
@@ -402,6 +450,20 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--no-cache", action="store_true",
                        help="bypass the .repro-cache/ result cache")
 
+    def add_pool_flags(p):
+        p.add_argument("--timeout", type=float, default=None, metavar="S",
+                       help="per-cell wall-clock budget; an overrunning "
+                       "cell is retried, then degrades into a Timeout "
+                       "failure (default: none)")
+        p.add_argument("--deadline", type=float, default=None, metavar="S",
+                       help="whole-grid wall-clock budget; unfinished "
+                       "cells degrade into Timeout failures instead of "
+                       "hanging (default: none)")
+        p.add_argument("--pool", choices=("auto", "serial", "process"),
+                       default="auto",
+                       help="grid execution backend (default: auto — "
+                       "process when --jobs > 1)")
+
     # table1/table3 are pure configuration arithmetic: no --quick (they
     # reject it), no simulation grid to parallelize or cache
     for which in ("table1", "table3"):
@@ -433,12 +495,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--instances", default="default", metavar="FAMILY",
                           help="instance family for --suite "
                           "(default: 'default')")
+    add_pool_flags(p_report)
     p_report.set_defaults(fn=_cmd_report, jobs=0)
 
     p_chaos = sub.add_parser(
         "chaos", help="fault-injection recovery suite (docs/FAULTS.md)")
     p_chaos.add_argument("--seed", type=int, default=1234,
                          help="FaultPlan seed (default 1234)")
+    p_chaos.add_argument("--layer", choices=("sim", "pool"), default="sim",
+                         help="'sim' injects architectural faults inside "
+                         "the simulator; 'pool' injects orchestration "
+                         "faults (worker kills, hangs, torn cache writes) "
+                         "into grid execution (default: sim)")
+    p_chaos.add_argument("--suite", default="table4", metavar="NAME",
+                         help="suite the pool drill runs over "
+                         "(default: table4; see list-suites)")
+    p_chaos.add_argument("--jobs", type=int, default=2, metavar="N",
+                         help="pool-drill worker processes (default 2)")
+    p_chaos.add_argument("--timeout", type=float, default=8.0, metavar="S",
+                         help="pool-drill per-cell wall-clock budget "
+                         "(default 8s)")
+    p_chaos.add_argument("--quick", action="store_true",
+                         help="pool drill at a CI-sized problem scale")
+    p_chaos.add_argument("--log", default=None, metavar="FILE",
+                         help="also write the pool-drill chaos log here")
     p_chaos.add_argument("--kernel", action="append", default=None,
                          metavar="NAME", choices=sorted(REGISTRY),
                          help="restrict to one kernel (repeatable; "
@@ -470,6 +550,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--suite", default=None, metavar="NAME",
                          help="benchmark one registered suite "
                          "(default: tarantula; see list-suites)")
+    add_pool_flags(p_bench)
     p_bench.set_defaults(fn=_cmd_bench)
 
     p_asm = sub.add_parser("asm", help="assemble a text kernel")

@@ -13,13 +13,27 @@ proves that contract end to end against the simulator:
   trap → checkpoint → service → resume recovery cycle;
 * :mod:`repro.faults.oracle` — a differential oracle asserting that the
   recovered run reaches bit-identical architectural state to the
-  fault-free run.
+  fault-free run;
+* :mod:`repro.faults.chaos_pool` — orchestration-level chaos: a seeded
+  :class:`ChaosPool`/:class:`ChaosCache` pair that kills workers
+  mid-cell, wedges them in hangs and tears result-cache writes, with
+  :func:`run_pool_chaos_oracle` proving the rendered report stays
+  byte-identical to a fault-free run (``repro chaos --layer pool``).
 
 See docs/FAULTS.md for the fault model.
 """
 
 from __future__ import annotations
 
+from repro.faults.chaos_pool import (
+    POOL_EVENTS,
+    ChaosCache,
+    ChaosCell,
+    ChaosPool,
+    PoolChaosPlan,
+    PoolChaosResult,
+    run_pool_chaos_oracle,
+)
 from repro.faults.injector import FaultInjector, InjectionLog, InjectionRecord
 from repro.faults.plan import (
     SITE_KILL,
@@ -33,17 +47,24 @@ from repro.faults.plan import (
 from repro.faults.oracle import OracleResult, run_recovery_oracle, state_digest
 
 __all__ = [
+    "POOL_EVENTS",
     "SITE_KILL",
     "SITE_MAF",
     "SITE_POISON",
     "SITE_TLB",
     "SITE_TYPES",
+    "ChaosCache",
+    "ChaosCell",
+    "ChaosPool",
     "FaultEvent",
     "FaultPlan",
     "FaultInjector",
     "InjectionLog",
     "InjectionRecord",
     "OracleResult",
+    "PoolChaosPlan",
+    "PoolChaosResult",
     "run_recovery_oracle",
+    "run_pool_chaos_oracle",
     "state_digest",
 ]

@@ -15,6 +15,12 @@ from repro.harness.engine import (
     execute,
     execute_many,
 )
+from repro.harness.pool import (
+    Pool,
+    PoolPolicy,
+    ProcessPool,
+    SerialPool,
+)
 from repro.harness.runner import RunOutcome, run, run_scalar, run_tarantula, \
     speedup
 from repro.harness.tables import power_summary, table1, table2, table3, table4
@@ -29,8 +35,12 @@ from repro.harness.trace import critical_summary, render_gantt, trace_program
 __all__ = [
     "DEFAULT_SCALES",
     "ExperimentSpec",
+    "Pool",
+    "PoolPolicy",
+    "ProcessPool",
     "ResultCache",
     "RunOutcome",
+    "SerialPool",
     "cache_key",
     "execute",
     "execute_many",

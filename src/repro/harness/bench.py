@@ -20,6 +20,16 @@ Two timings per workload:
 Runs go through :func:`repro.harness.engine.execute` — the same path
 the report uses — with ``check=True``, so a benchmark run is also a
 correctness run.
+
+Fault budget: ``--deadline S`` bounds the whole benchmark run —
+workloads not started in time are recorded as skipped (excluded from
+the totals, listed under ``incomplete``).  ``--timeout S`` (or
+``--pool process``) measures each workload inside a single worker
+process so an overrunning workload can be abandoned and the pool
+respawned instead of hanging the benchmark; by default measurement
+stays in-process, byte-identical to the committed baselines.  A
+document with incomplete entries never passes ``--check-against`` —
+a partial total is not comparable.
 """
 
 from __future__ import annotations
@@ -70,6 +80,41 @@ def _instructions(outcome) -> int:
     return counts.scalar_instructions + counts.vector_instructions
 
 
+def _bench_cell(name: str, scale: float) -> dict:
+    """Worker-side cold+warm measurement of one workload (picklable).
+
+    Workers start with empty memos (fresh process or respawned pool),
+    but clear them anyway so a reused worker still measures a true
+    cold build.
+    """
+    _clear_memos()
+    cold_s, outcome = _run_once(name, scale)
+    warm_s, warm_outcome = _run_once(name, scale)
+    if warm_outcome.cycles != outcome.cycles:
+        raise RuntimeError(
+            f"bench: {name} warm rerun diverged "
+            f"({warm_outcome.cycles} != {outcome.cycles} cycles)")
+    return {
+        "instructions": _instructions(outcome),
+        "simulated_cycles": outcome.cycles,
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+    }
+
+
+def _measure_in_worker(pool, name: str, scale: float,
+                       timeout: float | None) -> dict | None:
+    """One workload through the measurement pool; None = timed out."""
+    import concurrent.futures
+
+    fut = pool.submit(_bench_cell, name, scale)
+    try:
+        return fut.result(timeout=timeout)
+    except concurrent.futures.TimeoutError:
+        pool.respawn()                  # reclaim the wedged worker
+        return None
+
+
 def _suite_of(name: str) -> str:
     """First registered suite containing ``name`` (for result tagging)."""
     from repro.workloads.suite import SUITES
@@ -82,7 +127,10 @@ def _suite_of(name: str) -> str:
 
 def run_benchmarks(quick: bool = False,
                    kernels: list[str] | None = None,
-                   progress=None, suite: str | None = None) -> dict:
+                   progress=None, suite: str | None = None,
+                   timeout: float | None = None,
+                   deadline: float | None = None,
+                   backend: str = "auto") -> dict:
     """Benchmark one suite of workloads; returns the result document.
 
     The default is the ``tarantula`` suite — the paper's own 19
@@ -90,6 +138,14 @@ def run_benchmarks(quick: bool = False,
     NOT the whole registry, so the ``--check-against`` gate keeps
     comparing like against like as new suites register.  An explicit
     ``kernels`` list wins over ``suite``.
+
+    With ``timeout`` (or ``backend="process"``) each workload is
+    measured inside a one-worker :class:`~repro.harness.pool
+    .ProcessPool`; an overrunning workload is abandoned (recorded under
+    ``incomplete``, the pool respawned) instead of wedging the run.
+    ``deadline`` bounds the whole benchmark: workloads not started in
+    time are skipped.  Without either flag measurement is in-process
+    and byte-identical to the historical behavior.
     """
     import repro.workloads.registry  # noqa: F401 — populate the suites
     from repro.workloads.suite import get_suite
@@ -99,36 +155,70 @@ def run_benchmarks(quick: bool = False,
         names = list(kernels)
     else:
         names = list(get_suite(suite if suite else "tarantula"))
+    use_worker = timeout is not None or backend == "process"
+    pool = None
+    if use_worker:
+        from repro.harness.pool import ProcessPool
+
+        pool = ProcessPool(1)
     workloads: dict[str, dict] = {}
-    for name in names:
-        _clear_memos()
-        cold_s, outcome = _run_once(name, scale)
-        warm_s, warm_outcome = _run_once(name, scale)
-        if warm_outcome.cycles != outcome.cycles:
-            raise RuntimeError(
-                f"bench: {name} warm rerun diverged "
-                f"({warm_outcome.cycles} != {outcome.cycles} cycles)")
-        instructions = _instructions(outcome)
-        workloads[name] = {
-            "suite": _suite_of(name),
-            "instructions": instructions,
-            "simulated_cycles": outcome.cycles,
-            "cold_wall_s": round(cold_s, 4),
-            "warm_wall_s": round(warm_s, 4),
-            "cold_instr_per_s": round(instructions / cold_s, 1),
-            "warm_instr_per_s": round(instructions / warm_s, 1),
-        }
-        if progress is not None:
-            print(f"bench: {name:<14s} {instructions:>8d} instr  "
-                  f"cold {cold_s:6.2f}s  warm {warm_s:6.2f}s  "
-                  f"({instructions / warm_s:>9.0f} instr/s warm)",
-                  file=progress)
+    incomplete: dict[str, str] = {}
+    start = time.perf_counter()
+    try:
+        for name in names:
+            if deadline is not None \
+                    and time.perf_counter() - start > deadline:
+                incomplete[name] = "skipped: deadline exceeded"
+                if progress is not None:
+                    print(f"bench: {name:<14s} skipped "
+                          f"(deadline {deadline:g}s exceeded)",
+                          file=progress)
+                continue
+            if pool is not None:
+                cell = _measure_in_worker(pool, name, scale, timeout)
+                if cell is None:
+                    incomplete[name] = (
+                        f"timed out: exceeded {timeout:g}s in the worker")
+                    if progress is not None:
+                        print(f"bench: {name:<14s} TIMED OUT "
+                              f"(> {timeout:g}s)", file=progress)
+                    continue
+                cold_s, warm_s = cell["cold_s"], cell["warm_s"]
+                instructions = cell["instructions"]
+                simulated_cycles = cell["simulated_cycles"]
+            else:
+                _clear_memos()
+                cold_s, outcome = _run_once(name, scale)
+                warm_s, warm_outcome = _run_once(name, scale)
+                if warm_outcome.cycles != outcome.cycles:
+                    raise RuntimeError(
+                        f"bench: {name} warm rerun diverged "
+                        f"({warm_outcome.cycles} != {outcome.cycles} cycles)")
+                instructions = _instructions(outcome)
+                simulated_cycles = outcome.cycles
+            workloads[name] = {
+                "suite": _suite_of(name),
+                "instructions": instructions,
+                "simulated_cycles": simulated_cycles,
+                "cold_wall_s": round(cold_s, 4),
+                "warm_wall_s": round(warm_s, 4),
+                "cold_instr_per_s": round(instructions / cold_s, 1),
+                "warm_instr_per_s": round(instructions / warm_s, 1),
+            }
+            if progress is not None:
+                print(f"bench: {name:<14s} {instructions:>8d} instr  "
+                      f"cold {cold_s:6.2f}s  warm {warm_s:6.2f}s  "
+                      f"({instructions / warm_s:>9.0f} instr/s warm)",
+                      file=progress)
+    finally:
+        if pool is not None:
+            pool.close()
     totals = {
         "cold_wall_s": round(sum(w["cold_wall_s"] for w in workloads.values()), 4),
         "warm_wall_s": round(sum(w["warm_wall_s"] for w in workloads.values()), 4),
         "instructions": sum(w["instructions"] for w in workloads.values()),
     }
-    return {
+    doc = {
         "schema": SCHEMA,
         "quick": quick,
         "scale": scale,
@@ -136,6 +226,9 @@ def run_benchmarks(quick: bool = False,
         "workloads": workloads,
         "totals": totals,
     }
+    if incomplete:
+        doc["incomplete"] = incomplete
+    return doc
 
 
 def check_regression(current: dict, baseline_path: Path,
@@ -149,6 +242,10 @@ def check_regression(current: dict, baseline_path: Path,
     configuration error, not a pass.
     """
     stream = stream if stream is not None else sys.stderr
+    if current.get("incomplete"):
+        print("bench: cannot gate an incomplete run ("
+              + ", ".join(sorted(current["incomplete"])) + ")", file=stream)
+        return False
     baseline = json.loads(baseline_path.read_text())
     if baseline.get("schema") != current["schema"] \
             or baseline.get("scale") != current["scale"]:
@@ -170,10 +267,14 @@ def check_regression(current: dict, baseline_path: Path,
 def main(quick: bool = False, output: str | None = DEFAULT_OUTPUT,
          check_against: str | None = None,
          kernels: list[str] | None = None,
-         suite: str | None = None) -> int:
+         suite: str | None = None,
+         timeout: float | None = None,
+         deadline: float | None = None,
+         backend: str = "auto") -> int:
     """Entry point shared by the CLI and benchmarks/ wrapper script."""
     doc = run_benchmarks(quick=quick, kernels=kernels, progress=sys.stderr,
-                         suite=suite)
+                         suite=suite, timeout=timeout, deadline=deadline,
+                         backend=backend)
     if output:
         Path(output).write_text(json.dumps(doc, indent=2, sort_keys=True)
                                 + "\n")

@@ -25,11 +25,16 @@ import json
 import math
 import os
 import pickle
+import time
 import traceback
 import warnings
-from dataclasses import dataclass, field, replace
+from collections import OrderedDict
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Iterable, Optional, Sequence
+
+from repro.harness.pool import Pool, PoolPolicy, ProcessPool, SerialPool, \
+    run_grid
 
 from repro.core.config import CONFIGURATIONS, MachineConfig
 from repro.errors import ArchitecturalTrap, ConfigError
@@ -58,20 +63,34 @@ class EngineStats:
     cell_failures: int = 0
     retries: int = 0
     quarantined: int = 0
+    #: attempts abandoned for exceeding the per-cell/grid time budget
+    timeouts: int = 0
+    #: cells that got a speculative duplicate submission
+    stragglers: int = 0
+    #: cells whose speculative duplicate finished first
+    speculative_wins: int = 0
+    #: completed cells kept (not re-simulated) across a mid-grid pool break
+    preserved_on_break: int = 0
 
     def reset(self) -> None:
         self.pool_fallbacks = 0
         self.cell_failures = 0
         self.retries = 0
         self.quarantined = 0
+        self.timeouts = 0
+        self.stragglers = 0
+        self.speculative_wins = 0
+        self.preserved_on_break = 0
 
 
 #: the engine's shared stats bag (per-process; pool workers get their own)
 STATS = EngineStats()
 
 
-#: per-process memo of built workload instances, keyed by (kernel, scale)
-_INSTANCE_MEMO: dict[tuple[str, float], WorkloadInstance] = {}
+#: per-process LRU memo of built workload instances, keyed by
+#: (kernel, scale); most-recently-used entries live at the end
+_INSTANCE_MEMO: "OrderedDict[tuple[str, float], WorkloadInstance]" = \
+    OrderedDict()
 _INSTANCE_MEMO_MAX = 64
 
 
@@ -85,14 +104,21 @@ def _build_instance(spec: "ExperimentSpec") -> WorkloadInstance:
     copies the captured arrays into a fresh memory image per run, and
     ``check`` compares without modifying its captured expectations (see
     tests/harness/test_engine.py::test_instance_reuse_is_deterministic).
+
+    Eviction is LRU, one entry at a time — a suite sweep that touches
+    more than ``_INSTANCE_MEMO_MAX`` (kernel, scale) pairs drops only
+    the coldest instance instead of thrashing a full rebuild of the
+    working set at the capacity cliff.
     """
     key = (spec.kernel, spec.scale)
     inst = _INSTANCE_MEMO.get(key)
-    if inst is None:
-        if len(_INSTANCE_MEMO) >= _INSTANCE_MEMO_MAX:
-            _INSTANCE_MEMO.clear()
-        inst = get(spec.kernel).build(spec.scale)
-        _INSTANCE_MEMO[key] = inst
+    if inst is not None:
+        _INSTANCE_MEMO.move_to_end(key)
+        return inst
+    while len(_INSTANCE_MEMO) >= _INSTANCE_MEMO_MAX:
+        _INSTANCE_MEMO.popitem(last=False)
+    inst = get(spec.kernel).build(spec.scale)
+    _INSTANCE_MEMO[key] = inst
     return inst
 
 
@@ -483,7 +509,16 @@ class ResultCache:
     not shadow its key forever.  ``hits``/``misses``/``stores`` track
     this cache object's traffic so ``repro report`` can prove a warm
     run re-simulated zero cells.
+
+    Writes are crash-safe: :meth:`put` fsyncs the tmp file before the
+    atomic ``os.replace``, and init sweeps ``*.tmp.*`` debris older
+    than :data:`STALE_TMP_AGE_S` left by writers killed mid-put (the
+    age guard keeps the sweep from racing a live writer in another
+    process; ``swept`` counts removals).
     """
+
+    #: tmp files older than this are crashed-writer debris, not live puts
+    STALE_TMP_AGE_S = 300.0
 
     def __init__(self, root: Path | str = CACHE_DIR) -> None:
         self.root = Path(root)
@@ -491,6 +526,19 @@ class ResultCache:
         self.misses = 0
         self.stores = 0
         self.corrupt = 0
+        self.swept = self._sweep_stale_tmp()
+
+    def _sweep_stale_tmp(self) -> int:
+        cutoff = time.time() - self.STALE_TMP_AGE_S
+        swept = 0
+        for tmp in self.root.glob("*/*.tmp.*"):
+            try:
+                if tmp.stat().st_mtime < cutoff:
+                    tmp.unlink()
+                    swept += 1
+            except OSError:
+                continue
+        return swept
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.pkl"
@@ -531,6 +579,8 @@ class ResultCache:
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         with open(tmp, "wb") as handle:
             pickle.dump(outcome, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp, path)
         self.stores += 1
 
@@ -543,48 +593,65 @@ def default_jobs() -> int:
     return max(1, os.cpu_count() or 1)
 
 
-def _execute_serial(specs: Sequence[ExperimentSpec]) -> list:
-    return [execute_captured(spec) for spec in specs]
+#: process-wide default fault budget for grid runs; the CLI derives it
+#: from ``--pool/--timeout/--deadline`` so table/figure call signatures
+#: stay unchanged.  Callers wanting a specific budget pass ``policy=``.
+DEFAULT_POLICY = PoolPolicy()
 
 
-def _execute_pool(specs: Sequence[ExperimentSpec], jobs: int) -> list:
-    """Process-pool fan-out; falls back to serial when the platform
+def _make_pool(jobs: int, n_misses: int, policy: PoolPolicy) -> Pool:
+    """Pick and build a backend; falls back to serial when the platform
     cannot fork/spawn workers (sandboxes, exotic schedulers).  The
     fallback is audible: a RuntimeWarning plus ``STATS.pool_fallbacks``,
     because a silently serialized 200-cell grid looks like a hang."""
-    from concurrent.futures import ProcessPoolExecutor
     from concurrent.futures.process import BrokenProcessPool
 
+    want_process = policy.backend == "process" or (
+        policy.backend == "auto" and jobs > 1 and n_misses > 1)
+    if not want_process:
+        return SerialPool()
     try:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(specs))) as pool:
-            return list(pool.map(execute_captured, specs))
+        return ProcessPool(min(max(jobs, 1), max(n_misses, 1)))
     except (OSError, PermissionError, BrokenProcessPool) as err:
         STATS.pool_fallbacks += 1
         warnings.warn(
             f"process pool unavailable ({type(err).__name__}: {err}); "
-            f"re-running {len(specs)} specs serially",
-            RuntimeWarning, stacklevel=2)
-        return _execute_serial(specs)
+            f"re-running {n_misses} specs serially",
+            RuntimeWarning, stacklevel=3)
+        return SerialPool()
 
 
 def execute_many(specs: Iterable[ExperimentSpec], jobs: int = 1,
-                 cache: Optional[ResultCache] = None) -> list:
+                 cache: Optional[ResultCache] = None, *,
+                 policy: Optional[PoolPolicy] = None,
+                 pool: Optional[Pool] = None) -> list:
     """Run a grid of specs; returns outcomes in input order.
 
     Duplicate specs are simulated once.  With ``jobs > 1`` the misses
-    fan out over a ``ProcessPoolExecutor`` (specs and outcomes are
-    picklable; ``pool.map`` keeps ordering deterministic, so parallel
-    and serial runs produce identical results).  With a ``cache``,
-    previously computed cells are loaded instead of re-simulated.
+    fan out over a :class:`~repro.harness.pool.ProcessPool` (specs and
+    outcomes are picklable, results are keyed by submission index, so
+    parallel and serial runs produce identical results).  With a
+    ``cache``, previously computed cells are loaded instead of
+    re-simulated.
 
-    A cell that raises becomes a :class:`CellFailure` instead of
-    aborting the grid: it is retried once serially (transient pool
-    deaths, OOM-killed workers), and if it fails again it is quarantined
-    (``attempts=2``, counted in ``STATS.quarantined``).  Failures are
-    never cached — the next run gets a fresh attempt.
+    ``policy`` (default: the module's :data:`DEFAULT_POLICY`) sets the
+    fault budget — per-cell timeout, grid deadline, retries/backoff and
+    straggler speculation; see :class:`~repro.harness.pool.PoolPolicy`.
+    ``pool`` injects a prebuilt backend (chaos drills wrap one); its
+    lifetime then belongs to the caller and ``jobs`` is ignored.
+
+    A cell that fails becomes a :class:`CellFailure` instead of
+    aborting the grid: it is retried within ``policy.retries`` with
+    seeded exponential backoff, and when the budget is exhausted it is
+    quarantined (``attempts`` = total tries, counted in
+    ``STATS.quarantined``).  Timed-out cells degrade into
+    ``CellFailure(error_type="Timeout")``; a mid-grid pool break keeps
+    completed results and re-runs only unfinished cells serially.
+    Failures are never cached — the next run gets a fresh attempt.
     """
     specs = list(specs)
     unique = list(dict.fromkeys(specs))
+    policy = policy if policy is not None else DEFAULT_POLICY
 
     outcomes: dict[ExperimentSpec, object] = {}
     keys: dict[ExperimentSpec, str] = {}
@@ -598,19 +665,15 @@ def execute_many(specs: Iterable[ExperimentSpec], jobs: int = 1,
                 continue
         misses.append(spec)
 
-    if jobs > 1 and len(misses) > 1:
-        fresh = _execute_pool(misses, jobs)
-    else:
-        fresh = _execute_serial(misses)
+    owned = pool is None
+    if owned:
+        pool = _make_pool(jobs, len(misses), policy)
+    try:
+        fresh = run_grid(misses, execute_captured, pool, policy, STATS)
+    finally:
+        if owned:
+            pool.close()
     for spec, outcome in zip(misses, fresh):
-        if isinstance(outcome, CellFailure):
-            STATS.retries += 1
-            retry = execute_captured(spec)
-            if isinstance(retry, CellFailure):
-                STATS.quarantined += 1
-                outcome = dataclasses.replace(retry, attempts=2)
-            else:
-                outcome = retry
         outcomes[spec] = outcome
         if cache is not None and isinstance(outcome, RunOutcome):
             cache.put(keys[spec], outcome)

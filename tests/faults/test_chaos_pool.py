@@ -1,0 +1,196 @@
+"""Orchestration-level chaos: plan, injectors, cache damage, CLI gate."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.faults.chaos_pool import (
+    EVENT_HANG,
+    EVENT_KILL,
+    ChaosCache,
+    ChaosCell,
+    ChaosPool,
+    PoolChaosPlan,
+    _token,
+)
+from repro.harness.engine import (
+    STATS,
+    ExperimentSpec,
+    ResultCache,
+    cache_key,
+    execute,
+)
+from repro.harness.pool import SerialPool
+
+SPECS = [f"spec-{i}" for i in range(8)]
+
+
+@pytest.fixture(autouse=True)
+def _reset_stats():
+    STATS.reset()
+    yield
+    STATS.reset()
+
+
+class TestPoolChaosPlan:
+    def test_schedule_is_deterministic(self):
+        a = PoolChaosPlan(seed=42).schedule(SPECS)
+        b = PoolChaosPlan(seed=42).schedule(SPECS)
+        assert a == b
+
+    def test_seed_moves_the_schedule(self):
+        schedules = {tuple(sorted(PoolChaosPlan(seed=s).schedule(SPECS)))
+                     for s in range(16)}
+        assert len(schedules) > 1
+
+    def test_hangs_front_half_kills_back_half(self):
+        # hangs hit the timeout/retry seam before the kill breaks the
+        # pool — the partition is what makes one run cover both
+        events = PoolChaosPlan(seed=3, kills=2, hangs=2).schedule(SPECS)
+        for spec, event in events.items():
+            index = SPECS.index(spec)
+            if event == EVENT_HANG:
+                assert index < len(SPECS) // 2
+            else:
+                assert index >= len(SPECS) // 2
+
+    def test_no_spec_gets_two_events(self):
+        for seed in range(8):
+            events = PoolChaosPlan(seed=seed, kills=4, hangs=4) \
+                .schedule(SPECS)
+            assert len(events) == len(set(events))
+            assert set(events.values()) == {EVENT_HANG, EVENT_KILL}
+
+    def test_tiny_grid_still_schedules(self):
+        events = PoolChaosPlan(seed=1).schedule(["only"])
+        assert events == {"only": EVENT_HANG}
+
+    def test_tears_deterministic_and_seeded(self):
+        plan = PoolChaosPlan(seed=9, tear_every=3)
+        keys = [f"{i:02x}deadbeef" for i in range(64)]
+        torn = [k for k in keys if plan.tears(k)]
+        assert torn == [k for k in keys if plan.tears(k)]
+        assert 0 < len(torn) < len(keys)
+
+    def test_tear_every_zero_disables(self):
+        plan = PoolChaosPlan(seed=9, tear_every=0)
+        assert not any(plan.tears(f"{i:x}") for i in range(32))
+
+
+class TestChaosCell:
+    """Worker-side event firing, without actually killing the test."""
+
+    def _cell(self, tmp_path, events, parent_pid, hang_s=0.01):
+        return ChaosCell(events, str(tmp_path), parent_pid, hang_s)
+
+    def test_parent_never_fires_writes_suppressed_marker(self, tmp_path):
+        cell = self._cell(tmp_path, {"s": EVENT_KILL}, os.getpid())
+        assert cell(str.upper, "s") == "S"  # survived: no os._exit
+        marker = tmp_path / f"{_token('s')}.{EVENT_KILL}"
+        assert not marker.exists()
+        assert marker.with_suffix(marker.suffix + ".suppressed").exists()
+
+    def test_hang_fires_once_then_runs_clean(self, tmp_path):
+        cell = self._cell(tmp_path, {"s": EVENT_HANG}, os.getpid() + 1)
+        assert cell(str.upper, "s") == "S"
+        marker = tmp_path / f"{_token('s')}.{EVENT_HANG}"
+        assert marker.exists()
+        # the retry of the same spec must run clean (fire-once marker)
+        assert cell(str.upper, "s") == "S"
+
+    def test_existing_marker_disarms_a_kill(self, tmp_path):
+        marker = tmp_path / f"{_token('s')}.{EVENT_KILL}"
+        marker.write_text(EVENT_KILL)
+        cell = self._cell(tmp_path, {"s": EVENT_KILL}, os.getpid() + 1)
+        assert cell(str.upper, "s") == "S"  # no os._exit on the retry
+
+    def test_unscheduled_spec_is_untouched(self, tmp_path):
+        cell = self._cell(tmp_path, {"other": EVENT_KILL}, os.getpid() + 1)
+        assert cell(str.upper, "s") == "S"
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestChaosPool:
+    def test_delegates_pool_surface(self, tmp_path):
+        pool = ChaosPool(SerialPool(), PoolChaosPlan(seed=0), SPECS,
+                         tmp_path)
+        assert pool.kind == "serial" and pool.workers == 1
+        pool.mark_dirty()
+        pool.close()
+
+    def test_submit_routes_through_chaos_cell(self, tmp_path):
+        # in the parent process every event suppresses, so the grid
+        # completes and the log accounts for each scheduled event
+        pool = ChaosPool(SerialPool(), PoolChaosPlan(seed=0), SPECS,
+                         tmp_path)
+        for spec in SPECS:
+            assert pool.submit(str.upper, spec).result() == spec.upper()
+        log = pool.event_log()
+        assert len(log) == 2
+        assert {status for _, _, status in log} == {"suppressed"}
+        pool.close()
+
+
+class TestChaosCache:
+    """Torn commits + leaked tmp debris, and plain-cache recovery."""
+
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        spec = ExperimentSpec("streams.copy", "T", 0.02)
+        return spec, execute(spec)
+
+    def test_tear_damages_entry_and_leaks_backdated_tmp(
+            self, tmp_path, outcome):
+        spec, result = outcome
+        cache = ChaosCache(tmp_path, PoolChaosPlan(seed=1, tear_every=1))
+        key = cache_key(spec)
+        cache.put(key, result)
+        assert cache.torn == 1 and cache.leaked_tmp == 1
+        path = cache._path(key)
+        assert path.exists()
+        leaks = list(tmp_path.glob("*/*.tmp.*"))
+        assert len(leaks) == 1
+        import time as _time
+        assert leaks[0].stat().st_mtime \
+            < _time.time() - ResultCache.STALE_TMP_AGE_S
+
+    def test_plain_cache_recovers_the_damage(self, tmp_path, outcome):
+        spec, result = outcome
+        cache = ChaosCache(tmp_path, PoolChaosPlan(seed=1, tear_every=1))
+        key = cache_key(spec)
+        cache.put(key, result)
+        fresh = ResultCache(tmp_path)
+        assert fresh.swept == 1            # leaked tmp debris removed
+        with pytest.warns(RuntimeWarning, match="quarantined corrupt"):
+            assert fresh.get(key) is None  # torn entry never trusted
+        assert fresh.corrupt == 1
+        assert cache._path(key).with_suffix(".corrupt").exists()
+        fresh.put(key, result)             # the slot is re-storable
+        assert fresh.get(key).cycles == result.cycles
+
+    def test_untorn_keys_round_trip(self, tmp_path, outcome):
+        spec, result = outcome
+        cache = ChaosCache(tmp_path, PoolChaosPlan(seed=1, tear_every=0))
+        key = cache_key(spec)
+        cache.put(key, result)
+        assert cache.torn == 0 and cache.leaked_tmp == 0
+        assert ResultCache(tmp_path).get(key).cycles == result.cycles
+
+
+class TestPoolChaosGate:
+    """The CI acceptance gate, driven through the real CLI path."""
+
+    def test_cli_gate_passes_and_writes_log(self, tmp_path, capsys):
+        log = tmp_path / "chaos-pool.txt"
+        rc = main(["chaos", "--layer", "pool", "--seed", "1234",
+                   "--quick", "--jobs", "2", "--log", str(log)])
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert "report bytes: identical" in out
+        assert "warm rerun:   identical" in out
+        assert "quarantined=0" in out
+        text = log.read_text()
+        assert "chaos[pool]: seed=1234" in text
+        assert text.rstrip().endswith(
+            "OK — orchestration faults are invisible in the report")

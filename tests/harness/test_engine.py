@@ -256,6 +256,40 @@ class TestInstanceMemo:
         finally:
             engine._INSTANCE_MEMO.clear()
 
+    def test_memo_evicts_least_recently_used(self):
+        # eviction must drop the coldest entry, not clear the table —
+        # a long sweep keeps its working set warm
+        engine._INSTANCE_MEMO.clear()
+        try:
+            engine._INSTANCE_MEMO.update(
+                {("fake", float(i)): None
+                 for i in range(engine._INSTANCE_MEMO_MAX)})
+            spec = ExperimentSpec("streams.copy", "T", SCALE, check=False)
+            # touch the oldest entry so ("fake", 1.0) becomes coldest
+            engine._INSTANCE_MEMO.move_to_end(("fake", 0.0))
+            engine.execute(spec)
+            memo = engine._INSTANCE_MEMO
+            assert len(memo) == engine._INSTANCE_MEMO_MAX
+            assert ("fake", 0.0) in memo          # recently touched: kept
+            assert ("fake", 1.0) not in memo      # coldest: evicted
+            assert ("streams.copy", SCALE) in memo
+        finally:
+            engine._INSTANCE_MEMO.clear()
+
+    def test_memo_hit_refreshes_recency(self):
+        engine._INSTANCE_MEMO.clear()
+        try:
+            spec = ExperimentSpec("streams.copy", "T", SCALE, check=False)
+            engine.execute(spec)
+            engine._INSTANCE_MEMO.update(
+                {("fake", float(i)): None
+                 for i in range(engine._INSTANCE_MEMO_MAX - 2)})
+            engine.execute(spec)                  # memo hit: moved to end
+            assert next(reversed(engine._INSTANCE_MEMO)) == \
+                ("streams.copy", SCALE)
+        finally:
+            engine._INSTANCE_MEMO.clear()
+
 
 class TestSpecDigestGolden:
     """The content digest behind the result cache must not drift.

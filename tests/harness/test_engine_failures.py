@@ -7,7 +7,9 @@ survive the trip into a ProcessPoolExecutor worker).
 """
 
 import math
+import os
 import pickle
+import time
 
 import pytest
 
@@ -173,6 +175,90 @@ class TestPartialReportRendering:
         text = render_figure7(rows)
         assert "T=  4.00" in text
         assert "FAIL" in text
+
+    @staticmethod
+    def _mini_grid():
+        """A 3x1 suite grid of real cells: one good, two failed."""
+        from repro.harness.pool import _timeout_failure
+        from repro.workloads.suite import Instance, InstanceFamily, Suite
+
+        suite = Suite("mini", ("good", "trapped", "hung"),
+                      title="partial-grid rendering")
+        family = InstanceFamily("solo", (Instance("T", config="T"),))
+        grid = {
+            "good": {"T": execute_captured(GOOD)},
+            "trapped": {"T": execute_captured(BAD)},
+            "hung": {"T": _timeout_failure(
+                GOOD, 2, "cell exceeded its 1s budget")},
+        }
+        return suite, family, grid
+
+    def test_render_matrix_mixes_metrics_and_fail_markers(self):
+        from repro.harness.report import render_matrix
+
+        suite, family, grid = self._mini_grid()
+        text = render_matrix(suite, family, grid)
+        good_line = next(ln for ln in text.splitlines()
+                         if ln.startswith("good"))
+        assert "ok" in good_line and "FAIL" not in good_line
+        trapped_line = next(ln for ln in text.splitlines()
+                            if ln.startswith("trapped"))
+        assert "FAIL" in trapped_line
+        assert "MachineCheckTrap" in trapped_line
+        assert "nan" not in text.lower()
+
+    def test_render_matrix_marks_timeout_failures(self):
+        # the pool's fault budget degrades hung cells into
+        # error_type="Timeout" — the report must say so, not crash
+        from repro.harness.report import render_matrix
+
+        suite, family, grid = self._mini_grid()
+        assert grid["hung"]["T"].failed
+        assert grid["hung"]["T"].attempts == 2
+        text = render_matrix(suite, family, grid)
+        hung_line = next(ln for ln in text.splitlines()
+                         if ln.startswith("hung"))
+        assert "FAIL" in hung_line and "Timeout" in hung_line
+
+    def test_render_matrix_survives_an_all_failed_grid(self):
+        from repro.harness.pool import _timeout_failure
+        from repro.harness.report import render_matrix
+
+        suite, family, _ = self._mini_grid()
+        grid = {name: {"T": _timeout_failure(GOOD, 1, "deadline")}
+                for name in suite}
+        text = render_matrix(suite, family, grid)
+        assert text.count("FAIL") == len(suite)
+        assert "mini" in text.splitlines()[0]
+
+
+class TestCacheCrashSafety:
+    """Init-time sweep of crashed-writer tmp debris (docs/HARNESS.md)."""
+
+    def test_stale_tmp_debris_is_swept(self, tmp_path):
+        slot = tmp_path / "ab"
+        slot.mkdir()
+        stale = slot / "abcd.tmp.12345"
+        stale.write_bytes(b"half a pickle")
+        old = time.time() - 2 * ResultCache.STALE_TMP_AGE_S
+        os.utime(stale, (old, old))
+        cache = ResultCache(tmp_path)
+        assert cache.swept == 1
+        assert not stale.exists()
+
+    def test_fresh_tmp_is_left_for_its_live_writer(self, tmp_path):
+        slot = tmp_path / "ab"
+        slot.mkdir()
+        live = slot / "abcd.tmp.12345"
+        live.write_bytes(b"in flight")
+        cache = ResultCache(tmp_path)
+        assert cache.swept == 0
+        assert live.exists()
+
+    def test_put_leaves_no_tmp_behind(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(cache_key(GOOD), execute_captured(GOOD))
+        assert list(tmp_path.glob("*/*.tmp.*")) == []
 
 
 class TestEngineStats:

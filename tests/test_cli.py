@@ -61,6 +61,43 @@ class TestParser:
         assert args.suite == "rivec"
         assert build_parser().parse_args(["bench"]).suite is None
 
+    def test_report_and_bench_take_pool_flags(self):
+        parser = build_parser()
+        for cmd in ("report", "bench"):
+            args = parser.parse_args([cmd, "--timeout", "5", "--deadline",
+                                      "60", "--pool", "process"])
+            assert args.timeout == 5.0
+            assert args.deadline == 60.0
+            assert args.pool == "process"
+
+    def test_pool_flags_default_to_no_budget(self):
+        args = build_parser().parse_args(["report"])
+        assert args.timeout is None and args.deadline is None
+        assert args.pool == "auto"
+
+    def test_pool_backend_choices_are_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["report", "--pool", "threads"])
+
+    def test_chaos_defaults_to_sim_layer(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.layer == "sim"
+        assert args.seed == 1234
+
+    def test_chaos_pool_layer_takes_drill_flags(self):
+        args = build_parser().parse_args(
+            ["chaos", "--layer", "pool", "--seed", "7", "--suite", "rivec",
+             "--jobs", "3", "--timeout", "4", "--quick",
+             "--log", "drill.txt"])
+        assert args.layer == "pool" and args.seed == 7
+        assert args.suite == "rivec" and args.jobs == 3
+        assert args.timeout == 4.0 and args.quick
+        assert args.log == "drill.txt"
+
+    def test_chaos_layer_choices_are_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos", "--layer", "network"])
+
 
 class TestCommands:
     def test_list(self, capsys):
