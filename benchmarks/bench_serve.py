@@ -1,0 +1,171 @@
+#!/usr/bin/env python
+"""Load harness for the simulation job server (``repro serve``).
+
+Measures what the serve layer *adds* on top of the engine, from a real
+HTTP client against a live in-process server:
+
+* **orchestration overhead** — round-trip latency of a submission whose
+  result is already cached (admission + dedupe probe + cache load +
+  JSON, zero simulation), p50/p99 over ``--requests`` sequential
+  round-trips;
+* **sustained throughput** — accepted submissions/s with ``--clients``
+  concurrent connections hammering cached specs.
+
+Writes ``BENCH_serve.json`` and exits 1 when the overhead p99 exceeds
+the documented budget (docs/SERVE.md): the serve layer must stay an
+invisible veneer over the engine, not a tax on it.
+
+    python benchmarks/bench_serve.py [--quick] [--out FILE]
+"""
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import tempfile
+import threading
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.serve.client import ServeClient  # noqa: E402
+from repro.serve.server import ServeConfig, ServerThread  # noqa: E402
+
+DEFAULT_OUTPUT = "BENCH_serve.json"
+SCHEMA = "repro-serve-bench-v1"
+
+#: docs/SERVE.md budget: orchestration overhead p99, milliseconds
+BUDGET_P99_MS = 250.0
+
+
+def _specs(scale: float) -> list:
+    import repro.workloads.registry  # noqa: F401 - populate the suites
+    from repro.workloads.suite import get_suite
+
+    return [{"kernel": name, "config": "T", "scale": scale}
+            for name in get_suite("table4")]
+
+
+def _percentile(samples: list, q: float) -> float:
+    data = sorted(samples)
+    idx = min(len(data) - 1, max(0, round(q * (len(data) - 1))))
+    return data[idx]
+
+
+def run_serve_bench(quick: bool = False, requests: int = 200,
+                    clients: int = 4, jobs: int = 2,
+                    progress=sys.stderr) -> dict:
+    """Run the three phases against a fresh server; returns the doc."""
+    scale = 0.02 if quick else 0.05
+    specs = _specs(scale)
+    workdir = tempfile.mkdtemp(prefix="repro-bench-serve-")
+    config = ServeConfig(port=0, jobs=jobs, queue_limit=256,
+                         timeout=120.0, cache_dir=workdir + "/cache")
+    with ServerThread(config) as st:
+        host, port = st.server.host, st.server.port
+        with ServeClient(host, port) as client:
+            # phase 1: cold — populate the cache through the server
+            t0 = time.perf_counter()
+            response = client.submit_batch(specs)
+            for entry in response["jobs"]:
+                result = client.wait_result(entry["id"], timeout=600)
+                if result["failed"]:
+                    raise RuntimeError(
+                        f"bench_serve: cold cell failed: {result}")
+            cold_s = time.perf_counter() - t0
+            print(f"bench_serve: cold phase {len(specs)} cell(s) in "
+                  f"{cold_s:.2f}s", file=progress)
+
+            # phase 2: warm round-trips — pure orchestration overhead
+            latencies = []
+            for i in range(requests):
+                spec = specs[i % len(specs)]
+                t0 = time.perf_counter()
+                entry = client.submit(spec)
+                latencies.append((time.perf_counter() - t0) * 1000.0)
+                if not entry.get("cached"):
+                    raise RuntimeError(
+                        f"bench_serve: warm submission was not a cache "
+                        f"hit: {entry}")
+            p50 = _percentile(latencies, 0.50)
+            p99 = _percentile(latencies, 0.99)
+            print(f"bench_serve: overhead p50={p50:.2f}ms p99={p99:.2f}ms "
+                  f"mean={statistics.fmean(latencies):.2f}ms "
+                  f"({requests} round-trips)", file=progress)
+
+        # phase 3: sustained concurrent submissions
+        done = []
+        lock = threading.Lock()
+
+        def hammer(idx: int) -> None:
+            with ServeClient(host, port) as c:
+                n = 0
+                for i in range(requests // clients):
+                    c.submit(specs[(idx + i) % len(specs)])
+                    n += 1
+                with lock:
+                    done.append(n)
+
+        t0 = time.perf_counter()
+        threads = [threading.Thread(target=hammer, args=(i,))
+                   for i in range(clients)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        burst_s = time.perf_counter() - t0
+        accepted = sum(done)
+        rate = accepted / burst_s if burst_s else 0.0
+        print(f"bench_serve: sustained {rate:.0f} submissions/s "
+              f"({accepted} over {burst_s:.2f}s, {clients} clients)",
+              file=progress)
+
+    return {
+        "schema": SCHEMA,
+        "quick": quick,
+        "scale": scale,
+        "python": sys.version.split()[0],
+        "cells": len(specs),
+        "requests": requests,
+        "clients": clients,
+        "jobs": jobs,
+        "cold_wall_s": round(cold_s, 3),
+        "overhead_p50_ms": round(p50, 3),
+        "overhead_p99_ms": round(p99, 3),
+        "overhead_mean_ms": round(statistics.fmean(latencies), 3),
+        "sustained_submissions_per_s": round(rate, 1),
+        "budget_p99_ms": BUDGET_P99_MS,
+        "ok": p99 <= BUDGET_P99_MS,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized problem scale")
+    parser.add_argument("--out", default=DEFAULT_OUTPUT, metavar="FILE",
+                        help="output JSON path ('-' skips writing)")
+    parser.add_argument("--requests", type=int, default=200, metavar="N",
+                        help="warm round-trips to time (default 200)")
+    parser.add_argument("--clients", type=int, default=4, metavar="N",
+                        help="concurrent clients in the burst phase")
+    parser.add_argument("--jobs", type=int, default=2, metavar="N",
+                        help="server pool workers (default 2)")
+    args = parser.parse_args(argv)
+    doc = run_serve_bench(quick=args.quick, requests=args.requests,
+                          clients=args.clients, jobs=args.jobs)
+    if args.out != "-":
+        with open(args.out, "w") as handle:
+            json.dump(doc, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"bench_serve: wrote {args.out}", file=sys.stderr)
+    if not doc["ok"]:
+        print(f"bench_serve: overhead p99 {doc['overhead_p99_ms']:.1f}ms "
+              f"exceeds the {BUDGET_P99_MS:.0f}ms budget", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -172,6 +172,10 @@ class ChaosPool:
     def workers(self) -> int:
         return self.inner.workers
 
+    @property
+    def dirty(self) -> bool:
+        return self.inner.dirty
+
     def submit(self, fn, *args):
         return self.inner.submit(self._cell, fn, *args)
 

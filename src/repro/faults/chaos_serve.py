@@ -1,0 +1,465 @@
+"""Serve-layer chaos: concurrent duplicates, bursts and kills vs HTTP.
+
+``repro chaos --layer pool`` proved the grid scheduler survives worker
+kills, hangs and torn cache writes.  This module climbs one more level:
+the same seeded faults, now injected *under a live HTTP job server*
+(:mod:`repro.serve`) while concurrent clients hammer it with duplicate,
+bursty and malformed submissions.  The differential contract gets
+stricter, because the serve layer adds promises of its own:
+
+* every accepted job's result payload is **byte-identical** to a serial
+  fault-free ``execute()`` of the same spec — kills, hangs, retries and
+  pool rebuilds must be invisible in the bytes;
+* duplicates simulate **exactly once**: the execute-side cache records
+  one miss and one store per unique digest no matter how many
+  concurrent submissions carried it;
+* a full queue answers a clean 429 with ``Retry-After`` — never
+  unbounded memory, never a dropped connection;
+* malformed payloads 400 and the server stays healthy;
+* the result cache is never torn: no ``*.tmp.*`` debris, zero corrupt
+  entries, every entry loadable after drain;
+* SIGTERM mid-load drains gracefully (a real subprocess drill): exit 0
+  and every accepted spec's result is in the cache, intact.
+
+:func:`run_serve_chaos_oracle` stages all of it deterministically: the
+seeded hang becomes a *plug* — submitted first, it wedges the executor
+long enough that a burst against a tiny queue must observe 429s and
+the in-flight dedupe window must collapse the duplicates.
+``repro chaos --layer serve --seed N`` runs it; CI pins one seed.
+See docs/SERVE.md and docs/FAULTS.md.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from repro.faults.chaos_pool import EVENT_HANG, ChaosPool, PoolChaosPlan
+from repro.harness.engine import (
+    STATS,
+    ResultCache,
+    cache_key,
+    execute,
+    spec_digest,
+)
+from repro.harness.pool import ProcessPool, SerialPool
+from repro.serve.client import ServeClient
+from repro.serve.jobs import outcome_payload
+from repro.serve.server import ServeConfig, ServerThread
+
+__all__ = ["ServeChaosResult", "run_serve_chaos_oracle"]
+
+
+def _spec_json(spec) -> dict:
+    """The JSON a client would POST for ``spec`` (round-trips exactly)."""
+    out = {"kernel": spec.kernel, "config": spec.config,
+           "scale": spec.scale, "check": spec.check,
+           "drain_dirty": spec.drain_dirty, "warm": spec.warm,
+           "apply_l2_hint": spec.apply_l2_hint, "mode": spec.mode}
+    if spec.overrides:
+        out["overrides"] = dict(spec.overrides)
+    return out
+
+
+#: (description, body bytes) pairs that must all 400 without harming
+#: the server — the malformed-load half of the drill
+def _malformed_bodies() -> list:
+    return [
+        ("not JSON at all", b"{this is not json"),
+        ("unknown kernel", json.dumps({"kernel": "strems.copy"}).encode()),
+        ("negative scale", json.dumps(
+            {"kernel": "streams.copy", "scale": -1}).encode()),
+        ("unknown config", json.dumps(
+            {"kernel": "streams.copy", "config": "ZZZ"}).encode()),
+        ("non-object spec", json.dumps([1, 2, 3]).encode()),
+        ("unknown field", json.dumps(
+            {"kernel": "streams.copy", "frobnicate": 1}).encode()),
+        ("empty batch", json.dumps({"specs": []}).encode()),
+    ]
+
+
+@dataclass
+class ServeChaosResult:
+    """Outcome of one :func:`run_serve_chaos_oracle` drill."""
+
+    suite: str
+    seed: int
+    #: unique specs (= the exactly-once execution budget)
+    cells: int
+    jobs: int
+    duplicates: int
+    queue_limit: int
+    #: every result payload byte-identical to the serial reference
+    identical: bool
+    mismatched: int
+    #: admission accounting (client-observed)
+    accepted: int
+    deduped: int
+    cached: int
+    rejected_429: int
+    #: every observed 429 carried a Retry-After header
+    retry_after_ok: bool
+    #: the seeded hang fired in a worker, so 429s were reachable
+    rejections_expected: bool
+    malformed_ok: int
+    malformed_total: int
+    #: execute-side cache traffic (the exactly-once proof)
+    exec_misses: int
+    exec_stores: int
+    quarantined: int
+    #: cache integrity after drain
+    tmp_debris: int
+    corrupt: int
+    cache_intact: bool
+    #: SIGTERM drill (None = drill skipped)
+    drain_exit: Optional[int] = None
+    drain_intact: Optional[bool] = None
+    drain_lost: int = 0
+    events: tuple = ()
+    notes: tuple = ()
+
+    @property
+    def exactly_once(self) -> bool:
+        return self.exec_misses == self.cells \
+            and self.exec_stores == self.cells
+
+    @property
+    def ok(self) -> bool:
+        return (self.identical and self.exactly_once
+                and self.quarantined == 0
+                and self.tmp_debris == 0 and self.corrupt == 0
+                and self.cache_intact
+                and self.malformed_ok == self.malformed_total
+                and (not self.rejections_expected
+                     or (self.rejected_429 > 0 and self.retry_after_ok))
+                and self.drain_exit in (None, 0)
+                and self.drain_intact in (None, True)
+                and self.drain_lost == 0)
+
+    def log_lines(self) -> list:
+        lines = [f"chaos[serve]: seed={self.seed} suite={self.suite} "
+                 f"cells={self.cells} jobs={self.jobs} "
+                 f"duplicates={self.duplicates} "
+                 f"queue_limit={self.queue_limit}"]
+        for spec, event, status in self.events:
+            lines.append(f"  {event:<12s} {spec.kernel}/{spec.config} "
+                         f"scale={spec.scale:g}: {status}")
+        lines.append(
+            f"  admissions: accepted={self.accepted} deduped={self.deduped} "
+            f"cached={self.cached} rejected_429={self.rejected_429} "
+            f"(retry_after {'ok' if self.retry_after_ok else 'MISSING'})")
+        lines.append(
+            f"  exactly-once: misses={self.exec_misses} "
+            f"stores={self.exec_stores} for {self.cells} unique cell(s): "
+            + ("OK" if self.exactly_once else "VIOLATED"))
+        lines.append(
+            f"  malformed: {self.malformed_ok}/{self.malformed_total} "
+            "rejected with 400, server healthy")
+        lines.append(
+            f"  cache: tmp_debris={self.tmp_debris} corrupt={self.corrupt} "
+            f"quarantined={self.quarantined} "
+            + ("intact" if self.cache_intact else "DAMAGED"))
+        lines.append("  payload bytes: " + (
+            "identical" if self.identical
+            else f"{self.mismatched} DIVERGED"))
+        if self.drain_exit is not None:
+            lines.append(
+                f"  drain drill: exit={self.drain_exit} "
+                f"lost={self.drain_lost} cache "
+                + ("intact" if self.drain_intact else "DAMAGED"))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        lines.append("chaos[serve]: " + (
+            "OK — serve-layer faults are invisible in the payload bytes"
+            if self.ok else "FAILED"))
+        return lines
+
+    def summary(self) -> str:
+        return "\n".join(self.log_lines())
+
+
+def _burst(host: str, port: int, specs_by_thread: list, seed: int,
+           counts: dict, retry_after: list, ids: list) -> list:
+    """Hammer the server from ``len(specs_by_thread)`` client threads.
+
+    Each thread submits its spec list one at a time, retrying 429s with
+    the server's own ``Retry-After`` advice.  Returns raised errors.
+    """
+    lock = threading.Lock()
+    errors: list = []
+
+    def worker(idx: int, specs: list) -> None:
+        client = ServeClient(host, port)
+        try:
+            for spec in specs:
+                body = json.dumps(_spec_json(spec)).encode()
+                deadline = time.monotonic() + 120
+                while True:
+                    status, headers, payload = client.raw_request(
+                        "POST", "/jobs", body)
+                    if status == 202:
+                        entry = payload["jobs"][0]
+                        with lock:
+                            if entry.get("deduped"):
+                                counts["deduped"] += 1
+                            elif entry.get("cached"):
+                                counts["cached"] += 1
+                            else:
+                                counts["accepted"] += 1
+                            ids.append((spec, entry["id"]))
+                        break
+                    if status == 429:
+                        advice = headers.get("Retry-After")
+                        with lock:
+                            counts["rejected_429"] += 1
+                            retry_after.append(advice)
+                        if time.monotonic() > deadline:
+                            raise AssertionError(
+                                "429 retry loop exceeded 120s")
+                        time.sleep(min(float(advice or 1), 0.5))
+                        continue
+                    raise AssertionError(
+                        f"unexpected status {status}: {payload!r}")
+        except Exception as exc:  # noqa: BLE001 - collected for the report
+            with lock:
+                errors.append(f"client {idx}: {type(exc).__name__}: {exc}")
+        finally:
+            client.close()
+
+    threads = [threading.Thread(target=worker, args=(i, specs), daemon=True)
+               for i, specs in enumerate(specs_by_thread)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(180)
+    return errors
+
+
+def _shuffled(items: list, seed: int) -> list:
+    """Deterministic order-scramble without ``random`` state leakage."""
+    import hashlib
+
+    def rank(pair):
+        i, _ = pair
+        return hashlib.sha256(f"{seed}|{i}".encode()).digest()
+
+    return [item for _, item in sorted(enumerate(items), key=rank)]
+
+
+def _drain_drill(specs, reference: dict, jobs: int, timeout: float,
+                 workdir: Path, notes: list) -> tuple:
+    """SIGTERM a real ``python -m repro serve`` subprocess mid-load.
+
+    Returns ``(exit_code, cache_intact, lost)``: the server must exit 0
+    and leave every accepted spec's result in the cache, byte-identical
+    to the reference — graceful drain, proven from outside the process.
+    """
+    import repro
+
+    root = workdir / "drain-cache"
+    src = Path(repro.__file__).parents[1]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(src) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--jobs", str(jobs), "--timeout", str(timeout),
+         "--cache-dir", str(root)],
+        stdout=subprocess.DEVNULL, stderr=subprocess.PIPE, text=True,
+        env=env)
+    try:
+        port = None
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            line = proc.stderr.readline()
+            if not line:
+                break
+            match = re.search(r"listening on http://[\d.]+:(\d+)", line)
+            if match:
+                port = int(match.group(1))
+                break
+        if port is None:
+            proc.kill()
+            notes.append("drain drill: server never reported its port")
+            return proc.wait(), False, len(specs)
+        with ServeClient("127.0.0.1", port) as client:
+            response = client.submit_batch([_spec_json(s) for s in specs])
+            accepted = [e for e in response["jobs"] if "id" in e]
+        time.sleep(0.3)                 # land mid-batch
+        proc.send_signal(signal.SIGTERM)
+        code = proc.wait(timeout=300)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+        proc.stderr.close()
+    debris = len(list(root.rglob("*.tmp.*"))) if root.exists() else 0
+    cache = ResultCache(root)
+    lost = 0
+    for spec in specs:
+        outcome = cache.get(cache_key(spec))
+        if outcome is None or json.dumps(
+                outcome_payload(outcome),
+                sort_keys=True) != reference[spec_digest(spec)]:
+            lost += 1
+    intact = debris == 0 and cache.corrupt == 0 and lost == 0
+    if len(accepted) != len(specs):
+        notes.append(f"drain drill: only {len(accepted)}/{len(specs)} "
+                     "specs accepted before SIGTERM")
+    return code, intact, lost
+
+
+def run_serve_chaos_oracle(seed: int = 1234, suite: str = "table4",
+                           instances: str = "default", jobs: int = 2,
+                           scale: float = 0.05, timeout: float = 8.0,
+                           duplicates: int = 3, queue_limit: int = 4,
+                           drain: bool = True,
+                           workdir: Optional[Path] = None
+                           ) -> ServeChaosResult:
+    """The serve-layer differential gate (see the module docstring).
+
+    Deterministic staging: the plan's hang target is submitted alone
+    first (the *plug*); once it is running, the executor is wedged for
+    ~``timeout`` seconds, so the follow-up burst of
+    ``duplicates x (cells - 1)`` submissions against a
+    ``queue_limit``-slot queue must both collapse in flight and
+    overflow into 429s.  The seeded kill lands later in the burst and
+    exercises preserve-on-break plus the between-batch pool rebuild.
+    """
+    import repro.workloads.registry  # noqa: F401 - populate the registries
+    from repro.workloads.suite import Matrix, get_family, get_suite
+
+    suite_obj = get_suite(suite)
+    family = get_family(instances)
+    specs = Matrix(suite_obj, family, scales=scale, check=True).specs()
+    if workdir is None:
+        workdir = Path(tempfile.mkdtemp(prefix="repro-chaos-serve-"))
+    workdir = Path(workdir)
+    marker_dir = workdir / "markers"
+    cache_root = workdir / "cache"
+    notes: list = []
+
+    # pass 1: the serial fault-free reference payload bytes, per digest
+    digests = {spec: spec_digest(spec) for spec in specs}
+    reference = {digests[spec]: json.dumps(
+        outcome_payload(execute(spec)), sort_keys=True) for spec in specs}
+
+    # pass 2: the live server under seeded chaos + client storm
+    plan = PoolChaosPlan(seed, kills=1, hangs=1, hang_s=4 * timeout,
+                         tear_every=0)
+    events = plan.schedule(specs)
+    plug = next((s for s, e in events.items() if e == EVENT_HANG), specs[0])
+    pools: list = []
+
+    def pool_factory():
+        try:
+            inner = ProcessPool(jobs)
+        except (OSError, PermissionError):
+            inner = SerialPool()
+        pool = ChaosPool(inner, plan, specs, marker_dir)
+        pools.append(pool)
+        return pool
+
+    config = ServeConfig(
+        port=0, jobs=jobs, queue_limit=queue_limit, timeout=timeout,
+        retries=2, backoff_seed=seed, cache_dir=str(cache_root))
+    before = dataclasses.asdict(STATS)
+    counts = {"accepted": 0, "deduped": 0, "cached": 0, "rejected_429": 0}
+    retry_after: list = []
+    ids: list = []
+    mismatched = 0
+    malformed_ok = 0
+    bodies = _malformed_bodies()
+
+    with ServerThread(config, pool_factory=pool_factory) as st:
+        host, port = st.server.host, st.server.port
+        with ServeClient(host, port) as client:
+            # the plug: wedge the executor so the burst meets a full
+            # queue and a live dedupe window
+            entry = client.submit(_spec_json(plug))
+            counts["accepted"] += 1
+            ids.append((plug, entry["id"]))
+            wait_until = time.monotonic() + 15
+            while time.monotonic() < wait_until:
+                if client.job(entry["id"])["state"] != "queued":
+                    break
+                time.sleep(0.05)
+
+            remaining = [s for s in specs if s is not plug]
+            per_thread = [_shuffled(remaining, seed + 7 * i) + [plug]
+                          for i in range(duplicates)]
+            errors = _burst(host, port, per_thread, seed, counts,
+                            retry_after, ids)
+            notes.extend(errors)
+
+            # every submission's job must resolve to the reference bytes
+            for spec, job_id in ids:
+                payload = client.wait_result(job_id, timeout=120)
+                if json.dumps(payload, sort_keys=True) \
+                        != reference[digests[spec]]:
+                    mismatched += 1
+
+            # malformed storm: each must 400, server must stay healthy
+            for label, body in bodies:
+                status, _h, _p = client.raw_request("POST", "/jobs", body)
+                healthy = client.healthz().get("ok", False)
+                if status == 400 and healthy:
+                    malformed_ok += 1
+                else:
+                    notes.append(f"malformed {label!r}: status={status} "
+                                 f"healthy={healthy}")
+
+            server_stats = client.stats()
+        # leaving the context drains the server gracefully
+
+    delta_quar = STATS.quarantined - before["quarantined"]
+    exec_stats = (server_stats.get("cache") or {}).get("execute", {})
+    hang_fired = any(status == "fired" and event == EVENT_HANG
+                     for _s, event, status in pools[-1].event_log()) \
+        if pools else False
+    if not hang_fired:
+        notes.append("hang suppressed (no process pool): 429 coverage "
+                     "not required on this platform")
+
+    tmp_debris = len(list(cache_root.rglob("*.tmp.*"))) \
+        if cache_root.exists() else 0
+    warm = ResultCache(cache_root)
+    cache_intact = all(warm.get(cache_key(spec)) is not None
+                       for spec in specs) and warm.corrupt == 0
+
+    drain_exit = drain_intact = None
+    drain_lost = 0
+    if drain:
+        drain_exit, drain_intact, drain_lost = _drain_drill(
+            specs, reference, jobs, timeout, workdir, notes)
+
+    return ServeChaosResult(
+        suite=suite_obj.name, seed=seed, cells=len(specs), jobs=jobs,
+        duplicates=duplicates, queue_limit=queue_limit,
+        identical=mismatched == 0 and not errors,
+        mismatched=mismatched,
+        accepted=counts["accepted"], deduped=counts["deduped"],
+        cached=counts["cached"], rejected_429=counts["rejected_429"],
+        retry_after_ok=all(a is not None for a in retry_after),
+        rejections_expected=hang_fired,
+        malformed_ok=malformed_ok, malformed_total=len(bodies),
+        exec_misses=exec_stats.get("misses", -1),
+        exec_stores=exec_stats.get("stores", -1),
+        quarantined=delta_quar,
+        tmp_debris=tmp_debris, corrupt=warm.corrupt,
+        cache_intact=cache_intact,
+        drain_exit=drain_exit, drain_intact=drain_intact,
+        drain_lost=drain_lost,
+        events=tuple(pools[-1].event_log()) if pools else (),
+        notes=tuple(notes))

@@ -163,9 +163,11 @@ def run_benchmarks(quick: bool = False,
         pool = ProcessPool(1)
     workloads: dict[str, dict] = {}
     incomplete: dict[str, str] = {}
+    interrupted = False
     start = time.perf_counter()
+    pos = 0
     try:
-        for name in names:
+        for pos, name in enumerate(names):
             if deadline is not None \
                     and time.perf_counter() - start > deadline:
                 incomplete[name] = "skipped: deadline exceeded"
@@ -210,6 +212,19 @@ def run_benchmarks(quick: bool = False,
                       f"cold {cold_s:6.2f}s  warm {warm_s:6.2f}s  "
                       f"({instructions / warm_s:>9.0f} instr/s warm)",
                       file=progress)
+    except KeyboardInterrupt:
+        # Ctrl-C: keep the measurements already taken, record the rest
+        # as incomplete and let main() exit 130 — never lose a partial
+        # run to an interrupt
+        interrupted = True
+        for name in names[pos:]:
+            if name not in workloads:
+                incomplete.setdefault(name, "interrupted (Ctrl-C)")
+        if progress is not None:
+            print("bench: interrupted — remaining workload(s) recorded "
+                  "as incomplete", file=progress)
+        if pool is not None:
+            pool.mark_dirty()           # workers may be mid-measurement
     finally:
         if pool is not None:
             pool.close()
@@ -228,6 +243,8 @@ def run_benchmarks(quick: bool = False,
     }
     if incomplete:
         doc["incomplete"] = incomplete
+    if interrupted:
+        doc["interrupted"] = True
     return doc
 
 
@@ -282,4 +299,6 @@ def main(quick: bool = False, output: str | None = DEFAULT_OUTPUT,
     if check_against is not None:
         if not check_regression(doc, Path(check_against)):
             return 1
+    if doc.get("interrupted"):
+        return 130                      # conventional SIGINT exit status
     return 0

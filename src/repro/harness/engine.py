@@ -71,6 +71,8 @@ class EngineStats:
     speculative_wins: int = 0
     #: completed cells kept (not re-simulated) across a mid-grid pool break
     preserved_on_break: int = 0
+    #: cells abandoned by a KeyboardInterrupt (Ctrl-C exits 130)
+    interrupted: int = 0
 
     def reset(self) -> None:
         self.pool_fallbacks = 0
@@ -81,6 +83,7 @@ class EngineStats:
         self.stragglers = 0
         self.speculative_wins = 0
         self.preserved_on_break = 0
+        self.interrupted = 0
 
 
 #: the engine's shared stats bag (per-process; pool workers get their own)

@@ -99,8 +99,20 @@ class PoolPolicy:
         if self.backend not in ("auto", "serial", "process"):
             raise ValueError(f"unknown pool backend {self.backend!r}; "
                              "known: auto, serial, process")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(
+                f"timeout must be positive (got {self.timeout!r}); "
+                "use None for no per-cell budget")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError(
+                f"deadline must be positive (got {self.deadline!r}); "
+                "use None for no grid budget")
         if self.retries < 0:
-            raise ValueError("retries must be >= 0")
+            raise ValueError(
+                f"retries must be >= 0 (got {self.retries!r}); "
+                "0 means a single attempt per cell")
+        if self.tick <= 0:
+            raise ValueError(f"tick must be positive (got {self.tick!r})")
 
 
 def backoff_delay(policy: PoolPolicy, cell: int, attempt: int) -> float:
@@ -122,12 +134,15 @@ class Pool:
 
     ``submit(fn, *args)`` returns a ``concurrent.futures.Future``;
     ``respawn()`` replaces a backend whose workers are wedged;
-    ``mark_dirty()`` records that a future was abandoned so ``close()``
-    knows a graceful shutdown would hang.
+    ``mark_dirty()`` records that a future was abandoned (or the
+    backend broke) so ``close()`` knows a graceful shutdown would hang
+    — long-lived owners like the serve layer read ``dirty`` to decide
+    when a pool must be replaced between grids.
     """
 
     kind = "base"
     workers = 1
+    dirty = False
 
     def submit(self, fn: Callable, *args) -> Future:
         raise NotImplementedError
@@ -136,7 +151,7 @@ class Pool:
         pass
 
     def mark_dirty(self) -> None:
-        pass
+        self.dirty = True
 
     def close(self) -> None:
         pass
@@ -177,7 +192,7 @@ class ProcessPool(Pool):
 
     def __init__(self, jobs: int) -> None:
         self.workers = max(1, jobs)
-        self._dirty = False
+        self.dirty = False
         self._executor = self._spawn()
 
     def _spawn(self):
@@ -190,15 +205,15 @@ class ProcessPool(Pool):
         return self._executor.submit(fn, *args)
 
     def mark_dirty(self) -> None:
-        self._dirty = True
+        self.dirty = True
 
     def respawn(self) -> None:
-        self._dirty = True
+        self.dirty = True
         self._hard_shutdown(self._executor)
         self._executor = self._spawn()
 
     def close(self) -> None:
-        if self._dirty:
+        if self.dirty:
             self._hard_shutdown(self._executor)
         else:
             self._executor.shutdown(wait=True)
@@ -232,6 +247,15 @@ def _timeout_failure(item, attempts: int, message: str):
                        traceback_text="", attempts=max(attempts, 1))
 
 
+def _interrupt_failure(item, attempts: int = 0):
+    from repro.harness.engine import CellFailure
+
+    return CellFailure(
+        spec=item, error_type="Interrupted",
+        message="grid abandoned by KeyboardInterrupt (Ctrl-C)",
+        traceback_text="", attempts=max(attempts, 1))
+
+
 def _stamp_attempts(result, attempts: int):
     import dataclasses
 
@@ -251,10 +275,23 @@ def run_grid(items: Sequence, fn: Callable, pool: Pool,
     an exception escaping a future is read as backend death, not cell
     failure.  ``stats`` is an :class:`~repro.harness.engine.EngineStats`
     (or any object with its counter attributes).
+
+    A ``KeyboardInterrupt`` mid-grid is routed through the
+    preserve-on-break machinery instead of escaping: completed cells
+    are kept, every unresolved cell degrades into a
+    ``CellFailure(error_type="Interrupted")`` (counted in
+    ``stats.interrupted``), and later grids of the same command
+    short-circuit — so a Ctrl-C'd report still renders its completed
+    cells with FAIL rows for the rest, and the CLI exits 130.
     """
     items = list(items)
     if not items:
         return []
+    if getattr(stats, "interrupted", 0):
+        # a previous grid of this command was Ctrl-C'd: start no new
+        # work, degrade every cell so partial reports still render
+        stats.interrupted += len(items)
+        return [_interrupt_failure(item) for item in items]
     if pool.kind == "serial":
         return _run_serial_grid(items, fn, pool, policy, stats)
     return _run_process_grid(items, fn, pool, policy, stats)
@@ -263,7 +300,7 @@ def run_grid(items: Sequence, fn: Callable, pool: Pool,
 def _run_serial_grid(items, fn, pool, policy, stats) -> list:
     start = time.monotonic()
     out = []
-    for item in items:
+    for pos, item in enumerate(items):
         if policy.deadline is not None \
                 and time.monotonic() - start > policy.deadline:
             stats.timeouts += 1
@@ -271,12 +308,19 @@ def _run_serial_grid(items, fn, pool, policy, stats) -> list:
                 item, 0, f"grid deadline of {policy.deadline:g}s exceeded "
                 "before the cell started"))
             continue
-        result = pool.submit(fn, item).result()
-        attempts = 1
-        while getattr(result, "failed", False) and attempts <= policy.retries:
-            stats.retries += 1
-            attempts += 1
+        try:
             result = pool.submit(fn, item).result()
+            attempts = 1
+            while getattr(result, "failed", False) \
+                    and attempts <= policy.retries:
+                stats.retries += 1
+                attempts += 1
+                result = pool.submit(fn, item).result()
+        except KeyboardInterrupt:
+            remaining = items[pos:]
+            stats.interrupted += len(remaining)
+            out.extend(_interrupt_failure(it) for it in remaining)
+            return out
         if getattr(result, "failed", False):
             stats.quarantined += 1
             result = _stamp_attempts(result, attempts)
@@ -333,113 +377,126 @@ def _run_process_grid(items, fn, pool, policy, stats) -> list:
             stats.quarantined += 1
             results[index] = _stamp_attempts(failure, attempts[index])
 
-    while not broken and len(results) < n:
-        now = time.monotonic()
+    interrupted = False
+    try:
+        while not broken and len(results) < n:
+            now = time.monotonic()
 
-        if policy.deadline is not None and now - start > policy.deadline:
-            for i in range(n):
-                if i not in results:
-                    stats.timeouts += 1
-                    results[i] = _timeout_failure(
-                        items[i], attempts[i],
-                        f"grid deadline of {policy.deadline:g}s exceeded")
-            pool.mark_dirty()
-            break
-
-        for i, due in sorted(retry_at.items()):
-            if due <= now and i not in results:
-                del retry_at[i]
-                pending.append((i, False))
-        broken = fill_slots()
-        if broken:
-            break
-
-        if not running:
-            if retry_at:
-                time.sleep(max(0.0, min(
-                    policy.tick, min(retry_at.values()) - now)))
-                continue
-            break                       # defensive: nothing left to wait on
-
-        done, _ = wait(list(running), timeout=policy.tick,
-                       return_when=FIRST_COMPLETED)
-        now = time.monotonic()
-        for fut in done:
-            index, started, speculative = running.pop(fut)
-            outstanding[index] -= 1
-            if index in results:
-                continue                # speculative loser or stale attempt
-            try:
-                err = fut.exception()
-            except concurrent.futures.CancelledError:
-                err = concurrent.futures.CancelledError()
-            if err is not None:
-                broken = True
-                break
-            result = fut.result()
-            if getattr(result, "failed", False):
-                attempt_failed(index, result)
-            else:
-                durations.append(now - started)
-                if speculative:
-                    stats.speculative_wins += 1
-                results[index] = result
-                retry_at.pop(index, None)
-        if broken:
-            break
-
-        now = time.monotonic()
-        if policy.timeout is not None:
-            overdue = [(fut, meta) for fut, meta in running.items()
-                       if now - meta[1] > policy.timeout]
-            for fut, (index, _started, _spec) in overdue:
-                running.pop(fut)
-                outstanding[index] -= 1
-                zombies += 1
+            if policy.deadline is not None and now - start > policy.deadline:
+                for i in range(n):
+                    if i not in results:
+                        stats.timeouts += 1
+                        results[i] = _timeout_failure(
+                            items[i], attempts[i],
+                            f"grid deadline of {policy.deadline:g}s exceeded")
                 pool.mark_dirty()
-                if index in results:
-                    continue
-                stats.timeouts += 1
-                if outstanding[index] > 0:
-                    continue            # a twin attempt is still alive
-                attempt_failed(index, _timeout_failure(
-                    items[index], attempts[index],
-                    f"cell exceeded the {policy.timeout:g}s "
-                    "wall-clock timeout"))
-            if zombies >= pool.workers:
-                # every worker is wedged on an abandoned attempt:
-                # replace the backend and re-home the survivors
-                survivors = list(running.values())
-                running.clear()
-                try:
-                    pool.respawn()
-                    zombies = 0
-                    for index, _started, speculative in survivors:
-                        outstanding[index] -= 1
-                        if index not in results:
-                            attempts[index] -= 0 if speculative else 1
-                            submit(index, speculative=speculative)
-                except POOL_BREAK_ERRORS:
-                    broken = True
-        if broken:
-            break
+                break
 
-        if policy.straggler_factor > 0 \
-                and len(durations) >= policy.straggler_min_done:
-            threshold = max(
-                policy.straggler_factor * statistics.median(durations),
-                policy.straggler_min_runtime)
-            for _fut, (index, started, speculative) in list(running.items()):
-                if speculative or index in results or index in speculated:
+            for i, due in sorted(retry_at.items()):
+                if due <= now and i not in results:
+                    del retry_at[i]
+                    pending.append((i, False))
+            broken = fill_slots()
+            if broken:
+                break
+
+            if not running:
+                if retry_at:
+                    time.sleep(max(0.0, min(
+                        policy.tick, min(retry_at.values()) - now)))
                     continue
-                if now - started > threshold:
-                    speculated.add(index)
-                    stats.stragglers += 1
+                break                       # defensive: nothing left to wait on
+
+            done, _ = wait(list(running), timeout=policy.tick,
+                           return_when=FIRST_COMPLETED)
+            now = time.monotonic()
+            for fut in done:
+                index, started, speculative = running.pop(fut)
+                outstanding[index] -= 1
+                if index in results:
+                    continue                # speculative loser or stale attempt
+                try:
+                    err = fut.exception()
+                except concurrent.futures.CancelledError:
+                    err = concurrent.futures.CancelledError()
+                if err is not None:
+                    broken = True
+                    break
+                result = fut.result()
+                if getattr(result, "failed", False):
+                    attempt_failed(index, result)
+                else:
+                    durations.append(now - started)
+                    if speculative:
+                        stats.speculative_wins += 1
+                    results[index] = result
+                    retry_at.pop(index, None)
+            if broken:
+                break
+
+            now = time.monotonic()
+            if policy.timeout is not None:
+                overdue = [(fut, meta) for fut, meta in running.items()
+                           if now - meta[1] > policy.timeout]
+                for fut, (index, _started, _spec) in overdue:
+                    running.pop(fut)
+                    outstanding[index] -= 1
+                    zombies += 1
+                    pool.mark_dirty()
+                    if index in results:
+                        continue
+                    stats.timeouts += 1
+                    if outstanding[index] > 0:
+                        continue            # a twin attempt is still alive
+                    attempt_failed(index, _timeout_failure(
+                        items[index], attempts[index],
+                        f"cell exceeded the {policy.timeout:g}s "
+                        "wall-clock timeout"))
+                if zombies >= pool.workers:
+                    # every worker is wedged on an abandoned attempt:
+                    # replace the backend and re-home the survivors
+                    survivors = list(running.values())
+                    running.clear()
                     try:
-                        submit(index, speculative=True)
+                        pool.respawn()
+                        zombies = 0
+                        for index, _started, speculative in survivors:
+                            outstanding[index] -= 1
+                            if index not in results:
+                                attempts[index] -= 0 if speculative else 1
+                                submit(index, speculative=speculative)
                     except POOL_BREAK_ERRORS:
                         broken = True
-                        break
+            if broken:
+                break
+
+            if policy.straggler_factor > 0 \
+                    and len(durations) >= policy.straggler_min_done:
+                threshold = max(
+                    policy.straggler_factor * statistics.median(durations),
+                    policy.straggler_min_runtime)
+                for _fut, (index, started, speculative) in list(running.items()):
+                    if speculative or index in results or index in speculated:
+                        continue
+                    if now - started > threshold:
+                        speculated.add(index)
+                        stats.stragglers += 1
+                        try:
+                            submit(index, speculative=True)
+                        except POOL_BREAK_ERRORS:
+                            broken = True
+                            break
+    except KeyboardInterrupt:
+        # Ctrl-C: keep completed cells, degrade the rest and let
+        # the CLI exit 130 — never restart work the user aborted
+        interrupted = True
+        pool.mark_dirty()
+
+    if interrupted:
+        for i in range(n):
+            if i not in results:
+                stats.interrupted += 1
+                results[i] = _interrupt_failure(items[i], attempts[i])
 
     if broken and len(results) < n:
         pool.mark_dirty()

@@ -1,0 +1,50 @@
+"""Simulation-as-a-service: crash-tolerant HTTP access to the engine.
+
+``python -m repro serve`` exposes the experiment engine as a
+long-running job server: clients POST ExperimentSpec JSON, a bounded
+per-tenant-fair queue admits it (or answers 429), an in-flight dedupe
+plus the content-addressed result cache collapse duplicate work, and a
+process pool executes batches under the same
+:class:`~repro.harness.pool.PoolPolicy` fault budget every other grid
+consumer uses.  Worker crashes, timeouts and deadlines degrade into
+structured payloads; SIGTERM drains gracefully.  The layer's oracle is
+``repro chaos --layer serve`` (:mod:`repro.faults.chaos_serve`).
+
+Layout: :mod:`~repro.serve.jobs` (validation, payloads, the queue),
+:mod:`~repro.serve.dedupe` (in-flight collapse),
+:mod:`~repro.serve.server` (the asyncio server and CLI entry),
+:mod:`~repro.serve.client` (the stdlib client the drills use).
+See docs/SERVE.md.
+"""
+
+from repro.serve.client import ServeClient
+from repro.serve.dedupe import InFlightDedupe
+from repro.serve.jobs import (
+    Job,
+    JobQueue,
+    ServeError,
+    outcome_payload,
+    spec_from_json,
+)
+from repro.serve.server import (
+    ReproServer,
+    ServeConfig,
+    ServerThread,
+    ServeStats,
+    serve_main,
+)
+
+__all__ = [
+    "InFlightDedupe",
+    "Job",
+    "JobQueue",
+    "ReproServer",
+    "ServeClient",
+    "ServeConfig",
+    "ServeError",
+    "ServeStats",
+    "ServerThread",
+    "outcome_payload",
+    "serve_main",
+    "spec_from_json",
+]

@@ -1,0 +1,133 @@
+"""Minimal stdlib HTTP client for the simulation server.
+
+Everything that talks to a running server — the chaos oracle, the load
+bench, the CI smoke step, the tests — goes through this one wrapper so
+the request/response conventions (JSON bodies, job-id handling,
+long-poll waits) live in a single place.  It is deliberately thin:
+``http.client`` over a keep-alive connection, no retries and no
+cleverness, because the *server* is the component under test and a
+smart client would mask its failures.  ``raw_request`` exists
+precisely so drills can send malformed bytes the typed helpers refuse
+to construct.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Optional
+
+from repro.serve.jobs import ServeError
+
+__all__ = ["ServeClient"]
+
+
+class ServeClient:
+    """A keep-alive JSON client bound to one ``host:port``."""
+
+    def __init__(self, host: str, port: int, timeout: float = 120.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout)
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def raw_request(self, method: str, path: str,
+                    body: Optional[bytes] = None,
+                    content_type: str = "application/json") -> tuple:
+        """One request, raw bytes in, ``(status, headers, json_body)``
+        out.  Retries once on a dropped keep-alive connection."""
+        headers = {"Content-Type": content_type} if body is not None else {}
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                resp = conn.getresponse()
+                blob = resp.read()
+                break
+            except (http.client.HTTPException, ConnectionError, OSError):
+                self.close()
+                if attempt:
+                    raise
+        try:
+            payload = json.loads(blob.decode("utf-8")) if blob else None
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            payload = {"error": f"non-JSON body: {blob[:200]!r}"}
+        return resp.status, dict(resp.getheaders()), payload
+
+    def _json(self, method: str, path: str, obj=None,
+              ok: tuple = (200,)) -> dict:
+        body = json.dumps(obj).encode() if obj is not None else None
+        status, _headers, payload = self.raw_request(method, path, body)
+        if status not in ok:
+            message = payload.get("error", repr(payload)) \
+                if isinstance(payload, dict) else repr(payload)
+            raise ServeError(status, message)
+        return payload
+
+    # -- API ---------------------------------------------------------------
+
+    def submit(self, spec_json: dict) -> dict:
+        """POST one spec; returns its entry from the ``jobs`` array."""
+        return self._json("POST", "/jobs", spec_json, ok=(202,))["jobs"][0]
+
+    def submit_batch(self, specs: list, *, tenant: Optional[str] = None,
+                     priority: Optional[int] = None,
+                     deadline_s: Optional[float] = None,
+                     ok: tuple = (202,)) -> dict:
+        """POST a batch envelope; returns the full response payload.
+
+        Pass ``ok=(202, 429)`` to observe admission rejections instead
+        of raising on them.
+        """
+        envelope: dict = {"specs": specs}
+        if tenant is not None:
+            envelope["tenant"] = tenant
+        if priority is not None:
+            envelope["priority"] = priority
+        if deadline_s is not None:
+            envelope["deadline_s"] = deadline_s
+        return self._json("POST", "/jobs", envelope, ok=ok)
+
+    def job(self, job_id: str, wait: Optional[float] = None) -> dict:
+        path = f"/jobs/{job_id}"
+        if wait is not None:
+            path += f"?wait={wait}"
+        return self._json("GET", path)
+
+    def wait_result(self, job_id: str, timeout: float = 120.0) -> dict:
+        """Long-poll until the job is done; returns its result payload."""
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(f"job {job_id} not done within "
+                                   f"{timeout}s")
+            body = self.job(job_id, wait=min(remaining, 10.0))
+            if body["state"] in ("done", "failed", "expired"):
+                return body["result"]
+
+    def healthz(self) -> dict:
+        return self._json("GET", "/healthz")
+
+    def stats(self) -> dict:
+        return self._json("GET", "/stats")

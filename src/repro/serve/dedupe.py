@@ -1,0 +1,72 @@
+"""In-flight request deduplication, keyed by spec content digest.
+
+A burst of identical submissions — the same sweep launched from many
+clients, a retry storm, a dashboard refresh — must cost one simulation,
+not N.  The :class:`~repro.harness.engine.ResultCache` already collapses
+*completed* duplicates; this registry collapses the window the cache
+cannot see: specs that are accepted but not yet finished.
+
+The key is :func:`~repro.harness.engine.spec_digest` — the content
+address of everything the result depends on — so two submissions that
+*simulate the same cell* share one :class:`~repro.serve.jobs.Job` even
+when they arrived as distinct JSON.  All observers get the same job id
+and therefore the same result bytes; the chaos oracle asserts the
+engine-side cache records exactly one miss per unique digest no matter
+how many duplicates were accepted.
+
+Single-threaded by design: every method runs on the asyncio loop
+thread, between awaits, so check-and-register is atomic without a lock.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.serve.jobs import Job
+
+__all__ = ["InFlightDedupe"]
+
+
+class InFlightDedupe:
+    """digest -> the one live :class:`Job` simulating that content."""
+
+    def __init__(self) -> None:
+        self._live: dict[str, Job] = {}
+        #: submissions that attached to an existing in-flight job
+        self.shared = 0
+
+    def __len__(self) -> int:
+        return len(self._live)
+
+    def attach(self, digest: str) -> Optional[Job]:
+        """The in-flight job for ``digest``, or None.
+
+        A hit means the new submission rides the existing execution;
+        the caller answers with the existing job id.
+        """
+        job = self._live.get(digest)
+        if job is not None:
+            self.shared += 1
+        return job
+
+    def register(self, job: Job) -> None:
+        """Make ``job`` the live execution for its digest.
+
+        Must be called in the same no-await critical section as the
+        failed :meth:`attach` probe — that ordering is what makes the
+        dedupe window airtight.
+        """
+        assert job.digest not in self._live, \
+            f"digest {job.digest} already in flight"
+        self._live[job.digest] = job
+
+    def resolve(self, job: Job) -> None:
+        """Drop ``job`` from the in-flight window (it completed).
+
+        From here on, duplicates are the result cache's business.
+        Tolerates a job that was never registered (expired before
+        registration, or resolved twice on a drain race).
+        """
+        live = self._live.get(job.digest)
+        if live is job:
+            del self._live[job.digest]

@@ -1,0 +1,310 @@
+"""Job model and admission control for the simulation server.
+
+The serve layer's unit of work is a :class:`Job`: one accepted
+:class:`~repro.harness.engine.ExperimentSpec` plus the bookkeeping a
+multi-tenant server needs — who submitted it, at what priority, under
+what deadline, and where its result payload ends up.  Three pieces live
+here because they are pure data structures the rest of the package
+(and the chaos oracle) can exercise without a socket:
+
+* :func:`spec_from_json` — the untrusted-input boundary: a JSON object
+  becomes a validated ``ExperimentSpec`` or a structured
+  :class:`ServeError` (HTTP 400), never a traceback;
+* :func:`outcome_payload` — the canonical JSON-able rendering of a
+  :class:`~repro.harness.engine.RunOutcome` or
+  :class:`~repro.harness.engine.CellFailure`; the chaos oracle asserts
+  these bytes are identical to a serial fault-free ``execute()``;
+* :class:`JobQueue` — a bounded, per-tenant fair, priority-ordered
+  queue with explicit admission control: ``offer`` returns ``False``
+  when full (the server answers 429 + ``Retry-After``) instead of ever
+  growing without bound.
+
+The queue is the only object shared between the asyncio loop thread
+(admission) and the executor thread (dispatch); it is internally
+locked, and queue membership — not ``Job.state`` — is the ownership
+truth: a job popped by ``take_batch`` belongs to the executor, a job
+popped by ``remove_expired`` belongs to the reaper, and nothing is ever
+popped twice.  See docs/SERVE.md.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ConfigError
+from repro.harness.engine import ExperimentSpec
+
+__all__ = [
+    "Job",
+    "JobQueue",
+    "ServeError",
+    "outcome_payload",
+    "spec_from_json",
+]
+
+#: JSON keys a spec object may carry; everything else is a 400
+SPEC_FIELDS = ("kernel", "config", "scale", "overrides", "check",
+               "drain_dirty", "warm", "apply_l2_hint", "mode", "fault")
+
+#: job lifecycle states, in order of progress
+STATES = ("queued", "running", "done", "failed", "expired")
+
+
+class ServeError(Exception):
+    """A request problem with an HTTP status and a client-safe message."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+def spec_from_json(obj) -> ExperimentSpec:
+    """Validate one untrusted JSON spec object into an ExperimentSpec.
+
+    Every rejection is a :class:`ServeError` with status 400 and a
+    message safe to echo to the client — including the registry's
+    difflib spelling suggestions for a mistyped kernel — so malformed
+    load never takes the server down or leaks a traceback.
+    """
+    from repro.workloads.registry import get
+
+    if not isinstance(obj, dict):
+        raise ServeError(400, f"spec must be a JSON object, got "
+                         f"{type(obj).__name__}")
+    unknown = sorted(set(obj) - set(SPEC_FIELDS))
+    if unknown:
+        raise ServeError(400, f"unknown spec field(s): {', '.join(unknown)}; "
+                         f"known: {', '.join(SPEC_FIELDS)}")
+    if "kernel" not in obj:
+        raise ServeError(400, "spec is missing the required 'kernel' field")
+    kernel = obj["kernel"]
+    if not isinstance(kernel, str):
+        raise ServeError(400, "'kernel' must be a string")
+    try:
+        get(kernel)
+    except KeyError as exc:
+        raise ServeError(400, exc.args[0]) from None
+    scale = obj.get("scale", 1.0)
+    if not isinstance(scale, (int, float)) or isinstance(scale, bool) \
+            or not math.isfinite(scale) or scale <= 0:
+        raise ServeError(400, f"'scale' must be a positive finite number, "
+                         f"got {scale!r}")
+    overrides = obj.get("overrides", {})
+    if not isinstance(overrides, dict):
+        raise ServeError(400, "'overrides' must be an object of "
+                         "MachineConfig field -> value")
+    for name in ("check", "drain_dirty", "warm", "apply_l2_hint"):
+        if name in obj and not isinstance(obj[name], bool):
+            raise ServeError(400, f"{name!r} must be a boolean")
+    fault = obj.get("fault", ())
+    if fault and (not isinstance(fault, (list, tuple)) or len(fault) != 2):
+        raise ServeError(400, "'fault' must be a [site, seed] pair")
+    try:
+        return ExperimentSpec(
+            kernel=kernel,
+            config=obj.get("config", "T"),
+            scale=float(scale),
+            overrides=tuple(overrides.items()),
+            check=obj.get("check", True),
+            drain_dirty=obj.get("drain_dirty", False),
+            warm=obj.get("warm", True),
+            apply_l2_hint=obj.get("apply_l2_hint", True),
+            mode=obj.get("mode", "auto"),
+            fault=tuple(fault) if fault else ())
+    except (ConfigError, TypeError, ValueError) as exc:
+        raise ServeError(400, str(exc)) from None
+
+
+def outcome_payload(outcome) -> dict:
+    """The canonical client-facing rendering of one cell outcome.
+
+    Stable fields only — the chaos oracle compares
+    ``json.dumps(payload, sort_keys=True)`` against a serial fault-free
+    run, so anything nondeterministic (tracebacks, host timings, object
+    reprs) stays out.  Failures keep the same shape the engine's
+    :class:`~repro.harness.engine.CellFailure` carries: a degraded cell
+    is a structured payload, never a dropped connection.
+    """
+    if getattr(outcome, "failed", False):
+        return {
+            "failed": True,
+            "kernel": outcome.kernel,
+            "config": outcome.config_name,
+            "error_type": outcome.error_type,
+            "message": outcome.message,
+            "trap_pc": outcome.trap_pc,
+            "attempts": outcome.attempts,
+        }
+    return {
+        "failed": False,
+        "kernel": outcome.kernel,
+        "config": outcome.config_name,
+        "cycles": outcome.cycles,
+        "core_ghz": outcome.core_ghz,
+        "seconds": outcome.seconds,
+        "opc": outcome.opc,
+        "fpc": outcome.fpc,
+        "mpc": outcome.mpc,
+        "other_pc": outcome.other_pc,
+        "streams_mbytes_per_s": outcome.streams_mbytes_per_s,
+        "raw_mbytes_per_s": outcome.raw_mbytes_per_s,
+        "verified": outcome.verified,
+    }
+
+
+@dataclass
+class Job:
+    """One accepted spec moving through the server.
+
+    ``state`` is written by whichever thread owns the job at that
+    moment (see :class:`JobQueue`); ``payload`` is set exactly once, by
+    the loop thread, together with ``done_event`` — long-polling GET
+    handlers wait on the event, so completion never requires the client
+    to hold a connection open through the simulation.
+    """
+
+    id: str
+    tenant: str
+    spec: ExperimentSpec
+    digest: str
+    priority: int = 0
+    #: absolute time.monotonic() deadline while queued; None = none
+    deadline: Optional[float] = None
+    state: str = "queued"
+    payload: Optional[dict] = None
+    created: float = field(default_factory=time.monotonic)
+    finished: Optional[float] = None
+    #: set by the loop thread when payload lands (asyncio.Event)
+    done_event: object = None
+
+    @property
+    def done(self) -> bool:
+        return self.state in ("done", "failed", "expired")
+
+    def describe(self) -> dict:
+        """The GET /jobs/<id> body (payload only once done)."""
+        out = {
+            "id": self.id,
+            "tenant": self.tenant,
+            "kernel": self.spec.kernel,
+            "config": self.spec.config,
+            "digest": self.digest,
+            "priority": self.priority,
+            "state": self.state,
+        }
+        if self.payload is not None:
+            out["result"] = self.payload
+        return out
+
+
+class JobQueue:
+    """Bounded, per-tenant fair, priority-ordered admission queue.
+
+    * **bounded** — ``offer`` refuses (returns ``False``) once ``limit``
+      jobs are queued; the server turns that into HTTP 429 with a
+      ``Retry-After`` estimate.  Memory use is therefore capped no
+      matter how bursty the load.
+    * **fair** — ``take_batch`` round-robins across tenants, one job
+      per tenant per turn, so one tenant's thousand-spec sweep cannot
+      starve another's single interactive request.
+    * **prioritized** — within a tenant, higher ``priority`` first,
+      FIFO within a priority (a monotonic sequence number breaks ties).
+
+    Thread-safe: admission runs on the asyncio loop thread, dispatch on
+    the executor thread, expiry on the reaper — all through one lock.
+    """
+
+    def __init__(self, limit: int) -> None:
+        if limit <= 0:
+            raise ValueError(f"queue limit must be positive, got {limit!r}")
+        self.limit = limit
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        #: tenant -> heap of (-priority, seq, job)
+        self._tenants: dict[str, list] = {}
+        #: round-robin order; rotated by take_batch
+        self._rotation: list[str] = []
+        self._seq = itertools.count()
+        self._size = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return self._size
+
+    def depths(self) -> dict[str, int]:
+        with self._lock:
+            return {tenant: len(heap)
+                    for tenant, heap in self._tenants.items() if heap}
+
+    def offer(self, job: Job) -> bool:
+        """Admit ``job``, or return False when the queue is full."""
+        with self._lock:
+            if self._size >= self.limit:
+                return False
+            heap = self._tenants.get(job.tenant)
+            if heap is None:
+                heap = self._tenants[job.tenant] = []
+                self._rotation.append(job.tenant)
+            heapq.heappush(heap, (-job.priority, next(self._seq), job))
+            self._size += 1
+            self._not_empty.notify()
+            return True
+
+    def take_batch(self, max_n: int, timeout: Optional[float] = None
+                   ) -> list[Job]:
+        """Pop up to ``max_n`` jobs, fairly; block up to ``timeout``.
+
+        One job per tenant per rotation turn until the batch is full or
+        the queue empties.  Returns ``[]`` on timeout.
+        """
+        with self._not_empty:
+            if self._size == 0 and timeout:
+                self._not_empty.wait(timeout)
+            batch: list[Job] = []
+            while self._size > 0 and len(batch) < max_n:
+                progressed = False
+                for _ in range(len(self._rotation)):
+                    tenant = self._rotation.pop(0)
+                    self._rotation.append(tenant)
+                    heap = self._tenants.get(tenant)
+                    if not heap:
+                        continue
+                    _, _, job = heapq.heappop(heap)
+                    self._size -= 1
+                    batch.append(job)
+                    progressed = True
+                    if len(batch) >= max_n:
+                        break
+                if not progressed:  # defensive: size/heap disagreement
+                    break
+            return batch
+
+    def remove_expired(self, now: float) -> list[Job]:
+        """Pop every queued job whose deadline has passed.
+
+        The caller (the loop's reaper task) owns the returned jobs and
+        finishes them with a structured Timeout payload — an expired
+        request degrades into data, it does not silently vanish.
+        """
+        with self._lock:
+            expired: list[Job] = []
+            for tenant, heap in self._tenants.items():
+                keep = []
+                for entry in heap:
+                    job = entry[2]
+                    if job.deadline is not None and job.deadline <= now:
+                        expired.append(job)
+                    else:
+                        keep.append(entry)
+                if len(keep) != len(heap):
+                    heapq.heapify(keep)
+                    self._tenants[tenant] = keep
+            self._size -= len(expired)
+            return expired

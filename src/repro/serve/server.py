@@ -1,0 +1,742 @@
+"""Simulation-as-a-service: the asyncio HTTP job server.
+
+``python -m repro serve`` turns the experiment engine into a
+long-running, crash-tolerant service: clients POST single or batched
+:class:`~repro.harness.engine.ExperimentSpec` JSON, the server executes
+them on a :class:`~repro.harness.pool.ProcessPool` through the same
+:func:`~repro.harness.engine.execute_many` fault budget every other
+grid consumer uses, and results come back as stable JSON payloads —
+byte-identical to a serial fault-free ``execute()`` of the same spec,
+which ``repro chaos --layer serve`` proves under load.
+
+Robustness is the design center, not the HTTP surface:
+
+* **admission control** — a bounded :class:`~repro.serve.jobs.JobQueue`
+  with per-tenant fair scheduling; a full queue answers 429 with a
+  ``Retry-After`` estimate, never unbounded memory;
+* **in-flight dedupe** — identical concurrent submissions share one
+  execution (:mod:`repro.serve.dedupe`, keyed by ``spec_digest``) and
+  completed ones hit the content-addressed result cache at admission;
+* **degradation, not disconnection** — per-cell timeouts, batch
+  deadlines, queued-request deadlines and worker crashes all degrade
+  into structured ``CellFailure`` payloads; the connection never just
+  drops;
+* **worker-crash survival** — the pool's preserve-on-break path keeps
+  completed cells across a worker death, and a dirtied pool is
+  replaced between batches;
+* **graceful drain** — SIGTERM/SIGINT stops admission (503), finishes
+  every accepted job, closes the pool, and exits 0 with the
+  crash-safe cache fully flushed.
+
+The server is one asyncio loop thread (HTTP, admission, dedupe, job
+bookkeeping) plus one executor thread (batch dispatch into
+``execute_many``); the :class:`~repro.serve.jobs.JobQueue` is the only
+shared structure.  Everything is stdlib.  See docs/SERVE.md for the
+API and the drain/fault semantics, and ``repro.faults.chaos_serve``
+for the oracle that drills all of it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import itertools
+import json
+import math
+import signal
+import sys
+import threading
+import time
+import warnings
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Optional
+from urllib.parse import parse_qs, urlsplit
+
+from repro.harness.engine import (
+    CACHE_DIR,
+    STATS,
+    ResultCache,
+    cache_key,
+    execute_many,
+    spec_digest,
+)
+from repro.harness.pool import Pool, PoolPolicy, ProcessPool, SerialPool
+from repro.serve.dedupe import InFlightDedupe
+from repro.serve.jobs import (
+    Job,
+    JobQueue,
+    ServeError,
+    outcome_payload,
+    spec_from_json,
+)
+
+__all__ = ["ReproServer", "ServeConfig", "ServeStats", "ServerThread",
+           "serve_main"]
+
+_REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 408: "Request Timeout",
+            413: "Payload Too Large", 429: "Too Many Requests",
+            500: "Internal Server Error", 503: "Service Unavailable"}
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything one server process runs under (CLI flags map 1:1)."""
+
+    host: str = "127.0.0.1"
+    #: 0 = let the kernel pick (the bound port is reported at startup)
+    port: int = 8537
+    #: pool worker processes
+    jobs: int = 2
+    #: bounded queue: admissions past this answer 429
+    queue_limit: int = 256
+    #: max specs dispatched per engine batch; 0 = 2x jobs
+    batch_max: int = 0
+    #: per-cell wall-clock budget (None = none; needs process workers)
+    timeout: Optional[float] = None
+    #: per-batch grid deadline (None = none)
+    deadline: Optional[float] = None
+    #: per-cell retry budget inside the engine
+    retries: int = 1
+    backoff_seed: int = 0
+    #: result-cache root; None disables caching
+    cache_dir: Optional[str] = str(CACHE_DIR)
+    #: finished jobs kept addressable by GET /jobs/<id>
+    history_limit: int = 4096
+    max_body_bytes: int = 1 << 20
+    max_batch_specs: int = 256
+    #: cap on GET /jobs/<id>?wait=S long-polls
+    max_wait_s: float = 60.0
+    #: idle keep-alive connections are dropped after this
+    idle_timeout_s: float = 60.0
+    default_tenant: str = "anonymous"
+
+    def __post_init__(self) -> None:
+        if self.queue_limit <= 0:
+            raise ValueError("queue_limit must be positive")
+        if self.jobs <= 0:
+            raise ValueError("jobs must be positive")
+        # surface bad budgets at configuration, not mid-batch
+        self.policy()
+
+    def policy(self) -> PoolPolicy:
+        return PoolPolicy(timeout=self.timeout, deadline=self.deadline,
+                          retries=self.retries,
+                          backoff_seed=self.backoff_seed)
+
+    @property
+    def effective_batch_max(self) -> int:
+        return self.batch_max if self.batch_max > 0 else 2 * self.jobs
+
+
+@dataclass
+class ServeStats:
+    """Serve-layer counters (the engine's live in ``engine.STATS``)."""
+
+    submissions: int = 0
+    accepted: int = 0
+    deduped: int = 0
+    cache_hits: int = 0
+    rejected_full: int = 0
+    rejected_invalid: int = 0
+    rejected_draining: int = 0
+    completed: int = 0
+    failed: int = 0
+    expired: int = 0
+    batches: int = 0
+    batch_errors: int = 0
+    pools_built: int = 0
+    internal_errors: int = 0
+
+    def as_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+def _expiry_payload(job: Job, where: str) -> dict:
+    """Structured Timeout payload for a job whose deadline passed."""
+    return {
+        "failed": True,
+        "kernel": job.spec.kernel,
+        "config": job.spec.config,
+        "error_type": "Timeout",
+        "message": f"request deadline exceeded {where}",
+        "trap_pc": None,
+        "attempts": 0,
+    }
+
+
+class ReproServer:
+    """The server object; see the module docstring for the model.
+
+    ``pool_factory`` (chaos drills inject a
+    :class:`~repro.faults.chaos_pool.ChaosPool` wrapper here) builds
+    the execution backend; it is called again whenever the previous
+    pool was dirtied by a break, kill or abandoned timeout.
+    ``cache_factory`` returns the ``(probe, execute)`` cache pair —
+    two views of one root, so admission-probe and executor traffic
+    keep separate counters.
+    """
+
+    def __init__(self, config: ServeConfig,
+                 pool_factory: Optional[Callable[[], Pool]] = None,
+                 cache_factory: Optional[Callable[[], tuple]] = None) -> None:
+        self.config = config
+        self.stats = ServeStats()
+        self.draining = False
+        self.stopped: Optional[asyncio.Event] = None
+        self.host = config.host
+        self.port = config.port
+        self._pool_factory = pool_factory or self._default_pool_factory
+        self._cache_factory = cache_factory or self._default_cache_factory
+        self._started = time.monotonic()
+        self._job_seq = itertools.count(1)
+        self._jobs: "OrderedDict[str, Job]" = OrderedDict()
+        self._digest_futures: dict = {}
+        self._drain_task = None
+        self._drain_requested = False
+        #: completed-batch (cells, wall_s) ring for Retry-After estimates
+        self._batch_wall: list = []
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self.stopped = asyncio.Event()
+        self.queue = JobQueue(self.config.queue_limit)
+        self.dedupe = InFlightDedupe()
+        self._probe_cache, self._exec_cache = self._cache_factory()
+        self._digest_pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="serve-digest")
+        self._server = await asyncio.start_server(
+            self._handle_conn, self.config.host, self.config.port)
+        sock = self._server.sockets[0]
+        self.host, self.port = sock.getsockname()[:2]
+        self._reaper_task = self._loop.create_task(self._reaper())
+        self._executor_thread = threading.Thread(
+            target=self._executor_loop, name="serve-executor", daemon=True)
+        self._executor_thread.start()
+
+    def install_signal_handlers(self) -> None:
+        """SIGTERM/SIGINT begin a graceful drain (main thread only)."""
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                self._loop.add_signal_handler(sig, self.begin_drain)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass
+
+    def begin_drain(self) -> None:
+        """Idempotent; callable from a signal handler on the loop."""
+        if self._drain_task is None:
+            self._drain_task = self._loop.create_task(self._drain())
+
+    async def _drain(self) -> None:
+        self.draining = True
+        print(f"serve: draining — {len(self.queue)} queued job(s), "
+              "admission closed", file=sys.stderr, flush=True)
+        self._drain_requested = True
+        # the executor exits once the queue is empty and the last batch
+        # returned; joining it is the "finish in-flight jobs" barrier
+        await self._loop.run_in_executor(None, self._executor_thread.join)
+        self._reaper_task.cancel()
+        self._server.close()
+        await self._server.wait_closed()
+        self._digest_pool.shutdown(wait=False)
+        print(f"serve: drained — {self.stats.completed} completed, "
+              f"{self.stats.failed} failed, {self.stats.expired} expired; "
+              "cache flushed", file=sys.stderr, flush=True)
+        self.stopped.set()
+
+    # -- executor thread ---------------------------------------------------
+
+    def _default_pool_factory(self) -> Pool:
+        try:
+            return ProcessPool(self.config.jobs)
+        except (OSError, PermissionError, BrokenProcessPool) as err:
+            STATS.pool_fallbacks += 1
+            warnings.warn(
+                f"serve: process pool unavailable ({type(err).__name__}: "
+                f"{err}); executing serially", RuntimeWarning)
+            return SerialPool()
+
+    def _default_cache_factory(self) -> tuple:
+        if self.config.cache_dir is None:
+            return None, None
+        root = Path(self.config.cache_dir)
+        return ResultCache(root), ResultCache(root)
+
+    def _executor_loop(self) -> None:
+        pool: Optional[Pool] = None
+        policy = self.config.policy()
+        try:
+            while True:
+                batch = self.queue.take_batch(
+                    self.config.effective_batch_max, timeout=0.1)
+                if not batch:
+                    if self._drain_requested and len(self.queue) == 0:
+                        break
+                    continue
+                if pool is None or pool.dirty:
+                    if pool is not None:
+                        pool.close()
+                    pool = self._pool_factory()
+                    self.stats.pools_built += 1
+                self._run_batch(pool, batch, policy)
+        finally:
+            if pool is not None:
+                pool.close()
+
+    def _run_batch(self, pool: Pool, batch: list, policy: PoolPolicy) -> None:
+        for job in batch:
+            job.state = "running"
+        self.stats.batches += 1
+        t0 = time.monotonic()
+        try:
+            with warnings.catch_warnings():
+                # pool-break recovery is routine here, not an anomaly
+                warnings.simplefilter("ignore", RuntimeWarning)
+                outcomes = execute_many(
+                    [job.spec for job in batch],
+                    cache=self._exec_cache, policy=policy, pool=pool)
+        except Exception as err:  # noqa: BLE001 - the batch boundary
+            # an engine bug must degrade into per-job payloads, not
+            # kill the serving thread
+            self.stats.batch_errors += 1
+            pool.mark_dirty()
+            for job in batch:
+                self._post_completion(job, {
+                    "failed": True, "kernel": job.spec.kernel,
+                    "config": job.spec.config,
+                    "error_type": type(err).__name__,
+                    "message": str(err), "trap_pc": None, "attempts": 0,
+                }, failed=True)
+            return
+        self._batch_wall.append((len(batch), time.monotonic() - t0))
+        del self._batch_wall[:-32]
+        for job, outcome in zip(batch, outcomes):
+            self._post_completion(job, outcome_payload(outcome),
+                                  failed=getattr(outcome, "failed", False))
+
+    def _post_completion(self, job: Job, payload: dict, failed: bool) -> None:
+        state = "failed" if failed else "done"
+        self._loop.call_soon_threadsafe(self._finish_job, job, payload, state)
+
+    # -- loop-thread bookkeeping -------------------------------------------
+
+    def _finish_job(self, job: Job, payload: dict, state: str) -> None:
+        if job.done:
+            return
+        job.payload = payload
+        job.state = state
+        job.finished = time.monotonic()
+        self.dedupe.resolve(job)
+        if state == "done":
+            self.stats.completed += 1
+        elif state == "expired":
+            self.stats.expired += 1
+        else:
+            self.stats.failed += 1
+        job.done_event.set()
+        self._trim_history()
+
+    def _trim_history(self) -> None:
+        while len(self._jobs) > self.config.history_limit:
+            for jid, job in self._jobs.items():
+                if job.done:
+                    del self._jobs[jid]
+                    break
+            else:
+                return                  # everything live: overshoot briefly
+
+    async def _reaper(self) -> None:
+        """Expire queued jobs whose request deadline passed."""
+        while True:
+            await asyncio.sleep(0.2)
+            for job in self.queue.remove_expired(time.monotonic()):
+                self._finish_job(job, _expiry_payload(job, "while queued"),
+                                 "expired")
+
+    # -- admission ---------------------------------------------------------
+
+    def _new_job(self, tenant: str, spec, digest: str, priority: int,
+                 deadline_s: Optional[float]) -> Job:
+        job = Job(
+            id=f"j{next(self._job_seq):08d}", tenant=tenant, spec=spec,
+            digest=digest, priority=priority,
+            deadline=(time.monotonic() + deadline_s
+                      if deadline_s is not None else None))
+        job.done_event = asyncio.Event()
+        self._jobs[job.id] = job
+        return job
+
+    def _probe_sync(self, spec) -> tuple:
+        """Digest (and cached payload, if any) for one spec — runs on
+        the digest thread because the first build of a (kernel, scale)
+        instance is expensive and must not stall the loop."""
+        digest = spec_digest(spec)
+        payload = None
+        if self._probe_cache is not None:
+            hit = self._probe_cache.get(cache_key(spec))
+            if hit is not None:
+                payload = outcome_payload(hit)
+        return digest, payload
+
+    async def _probe(self, spec) -> tuple:
+        fut = self._digest_futures.get(spec)
+        if fut is None:
+            fut = self._loop.run_in_executor(
+                self._digest_pool, self._probe_sync, spec)
+            self._digest_futures[spec] = fut
+            fut.add_done_callback(
+                lambda _f: self._digest_futures.pop(spec, None))
+        try:
+            return await asyncio.shield(fut)
+        except ServeError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - untrusted spec boundary
+            raise ServeError(
+                400, f"spec rejected: {type(exc).__name__}: {exc}") from None
+
+    def _retry_after(self) -> int:
+        """Seconds a 429'd client should wait: queue depth x the recent
+        per-cell wall clock, over the worker count."""
+        cells = sum(c for c, _ in self._batch_wall)
+        wall = sum(w for _, w in self._batch_wall)
+        avg = (wall / cells) if cells else 1.0
+        est = (len(self.queue) + 1) * avg / max(1, self.config.jobs)
+        return max(1, min(60, int(math.ceil(est))))
+
+    async def _submit(self, body: bytes) -> tuple:
+        self.stats.submissions += 1
+        if self.draining:
+            self.stats.rejected_draining += 1
+            raise ServeError(503, "server is draining; resubmit elsewhere "
+                             "or after restart")
+        try:
+            data = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            self.stats.rejected_invalid += 1
+            raise ServeError(400, f"body is not valid JSON: {exc}") from None
+        if isinstance(data, dict) and "specs" in data:
+            specs_json = data["specs"]
+            meta = data
+        elif isinstance(data, dict):
+            specs_json = [data]
+            meta = {}
+        else:
+            self.stats.rejected_invalid += 1
+            raise ServeError(400, "body must be a spec object or "
+                             "{'specs': [...]}")
+        if not isinstance(specs_json, list) or not specs_json:
+            self.stats.rejected_invalid += 1
+            raise ServeError(400, "'specs' must be a non-empty array")
+        if len(specs_json) > self.config.max_batch_specs:
+            self.stats.rejected_invalid += 1
+            raise ServeError(413, f"batch of {len(specs_json)} specs exceeds "
+                             f"the {self.config.max_batch_specs}-spec limit")
+        tenant = meta.get("tenant", self.config.default_tenant)
+        if not isinstance(tenant, str) or not tenant or len(tenant) > 64:
+            self.stats.rejected_invalid += 1
+            raise ServeError(400, "'tenant' must be a 1-64 char string")
+        priority = meta.get("priority", 0)
+        if not isinstance(priority, int) or isinstance(priority, bool) \
+                or abs(priority) > 1000:
+            self.stats.rejected_invalid += 1
+            raise ServeError(400, "'priority' must be an integer in "
+                             "[-1000, 1000]")
+        deadline_s = meta.get("deadline_s")
+        if deadline_s is not None and (
+                not isinstance(deadline_s, (int, float))
+                or isinstance(deadline_s, bool)
+                or not math.isfinite(deadline_s) or deadline_s <= 0):
+            self.stats.rejected_invalid += 1
+            raise ServeError(400, "'deadline_s' must be a positive number")
+        # validate everything before admitting anything: a malformed
+        # batch has no partial effect
+        try:
+            specs = [spec_from_json(obj) for obj in specs_json]
+        except ServeError:
+            self.stats.rejected_invalid += 1
+            raise
+
+        results = []
+        rejected = 0
+        for spec in specs:
+            digest, cached = await self._probe(spec)
+            if self.draining:           # drain began during the probe
+                self.stats.rejected_draining += 1
+                raise ServeError(503, "server is draining")
+            # no awaits below: attach/offer/register must be atomic
+            live = self.dedupe.attach(digest)
+            if live is not None:
+                self.stats.deduped += 1
+                results.append({"id": live.id, "digest": digest,
+                                "deduped": True})
+                continue
+            job = self._new_job(tenant, spec, digest, priority, deadline_s)
+            if cached is not None:
+                self.stats.cache_hits += 1
+                self._finish_job(job, cached, "done")
+                self.stats.completed -= 1  # not a serve-side completion
+                results.append({"id": job.id, "digest": digest,
+                                "cached": True})
+                continue
+            if not self.queue.offer(job):
+                rejected += 1
+                self.stats.rejected_full += 1
+                del self._jobs[job.id]
+                results.append({"digest": digest, "error": "queue full"})
+                continue
+            self.dedupe.register(job)
+            self.stats.accepted += 1
+            results.append({"id": job.id, "digest": digest})
+        status = 429 if rejected else 202
+        headers = {"Retry-After": str(self._retry_after())} if rejected \
+            else {}
+        return status, {"jobs": results, "rejected": rejected}, headers
+
+    # -- read side ---------------------------------------------------------
+
+    async def _job_status(self, job_id: str, query: dict) -> tuple:
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise ServeError(404, f"unknown job {job_id!r}")
+        wait = query.get("wait", [None])[0]
+        if wait is not None:
+            try:
+                wait_s = float(wait)
+            except ValueError:
+                raise ServeError(400, "'wait' must be a number of seconds") \
+                    from None
+            if wait_s > 0 and not job.done:
+                try:
+                    await asyncio.wait_for(
+                        job.done_event.wait(),
+                        min(wait_s, self.config.max_wait_s))
+                except asyncio.TimeoutError:
+                    pass
+        return 200, job.describe(), {}
+
+    def _stats_payload(self) -> dict:
+        cache = None
+        if self._probe_cache is not None:
+            cache = {
+                "root": str(self._probe_cache.root),
+                "probe": {"hits": self._probe_cache.hits,
+                          "misses": self._probe_cache.misses},
+                "execute": {"hits": self._exec_cache.hits,
+                            "misses": self._exec_cache.misses,
+                            "stores": self._exec_cache.stores,
+                            "corrupt": self._exec_cache.corrupt},
+            }
+        return {
+            "uptime_s": round(time.monotonic() - self._started, 3),
+            "draining": self.draining,
+            "queue": {"depth": len(self.queue), "limit": self.queue.limit,
+                      "tenants": self.queue.depths()},
+            "serve": self.stats.as_dict(),
+            "dedupe": {"in_flight": len(self.dedupe),
+                       "shared": self.dedupe.shared},
+            "engine": dataclasses.asdict(STATS),
+            "cache": cache,
+            "pool": {"workers": self.config.jobs,
+                     "batch_max": self.config.effective_batch_max},
+        }
+
+    # -- HTTP plumbing -----------------------------------------------------
+
+    async def _dispatch(self, method: str, path: str, query: dict,
+                        body: bytes) -> tuple:
+        if path == "/jobs" and method == "POST":
+            return await self._submit(body)
+        if path.startswith("/jobs/") and method == "GET":
+            return await self._job_status(path[len("/jobs/"):], query)
+        if path == "/healthz" and method == "GET":
+            return 200, {"ok": True, "draining": self.draining,
+                         "queued": len(self.queue)}, {}
+        if path == "/stats" and method == "GET":
+            return 200, self._stats_payload(), {}
+        if path in ("/jobs", "/healthz", "/stats") \
+                or path.startswith("/jobs/"):
+            raise ServeError(405, f"{method} not allowed on {path}")
+        raise ServeError(404, f"no such endpoint: {path}")
+
+    async def _read_request(self, reader) -> Optional[tuple]:
+        line = await reader.readline()
+        if not line:
+            return None
+        parts = line.decode("latin-1", "replace").split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+            raise ServeError(400, "malformed request line")
+        method, target = parts[0], parts[1]
+        headers = {}
+        while True:
+            hline = await reader.readline()
+            if hline in (b"\r\n", b"\n", b""):
+                break
+            if len(headers) >= 100 or len(hline) > 8192:
+                raise ServeError(400, "header section too large")
+            name, sep, value = hline.decode("latin-1", "replace") \
+                .partition(":")
+            if not sep:
+                raise ServeError(400, f"malformed header line {name!r}")
+            headers[name.strip().lower()] = value.strip()
+        raw_len = headers.get("content-length", "0") or "0"
+        try:
+            length = int(raw_len)
+        except ValueError:
+            raise ServeError(400, f"bad Content-Length {raw_len!r}") from None
+        if length < 0:
+            raise ServeError(400, "negative Content-Length")
+        if length > self.config.max_body_bytes:
+            raise ServeError(413, f"body of {length} bytes exceeds the "
+                             f"{self.config.max_body_bytes}-byte limit")
+        body = await reader.readexactly(length) if length else b""
+        split = urlsplit(target)
+        return method, split.path, parse_qs(split.query), headers, body
+
+    @staticmethod
+    async def _respond(writer, status: int, payload: dict, keep: bool,
+                       headers: Optional[dict] = None) -> None:
+        blob = json.dumps(payload, sort_keys=True).encode() + b"\n"
+        lines = [f"HTTP/1.1 {status} {_REASONS.get(status, 'Status')}",
+                 "Content-Type: application/json",
+                 f"Content-Length: {len(blob)}",
+                 f"Connection: {'keep-alive' if keep else 'close'}"]
+        for name, value in (headers or {}).items():
+            lines.append(f"{name}: {value}")
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode() + blob)
+        await writer.drain()
+
+    async def _handle_conn(self, reader, writer) -> None:
+        try:
+            while True:
+                try:
+                    request = await asyncio.wait_for(
+                        self._read_request(reader),
+                        timeout=self.config.idle_timeout_s)
+                except (asyncio.TimeoutError, asyncio.IncompleteReadError):
+                    break
+                except ServeError as err:
+                    # could not even parse the request: answer and close
+                    await self._respond(writer, err.status,
+                                        {"error": err.message}, keep=False)
+                    break
+                if request is None:
+                    break
+                method, path, query, headers, body = request
+                keep = headers.get("connection", "").lower() != "close"
+                try:
+                    status, payload, extra = await self._dispatch(
+                        method, path, query, body)
+                except ServeError as err:
+                    status, payload, extra = err.status, \
+                        {"error": err.message}, {}
+                except Exception as err:  # noqa: BLE001 - never leak
+                    self.stats.internal_errors += 1
+                    status, payload, extra = 500, \
+                        {"error": f"internal error: {type(err).__name__}"}, {}
+                await self._respond(writer, status, payload, keep,
+                                    headers=extra)
+                if not keep:
+                    break
+        except (ConnectionError, BrokenPipeError, OSError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (Exception, asyncio.CancelledError):
+                # peer already gone, or the loop is tearing down idle
+                # keep-alive tasks at shutdown — end the task quietly
+                pass
+
+
+# -- embedding and the CLI entry -------------------------------------------
+
+
+class ServerThread:
+    """Run a :class:`ReproServer` on a private loop in a daemon thread.
+
+    The embedding surface tests, the chaos oracle and the load bench
+    share: ``start()`` blocks until the port is bound (or raises the
+    startup error), ``drain()`` performs the same graceful drain
+    SIGTERM triggers, and the context-manager form guarantees cleanup.
+    """
+
+    def __init__(self, config: ServeConfig, pool_factory=None,
+                 cache_factory=None) -> None:
+        self.server = ReproServer(config, pool_factory=pool_factory,
+                                  cache_factory=cache_factory)
+        self._ready = threading.Event()
+        self._error: Optional[BaseException] = None
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="serve-loop")
+
+    def start(self) -> "ServerThread":
+        self._thread.start()
+        self._ready.wait(timeout=30)
+        if self._error is not None:
+            raise self._error
+        if not self._ready.is_set():
+            raise RuntimeError("server did not start within 30s")
+        return self
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._amain())
+        except BaseException as err:  # noqa: BLE001 - surfaced to start()
+            self._error = err
+            self._ready.set()
+
+    async def _amain(self) -> None:
+        try:
+            await self.server.start()
+        except BaseException as err:  # noqa: BLE001
+            self._error = err
+            self._ready.set()
+            return
+        self._loop = asyncio.get_running_loop()
+        self._ready.set()
+        await self.server.stopped.wait()
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.server.host}:{self.server.port}"
+
+    def drain(self, timeout: float = 120.0) -> None:
+        if self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self.server.begin_drain)
+            self._thread.join(timeout)
+            if self._thread.is_alive():
+                raise RuntimeError("server drain did not finish in time")
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.drain()
+
+
+async def _serve_async(config: ServeConfig) -> int:
+    server = ReproServer(config)
+    await server.start()
+    server.install_signal_handlers()
+    print(f"serve: listening on http://{server.host}:{server.port} "
+          f"(jobs={config.jobs} queue={config.queue_limit} "
+          f"cache={config.cache_dir or 'off'})", file=sys.stderr, flush=True)
+    await server.stopped.wait()
+    return 0
+
+
+def serve_main(config: ServeConfig) -> int:
+    """Run the server until a drain completes; exits 0 on SIGTERM."""
+    try:
+        return asyncio.run(_serve_async(config))
+    except KeyboardInterrupt:
+        # signal handler not installable (e.g. non-main thread): still
+        # exit cleanly rather than traceback
+        return 0

@@ -105,3 +105,57 @@ def test_main_writes_output_and_gates(tmp_path, monkeypatch, capsys):
     rc = bench.main(quick=True, output=None, check_against=str(out),
                     kernels=["streams.copy"])
     assert rc == 1
+
+
+def test_interrupt_keeps_partial_document(monkeypatch):
+    real = bench._run_once
+
+    def interrupting(name, scale):
+        if name == "streams.add":
+            raise KeyboardInterrupt
+        return real(name, scale)
+
+    monkeypatch.setattr(bench, "_run_once", interrupting)
+    progress = io.StringIO()
+    doc = bench.run_benchmarks(
+        quick=True, progress=progress,
+        kernels=["streams.copy", "streams.add", "streams.triad"])
+    assert doc["interrupted"] is True
+    assert "streams.copy" in doc["workloads"]
+    assert doc["incomplete"] == {
+        "streams.add": "interrupted (Ctrl-C)",
+        "streams.triad": "interrupted (Ctrl-C)"}
+    assert "interrupted" in progress.getvalue()
+
+
+def test_interrupted_run_never_passes_the_gate(tmp_path, monkeypatch):
+    # first take an honest quick baseline
+    out = tmp_path / "baseline.json"
+    assert bench.main(quick=True, output=str(out),
+                      kernels=["streams.copy"]) == 0
+
+    def interrupting(name, scale):
+        raise KeyboardInterrupt
+
+    monkeypatch.setattr(bench, "_run_once", interrupting)
+    partial = tmp_path / "partial.json"
+    rc = bench.main(quick=True, output=str(partial),
+                    check_against=str(out), kernels=["streams.copy"])
+    # the gate rejects the incomplete run (1) before the interrupt
+    # status (130) is consulted; either way the exit is non-zero
+    assert rc in (1, 130)
+    doc = json.loads(partial.read_text())
+    assert doc["interrupted"] is True
+    assert doc["workloads"] == {}
+
+
+def test_interrupt_exit_status_is_130(tmp_path, monkeypatch):
+    def interrupting(name, scale):
+        raise KeyboardInterrupt
+
+    monkeypatch.setattr(bench, "_run_once", interrupting)
+    out = tmp_path / "partial.json"
+    rc = bench.main(quick=True, output=str(out),
+                    kernels=["streams.copy"])
+    assert rc == 130
+    assert json.loads(out.read_text())["interrupted"] is True

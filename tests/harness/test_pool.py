@@ -78,6 +78,12 @@ def run_count(marker_dir: Path, name: str) -> int:
     return len(list(Path(marker_dir).glob(f"{name}.*")))
 
 
+def run_cell_or_interrupt(cell: Cell):
+    if cell.name == "ctrl-c":
+        raise KeyboardInterrupt
+    return run_cell(cell)
+
+
 @pytest.fixture(autouse=True)
 def _reset_stats():
     STATS.reset()
@@ -119,6 +125,62 @@ class TestBackends:
     def test_policy_rejects_negative_retries(self):
         with pytest.raises(ValueError, match="retries"):
             PoolPolicy(retries=-1)
+
+
+class TestPolicyValidation:
+    """Every budget knob rejects nonsense at construction, with a
+    message that names the field and the ``None`` escape hatch —
+    a serve config typo must fail the ``serve`` command at startup,
+    not hang a grid at 2am."""
+
+    @pytest.mark.parametrize("bad", [0, -1, -0.5])
+    def test_rejects_nonpositive_timeout(self, bad):
+        with pytest.raises(ValueError, match="timeout must be positive"):
+            PoolPolicy(timeout=bad)
+
+    @pytest.mark.parametrize("bad", [0, -2])
+    def test_rejects_nonpositive_deadline(self, bad):
+        with pytest.raises(ValueError, match="deadline must be positive"):
+            PoolPolicy(deadline=bad)
+
+    def test_rejects_nonpositive_tick(self):
+        with pytest.raises(ValueError, match="tick must be positive"):
+            PoolPolicy(tick=0)
+
+    def test_messages_name_the_none_escape_hatch(self):
+        with pytest.raises(ValueError, match="use None"):
+            PoolPolicy(timeout=-3)
+        with pytest.raises(ValueError, match="use None"):
+            PoolPolicy(deadline=-3)
+
+    def test_none_budgets_mean_unbounded(self):
+        policy = PoolPolicy(timeout=None, deadline=None)
+        assert policy.timeout is None and policy.deadline is None
+
+
+class TestKeyboardInterrupt:
+    def test_serial_grid_keeps_completed_and_degrades_the_rest(self):
+        cells = [Cell("a"), Cell("ctrl-c"), Cell("z")]
+        out = run_grid(cells, run_cell_or_interrupt, SerialPool(),
+                       FAST, STATS)
+        assert out[0].name == "a" and not out[0].failed
+        for degraded in out[1:]:
+            assert degraded.failed
+            assert degraded.error_type == "Interrupted"
+            assert "Ctrl-C" in degraded.message
+        assert STATS.interrupted == 2
+
+    def test_follow_up_grids_short_circuit_after_interrupt(self):
+        run_grid([Cell("ctrl-c")], run_cell_or_interrupt, SerialPool(),
+                 FAST, STATS)
+        assert STATS.interrupted == 1
+        # a later grid of the same command starts no new work
+        t0 = time.monotonic()
+        out = run_grid([Cell("slow", sleep_s=5.0)], run_cell,
+                       SerialPool(), FAST, STATS)
+        assert time.monotonic() - t0 < 1.0
+        assert out[0].failed and out[0].error_type == "Interrupted"
+        assert STATS.interrupted == 2
 
 
 class TestRetries:

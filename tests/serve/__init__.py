@@ -1,0 +1,1 @@
+"""Tests for the simulation job server (repro.serve)."""

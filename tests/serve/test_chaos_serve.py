@@ -1,0 +1,94 @@
+"""The serve-layer chaos oracle and its CLI gate."""
+
+import pytest
+
+from repro.cli import main
+from repro.faults.chaos_serve import ServeChaosResult, _spec_json
+from repro.harness.engine import STATS, ExperimentSpec
+from repro.serve.jobs import spec_from_json
+
+
+@pytest.fixture(autouse=True)
+def _reset_stats():
+    STATS.reset()
+    yield
+    STATS.reset()
+
+
+class TestSpecJsonRoundTrip:
+    def test_oracle_json_reproduces_the_spec_exactly(self):
+        # admission-side digests equal oracle-side digests only if the
+        # JSON round-trips to an identical (hashable) spec
+        spec = ExperimentSpec("streams.copy", "T", 0.05,
+                              overrides=(("maf_entries", 16),),
+                              check=True, warm=False)
+        assert spec_from_json(_spec_json(spec)) == spec
+
+
+def _passing_kwargs():
+    return dict(
+        suite="table4", seed=1, cells=6, jobs=2, duplicates=3,
+        queue_limit=4, identical=True, mismatched=0, accepted=6,
+        deduped=9, cached=3, rejected_429=5, retry_after_ok=True,
+        rejections_expected=True, malformed_ok=7, malformed_total=7,
+        exec_misses=6, exec_stores=6, quarantined=0, tmp_debris=0,
+        corrupt=0, cache_intact=True, drain_exit=0, drain_intact=True,
+        drain_lost=0)
+
+
+class TestServeChaosResult:
+    def test_passing_drill_is_ok(self):
+        assert ServeChaosResult(**_passing_kwargs()).ok
+
+    @pytest.mark.parametrize("field, value", [
+        ("identical", False),
+        ("exec_misses", 7),            # a duplicate simulated twice
+        ("exec_stores", 5),            # a result silently dropped
+        ("quarantined", 1),
+        ("tmp_debris", 1),
+        ("corrupt", 1),
+        ("cache_intact", False),
+        ("malformed_ok", 6),           # one malformed body got through
+        ("rejected_429", 0),           # full queue never said no
+        ("retry_after_ok", False),
+        ("drain_exit", 1),
+        ("drain_intact", False),
+        ("drain_lost", 2),
+    ])
+    def test_each_violation_fails_the_gate(self, field, value):
+        kwargs = {**_passing_kwargs(), field: value}
+        result = ServeChaosResult(**kwargs)
+        assert not result.ok, field
+        assert "FAILED" in result.summary()
+
+    def test_429s_not_required_when_hang_was_suppressed(self):
+        kwargs = {**_passing_kwargs(), "rejections_expected": False,
+                  "rejected_429": 0}
+        assert ServeChaosResult(**kwargs).ok
+
+    def test_skipped_drain_drill_is_not_a_failure(self):
+        kwargs = {**_passing_kwargs(), "drain_exit": None,
+                  "drain_intact": None}
+        assert ServeChaosResult(**kwargs).ok
+
+    def test_summary_carries_the_accounting(self):
+        text = ServeChaosResult(**_passing_kwargs()).summary()
+        assert "exactly-once" in text
+        assert "drain drill" in text
+        assert "OK" in text
+
+
+class TestServeChaosGate:
+    """The CI acceptance gate, driven through the real CLI path."""
+
+    def test_cli_gate_passes_and_writes_log(self, tmp_path, capsys):
+        log = tmp_path / "chaos-serve.txt"
+        rc = main(["chaos", "--layer", "serve", "--seed", "1234",
+                   "--quick", "--jobs", "2", "--timeout", "3",
+                   "--log", str(log)])
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert "payload bytes: identical" in out
+        assert "exactly-once" in out
+        assert log.read_text().strip().endswith(
+            "serve-layer faults are invisible in the payload bytes")

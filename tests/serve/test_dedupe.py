@@ -1,0 +1,58 @@
+"""The in-flight dedupe window: attach, register, resolve."""
+
+import pytest
+
+from repro.harness.engine import ExperimentSpec
+from repro.serve.dedupe import InFlightDedupe
+from repro.serve.jobs import Job
+
+
+def job(jid, digest):
+    return Job(id=jid, tenant="t", digest=digest,
+               spec=ExperimentSpec("streams.copy", "T", 0.02))
+
+
+class TestInFlightDedupe:
+    def test_miss_then_register_then_hit(self):
+        d = InFlightDedupe()
+        assert d.attach("abc") is None
+        first = job("j1", "abc")
+        d.register(first)
+        assert d.attach("abc") is first
+        assert d.shared == 1
+        assert len(d) == 1
+
+    def test_resolve_reopens_the_digest(self):
+        d = InFlightDedupe()
+        first = job("j1", "abc")
+        d.register(first)
+        d.resolve(first)
+        assert d.attach("abc") is None
+        assert len(d) == 0
+
+    def test_double_register_is_a_bug(self):
+        d = InFlightDedupe()
+        d.register(job("j1", "abc"))
+        with pytest.raises(AssertionError):
+            d.register(job("j2", "abc"))
+
+    def test_resolve_tolerates_stale_and_unknown_jobs(self):
+        d = InFlightDedupe()
+        live = job("j1", "abc")
+        d.register(live)
+        d.resolve(job("j0", "abc"))        # stale twin: must not evict
+        assert d.attach("abc") is live
+        d.resolve(job("jx", "nope"))       # never registered: no-op
+        d.resolve(live)
+        d.resolve(live)                    # double resolve: no-op
+
+    def test_distinct_digests_are_independent(self):
+        d = InFlightDedupe()
+        a, b = job("ja", "aa"), job("jb", "bb")
+        d.register(a)
+        d.register(b)
+        assert d.attach("aa") is a
+        assert d.attach("bb") is b
+        d.resolve(a)
+        assert d.attach("aa") is None
+        assert d.attach("bb") is b

@@ -1,0 +1,171 @@
+"""Job model, spec validation and the bounded fair queue."""
+
+import math
+
+import pytest
+
+from repro.harness.engine import CellFailure, ExperimentSpec, execute
+from repro.serve.jobs import (
+    Job,
+    JobQueue,
+    ServeError,
+    outcome_payload,
+    spec_from_json,
+)
+
+
+def make_job(jid, tenant="t", kernel="streams.copy", priority=0,
+             deadline=None):
+    spec = ExperimentSpec(kernel=kernel, config="T", scale=0.02)
+    return Job(id=jid, tenant=tenant, spec=spec, digest=f"d-{jid}",
+               priority=priority, deadline=deadline)
+
+
+class TestSpecFromJson:
+    def test_minimal_spec_round_trips(self):
+        spec = spec_from_json({"kernel": "streams.copy"})
+        assert spec == ExperimentSpec(kernel="streams.copy")
+
+    def test_full_spec_round_trips(self):
+        obj = {"kernel": "streams.copy", "config": "EV8", "scale": 0.5,
+               "overrides": {"maf_entries": 16}, "check": False,
+               "warm": False, "mode": "auto"}
+        spec = spec_from_json(obj)
+        assert spec.config == "EV8"
+        assert spec.scale == 0.5
+        assert spec.overrides == (("maf_entries", 16),)
+        assert not spec.check and not spec.warm
+
+    @pytest.mark.parametrize("obj, fragment", [
+        ("not a dict", "JSON object"),
+        ([1, 2], "JSON object"),
+        ({}, "missing the required 'kernel'"),
+        ({"kernel": 7}, "'kernel' must be a string"),
+        ({"kernel": "streams.copy", "frobnicate": 1}, "unknown spec field"),
+        ({"kernel": "streams.copy", "scale": 0}, "positive finite"),
+        ({"kernel": "streams.copy", "scale": -2}, "positive finite"),
+        ({"kernel": "streams.copy", "scale": True}, "positive finite"),
+        ({"kernel": "streams.copy", "scale": float("nan")},
+         "positive finite"),
+        ({"kernel": "streams.copy", "overrides": [1]}, "'overrides'"),
+        ({"kernel": "streams.copy", "check": "yes"}, "boolean"),
+        ({"kernel": "streams.copy", "fault": ["site"]}, "pair"),
+    ])
+    def test_rejections_are_400s(self, obj, fragment):
+        with pytest.raises(ServeError) as err:
+            spec_from_json(obj)
+        assert err.value.status == 400
+        assert fragment in err.value.message
+
+    def test_unknown_kernel_suggests_spelling(self):
+        with pytest.raises(ServeError) as err:
+            spec_from_json({"kernel": "strems.copy"})
+        assert err.value.status == 400
+        assert "streams.copy" in err.value.message
+
+    def test_nan_scale_never_reaches_the_spec(self):
+        for bad in (float("inf"), -float("inf")):
+            with pytest.raises(ServeError):
+                spec_from_json({"kernel": "streams.copy", "scale": bad})
+
+
+class TestOutcomePayload:
+    def test_success_payload_is_stable_and_json_safe(self):
+        import json
+
+        outcome = execute(ExperimentSpec("streams.copy", "T", 0.02))
+        a = json.dumps(outcome_payload(outcome), sort_keys=True)
+        b = json.dumps(outcome_payload(outcome), sort_keys=True)
+        assert a == b
+        payload = outcome_payload(outcome)
+        assert payload["failed"] is False
+        assert payload["kernel"] == "streams.copy"
+        assert payload["cycles"] > 0
+        assert payload["verified"] is True
+
+    def test_failure_payload_keeps_the_cellfailure_shape(self):
+        failure = CellFailure(
+            spec=ExperimentSpec("streams.copy", "T", 0.02),
+            error_type="Timeout", message="budget exceeded",
+            traceback_text="tb", attempts=2)
+        payload = outcome_payload(failure)
+        assert payload == {
+            "failed": True, "kernel": "streams.copy", "config": "T",
+            "error_type": "Timeout", "message": "budget exceeded",
+            "trap_pc": None, "attempts": 2}
+
+
+class TestJobQueue:
+    def test_rejects_nonpositive_limit(self):
+        with pytest.raises(ValueError, match="positive"):
+            JobQueue(0)
+
+    def test_bounded_offer(self):
+        q = JobQueue(2)
+        assert q.offer(make_job("a"))
+        assert q.offer(make_job("b"))
+        assert not q.offer(make_job("c"))
+        assert len(q) == 2
+
+    def test_fifo_within_one_tenant(self):
+        q = JobQueue(8)
+        for jid in ("a", "b", "c"):
+            q.offer(make_job(jid))
+        assert [j.id for j in q.take_batch(8)] == ["a", "b", "c"]
+        assert len(q) == 0
+
+    def test_priority_order_within_a_tenant(self):
+        q = JobQueue(8)
+        q.offer(make_job("low", priority=-5))
+        q.offer(make_job("high", priority=5))
+        q.offer(make_job("mid", priority=0))
+        assert [j.id for j in q.take_batch(8)] == ["high", "mid", "low"]
+
+    def test_round_robin_across_tenants(self):
+        # one tenant's sweep cannot starve another's single request
+        q = JobQueue(16)
+        for i in range(4):
+            q.offer(make_job(f"big{i}", tenant="big"))
+        q.offer(make_job("small0", tenant="small"))
+        batch = q.take_batch(3)
+        assert {j.tenant for j in batch} == {"big", "small"}
+
+    def test_take_batch_timeout_returns_empty(self):
+        import time
+
+        q = JobQueue(2)
+        t0 = time.monotonic()
+        assert q.take_batch(4, timeout=0.05) == []
+        assert time.monotonic() - t0 < 1.0
+
+    def test_remove_expired_pops_only_past_deadlines(self):
+        q = JobQueue(8)
+        q.offer(make_job("stale", deadline=10.0))
+        q.offer(make_job("fresh", deadline=1000.0))
+        q.offer(make_job("eternal"))
+        expired = q.remove_expired(now=100.0)
+        assert [j.id for j in expired] == ["stale"]
+        assert len(q) == 2
+        assert {j.id for j in q.take_batch(8)} == {"fresh", "eternal"}
+
+    def test_depths_reports_per_tenant(self):
+        q = JobQueue(8)
+        q.offer(make_job("a", tenant="x"))
+        q.offer(make_job("b", tenant="x"))
+        q.offer(make_job("c", tenant="y"))
+        assert q.depths() == {"x": 2, "y": 1}
+
+
+class TestJobModel:
+    def test_done_states(self):
+        job = make_job("j")
+        assert not job.done
+        for state in ("done", "failed", "expired"):
+            job.state = state
+            assert job.done
+
+    def test_describe_includes_payload_only_when_present(self):
+        job = make_job("j")
+        assert "result" not in job.describe()
+        job.payload = {"failed": False}
+        assert job.describe()["result"] == {"failed": False}

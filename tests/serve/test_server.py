@@ -1,0 +1,227 @@
+"""The live server: admission, dedupe, degradation, drain — in-process.
+
+Every test runs a real :class:`ServerThread` (real sockets, real HTTP)
+with a **gated** serial pool injected where determinism needs it: the
+gate wedges the executor thread at a known point so tests can observe
+the in-flight dedupe window, a genuinely full queue and the draining
+state without racing the simulator.
+"""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.harness.engine import STATS, ExperimentSpec, execute
+from repro.harness.pool import SerialPool
+from repro.serve.client import ServeClient
+from repro.serve.jobs import outcome_payload
+from repro.serve.server import ServeConfig, ServerThread
+
+SCALE = 0.02
+COPY = {"kernel": "streams.copy", "config": "T", "scale": SCALE}
+ADD = {"kernel": "streams.add", "config": "T", "scale": SCALE}
+TRIAD = {"kernel": "streams.triad", "config": "T", "scale": SCALE}
+
+
+@pytest.fixture(autouse=True)
+def _reset_stats():
+    STATS.reset()
+    yield
+    STATS.reset()
+
+
+class GatedSerialPool(SerialPool):
+    """A serial pool whose ``submit`` blocks until the gate opens —
+    pins the executor thread mid-batch on demand."""
+
+    def __init__(self, gate: threading.Event) -> None:
+        super().__init__()
+        self.gate = gate
+
+    def submit(self, fn, *args):
+        self.gate.wait(timeout=30)
+        return super().submit(fn, *args)
+
+
+def make_server(tmp_path, gate=None, **overrides):
+    kwargs = dict(port=0, jobs=1, batch_max=1,
+                  cache_dir=str(tmp_path / "cache"))
+    kwargs.update(overrides)
+    factory = (lambda: GatedSerialPool(gate)) if gate is not None else None
+    return ServerThread(ServeConfig(**kwargs), pool_factory=factory)
+
+
+def client_of(st: ServerThread) -> ServeClient:
+    return ServeClient(st.server.host, st.server.port)
+
+
+class TestRoundTrip:
+    def test_result_matches_direct_execute(self, tmp_path):
+        reference = outcome_payload(
+            execute(ExperimentSpec("streams.copy", "T", SCALE)))
+        with make_server(tmp_path) as st, client_of(st) as client:
+            entry = client.submit(COPY)
+            payload = client.wait_result(entry["id"], timeout=120)
+        assert json.dumps(payload, sort_keys=True) \
+            == json.dumps(reference, sort_keys=True)
+
+    def test_second_submission_is_a_cache_hit(self, tmp_path):
+        with make_server(tmp_path) as st, client_of(st) as client:
+            first = client.submit(COPY)
+            client.wait_result(first["id"], timeout=120)
+            second = client.submit(COPY)
+            assert second.get("cached") is True
+            assert second["digest"] == first["digest"]
+            # a cached admission is complete immediately
+            assert client.job(second["id"])["state"] == "done"
+
+    def test_healthz_and_stats_shape(self, tmp_path):
+        with make_server(tmp_path) as st, client_of(st) as client:
+            health = client.healthz()
+            assert health["ok"] is True and health["draining"] is False
+            stats = client.stats()
+            assert stats["queue"]["limit"] == 256
+            assert "engine" in stats and "serve" in stats
+            assert stats["cache"]["execute"]["stores"] == 0
+
+
+class TestDedupe:
+    def test_concurrent_duplicates_share_one_job(self, tmp_path):
+        gate = threading.Event()
+        with make_server(tmp_path, gate=gate) as st, \
+                client_of(st) as client:
+            first = client.submit(COPY)
+            dup = client.submit(COPY)          # executor is gated: live
+            assert dup.get("deduped") is True
+            assert dup["id"] == first["id"]
+            gate.set()
+            payload = client.wait_result(first["id"], timeout=120)
+            assert payload["failed"] is False
+            stats = client.stats()
+            assert stats["serve"]["deduped"] == 1
+            assert stats["cache"]["execute"]["stores"] == 1
+
+
+class TestAdmissionControl:
+    def test_full_queue_answers_429_with_retry_after(self, tmp_path):
+        gate = threading.Event()
+        with make_server(tmp_path, gate=gate, queue_limit=1) as st, \
+                client_of(st) as client:
+            client.submit(COPY)                # taken by the executor
+            taken = False
+            for _ in range(100):               # until the batch is taken
+                if client.healthz()["queued"] == 0:
+                    taken = True
+                    break
+                time.sleep(0.02)
+            assert taken
+            client.submit(ADD)                 # fills the 1-slot queue
+            status, headers, payload = client.raw_request(
+                "POST", "/jobs", json.dumps(TRIAD).encode())
+            assert status == 429
+            assert int(headers["Retry-After"]) >= 1
+            assert payload["rejected"] == 1
+            gate.set()
+
+    def test_batch_envelope_and_oversized_batch(self, tmp_path):
+        with make_server(tmp_path, max_batch_specs=2) as st, \
+                client_of(st) as client:
+            response = client.submit_batch([COPY, ADD])
+            assert len(response["jobs"]) == 2
+            status, _h, _p = client.raw_request(
+                "POST", "/jobs",
+                json.dumps({"specs": [COPY, ADD, TRIAD]}).encode())
+            assert status == 413
+
+    def test_invalid_tenant_priority_deadline(self, tmp_path):
+        with make_server(tmp_path) as st, client_of(st) as client:
+            for envelope in (
+                    {"specs": [COPY], "tenant": ""},
+                    {"specs": [COPY], "tenant": 7},
+                    {"specs": [COPY], "priority": "high"},
+                    {"specs": [COPY], "priority": True},
+                    {"specs": [COPY], "deadline_s": -1},
+                    {"specs": [COPY], "deadline_s": "soon"}):
+                status, _h, _p = client.raw_request(
+                    "POST", "/jobs", json.dumps(envelope).encode())
+                assert status == 400, envelope
+
+
+class TestMalformedLoad:
+    @pytest.mark.parametrize("body", [
+        b"{definitely not json",
+        json.dumps({"kernel": "strems.copy"}).encode(),
+        json.dumps({"kernel": "streams.copy", "scale": -1}).encode(),
+        json.dumps({"kernel": "streams.copy", "config": "ZZZ"}).encode(),
+        json.dumps([1, 2, 3]).encode(),
+        json.dumps({"specs": []}).encode(),
+    ])
+    def test_each_400s_and_server_stays_up(self, tmp_path, body):
+        with make_server(tmp_path) as st, client_of(st) as client:
+            status, _h, payload = client.raw_request("POST", "/jobs", body)
+            assert status == 400
+            assert "error" in payload
+            assert client.healthz()["ok"] is True
+
+    def test_unknown_endpoint_and_method(self, tmp_path):
+        with make_server(tmp_path) as st, client_of(st) as client:
+            status, _h, _p = client.raw_request("GET", "/nope")
+            assert status == 404
+            status, _h, _p = client.raw_request("DELETE", "/jobs")
+            assert status == 405
+            status, _h, _p = client.raw_request("GET", "/jobs/j999")
+            assert status == 404
+
+    def test_oversized_body_is_413(self, tmp_path):
+        with make_server(tmp_path, max_body_bytes=64) as st, \
+                client_of(st) as client:
+            status, _h, _p = client.raw_request(
+                "POST", "/jobs", b"x" * 128)
+            assert status == 413
+
+
+class TestDeadlines:
+    def test_queued_job_expires_into_structured_timeout(self, tmp_path):
+        gate = threading.Event()
+        with make_server(tmp_path, gate=gate) as st, \
+                client_of(st) as client:
+            client.submit(COPY)                # wedges the executor
+            response = client.submit_batch([ADD], deadline_s=0.05)
+            job_id = response["jobs"][0]["id"]
+            payload = client.wait_result(job_id, timeout=30)
+            assert payload["failed"] is True
+            assert payload["error_type"] == "Timeout"
+            assert "deadline" in payload["message"]
+            assert client.job(job_id)["state"] == "expired"
+            gate.set()
+
+
+class TestDrain:
+    def test_drain_finishes_accepted_work_then_rejects_new(self, tmp_path):
+        gate = threading.Event()
+        st = make_server(tmp_path, gate=gate).start()
+        try:
+            with client_of(st) as client:
+                client.submit(COPY)            # accepted, then wedged
+                st._loop.call_soon_threadsafe(st.server.begin_drain)
+                draining = False
+                for _ in range(200):
+                    if client.healthz()["draining"]:
+                        draining = True
+                        break
+                    time.sleep(0.02)
+                assert draining
+                status, _h, _p = client.raw_request(
+                    "POST", "/jobs", json.dumps(ADD).encode())
+                assert status == 503
+        finally:
+            gate.set()                         # let the wedged batch run
+            st.drain()
+        # the accepted job's result survived to the cache
+        from repro.harness.engine import ResultCache, cache_key
+
+        cache = ResultCache(tmp_path / "cache")
+        spec = ExperimentSpec("streams.copy", "T", SCALE)
+        assert cache.get(cache_key(spec)) is not None

@@ -98,6 +98,36 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["chaos", "--layer", "network"])
 
+    def test_chaos_serve_layer_parses(self):
+        args = build_parser().parse_args(
+            ["chaos", "--layer", "serve", "--seed", "1234", "--quick",
+             "--jobs", "2", "--timeout", "3"])
+        assert args.layer == "serve" and args.seed == 1234
+
+    def test_list_suites_takes_format(self):
+        assert build_parser().parse_args(["list-suites"]).format == "text"
+        args = build_parser().parse_args(["list-suites", "--format", "json"])
+        assert args.format == "json"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["list-suites", "--format", "yaml"])
+
+    def test_serve_registered_with_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.host == "127.0.0.1" and args.port == 8537
+        assert args.jobs == 0 and args.queue_limit == 256
+        assert args.timeout is None and not args.no_cache
+
+    def test_serve_takes_the_pool_budget_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--jobs", "2", "--queue-limit", "8",
+             "--batch-max", "4", "--timeout", "5", "--deadline", "60",
+             "--retries", "0", "--no-cache"])
+        assert args.port == 0 and args.jobs == 2
+        assert args.queue_limit == 8 and args.batch_max == 4
+        assert args.timeout == 5.0 and args.deadline == 60.0
+        assert args.retries == 0 and args.no_cache
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -131,6 +161,21 @@ class TestCommands:
         for family in ("default", "baselines", "scaling", "pump"):
             assert family in out
 
+    def test_list_suites_json_is_machine_readable(self, capsys):
+        assert main(["list-suites", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        suites = {s["name"] for s in payload["suites"]}
+        assert {"tarantula", "figures", "table4", "rivec"} <= suites
+        families = {f["name"] for f in payload["families"]}
+        assert {"default", "baselines", "scaling", "pump"} <= families
+        by_name = {s["name"]: s for s in payload["suites"]}
+        assert "streams.copy" in by_name["table4"]["workloads"]
+        default = next(f for f in payload["families"]
+                       if f["name"] == "default")
+        for inst in default["instances"]:
+            assert set(inst) == {"name", "config", "scale_factor",
+                                 "overrides", "apply_l2_hint"}
+
     def test_report_unknown_suite_exits_two_with_suggestion(self, capsys):
         with pytest.raises(SystemExit) as exc:
             main(["report", "--suite", "rivecc", "--no-cache"])
@@ -150,6 +195,43 @@ class TestCommands:
         assert main(["asm", str(src)]) == 0
         out = capsys.readouterr().out
         assert "vvaddt" in out and "2 instructions" in out
+
+
+class TestInterruptExitCode:
+    """Ctrl-C anywhere in a command exits 130 with a partial-result
+    note, instead of a stack trace."""
+
+    @pytest.fixture(autouse=True)
+    def _reset_stats(self):
+        from repro.harness.engine import STATS
+
+        STATS.reset()
+        yield
+        STATS.reset()
+
+    def test_keyboard_interrupt_exits_130(self, monkeypatch, capsys):
+        def boom(args):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr("repro.cli._cmd_list", boom)
+        assert main(["list"]) == 130
+        assert "interrupted" in capsys.readouterr().err
+
+    def test_absorbed_interrupt_still_exits_130(self, monkeypatch, capsys):
+        # run_grid converts Ctrl-C into Interrupted failures and returns
+        # normally; the CLI must still report the 130 exit code
+        def absorbed(args):
+            from repro.harness.engine import STATS
+
+            STATS.interrupted = 2
+            return 0
+
+        monkeypatch.setattr("repro.cli._cmd_list", absorbed)
+        assert main(["list"]) == 130
+        assert "interrupted" in capsys.readouterr().err
+
+    def test_clean_run_is_untouched(self, capsys):
+        assert main(["list"]) == 0
 
 
 class TestLint:
