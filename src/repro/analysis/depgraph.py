@@ -116,6 +116,67 @@ def _resources(eff) -> tuple[list[str], list[str]]:
     return reads, writes
 
 
+@dataclass(frozen=True)
+class BlockDataflow:
+    """Register dataflow of one straight-line block treated as a loop body.
+
+    Built by the trace JIT (:mod:`repro.jit.compiler`) with the same
+    last-writer walk as :func:`build_dep_graph`, but classifying each
+    *read* of the block rather than materializing edges.  For slot ``m``
+    reading register ``x``, ``vreg_kinds[m][x]`` (or ``sreg_kinds``) is:
+
+    * ``"intra"`` — produced by an earlier slot of the same iteration
+      (an ordinary RAW edge inside the block);
+    * ``"invariant"`` — no slot of the block writes it, so when the
+      block repeats the value is loop-invariant;
+    * ``"carried"`` — written only by this slot or a later one, so when
+      the block repeats the read observes the *previous iteration*
+      (a loop-carried dependence — an accumulator when reader == writer).
+
+    ``v31``/``r31`` are architectural zero and never appear.
+    """
+
+    vreg_kinds: tuple        # per slot: dict reg -> kind
+    sreg_kinds: tuple
+    vreg_writers: dict       # reg -> tuple of writing slots
+    sreg_writers: dict
+
+
+def block_dataflow(instructions) -> BlockDataflow:
+    """Classify every register read of a straight-line block."""
+    effs = [effects_of(ins) for ins in instructions]
+    vwriters: dict[int, list] = {}
+    swriters: dict[int, list] = {}
+    for m, eff in enumerate(effs):
+        for reg in eff.vreg_writes:
+            vwriters.setdefault(reg, []).append(m)
+        for reg in eff.sreg_writes:
+            swriters.setdefault(reg, []).append(m)
+
+    def classify(reg, seen_writers, all_writers):
+        if reg in seen_writers:
+            return "intra"
+        if reg in all_writers:
+            return "carried"
+        return "invariant"
+
+    vkinds = []
+    skinds = []
+    vseen: set = set()
+    sseen: set = set()
+    for eff in effs:
+        vkinds.append({reg: classify(reg, vseen, vwriters)
+                       for reg in eff.vreg_reads})
+        skinds.append({reg: classify(reg, sseen, swriters)
+                       for reg in eff.sreg_reads})
+        vseen.update(eff.vreg_writes)
+        sseen.update(eff.sreg_writes)
+    return BlockDataflow(
+        vreg_kinds=tuple(vkinds), sreg_kinds=tuple(skinds),
+        vreg_writers={r: tuple(s) for r, s in vwriters.items()},
+        sreg_writers={r: tuple(s) for r, s in swriters.items()})
+
+
 def build_dep_graph(program: Program, *, memory: bool = False) -> DepGraph:
     """Build the dependence graph of ``program``.
 

@@ -502,6 +502,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Tarantula (ISCA 2002) reproduction harness")
+    parser.add_argument("--jit", dest="jit", action="store_true",
+                        default=None,
+                        help="force the trace JIT on (overrides REPRO_JIT; "
+                        "docs/PERF.md)")
+    parser.add_argument("--no-jit", dest="jit", action="store_false",
+                        help="force the trace JIT off — every command "
+                        "produces byte-identical output either way")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="benchmarks and machines").set_defaults(
@@ -702,6 +709,9 @@ def _default_cache_dir():
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    from repro import jit
+
+    jit.set_enabled(args.jit)
     from repro.harness.engine import STATS
 
     try:

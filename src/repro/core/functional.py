@@ -194,7 +194,21 @@ class FunctionalSimulator:
         return None
 
     def run(self, program: Program) -> OperationCounts:
-        """Execute a whole program; returns the cumulative counts."""
+        """Execute a whole program; returns the cumulative counts.
+
+        Hot regions run through the trace JIT (:mod:`repro.jit`) unless
+        it is disabled or a mode that observes per-instruction effects
+        is active (address tracing, tail poisoning) — those fall back to
+        the reference interpreter, as does any region the JIT cannot
+        prove safe to batch.
+        """
+        if self.address_trace is None and not self.poison_tail:
+            from repro import jit
+
+            if jit.enabled():
+                from repro.jit.runtime import run_functional
+
+                return run_functional(self, program)
         for instr in program:
             self.step(instr)
         return self.counts

@@ -96,6 +96,11 @@ class TarantulaProcessor:
         # address order behind it (Alpha is weakly ordered between
         # independent locations, but same-address RAW/WAW is real).
         self._last_store: dict[int, float] = {}
+        #: cache-line addresses covered by _last_store (a superset —
+        #: rebuilt only on prune), so an access can rule out aliasing
+        #: with one sweep over its <=17 lines instead of its <=128
+        #: quadword addresses
+        self._store_lines: set[int] = set()
         self._store_watermark = 0.0
         #: amortized pruning bound for _last_store; doubles when a prune
         #: reclaims less than half the map, so a large live store window
@@ -222,7 +227,8 @@ class TarantulaProcessor:
         self.vcu.complete(done)
         return done
 
-    def _memory_order(self, touched: tuple, earliest: float) -> float:
+    def _memory_order(self, touched: tuple, earliest: float,
+                      slices=None) -> float:
         """Delay an access behind in-flight stores to the same quadwords."""
         last = self._last_store
         if not last or earliest >= self._store_watermark:
@@ -230,21 +236,39 @@ class TarantulaProcessor:
             # the map can push this access later — skip the per-address
             # walk entirely (the common case once stores drain)
             return earliest
-        if last.keys().isdisjoint(touched):
-            # C-speed membership sweep, no set materialized — accesses
-            # rarely alias an in-flight store
+        if slices is not None:
+            # line-granularity prefilter: quadword aliasing implies line
+            # aliasing, and the line sweep is ~8x shorter
+            lines = self._store_lines
+            for s in slices:
+                if not lines.isdisjoint(s.line_addresses()):
+                    break
+            else:
+                return earliest
+        hit = last.keys() & touched
+        if not hit:
             return earliest
         bound = earliest
-        for addr in touched:
-            t = last.get(addr)
-            if t is not None and t > bound:
+        for addr in hit:
+            # the intersection is tiny (the aliased quadwords only), so
+            # the python loop runs over a handful of entries instead of
+            # the whole 128-address footprint
+            t = last[addr]
+            if t > bound:
                 bound = t
         if bound > earliest:
             self.counters.add("memory_order_stalls")
         return bound
 
-    def _record_store(self, touched: tuple, completion: float) -> None:
+    def _record_store(self, touched: tuple, completion: float,
+                      slices=None) -> None:
         self._last_store.update(dict.fromkeys(touched, completion))
+        if slices is not None:
+            lines = self._store_lines
+            for s in slices:
+                lines.update(s.line_addresses())
+        else:
+            self._store_lines.update(a & ~0x3F for a in touched)
         if completion > self._store_watermark:
             self._store_watermark = completion
         # prune entries that completed far in the past: anything that old
@@ -254,6 +278,7 @@ class TarantulaProcessor:
             cutoff = self._store_watermark - 100000.0
             self._last_store = {a: t for a, t in self._last_store.items()
                                 if t > cutoff}
+            self._store_lines = {a & ~0x3F for a in self._last_store}
             pruned = before - len(self._last_store)
             if pruned:
                 self.counters.add("store_map_pruned", pruned)
@@ -264,7 +289,7 @@ class TarantulaProcessor:
         plan = self.addr_gens.plan(instr, self.functional.state)
         if plan.kind == "empty":
             return t0 + 1.0
-        t0 = self._memory_order(plan.touched, t0)
+        t0 = self._memory_order(plan.touched, t0, plan.slices)
         gen_time = plan.addr_gen_cycles + plan.tlb_penalty
         gen_start = self.vbox.addr_gen.reserve(t0, gen_time)
         self.counters.add(_MEM_COUNTER[plan.kind])
@@ -286,7 +311,7 @@ class TarantulaProcessor:
             completion = max(completion,
                              data_ready + max(1.0, plan.quadwords / 32.0))
         if plan.is_write:
-            self._record_store(plan.touched, completion)
+            self._record_store(plan.touched, completion, plan.slices)
         if plan.is_prefetch:
             # prefetches retire as soon as addresses are generated; the
             # fills proceed in the background
@@ -369,10 +394,31 @@ class TarantulaProcessor:
         self._instr_index = index
         self.functional.instructions_executed = index
 
-    def run(self, program: Program) -> TimingResult:
-        """Run a whole program; returns timing + operation metrics."""
+    def execute_program(self, program: Program) -> None:
+        """Execute a whole program, through the trace JIT when possible.
+
+        The JIT seam engages only when nothing observes per-instruction
+        effects: the instruction trace hook is off, address tracing and
+        tail poisoning are off, and :mod:`repro.jit` is enabled.  Any
+        other configuration — and any region the JIT cannot prove safe —
+        uses the per-instruction reference loop.
+        """
+        fn = self.functional
+        if fn.address_trace is None and not fn.poison_tail \
+                and self.trace is None:
+            from repro import jit
+
+            if jit.enabled():
+                from repro.jit.runtime import run_timing
+
+                run_timing(self, program)
+                return
         for instr in program:
             self.step(instr)
+
+    def run(self, program: Program) -> TimingResult:
+        """Run a whole program; returns timing + operation metrics."""
+        self.execute_program(program)
         return self.result(program.name)
 
     def result(self, kernel: str, workload_bytes: int = 0) -> TimingResult:

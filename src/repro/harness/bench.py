@@ -17,6 +17,13 @@ Two timings per workload:
   caches and interpreter warm: the steady-state cost a sweep pays per
   additional cell.
 
+When the trace JIT is enabled (the default), each workload also gets a
+**jit_off** sidecar: a third, warm measurement with the JIT forced off
+in-process.  The rerun must land on bit-identical cycles (a divergence
+fails the benchmark), and the recorded ``jit_speedup`` ratio is the
+machine-independent speedup evidence — both runs share one process on
+one machine, so host noise cancels out of the ratio.
+
 Runs go through :func:`repro.harness.engine.execute` — the same path
 the report uses — with ``check=True``, so a benchmark run is also a
 correctness run.
@@ -53,12 +60,16 @@ SCHEMA = "repro-bench-v1"
 
 def _clear_memos() -> None:
     """Reset every per-process cache a cold measurement must not see."""
+    from repro import jit
     from repro.harness import engine
     from repro.isa import semantics
+    from repro.vbox import crbox
 
     engine._INSTANCE_MEMO.clear()
     semantics._SPLAT_CACHE.clear()
     semantics._STRIDED_CACHE = (None, None)
+    jit.clear_caches()
+    crbox.clear_pack_memo()
 
 
 def _run_once(kernel: str, scale: float) -> tuple[float, object]:
@@ -80,6 +91,26 @@ def _instructions(outcome) -> int:
     return counts.scalar_instructions + counts.vector_instructions
 
 
+def _jit_off_sidecar(name: str, scale: float, cycles: float) -> float | None:
+    """Warm ``jit_off`` measurement of one workload, or None when the
+    process already runs with the JIT off (nothing to compare).
+
+    Doubles as a differential gate: the JIT-off rerun must land on the
+    exact same cycle count, or the whole benchmark run fails.
+    """
+    from repro import jit
+
+    if not jit.enabled():
+        return None
+    with jit.disabled():
+        off_s, off_outcome = _run_once(name, scale)
+    if off_outcome.cycles != cycles:
+        raise RuntimeError(
+            f"bench: {name} diverged with the JIT off "
+            f"({off_outcome.cycles} != {cycles} cycles)")
+    return off_s
+
+
 def _bench_cell(name: str, scale: float) -> dict:
     """Worker-side cold+warm measurement of one workload (picklable).
 
@@ -99,6 +130,7 @@ def _bench_cell(name: str, scale: float) -> dict:
         "simulated_cycles": outcome.cycles,
         "cold_s": cold_s,
         "warm_s": warm_s,
+        "jit_off_s": _jit_off_sidecar(name, scale, outcome.cycles),
     }
 
 
@@ -188,6 +220,7 @@ def run_benchmarks(quick: bool = False,
                 cold_s, warm_s = cell["cold_s"], cell["warm_s"]
                 instructions = cell["instructions"]
                 simulated_cycles = cell["simulated_cycles"]
+                jit_off_s = cell.get("jit_off_s")
             else:
                 _clear_memos()
                 cold_s, outcome = _run_once(name, scale)
@@ -198,6 +231,7 @@ def run_benchmarks(quick: bool = False,
                         f"({warm_outcome.cycles} != {outcome.cycles} cycles)")
                 instructions = _instructions(outcome)
                 simulated_cycles = outcome.cycles
+                jit_off_s = _jit_off_sidecar(name, scale, outcome.cycles)
             workloads[name] = {
                 "suite": _suite_of(name),
                 "instructions": instructions,
@@ -207,6 +241,11 @@ def run_benchmarks(quick: bool = False,
                 "cold_instr_per_s": round(instructions / cold_s, 1),
                 "warm_instr_per_s": round(instructions / warm_s, 1),
             }
+            if jit_off_s is not None:
+                # same-process, same-machine differential: the ratio is
+                # the speedup evidence that survives noisy CI runners
+                workloads[name]["jit_off_warm_s"] = round(jit_off_s, 4)
+                workloads[name]["jit_speedup"] = round(jit_off_s / warm_s, 2)
             if progress is not None:
                 print(f"bench: {name:<14s} {instructions:>8d} instr  "
                       f"cold {cold_s:6.2f}s  warm {warm_s:6.2f}s  "
@@ -228,16 +267,26 @@ def run_benchmarks(quick: bool = False,
     finally:
         if pool is not None:
             pool.close()
+    from repro import jit
+
     totals = {
         "cold_wall_s": round(sum(w["cold_wall_s"] for w in workloads.values()), 4),
         "warm_wall_s": round(sum(w["warm_wall_s"] for w in workloads.values()), 4),
         "instructions": sum(w["instructions"] for w in workloads.values()),
     }
+    sidecars = [w["jit_off_warm_s"] for w in workloads.values()
+                if "jit_off_warm_s" in w]
+    if sidecars and len(sidecars) == len(workloads):
+        totals["jit_off_warm_s"] = round(sum(sidecars), 4)
+        if totals["warm_wall_s"]:
+            totals["jit_speedup"] = round(
+                totals["jit_off_warm_s"] / totals["warm_wall_s"], 2)
     doc = {
         "schema": SCHEMA,
         "quick": quick,
         "scale": scale,
         "python": sys.version.split()[0],
+        "jit": {"enabled": jit.enabled()},
         "workloads": workloads,
         "totals": totals,
     }

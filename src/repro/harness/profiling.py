@@ -20,6 +20,7 @@ from contextlib import contextmanager
 #: bucket name -> path fragment that claims a function for it; first
 #: match wins, order matters (most specific first)
 _BUCKETS: tuple[tuple[str, str], ...] = (
+    ("jit", "/repro/jit/"),
     ("mem", "/repro/mem/"),
     ("vbox", "/repro/vbox/"),
     ("core", "/repro/core/"),

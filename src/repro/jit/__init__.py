@@ -1,0 +1,69 @@
+"""Trace JIT for the simulation loop (ROADMAP item 3).
+
+Detects hot basic blocks in fully-unrolled kernel programs
+(:mod:`repro.jit.recorder`), compiles each into a fused batched-numpy
+trace executing many loop iterations per Python dispatch
+(:mod:`repro.jit.compiler`), and installs it behind seams in both the
+functional and timing simulators with regime guards and a
+deoptimization path back to the reference interpreter
+(:mod:`repro.jit.runtime`).  See docs/PERF.md for the design and how to
+read the counters.
+
+Control surface:
+
+* ``REPRO_JIT=off`` (or ``0``) in the environment disables the JIT —
+  the escape hatch CI uses to prove byte-identical reports;
+* :func:`set_enabled` is the CLI override (``--jit``/``--no-jit``); it
+  also writes ``REPRO_JIT`` so pool workers inherit the choice;
+* the default is **on**.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+
+from repro.jit.runtime import STATS, clear_caches
+
+__all__ = ["enabled", "set_enabled", "disabled", "clear_caches", "STATS"]
+
+_FORCED: bool | None = None
+
+
+def enabled() -> bool:
+    """True when the trace JIT should be used (CLI override > env > on)."""
+    if _FORCED is not None:
+        return _FORCED
+    env = os.environ.get("REPRO_JIT", "").strip().lower()
+    return env not in ("off", "0", "no", "false")
+
+
+def set_enabled(value: bool | None) -> None:
+    """CLI override; ``None`` leaves the environment default in place.
+
+    The choice is exported via ``REPRO_JIT`` so spawned pool workers
+    (which re-import everything) inherit it.
+    """
+    global _FORCED
+    if value is None:
+        return
+    _FORCED = bool(value)
+    os.environ["REPRO_JIT"] = "on" if value else "off"
+
+
+@contextlib.contextmanager
+def disabled():
+    """Force the JIT off for a block, in-process only.
+
+    Unlike :func:`set_enabled` this does not touch ``REPRO_JIT``, so it
+    cannot leak into spawned workers — it exists for same-process
+    differential measurements (the bench's ``jit_off`` sidecar) and
+    tests.
+    """
+    global _FORCED
+    previous = _FORCED
+    _FORCED = False
+    try:
+        yield
+    finally:
+        _FORCED = previous

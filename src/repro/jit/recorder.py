@@ -1,0 +1,148 @@
+"""Trace recorder: find hot basic blocks in a straight-line program.
+
+Workload programs are fully unrolled (the loop control ran on the EV8
+core in the paper; our :class:`~repro.isa.builder.KernelBuilder` emits
+the unrolled body), so a "hot loop" appears as a run of iterations whose
+instructions are identical except for their byte displacements, which
+advance by a fixed per-slot delta every iteration — e.g. linpack's
+trailing update emits ``[setvl; vloadq; ldq; vloadq; vsmult; vvsubt;
+vstoreq]`` once per column with every ``disp`` marching by one column
+stride.
+
+The recorder detects those runs *purely by shape*: each instruction is
+reduced to a key of every operand field except ``disp``, and a region is
+a maximal ``(start, period, reps)`` such that
+
+* the shape-key sequence repeats with the given period, and
+* ``disp[start + k*period + m] == disp[start + m] + k * delta[m]``
+  (per-slot affine displacement).
+
+Smaller periods win (a register-alternating loop body that only repeats
+every second iteration naturally yields the doubled period, because the
+shape keys differ at the single period).  Whether a region can actually
+be *compiled* into a batched trace is a separate question answered by
+:mod:`repro.jit.compiler`; the recorder is deliberately semantics-blind
+so that detection stays a cheap one-pass scan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.isa.program import Program
+
+#: longest loop body considered (covers the repo's register-tiled
+#: bodies: dgemm's k-loop is 13 instructions, lu/linpacktpp's column
+#: tile is 22)
+MAX_PERIOD = 48
+#: shortest run worth compiling: the first iteration always runs in the
+#: interpreter (it establishes the vl/vs regime and seeds the plan
+#: cache), so ``reps`` iterations batch only ``reps - 1``
+MIN_REPS = 4
+
+
+@dataclass(frozen=True)
+class Region:
+    """One detected hot block: ``reps`` iterations of ``period`` slots.
+
+    ``deltas[m]`` is the per-iteration displacement advance of slot
+    ``m``; instruction ``start + k*period + m`` has
+    ``disp = program[start + m].disp + k * deltas[m]``.
+    """
+
+    start: int
+    period: int
+    reps: int
+    deltas: tuple
+
+    @property
+    def end(self) -> int:
+        return self.start + self.period * self.reps
+
+
+def shape_key(instr) -> tuple:
+    """Everything that must repeat exactly for iterations to batch.
+
+    ``disp`` is excluded (it is the affine loop-carried part); ``tag``
+    is included because per-tag operation accounting must stay constant
+    across the batched slots.
+    """
+    return (instr.op, instr.vd, instr.va, instr.vb, instr.rd, instr.ra,
+            instr.rb, instr.imm, instr.masked, instr.tag)
+
+
+def _extend(ids: np.ndarray, disp: np.ndarray, i: int, p: int,
+            n: int) -> int:
+    """Exact repetition count of period ``p`` starting at ``i``."""
+    nrows = (n - i) // p
+    if nrows < 2:
+        return 1
+    seg = ids[i:i + nrows * p].reshape(nrows, p)
+    eq = (seg == seg[0]).all(axis=1)
+    bad = np.flatnonzero(~eq)
+    rows = int(bad[0]) if bad.size else nrows
+    if rows < 2:
+        return 1
+    dseg = disp[i:i + rows * p].reshape(rows, p)
+    deltas = dseg[1] - dseg[0]
+    affine = dseg[0] + np.arange(rows, dtype=np.int64)[:, None] * deltas
+    ok = (dseg == affine).all(axis=1)
+    bad = np.flatnonzero(~ok)
+    return int(bad[0]) if bad.size else rows
+
+
+def find_regions(program: Program, min_reps: int = MIN_REPS,
+                 max_period: int = MAX_PERIOD) -> list:
+    """All non-overlapping hot regions of ``program``, greedily, in
+    program order, smallest period first at each position."""
+    instrs = list(program)
+    n = len(instrs)
+    if n < 2:
+        return []
+    intern: dict = {}
+    ids_list = []
+    for ins in instrs:
+        key = shape_key(ins)
+        h = intern.get(key)
+        if h is None:
+            h = intern[key] = len(intern)
+        ids_list.append(h)
+    ids = np.asarray(ids_list, dtype=np.int64)
+    disp = np.asarray([ins.disp for ins in instrs], dtype=np.int64)
+
+    # positions whose shape recurs within max_period at all — everything
+    # else (straight-line glue code) is skipped at numpy speed
+    match_any = np.zeros(n, dtype=bool)
+    for p in range(1, min(max_period, n - 1) + 1):
+        np.logical_or(match_any[:n - p], ids[:n - p] == ids[p:],
+                      out=match_any[:n - p])
+    candidates = np.flatnonzero(match_any)
+
+    regions: list = []
+    ci = 0
+    ncand = len(candidates)
+    i = 0
+    while ci < ncand:
+        if candidates[ci] < i:
+            ci += 1
+            continue
+        i = int(candidates[ci])
+        found = None
+        pmax = min(max_period, (n - i) // 2)
+        for p in range(1, pmax + 1):
+            if ids_list[i + p] != ids_list[i]:
+                continue
+            reps = _extend(ids, disp, i, p, n)
+            if reps >= min_reps:
+                deltas = tuple(int(disp[i + p + m] - disp[i + m])
+                               for m in range(p))
+                found = Region(i, p, reps, deltas)
+                break
+        if found is not None:
+            regions.append(found)
+            i = found.end
+        else:
+            ci += 1
+    return regions

@@ -300,6 +300,22 @@ class SetAssocCache:
         ways, set_mask = self.ways, self._set_mask
         set_bits, line_shift = self._set_bits, self._line_shift
         stamp = self._clock
+        if not from_core:
+            # all-hit fast path (the steady state of a warmed cache):
+            # stamps ascend in input order exactly as the general walk
+            # assigns them, dirty bits are ORed in bulk, and nothing
+            # else changes on a hit
+            try:
+                slots = [pos[addr >> line_shift] for addr in addrs]
+            except KeyError:
+                pass
+            else:
+                stamps[slots] = np.arange(stamp, stamp + n)
+                if is_write:
+                    dirty[slots] = True
+                self._clock = stamp + n
+                self.counters.add("hits", n)
+                return [True] * n, [None] * n
         hit_list = [False] * n
         evictions: list[Optional[Eviction]] = [None] * n
         hits = evicted_n = writebacks = 0
@@ -362,6 +378,29 @@ class SetAssocCache:
             if writebacks:
                 counters.add("writebacks", writebacks)
         return hit_list, evictions
+
+    def access_all_hit(self, addrs, is_write: bool = False) -> bool:
+        """Apply :meth:`access_many`'s all-hit fast path, or do nothing.
+
+        Returns True when every line was resident and the access was
+        applied (stamps/dirty/counters updated exactly as the batched
+        walk would); False leaves all state untouched so the caller can
+        fall back to the general path.  Never sets P-bits (vector side
+        only, ``from_core=False``).
+        """
+        pos, shift = self._pos, self._line_shift
+        try:
+            slots = [pos[addr >> shift] for addr in addrs]
+        except KeyError:
+            return False
+        n = len(slots)
+        stamp = self._clock
+        self._flat_stamp[slots] = np.arange(stamp, stamp + n)
+        if is_write:
+            self._flat_dirty[slots] = True
+        self._clock = stamp + n
+        self.counters.add("hits", n)
+        return True
 
     # -- batched peeks (no LRU / counter effects) -----------------------------
 

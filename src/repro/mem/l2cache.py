@@ -83,10 +83,17 @@ class BankedL2:
         #: line address -> time its in-flight fill arrives; accesses that
         #: "hit" such a line sleep in the MAF until then (miss merging)
         self._fill_ready: dict[int, float] = {}
+        #: latest arrival ever recorded in _fill_ready; once the clock
+        #: passes it no entry can delay anything, so the per-line probe
+        #: short-circuits (the steady state between miss bursts)
+        self._fill_watermark = 0.0
         #: amortized pruning bound for _fill_ready; doubles whenever a
         #: prune fails to reclaim half the dict, so a large steady-state
         #: working set never degrades into an O(n) rebuild per slice
         self._fill_prune_threshold = 1 << 15
+        #: bound fast-probe of the numpy tag model (None on the
+        #: reference model, which then always takes the general path)
+        self._tags_all_hit = getattr(self.tags, "access_all_hit", None)
         self.counters = Counter()
 
     # -- warmup helpers (no timing effects) ----------------------------------
@@ -181,6 +188,8 @@ class BankedL2:
                 fills[addr] = ready
                 if ready > wake:
                     wake = ready
+        if wake > self._fill_watermark:
+            self._fill_watermark = wake
         if len(self._fill_ready) > self._fill_prune_threshold:
             before = len(self._fill_ready)
             self._fill_ready = {a: t for a, t in self._fill_ready.items()
@@ -195,7 +204,7 @@ class BankedL2:
     def _pending_fills(self, lines: list[int], now: float) -> float:
         """Latest in-flight fill among ``lines`` arriving after ``now``."""
         fills = self._fill_ready
-        if not fills:
+        if not fills or self._fill_watermark <= now:
             return now
         latest = now
         for addr in lines:
@@ -235,6 +244,18 @@ class BankedL2:
             self.counters.add("pump_slices")
 
         t_lookup = self.slice_port.reserve(earliest, 1.0)
+        # steady-state fast lane: no P-bit among these lines, no fill
+        # still in flight, every line resident — one fused probe replaces
+        # the pbit/probe/pending walk (bit-identical state and counters)
+        fast = self._tags_all_hit
+        if (fast is not None and self._fill_watermark <= t_lookup
+                and not self.tags.pbit_lines(lines)
+                and fast(lines, is_write)):
+            self.counters.add("line_hits", len(lines))
+            t_data = t_lookup + self.config.hit_latency
+            if pump_bit and self.pump.enabled:
+                return self.pump.stream(quadwords, is_write, t_data)
+            return t_data
         delay = self._pbit_coherency(lines, t_lookup)
         missing = self._probe(lines, is_write, False, t_lookup)
 
@@ -297,6 +318,8 @@ class BankedL2:
             return True, ready
         ready = self.zbox.fill_line(line, t_lookup)
         self._fill_ready[line] = ready
+        if ready > self._fill_watermark:
+            self._fill_watermark = ready
         return False, ready
 
     def set_pbits(self, line_addrs: Iterable[int]) -> None:

@@ -105,6 +105,15 @@ class MainMemory:
                 out[sel] = chunk[offsets[sel]]
         return out
 
+    def validate_quads(self, addrs: np.ndarray) -> None:
+        """Raise exactly the trap :meth:`write_quads` would, without
+        writing.  The trace JIT validates every batched store address
+        up front so a trapping region can deoptimize to the interpreter
+        with zero architectural mutation."""
+        addrs = np.ascontiguousarray(addrs, dtype=np.uint64)
+        self._check_addresses(addrs)
+        self._check_poison(addrs)
+
     def write_quads(self, addrs: np.ndarray, values: np.ndarray) -> None:
         """Write one quadword per address; later entries win on duplicates."""
         addrs = np.ascontiguousarray(addrs, dtype=np.uint64)

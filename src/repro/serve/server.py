@@ -520,6 +520,19 @@ class ReproServer:
                     pass
         return 200, job.describe(), {}
 
+    @staticmethod
+    def _jit_payload() -> dict:
+        """Trace-JIT visibility for operators (docs/PERF.md).
+
+        ``enabled`` is the server process's live setting (what pool
+        workers inherit via ``REPRO_JIT``); the counters are this
+        process's own, so they stay zero when every simulation runs in
+        pool workers — they light up for in-process execution.
+        """
+        from repro import jit
+
+        return {"enabled": jit.enabled(), **jit.STATS.as_dict()}
+
     def _stats_payload(self) -> dict:
         cache = None
         if self._probe_cache is not None:
@@ -541,6 +554,7 @@ class ReproServer:
             "dedupe": {"in_flight": len(self.dedupe),
                        "shared": self.dedupe.shared},
             "engine": dataclasses.asdict(STATS),
+            "jit": self._jit_payload(),
             "cache": cache,
             "pool": {"workers": self.config.jobs,
                      "batch_max": self.config.effective_batch_max},

@@ -118,19 +118,31 @@ class CalendarTimeline:
         if idx >= 0:
             start = max(earliest, busy[idx][1])
         pos = idx + 1
-        while pos < len(busy) and busy[pos][0] - start < occupancy:
+        n = len(busy)
+        while pos < n and busy[pos][0] - start < occupancy:
             start = max(start, busy[pos][1])
             pos += 1
-        busy.insert(pos, (start, start + occupancy))
-        # coalesce exactly-touching neighbors to keep the list short
-        while pos > 0 and busy[pos - 1][1] >= busy[pos][0]:
-            busy[pos - 1] = (busy[pos - 1][0],
-                             max(busy[pos - 1][1], busy[pos][1]))
-            del busy[pos]
-            pos -= 1
-        while pos + 1 < len(busy) and busy[pos][1] >= busy[pos + 1][0]:
-            busy[pos] = (busy[pos][0], max(busy[pos][1], busy[pos + 1][1]))
-            del busy[pos + 1]
+        end = start + occupancy
+        # Intervals are kept strictly separated (touching neighbors are
+        # merged on the spot), so the new reservation can touch at most
+        # one neighbor on each side: the left one exactly when the gap
+        # search advanced `start` onto its end, the right one exactly
+        # when the loop stopped on ``busy[pos][0] == end``.  Extending a
+        # neighbor tuple in place avoids the O(n) ``insert``/``del``
+        # shuffle of the old insert-then-coalesce dance — the hot case
+        # for the heavily backfilled L2/addr-gen ports.
+        touch_left = pos > 0 and busy[pos - 1][1] >= start
+        touch_right = pos < n and busy[pos][0] <= end
+        if touch_left:
+            if touch_right:
+                busy[pos - 1] = (busy[pos - 1][0], busy[pos][1])
+                del busy[pos]
+            else:
+                busy[pos - 1] = (busy[pos - 1][0], end)
+        elif touch_right:
+            busy[pos] = (start, busy[pos][1])
+        else:
+            busy.insert(pos, (start, end))
         return start
 
     def peek(self, earliest: float) -> float:

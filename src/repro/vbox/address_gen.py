@@ -38,8 +38,13 @@ _M64 = (1 << 64) - 1
 #: plan-kind -> the counter the build path bumps (replayed on cache hits)
 _KIND_COUNTER = {"pump": "pump_plans", "reordered": "reordered_plans"}
 #: plan-cache entry bound; cleared wholesale when exceeded (hot keys
-#: repopulate within one loop iteration)
-_PLAN_CACHE_MAX = 512
+#: repopulate within one loop iteration).  Sized so a whole blocked
+#: kernel's working set fits: the key includes vl and base % BANK_PERIOD,
+#: and e.g. linpack's column sweep walks ~2.5k distinct (vl, residue)
+#: pairs — with the trace JIT batching the functional work, plan
+#: *replays* dominate the remaining timing cost, so thrashing here is
+#: directly visible in wall-clock.
+_PLAN_CACHE_MAX = 8192
 
 
 @dataclass
@@ -100,6 +105,11 @@ class AddressGenerators:
         #: keyed plan cache for strided accesses (see _CachedPlan);
         #: invalidated explicitly on setvl/setvs/setvm
         self._plan_cache: dict[tuple, _CachedPlan] = {}
+        #: keys pre-loaded from a compiled trace's plan store rather
+        #: than built here: their *first* replay counts as the miss the
+        #: build path would have produced, so plan-cache telemetry is
+        #: independent of whether an earlier run harvested the plans
+        self._seeded: set = set()
         #: when set to a list, plan() appends ``(instr, plan.touched)``
         #: for every planned access (build and cache-replay paths alike);
         #: the vmem soundness suite uses this as the timing-side trace
@@ -196,6 +206,7 @@ class AddressGenerators:
         """
         if self._plan_cache:
             self._plan_cache.clear()
+            self._seeded.clear()
             self.counters.add("plan_cache_invalidations")
 
     def _plan_key(self, instr: Instruction, state: ArchState,
@@ -221,10 +232,18 @@ class AddressGenerators:
         else:
             touched_arr = entry.touched + np.uint64(delta & _M64)
         shift = self.vtlb.page_table.page_shift
-        if not {a >> shift for a in touched_arr.tolist()} <= hot:
+        lo_page = int(touched_arr[0]) >> shift
+        hi_page = int(touched_arr[-1]) >> shift
+        if lo_page == hi_page:
+            # strided addresses are monotonic, so first/last bound the
+            # span; one page (512 MB pages!) is the overwhelming case
+            if lo_page not in hot:
+                return None
+        elif not {a >> shift for a in touched_arr.tolist()} <= hot:
             return None
         # replicate the counters the build path would have produced
-        self.counters.add("plan_cache_hits")
+        # (hit/miss accounting happens in plan(), which knows whether
+        # the entry was seeded)
         self.counters.add(_KIND_COUNTER[entry.kind])
         self.vtlb.counters.add("hits", entry.n_valid)
         if delta == 0:
@@ -234,9 +253,16 @@ class AddressGenerators:
             du = np.uint64(delta & _M64)
             slices = []
             for tmpl, lines in zip(entry.slices, entry.slice_lines):
-                s = Slice(tmpl.slice_id, tmpl.elements, tmpl.addresses + du,
-                          pump=tmpl.pump, full_line_write=tmpl.full_line_write,
-                          quadwords=tmpl.quadwords, tag=tmpl.tag)
+                # bypass the dataclass ctor: the template was validated
+                # when built, and rebasing only shifts the addresses
+                s = object.__new__(Slice)
+                s.slice_id = tmpl.slice_id
+                s.elements = tmpl.elements
+                s.addresses = tmpl.addresses + du
+                s.pump = tmpl.pump
+                s.full_line_write = tmpl.full_line_write
+                s.quadwords = tmpl.quadwords
+                s.tag = tmpl.tag
                 s._line_addrs = [line + delta for line in lines]
                 slices.append(s)
             touched = tuple(touched_arr.tolist())
@@ -249,6 +275,8 @@ class AddressGenerators:
                     n_valid: int) -> None:
         if len(self._plan_cache) >= _PLAN_CACHE_MAX:
             self._plan_cache.clear()
+            self._seeded.clear()
+        self._seeded.discard(key)
         self._plan_cache[key] = _CachedPlan(
             plan.kind, plan.is_write, plan.is_prefetch, base, n_valid,
             plan.addr_gen_cycles, plan.quadwords,
@@ -271,6 +299,13 @@ class AddressGenerators:
             if entry is not None:
                 plan = self._replay_plan(entry, base)
                 if plan is not None:
+                    if key in self._seeded:
+                        # first use of a cross-run seeded entry: count
+                        # the miss the build path would have produced
+                        self._seeded.discard(key)
+                        self.counters.add("plan_cache_misses")
+                    else:
+                        self.counters.add("plan_cache_hits")
                     if self.trace is not None:
                         self.trace.append((instr, plan.touched))
                     return plan

@@ -159,3 +159,57 @@ def test_interrupt_exit_status_is_130(tmp_path, monkeypatch):
                     kernels=["streams.copy"])
     assert rc == 130
     assert json.loads(out.read_text())["interrupted"] is True
+
+
+class _FakeOutcome:
+    """Minimal stand-in for a RunOutcome (constant cycles)."""
+
+    def __init__(self, cycles=42.0):
+        self.cycles = cycles
+        self.failed = False
+        self.detail = type("D", (), {})()
+        self.detail.counts = type("C", (), {})()
+        self.detail.counts.scalar_instructions = 5
+        self.detail.counts.vector_instructions = 7
+
+
+def test_jit_sidecar_fields_present_when_enabled(monkeypatch):
+    from repro import jit
+
+    monkeypatch.setattr(jit, "_FORCED", True)
+    monkeypatch.setattr(bench, "_run_once",
+                        lambda name, scale: (0.5, _FakeOutcome()))
+    doc = bench.run_benchmarks(quick=True, kernels=["streams.copy"])
+    assert doc["jit"] == {"enabled": True}
+    w = doc["workloads"]["streams.copy"]
+    assert w["jit_off_warm_s"] == 0.5
+    assert w["jit_speedup"] == 1.0
+    assert doc["totals"]["jit_off_warm_s"] == 0.5
+    assert doc["totals"]["jit_speedup"] == 1.0
+
+
+def test_jit_sidecar_absent_when_disabled(monkeypatch):
+    from repro import jit
+
+    monkeypatch.setattr(jit, "_FORCED", False)
+    monkeypatch.setattr(bench, "_run_once",
+                        lambda name, scale: (0.5, _FakeOutcome()))
+    doc = bench.run_benchmarks(quick=True, kernels=["streams.copy"])
+    assert doc["jit"] == {"enabled": False}
+    assert "jit_off_warm_s" not in doc["workloads"]["streams.copy"]
+    assert "jit_off_warm_s" not in doc["totals"]
+    assert "jit_speedup" not in doc["totals"]
+
+
+def test_jit_sidecar_divergence_fails_the_benchmark(monkeypatch):
+    # the sidecar doubles as a differential gate: a JIT-off rerun that
+    # lands on different cycles is a soundness bug, not a measurement
+    from repro import jit
+
+    monkeypatch.setattr(jit, "_FORCED", True)
+    monkeypatch.setattr(
+        bench, "_run_once",
+        lambda name, scale:
+            (0.5, _FakeOutcome(42.0 if jit.enabled() else 41.0)))
+    with pytest.raises(RuntimeError, match="diverged with the JIT off"):
+        bench.run_benchmarks(quick=True, kernels=["streams.copy"])

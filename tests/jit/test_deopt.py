@@ -1,0 +1,197 @@
+"""Deoptimization guards: the JIT must bail out exactly when batching
+would be unsound, and the interpreter fallback must keep results
+bit-identical.
+
+Each test builds a synthetic unrolled loop that trips one specific
+guard (store/load overlap, uncompilable op, regime change, poisoned
+memory) and asserts both that the guard fired — via the
+:data:`repro.jit.runtime.STATS` counters — and that the final
+architectural state matches a JIT-off reference run.
+"""
+
+import numpy as np
+import pytest
+
+from repro import jit
+from repro.core.functional import FunctionalSimulator
+from repro.isa.builder import KernelBuilder
+from repro.jit.runtime import STATS, traces_for
+
+
+@pytest.fixture(autouse=True)
+def _jit_forced_on(monkeypatch):
+    monkeypatch.setattr(jit, "_FORCED", True)
+    jit.clear_caches()
+    yield
+    jit.clear_caches()
+
+
+def _seed_memory(sim, base=0x1000, quads=64):
+    sim.memory.write_quads(
+        np.arange(base, base + 8 * quads, 8, dtype=np.uint64),
+        np.arange(1, quads + 1, dtype=np.uint64))
+
+
+def _run_both(program, seed=_seed_memory):
+    """Run ``program`` JIT-on and JIT-off on fresh simulators; assert
+    identical final state; return the JIT-on simulator."""
+    with jit.disabled():
+        ref = FunctionalSimulator()
+        seed(ref)
+        ref_counts = ref.run(program)
+    on = FunctionalSimulator()
+    seed(on)
+    on_counts = on.run(program)
+    assert on_counts == ref_counts
+    assert on.memory.content_digest() == ref.memory.content_digest()
+    assert np.array_equal(on.state.vregs._regs, ref.state.vregs._regs)
+    assert on.state.sregs._regs == ref.state.sregs._regs
+    assert on.instructions_executed == ref.instructions_executed
+    return on
+
+
+def _loop(store_off, reps=8):
+    kb = KernelBuilder()
+    kb.lda(1, 0x1000)
+    kb.setvl(4)
+    kb.setvs(8)
+    for k in range(reps):
+        kb.vloadq(1, rb=1, disp=k * 32)
+        kb.vvaddq(2, 1, 1)
+        kb.vstoreq(2, rb=1, disp=store_off + k * 32)
+    return kb.build()
+
+
+def test_disjoint_loop_batches():
+    # control: stores land far from every load, so the region batches
+    program = _loop(store_off=0x1000)
+    before = (STATS.deopts, STATS.batched_instructions)
+    _run_both(program)
+    assert STATS.deopts == before[0]
+    assert STATS.batched_instructions > before[1]
+
+
+def test_carried_store_load_overlap_rejects_compilation():
+    # iteration k stores [0x1008+32k, 0x1028+32k), iteration k+1 loads
+    # [0x1020+32k, 0x1040+32k): an 8-byte loop-carried overlap, visible
+    # at compile time — the symbolic disjointness check must refuse
+    program = _loop(store_off=8)
+    before = (STATS.compile_rejects, STATS.batched_instructions)
+    _run_both(program)
+    assert STATS.compile_rejects > before[0]
+    assert STATS.batched_instructions == before[1]
+
+
+def test_base_register_change_deopts_at_entry():
+    # the store base comes from memory, so the trace compiled under a
+    # disjoint base (run 1) faces overlapping intervals on run 2: the
+    # entry-time disjointness re-check must deopt, not replay the batch
+    kb = KernelBuilder()
+    kb.lda(1, 0x1000)
+    kb.lda(4, 0x4000)
+    kb.ldq(2, rb=4)
+    kb.setvl(4)
+    kb.setvs(8)
+    for k in range(8):
+        kb.vloadq(1, rb=1, disp=k * 32)
+        kb.vvaddq(5, 1, 1)
+        kb.vstoreq(5, rb=2, disp=k * 32)
+    program = kb.build()
+
+    def seed(store_base):
+        def fn(sim):
+            _seed_memory(sim)
+            sim.memory.write_quads(np.array([0x4000], dtype=np.uint64),
+                                   np.array([store_base], dtype=np.uint64))
+        return fn
+
+    before = STATS.batched_instructions
+    _run_both(program, seed=seed(0x3000))
+    assert STATS.batched_instructions > before   # disjoint base batches
+    deopts, batched = STATS.deopts, STATS.batched_instructions
+    _run_both(program, seed=seed(0x1008))
+    assert STATS.deopts > deopts
+    assert STATS.batched_instructions == batched
+
+
+def test_indexed_memory_rejects_compilation():
+    # vgathq is interpreter-only: the region is detected but compilation
+    # must reject it (indexed addresses are not affine in the iteration)
+    kb = KernelBuilder()
+    kb.lda(1, 0x1000)
+    kb.setvl(4)
+    kb.setvs(8)
+    kb.viota(3)
+    kb.vsmulq(3, 3, imm=8)      # element indices -> byte offsets
+    for _ in range(6):
+        kb.vgathq(1, 3, rb=1)
+        kb.vvaddq(2, 1, 1)
+    program = kb.build()
+    before = (STATS.regions_detected, STATS.compile_rejects)
+    _run_both(program)
+    assert STATS.regions_detected > before[0]
+    assert STATS.compile_rejects > before[1]
+
+
+def test_regime_change_invalidates_compiled_trace():
+    # vl comes from memory, so the same program object runs under two
+    # different regimes: the (vl, vs) guard must miss the first trace
+    # and recompile, not replay it
+    kb = KernelBuilder()
+    kb.lda(4, 0x4000)
+    kb.ldq(5, rb=4)
+    kb.setvl(ra=5)
+    kb.setvs(8)
+    kb.lda(1, 0x1000)
+    for k in range(8):
+        kb.vloadq(1, rb=1, disp=k * 64)
+        kb.vvaddq(2, 1, 1)
+        kb.vstoreq(2, rb=1, disp=0x1000 + k * 64)
+    program = kb.build()
+
+    def seed(vl):
+        def fn(sim):
+            _seed_memory(sim)
+            sim.memory.write_quads(np.array([0x4000], dtype=np.uint64),
+                                   np.array([vl], dtype=np.uint64))
+        return fn
+
+    _run_both(program, seed=seed(4))
+    compiled, invalidations = STATS.traces_compiled, STATS.invalidations
+    _run_both(program, seed=seed(8))
+    assert STATS.traces_compiled > compiled
+    assert STATS.invalidations > invalidations
+    entry, = traces_for(program).entries.values()
+    assert sorted(vl for vl, _vs in entry.traces) == [4, 8]
+
+
+def test_poisoned_memory_deopts():
+    # a poisoned line anywhere in memory forces the precise-trap
+    # interpreter path (the batch could touch it without trapping)
+    program = _loop(store_off=0x1000)
+
+    def seed(sim):
+        _seed_memory(sim)
+        sim.memory.poison_line(0x9000)
+        sim.memory.scrub_line(0x9000)      # digest comparable again
+        sim.memory.poison_line(0x9040)
+
+    with jit.disabled():
+        ref = FunctionalSimulator()
+        seed(ref)
+        ref.run(program)
+    before = STATS.deopts
+    on = FunctionalSimulator()
+    seed(on)
+    on.run(program)
+    assert STATS.deopts > before
+    assert on.memory.content_digest() == ref.memory.content_digest()
+
+
+def test_second_run_hits_the_trace_cache():
+    program = _loop(store_off=0x1000)
+    _run_both(program)
+    misses, hits = STATS.trace_cache_misses, STATS.trace_cache_hits
+    _run_both(program)
+    assert STATS.trace_cache_misses == misses   # no recompilation
+    assert STATS.trace_cache_hits > hits

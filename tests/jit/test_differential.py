@@ -1,0 +1,145 @@
+"""Differential exactness: JIT-on must be bit-identical to JIT-off.
+
+The trace JIT (docs/PERF.md) exists purely for simulator speed; its
+contract is that every observable of a run — simulated cycles, the
+Figure-6 operation counts, per-component counters, memory traffic and
+final architectural state — is *bit-identical* with and without it.
+These tests enforce the contract the same three ways the tag-model
+differential suite does:
+
+* every registered workload runs through the full timing simulator
+  under both modes at its small scale, plus a subset at the benchmark
+  scale (0.05, where the hot regions actually batch);
+* the functional simulator's final state (registers, memory digest,
+  counts) is compared directly;
+* the fault-recovery oracle must report identical outcomes, proving
+  chaos stays green with the JIT enabled.
+"""
+
+import numpy as np
+import pytest
+
+from repro import jit
+from repro.jit.runtime import STATS
+from repro.workloads.registry import REGISTRY, get
+
+#: benchmark-scale subset: kernels whose 0.05-scale programs are known
+#: to contain compilable hot regions (linpack/dgemm/lu) next to ones
+#: that mostly deopt (ccradix) — both paths must stay exact
+BENCH_SCALE_KERNELS = ["linpacktpp", "dgemm", "lu", "fft", "ccradix",
+                       "streams.triad"]
+
+
+@pytest.fixture(autouse=True)
+def _jit_forced_on(monkeypatch):
+    # force the JIT on even when the suite itself runs under
+    # REPRO_JIT=off, so the comparison is always on-vs-off
+    monkeypatch.setattr(jit, "_FORCED", True)
+    jit.clear_caches()
+    yield
+    jit.clear_caches()
+
+
+def _run(kernel: str, instance=None, scale: float = 1.0):
+    from repro.harness.runner import run_tarantula
+
+    return run_tarantula(get(kernel), "T", scale=scale, instance=instance)
+
+
+#: plan-cache bookkeeping is *expected* to differ: the compiled trace
+#: seeds the processor's plan cache across runs (runtime._seed_plans),
+#: deliberately turning misses into hits.  Everything architectural —
+#: including addr_gens' pump_plans — must still match exactly.
+_CACHE_TELEMETRY = ("plan_cache_hits", "plan_cache_misses",
+                    "plan_cache_invalidations")
+
+
+def _architectural(component_stats):
+    return {comp: {k: v for k, v in stats.items()
+                   if k not in _CACHE_TELEMETRY}
+            for comp, stats in component_stats.items()}
+
+
+def _assert_outcomes_identical(new, ref):
+    assert new.cycles == ref.cycles
+    assert new.detail.counts == ref.detail.counts
+    assert _architectural(new.detail.component_stats) \
+        == _architectural(ref.detail.component_stats)
+    assert new.detail.mem_raw_bytes == ref.detail.mem_raw_bytes
+    assert new.detail.mem_useful_bytes == ref.detail.mem_useful_bytes
+
+
+@pytest.mark.parametrize("kernel", sorted(REGISTRY))
+def test_every_workload_is_cycle_identical(kernel):
+    instance = get(kernel).build_small()
+    with jit.disabled():
+        ref = _run(kernel, instance=instance)
+    new = _run(kernel, instance=instance)
+    _assert_outcomes_identical(new, ref)
+
+
+@pytest.mark.parametrize("kernel", BENCH_SCALE_KERNELS)
+def test_bench_scale_is_cycle_identical(kernel):
+    with jit.disabled():
+        ref = _run(kernel, scale=0.05)
+    before = STATS.batched_instructions
+    new = _run(kernel, scale=0.05)
+    _assert_outcomes_identical(new, ref)
+    if kernel in ("linpacktpp", "dgemm", "lu"):
+        # these must actually exercise the batched path, or the test
+        # proves nothing — a silent universal deopt would still "pass"
+        assert STATS.batched_instructions > before
+
+
+@pytest.mark.parametrize("kernel", ["linpacktpp", "dgemm", "streams.copy"])
+def test_functional_final_state_identical(kernel):
+    from repro.core.functional import FunctionalSimulator
+
+    def run(off: bool):
+        instance = get(kernel).build(0.05)
+        sim = FunctionalSimulator()
+        instance.setup(sim.memory)
+        if off:
+            with jit.disabled():
+                counts = sim.run(instance.program)
+        else:
+            counts = sim.run(instance.program)
+        return counts, sim
+
+    ref_counts, ref_sim = run(off=True)
+    new_counts, new_sim = run(off=False)
+    assert new_counts == ref_counts
+    assert new_sim.memory.content_digest() == ref_sim.memory.content_digest()
+    assert np.array_equal(new_sim.state.vregs._regs, ref_sim.state.vregs._regs)
+    assert new_sim.state.sregs._regs == ref_sim.state.sregs._regs
+    assert new_sim.instructions_executed == ref_sim.instructions_executed
+
+
+def test_cross_config_runs_do_not_contaminate():
+    """A trace is shared across machine configs (keyed by program
+    identity), so plans harvested under the pump-enabled config must
+    never be replayed by a pump-less one — Figure 9 runs exactly this
+    T-then-T-nopump sequence in one process."""
+    from repro.harness.engine import ExperimentSpec, execute
+
+    def cycles(config):
+        spec = ExperimentSpec(kernel="linpacktpp", config=config, scale=0.02)
+        return execute(spec).cycles
+
+    on = (cycles("T"), cycles("T-nopump"))
+    jit.clear_caches()
+    with jit.disabled():
+        off = (cycles("T"), cycles("T-nopump"))
+    assert on == off
+
+
+@pytest.mark.parametrize("kernel", ["lu", "rndcopy"])
+def test_chaos_recovery_is_jit_independent(kernel):
+    """MAF replay/panic and poison recovery report identical outcomes."""
+    from repro.faults import run_recovery_oracle
+
+    with jit.disabled():
+        ref = run_recovery_oracle(kernel, seed=1234)
+    new = run_recovery_oracle(kernel, seed=1234)
+    assert ref.ok and new.ok
+    assert new.summary() == ref.summary()

@@ -1,0 +1,120 @@
+"""Trace recorder: hot-region detection on synthetic unrolled programs.
+
+The recorder's contract (src/repro/jit/recorder.py) is purely
+structural — a region is a maximal run of iterations whose shape keys
+repeat with a fixed period and whose displacements advance affinely.
+These tests pin that contract down on hand-built programs where the
+right answer is obvious by construction.
+"""
+
+from repro.isa.builder import KernelBuilder
+from repro.jit.recorder import MIN_REPS, Region, find_regions, shape_key
+
+
+def _loop_program(reps: int, stride: int = 32, store_off: int = 0x1000):
+    """Prologue + ``reps`` unrolled [vloadq; vvaddq; vstoreq] bodies."""
+    kb = KernelBuilder()
+    kb.lda(1, 0x1000)
+    kb.setvl(4)
+    kb.setvs(8)
+    for k in range(reps):
+        kb.vloadq(1, rb=1, disp=k * stride)
+        kb.vvaddq(2, 1, 1)
+        kb.vstoreq(2, rb=1, disp=store_off + k * stride)
+    return kb.build()
+
+
+def test_detects_affine_unrolled_loop():
+    program = _loop_program(reps=8)
+    regions = find_regions(program)
+    assert len(regions) == 1
+    r = regions[0]
+    assert (r.start, r.period, r.reps) == (3, 3, 8)
+    assert r.deltas == (32, 0, 32)
+    assert r.end == 3 + 3 * 8
+
+
+def test_region_below_min_reps_is_ignored():
+    program = _loop_program(reps=MIN_REPS - 1)
+    assert find_regions(program) == []
+
+
+def test_non_affine_displacements_trim_the_region():
+    kb = KernelBuilder()
+    kb.lda(1, 0x1000)
+    kb.setvl(4)
+    kb.setvs(8)
+    # displacement sequence 0, 32, 64, 96, 97: affine for four reps,
+    # then breaks — only the affine prefix may be reported
+    for disp in (0, 32, 64, 96, 97):
+        kb.vloadq(1, rb=1, disp=disp)
+        kb.vvaddq(2, 1, 1)
+    regions = find_regions(kb.build())
+    assert len(regions) == 1
+    assert regions[0].reps == 4
+
+
+def test_smallest_period_wins():
+    kb = KernelBuilder()
+    kb.setvl(4)
+    for _ in range(8):
+        kb.vvaddq(2, 1, 1)
+    regions = find_regions(kb.build())
+    assert len(regions) == 1
+    assert regions[0].period == 1
+    assert regions[0].reps == 8
+
+
+def test_register_alternation_doubles_the_period():
+    kb = KernelBuilder()
+    kb.lda(1, 0x1000)
+    kb.setvl(4)
+    kb.setvs(8)
+    for k in range(8):
+        # destination register alternates, so the body only repeats
+        # with period 2 (shape keys differ at period 1)
+        kb.vloadq(1 + (k & 1), rb=1, disp=k * 32)
+        kb.vvaddq(3, 1, 2)
+    regions = find_regions(kb.build())
+    assert len(regions) == 1
+    assert regions[0].period == 4
+    assert regions[0].reps == 4
+
+
+def test_straight_line_code_yields_nothing():
+    kb = KernelBuilder()
+    kb.lda(1, 0x1000)
+    kb.setvl(16)
+    kb.setvs(8)
+    kb.vloadq(1, rb=1)
+    kb.vvaddq(2, 1, 1)
+    kb.vstoreq(2, rb=1, disp=0x800)
+    assert find_regions(kb.build()) == []
+
+
+def test_shape_key_excludes_only_disp():
+    kb = KernelBuilder()
+    kb.vloadq(1, rb=2, disp=0)
+    kb.vloadq(1, rb=2, disp=640)
+    kb.vloadq(1, rb=3, disp=0)
+    a, b, c = list(kb.build())
+    assert shape_key(a) == shape_key(b)      # disp is the affine part
+    assert shape_key(a) != shape_key(c)      # any other field splits
+
+def test_regions_do_not_overlap():
+    # two back-to-back loops over different bases: two regions, the
+    # second starting exactly where the first ends
+    kb = KernelBuilder()
+    kb.lda(1, 0x1000)
+    kb.lda(2, 0x8000)
+    kb.setvl(4)
+    kb.setvs(8)
+    for k in range(6):
+        kb.vloadq(1, rb=1, disp=k * 32)
+        kb.vvaddq(2, 1, 1)
+    for k in range(6):
+        kb.vstoreq(2, rb=2, disp=k * 32)
+    regions = find_regions(kb.build())
+    assert len(regions) == 2
+    assert regions[0].end <= regions[1].start
+    assert isinstance(regions[0], Region)
